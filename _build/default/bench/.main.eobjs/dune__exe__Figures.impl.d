@@ -1,0 +1,1 @@
+bench/figures.ml: Array Blink_baselines Blink_cluster Blink_collectives Blink_core Blink_dnn Blink_graph Blink_sim Blink_topology Float Fun List Printf String Util

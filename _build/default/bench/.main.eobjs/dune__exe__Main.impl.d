@@ -1,0 +1,1 @@
+bench/main.ml: Analyze Array Bechamel Benchmark Blink_baselines Blink_core Blink_topology Figures Fun Hashtbl Instance List Measure Printf Staged Sys Test Time Toolkit Util

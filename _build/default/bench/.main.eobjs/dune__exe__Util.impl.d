@@ -1,0 +1,1 @@
+bench/util.ml: Array Blink_baselines Blink_collectives Blink_core Blink_dnn Blink_sim Blink_topology Float List Printf

@@ -1,0 +1,90 @@
+(* Benchmark harness: `dune exec bench/main.exe` regenerates every figure of
+   the paper's evaluation (see EXPERIMENTS.md for paper-vs-measured) and
+   finishes with Bechamel micro-benchmarks of the planning and simulation
+   hot paths. `dune exec bench/main.exe -- fig15` runs a single target;
+   `-- list` enumerates them. *)
+
+module Server = Blink_topology.Server
+module Blink = Blink_core.Blink
+module Treegen = Blink_core.Treegen
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks: planner and simulator costs. *)
+
+let bechamel_suite () =
+  let open Bechamel in
+  let open Toolkit in
+  Util.heading "Bechamel: planner / simulator hot paths (ns per run)";
+  let gpus8 = Array.init 8 Fun.id in
+  let graph = Server.nvlink_digraph Server.dgx1v ~gpus:gpus8 in
+  let handle = Blink.create Server.dgx1v ~gpus:gpus8 in
+  let elems = 25_000_000 in
+  let prog, _ = Blink.all_reduce ~chunk_elems:1_048_576 handle ~elems in
+  let tests =
+    [
+      Test.make ~name:"maxflow-rate"
+        (Staged.stage (fun () -> ignore (Treegen.best_root graph)));
+      Test.make ~name:"mwu-pack"
+        (Staged.stage (fun () -> ignore (Treegen.pack ~epsilon:0.1 graph ~root:0)));
+      Test.make ~name:"plan-with-ilp"
+        (Staged.stage (fun () -> ignore (Treegen.plan ~epsilon:0.1 graph ~root:0)));
+      Test.make ~name:"plan-undirected"
+        (Staged.stage (fun () ->
+             ignore (Treegen.plan_undirected ~epsilon:0.1 graph ~root:0)));
+      Test.make ~name:"codegen-allreduce-100MB"
+        (Staged.stage (fun () ->
+             ignore (Blink.all_reduce ~chunk_elems:1_048_576 handle ~elems)));
+      Test.make ~name:"engine-run-100MB"
+        (Staged.stage (fun () -> ignore (Blink.time handle prog)));
+      Test.make ~name:"ring-channel-search"
+        (Staged.stage (fun () ->
+             ignore (Blink_baselines.Ring.nccl_channels Server.dgx1v ~gpus:gpus8)));
+    ]
+  in
+  let cfg =
+    Benchmark.cfg ~limit:100 ~quota:(Time.second 0.25) ~kde:(Some 10) ()
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      let stats = Analyze.all ols Instance.monotonic_clock results in
+      Hashtbl.iter
+        (fun name est ->
+          match Analyze.OLS.estimates est with
+          | Some [ ns ] -> Printf.printf "  %-28s %12.0f ns/run\n%!" name ns
+          | Some _ | None -> Printf.printf "  %-28s (no estimate)\n%!" name)
+        stats)
+    tests
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  match Array.to_list Sys.argv with
+  | _ :: [] ->
+      Figures.all_figures ();
+      bechamel_suite ();
+      print_newline ()
+  | _ :: args ->
+      List.iter
+        (fun arg ->
+          match arg with
+          | "list" ->
+              List.iter (fun (name, _) -> print_endline name) Figures.registry;
+              print_endline "bechamel"
+          | "all" ->
+              Figures.all_figures ();
+              bechamel_suite ()
+          | "bechamel" -> bechamel_suite ()
+          | name -> (
+              match List.assoc_opt name Figures.registry with
+              | Some f -> f ()
+              | None ->
+                  Printf.eprintf
+                    "unknown target %S (use `list` to enumerate)\n" name;
+                  exit 1))
+        args
+  | [] -> assert false

@@ -1,0 +1,88 @@
+(* Shared helpers for the figure-reproduction harness. *)
+
+module Server = Blink_topology.Server
+module Fabric = Blink_topology.Fabric
+module Alloc = Blink_topology.Alloc
+module Codegen = Blink_collectives.Codegen
+module Tree = Blink_collectives.Tree
+module Blink = Blink_core.Blink
+module Ring = Blink_baselines.Ring
+module E = Blink_sim.Engine
+
+let mb = 1_000_000.
+let elems_of_mb m = int_of_float (m *. mb /. 4.)
+
+(* Chunk policy used uniformly across methods in the figures: 1 MiB for
+   large buffers, shrinking for small ones so every transfer still
+   pipelines. *)
+let chunk_for elems = max 256 (min 262_144 (elems / 16))
+
+let heading fmt =
+  Printf.ksprintf
+    (fun s ->
+      Printf.printf "\n=== %s ===\n%!" s)
+    fmt
+
+let row fmt = Printf.printf fmt
+
+let gbps ~elems (r : E.result) = 4. *. Float.of_int elems /. r.E.makespan /. 1e9
+
+let time_fabric fabric prog =
+  E.run ~resources:(Fabric.resources fabric) prog
+
+(* Blink vs NCCL measurements on one allocation. *)
+let blink_broadcast ?(mbytes = 500.) handle =
+  let elems = elems_of_mb mbytes in
+  let prog, _ = Blink.broadcast ~chunk_elems:(chunk_for elems) handle ~elems in
+  gbps ~elems (Blink.time handle prog)
+
+let blink_all_reduce ?(mbytes = 500.) handle =
+  let elems = elems_of_mb mbytes in
+  let prog, _ = Blink.all_reduce ~chunk_elems:(chunk_for elems) handle ~elems in
+  gbps ~elems (Blink.time handle prog)
+
+let nccl_broadcast ?(mbytes = 500.) server ~gpus fabric =
+  let elems = elems_of_mb mbytes in
+  let channels = Ring.nccl_channels server ~gpus in
+  let spec = Codegen.spec ~chunk_elems:(chunk_for elems) fabric in
+  let prog, _ = Ring.broadcast spec ~root:0 ~elems ~channels in
+  gbps ~elems (time_fabric fabric prog)
+
+let nccl_all_reduce ?(mbytes = 500.) server ~gpus fabric =
+  let elems = elems_of_mb mbytes in
+  let channels = Ring.nccl_channels server ~gpus in
+  let spec = Codegen.spec ~chunk_elems:(chunk_for elems) fabric in
+  let prog, _ = Ring.all_reduce spec ~elems ~channels in
+  gbps ~elems (time_fabric fabric prog)
+
+(* Simulator-backed AllReduce cost functions for the training model. *)
+let blink_backend handle =
+  Blink_dnn.Training.memoized_backend ~label:"blink" (fun bytes ->
+      let elems = max 64 (int_of_float (bytes /. 4.)) in
+      let prog, _ =
+        Blink.all_reduce ~chunk_elems:(chunk_for elems) handle ~elems
+      in
+      (Blink.time handle prog).E.makespan)
+
+let nccl_backend server ~gpus fabric =
+  let channels = Ring.nccl_channels server ~gpus in
+  Blink_dnn.Training.memoized_backend ~label:"nccl" (fun bytes ->
+      let elems = max 64 (int_of_float (bytes /. 4.)) in
+      let spec = Codegen.spec ~chunk_elems:(chunk_for elems) fabric in
+      let prog, _ = Ring.all_reduce spec ~elems ~channels in
+      (time_fabric fabric prog).E.makespan)
+
+let geomean = function
+  | [] -> nan
+  | xs ->
+      exp (List.fold_left (fun acc x -> acc +. log x) 0. xs /. Float.of_int (List.length xs))
+
+let percentile p xs =
+  match List.sort compare xs with
+  | [] -> nan
+  | sorted ->
+      let n = List.length sorted in
+      let idx = int_of_float (p *. Float.of_int (n - 1)) in
+      List.nth sorted idx
+
+let config_label gpus = Alloc.to_string (Array.to_list gpus)

@@ -1,0 +1,278 @@
+(* blink: command-line front end.
+
+   $ blink topo  --server dgx1v --gpus 1,4,5,6
+   $ blink plan  --server dgx1v --gpus 1,4,5,6 --undirected
+   $ blink bench --server dgx1v --gpus 1,4,5,6 --collective allreduce --mbytes 500
+   $ blink train --server dgx1v --gpus 1,4,5,6 --model resnet50
+   $ blink cluster --jobs 40000 --servers 64 *)
+
+open Cmdliner
+module Server = Blink_topology.Server
+module Alloc = Blink_topology.Alloc
+module Fabric = Blink_topology.Fabric
+module Blink = Blink_core.Blink
+module Treegen = Blink_core.Treegen
+module Ring = Blink_baselines.Ring
+module Codegen = Blink_collectives.Codegen
+module Models = Blink_dnn.Models
+module Training = Blink_dnn.Training
+module Scheduler = Blink_cluster.Scheduler
+
+(* --------------------------- shared options --------------------------- *)
+
+let server_conv =
+  let parse = function
+    | "dgx1p" | "dgx-1p" -> Ok Server.dgx1p
+    | "dgx1v" | "dgx-1v" -> Ok Server.dgx1v
+    | "dgx2" | "dgx-2" -> Ok Server.dgx2
+    | s -> Error (`Msg (Printf.sprintf "unknown server %S (dgx1p|dgx1v|dgx2)" s))
+  in
+  Arg.conv (parse, fun ppf s -> Format.pp_print_string ppf s.Server.name)
+
+let server_arg =
+  Arg.(value & opt server_conv Server.dgx1v & info [ "server" ] ~docv:"MACHINE"
+         ~doc:"Machine model: dgx1p, dgx1v or dgx2.")
+
+let gpus_conv =
+  let parse s =
+    try
+      Ok (String.split_on_char ',' s |> List.map int_of_string |> Array.of_list)
+    with _ -> Error (`Msg "expected a comma-separated GPU list, e.g. 1,4,5,6")
+  in
+  Arg.conv
+    ( parse,
+      fun ppf gpus ->
+        Format.pp_print_string ppf
+          (String.concat "," (List.map string_of_int (Array.to_list gpus))) )
+
+let gpus_arg =
+  Arg.(value & opt gpus_conv [| 0; 1; 2; 3; 4; 5; 6; 7 |]
+       & info [ "gpus" ] ~docv:"IDS" ~doc:"Allocated GPU ids, e.g. 1,4,5,6.")
+
+let mbytes_arg =
+  Arg.(value & opt float 500. & info [ "mbytes" ] ~docv:"MB" ~doc:"Buffer size in MB.")
+
+(* ------------------------------- topo -------------------------------- *)
+
+let topo server gpus =
+  Format.printf "%a@." Server.pp server;
+  let list = Array.to_list gpus in
+  Format.printf "allocation {%s}: NVLink-%s@." (Alloc.to_string list)
+    (if Alloc.nvlink_connected server list then "connected" else "DISCONNECTED");
+  Array.iter
+    (fun u ->
+      let links =
+        Array.to_list gpus
+        |> List.filter_map (fun v ->
+               if v <> u then
+                 match Server.pair_links server u v with
+                 | Some (kind, k) ->
+                     Some (Printf.sprintf "%d (%dx %s)" v k
+                             (Blink_topology.Link.to_string kind))
+                 | None -> None
+               else None)
+      in
+      Format.printf "  gpu %d -> %s@." u
+        (if links = [] then "(no NVLink peers in allocation)"
+         else String.concat ", " links))
+    gpus;
+  if server.Server.nvswitch = None then begin
+    let g = Server.nvlink_digraph server ~gpus in
+    if Blink_graph.Digraph.is_connected_from g ~root:0 then begin
+      let root = Treegen.best_root g in
+      Format.printf "optimal broadcast rate from gpu %d: %.1f GB/s@."
+        gpus.(root)
+        (Blink_graph.Maxflow.broadcast_rate g ~root)
+    end
+  end;
+  let unique = Alloc.unique_configs server ~sizes:[ 3; 4; 5; 6; 7; 8 ] in
+  Format.printf "(%s has %d unique connected 3-8 GPU configurations)@."
+    server.Server.name (List.length unique)
+
+let topo_cmd =
+  Cmd.v (Cmd.info "topo" ~doc:"Probe a machine's interconnect for an allocation")
+    Term.(const topo $ server_arg $ gpus_arg)
+
+(* ------------------------------- plan -------------------------------- *)
+
+let plan server gpus undirected =
+  let g = Server.nvlink_digraph server ~gpus in
+  let root = Treegen.best_root g in
+  let packing =
+    if undirected then Treegen.plan_undirected g ~root else Treegen.plan g ~root
+  in
+  Format.printf "%a@." Treegen.pp packing;
+  List.iteri
+    (fun i t ->
+      let hops =
+        List.map
+          (fun id ->
+            let e = Blink_graph.Digraph.edge g id in
+            Printf.sprintf "%d->%d" gpus.(e.Blink_graph.Digraph.src)
+              gpus.(e.Blink_graph.Digraph.dst))
+          t.Treegen.edges
+      in
+      Format.printf "  tree %d (%.1f GB/s): %s@." i t.Treegen.weight
+        (String.concat " " hops))
+    packing.Treegen.trees
+
+let undirected_arg =
+  Arg.(value & flag & info [ "undirected" ]
+       ~doc:"Pack undirected (duplex-link) trees, the AllReduce model.")
+
+let plan_cmd =
+  Cmd.v (Cmd.info "plan" ~doc:"Run TreeGen (MWU packing + ILP minimization)")
+    Term.(const plan $ server_arg $ gpus_arg $ undirected_arg)
+
+(* ------------------------------- bench ------------------------------- *)
+
+let collective_arg =
+  Arg.(value & opt (enum [ ("broadcast", `Broadcast); ("allreduce", `All_reduce);
+                           ("gather", `Gather); ("allgather", `All_gather) ])
+         `All_reduce
+       & info [ "collective" ] ~docv:"OP" ~doc:"broadcast|allreduce|gather|allgather")
+
+let bench server gpus collective mbytes =
+  let handle = Blink.create server ~gpus in
+  let elems = int_of_float (mbytes *. 1e6 /. 4.) in
+  let chunk = max 256 (min 262_144 (elems / 16)) in
+  let blink_prog, _ =
+    match collective with
+    | `Broadcast -> Blink.broadcast ~chunk_elems:chunk handle ~elems
+    | `All_reduce -> Blink.all_reduce ~chunk_elems:chunk handle ~elems
+    | `Gather -> Blink.gather ~chunk_elems:chunk handle ~elems
+    | `All_gather -> Blink.all_gather ~chunk_elems:chunk handle ~elems
+  in
+  let blink = Blink.algbw_gbps ~elems (Blink.time handle blink_prog) in
+  Format.printf "blink: %.1f GB/s@." blink;
+  if server.Server.nvswitch = None then begin
+    let channels = Ring.nccl_channels server ~gpus in
+    let spec = Codegen.spec ~chunk_elems:chunk (Blink.fabric handle) in
+    let prog, _ =
+      match collective with
+      | `Broadcast -> Ring.broadcast spec ~root:(Blink.root handle) ~elems ~channels
+      | `All_reduce -> Ring.all_reduce spec ~elems ~channels
+      | `Gather | `All_gather -> Ring.gather spec ~root:(Blink.root handle) ~elems ~channels
+    in
+    let nccl = Blink.algbw_gbps ~elems (Blink.time handle prog) in
+    Format.printf "nccl-style rings (%s): %.1f GB/s   -> blink is %.2fx@."
+      (match channels.Ring.cls with
+      | Fabric.Pcie -> "pcie fallback"
+      | Fabric.Nv -> "nvlink"
+      | Fabric.Net -> "network")
+      nccl (blink /. nccl)
+  end
+
+let bench_cmd =
+  Cmd.v (Cmd.info "bench" ~doc:"Time a collective on the simulated interconnect")
+    Term.(const bench $ server_arg $ gpus_arg $ collective_arg $ mbytes_arg)
+
+(* ------------------------------- train ------------------------------- *)
+
+let model_arg =
+  Arg.(value & opt (enum (List.map (fun m -> (m.Models.name, m)) Models.all))
+         Models.resnet50
+       & info [ "model" ] ~docv:"MODEL" ~doc:"alexnet|resnet18|resnet50|vgg16")
+
+let train server gpus model =
+  let handle = Blink.create server ~gpus in
+  let fabric = Blink.fabric handle in
+  let chunk elems = max 256 (min 262_144 (elems / 16)) in
+  let blink_backend =
+    Training.memoized_backend ~label:"blink" (fun bytes ->
+        let elems = max 64 (int_of_float (bytes /. 4.)) in
+        let prog, _ = Blink.all_reduce ~chunk_elems:(chunk elems) handle ~elems in
+        (Blink.time handle prog).Blink_sim.Engine.makespan)
+  in
+  let channels = Ring.nccl_channels server ~gpus in
+  let nccl_backend =
+    Training.memoized_backend ~label:"nccl" (fun bytes ->
+        let elems = max 64 (int_of_float (bytes /. 4.)) in
+        let spec = Codegen.spec ~chunk_elems:(chunk elems) fabric in
+        let prog, _ = Ring.all_reduce spec ~elems ~channels in
+        (Blink.time handle prog).Blink_sim.Engine.makespan)
+  in
+  let show label backend =
+    let it = Training.iteration model backend in
+    Format.printf "%-8s iteration %.1f ms (compute %.1f + exposed comm %.1f, overhead %.1f%%)@."
+      label it.Training.iteration_ms it.Training.compute_ms
+      it.Training.exposed_comm_ms (Training.overhead_percent it);
+    it
+  in
+  let nccl = show "nccl" nccl_backend in
+  let blink = show "blink" blink_backend in
+  Format.printf "blink reduces iteration time by %.1f%%, hides %.1f%% of exposed comm@."
+    (Training.speedup_percent ~baseline:nccl blink)
+    (Training.comm_reduction_percent ~baseline:nccl blink)
+
+let train_cmd =
+  Cmd.v (Cmd.info "train" ~doc:"Model a data-parallel training iteration")
+    Term.(const train $ server_arg $ gpus_arg $ model_arg)
+
+(* ------------------------------- trace ------------------------------- *)
+
+let trace server gpus collective mbytes out =
+  let handle = Blink.create server ~gpus in
+  let elems = int_of_float (mbytes *. 1e6 /. 4.) in
+  let chunk = max 256 (min 262_144 (elems / 16)) in
+  let prog, _ =
+    match collective with
+    | `Broadcast -> Blink.broadcast ~chunk_elems:chunk handle ~elems
+    | `All_reduce -> Blink.all_reduce ~chunk_elems:chunk handle ~elems
+    | `Gather -> Blink.gather ~chunk_elems:chunk handle ~elems
+    | `All_gather -> Blink.all_gather ~chunk_elems:chunk handle ~elems
+  in
+  let result = Blink.time handle prog in
+  let resources = Fabric.resources (Blink.fabric handle) in
+  Format.printf "makespan %.3f ms (%.1f GB/s)@."
+    (result.Blink_sim.Engine.makespan *. 1e3)
+    (Blink.algbw_gbps ~elems result);
+  List.iteri
+    (fun i u ->
+      if i < 5 then
+        Format.printf "  resource %d: %.0f%% utilized@." u.Blink_sim.Trace.resource
+          (100. *. u.Blink_sim.Trace.fraction))
+    (Blink_sim.Trace.utilizations ~resources result);
+  let path = Blink_sim.Trace.critical_path prog result in
+  Format.printf "critical path: %d spans@." (List.length path);
+  let oc = open_out out in
+  output_string oc (Blink_sim.Trace.to_chrome_json prog result);
+  close_out oc;
+  Format.printf "chrome trace written to %s (load in chrome://tracing)@." out
+
+let trace_cmd =
+  Cmd.v
+    (Cmd.info "trace" ~doc:"Time a collective and export a Chrome trace")
+    Term.(const trace $ server_arg $ gpus_arg $ collective_arg $ mbytes_arg
+          $ Arg.(value & opt string "blink_trace.json"
+                 & info [ "out" ] ~docv:"FILE" ~doc:"Output JSON path."))
+
+(* ------------------------------ cluster ------------------------------ *)
+
+let cluster jobs servers =
+  let stats = Scheduler.simulate ~servers (Scheduler.generate_trace ~n_jobs:jobs ()) in
+  Format.printf "%d multi-GPU jobs, %d fragmented across servers, %d rejected@."
+    stats.Scheduler.multi_gpu_jobs stats.Scheduler.fragmented_jobs stats.Scheduler.rejected;
+  for g = 1 to 8 do
+    Format.printf "  %d GPUs/server: %5.1f%%@." g (100. *. Scheduler.fraction stats g)
+  done
+
+let cluster_cmd =
+  Cmd.v (Cmd.info "cluster" ~doc:"Simulate multi-tenant allocation fragmentation")
+    Term.(const cluster
+          $ Arg.(value & opt int 40_000 & info [ "jobs" ] ~doc:"Trace length.")
+          $ Arg.(value & opt int 64 & info [ "servers" ] ~doc:"8-GPU servers."))
+
+(* -------------------------------- main -------------------------------- *)
+
+let () =
+  (match Sys.getenv_opt "BLINK_DEBUG" with
+  | Some _ ->
+      Logs.set_reporter (Logs.format_reporter ());
+      Logs.set_level (Some Logs.Debug)
+  | None -> ());
+  let info =
+    Cmd.info "blink" ~version:"1.0.0"
+      ~doc:"Fast and generic collectives for distributed ML (MLSYS 2020 reproduction)"
+  in
+  exit (Cmd.eval (Cmd.group info [ topo_cmd; plan_cmd; bench_cmd; train_cmd; trace_cmd; cluster_cmd ]))

@@ -1,0 +1,1 @@
+examples/dgx2_latency.ml: Array Blink_baselines Blink_collectives Blink_core Blink_sim Blink_topology Format Fun List

@@ -1,0 +1,1 @@
+examples/dgx2_latency.mli:

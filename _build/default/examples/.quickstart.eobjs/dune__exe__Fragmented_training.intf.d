@@ -1,0 +1,1 @@
+examples/fragmented_training.mli:

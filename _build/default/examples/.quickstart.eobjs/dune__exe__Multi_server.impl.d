@@ -1,0 +1,1 @@
+examples/multi_server.ml: Blink_baselines Blink_core Blink_sim Blink_topology Float Format List

@@ -1,0 +1,1 @@
+examples/probe_and_run.ml: Array Blink_core Blink_topology Float Format List

@@ -1,0 +1,1 @@
+examples/probe_and_run.mli:

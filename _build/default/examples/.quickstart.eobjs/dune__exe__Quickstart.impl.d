@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Blink_baselines Blink_collectives Blink_core Blink_sim Blink_topology Float Format Fun

@@ -1,0 +1,52 @@
+(* Bring your own machine: paste the matrix `nvidia-smi topo -m` prints,
+   and Blink plans trees for it and executes collectives through the
+   NCCL-shaped communicator — data in, data out, with the simulated time
+   the schedule would take (paper section 2.3's runtime probing step).
+
+   Run with: dune exec examples/probe_and_run.exe *)
+
+module Probe = Blink_topology.Probe
+module Comm = Blink_core.Comm
+module Blink = Blink_core.Blink
+
+(* A hypothetical 4-GPU workstation: a ring of NVLinks plus one doubled
+   diagonal — nothing like a DGX, which is the point. *)
+let topo_matrix =
+  "        GPU0  GPU1  GPU2  GPU3\n\
+   GPU0     X    NV1   NV2   NV1\n\
+   GPU1    NV1    X    NV1   SYS\n\
+   GPU2    NV2   NV1    X    NV1\n\
+   GPU3    NV1   SYS   NV1    X\n"
+
+let () =
+  let server = Probe.parse_exn ~name:"my-workstation" topo_matrix in
+  Format.printf "probed %a@." Blink_topology.Server.pp server;
+
+  let comm = Comm.init server ~gpus:[| 0; 1; 2; 3 |] in
+  let handle = Comm.handle comm in
+  Format.printf "planned: broadcast %.1f GB/s over %d trees, all-reduce %.1f GB/s@."
+    (Blink.rate handle)
+    (List.length (Blink.broadcast_trees handle))
+    (Blink.all_reduce_rate handle);
+
+  (* Each "GPU" contributes a gradient buffer; AllReduce sums them. *)
+  let elems = 1_000_000 in
+  let gradients =
+    Array.init 4 (fun r -> Array.init elems (fun i -> Float.of_int ((i + r) mod 5)))
+  in
+  let { Comm.value; seconds } = Comm.all_reduce comm gradients in
+  Format.printf "all_reduce of 4 x %d floats: %.2f ms simulated@." elems
+    (seconds *. 1e3);
+  (* spot-check the math *)
+  let expected i = Float.of_int ((i mod 5) + ((i + 1) mod 5) + ((i + 2) mod 5) + ((i + 3) mod 5)) in
+  Array.iteri
+    (fun r out ->
+      for i = 0 to elems - 1 do
+        assert (Float.abs (out.(i) -. expected i) < 1e-6)
+      done;
+      if r = 0 then Format.printf "rank %d holds the element-wise sum ✓@." r)
+    value;
+
+  let { Comm.value = pieces; seconds } = Comm.reduce_scatter comm gradients in
+  Format.printf "reduce_scatter: rank 0 got %d elements in %.2f ms@."
+    (Array.length pieces.(0)) (seconds *. 1e3)

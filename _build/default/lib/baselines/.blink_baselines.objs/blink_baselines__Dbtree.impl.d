@@ -1,0 +1,1 @@
+lib/baselines/dbtree.ml: Array Blink_collectives Blink_topology List

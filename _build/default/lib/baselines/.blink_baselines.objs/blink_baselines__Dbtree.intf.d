@@ -1,0 +1,1 @@
+lib/baselines/dbtree.mli: Blink_collectives Blink_sim

@@ -1,0 +1,1 @@
+lib/baselines/hierarchical.ml: Array Blink_collectives Blink_sim Blink_topology List Ring

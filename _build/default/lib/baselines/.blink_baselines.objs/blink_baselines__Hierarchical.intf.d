@@ -1,0 +1,1 @@
+lib/baselines/hierarchical.mli: Blink_collectives Blink_sim Blink_topology

@@ -1,0 +1,1 @@
+lib/baselines/ring.ml: Array Blink_collectives Blink_graph Blink_sim Blink_topology Float Fun List Printf

@@ -1,0 +1,1 @@
+lib/baselines/ring.mli: Blink_collectives Blink_sim Blink_topology

@@ -1,0 +1,51 @@
+module Tree = Blink_collectives.Tree
+module Codegen = Blink_collectives.Codegen
+
+(* NCCL's in-order binary tree over 1-indexed ranks 1..n: rank v sits at
+   height ctz(v); its parent is v +/- 2^ctz(v) (direction alternating with
+   the next bit), falling back to the other side at the boundary. Leaves
+   are exactly the odd 1-indexed ranks, i.e. even 0-indexed ranks. *)
+let bst_tree n =
+  let ctz v =
+    let rec go v h = if v land 1 = 1 then h else go (v lsr 1) (h + 1) in
+    go v 0
+  in
+  let parent v =
+    let h = ctz v in
+    let step = 1 lsl h in
+    let up = if (v lsr (h + 1)) land 1 = 0 then v + step else v - step in
+    let down = if up > v then v - step else v + step in
+    if up >= 1 && up <= n then Some up
+    else if down >= 1 && down <= n then Some down
+    else None
+  in
+  let edges = ref [] in
+  let root = ref (-1) in
+  for v = 1 to n do
+    match parent v with
+    | Some p -> edges := (p - 1, v - 1) :: !edges
+    | None -> root := v - 1
+  done;
+  (Tree.of_edges ~n_ranks:n ~root:!root !edges, !root)
+
+let trees ~n_ranks =
+  if n_ranks < 1 then invalid_arg "Dbtree.trees: empty";
+  if n_ranks = 1 then [ { Tree.tree = Tree.of_edges ~n_ranks:1 ~root:0 []; share = 1. } ]
+  else begin
+    let t1, _root = bst_tree n_ranks in
+    (* Second tree: same shape, ranks rotated by one — a rank that is a
+       leaf of t1 (even position) becomes interior in t2. *)
+    let rotate v = (v + 1) mod n_ranks in
+    let edges2 =
+      Array.to_list t1.Tree.parent
+      |> List.mapi (fun child parent -> (parent, child))
+      |> List.filter_map (fun (p, c) ->
+             if p < 0 then None else Some (rotate p, rotate c))
+    in
+    let t2 = Tree.of_edges ~n_ranks ~root:(rotate t1.Tree.root) edges2 in
+    [ { Tree.tree = t1; share = 0.5 }; { Tree.tree = t2; share = 0.5 } ]
+  end
+
+let all_reduce spec ~elems =
+  let k = Blink_topology.Fabric.n_ranks spec.Codegen.fabric in
+  Codegen.all_reduce spec ~elems ~trees:(trees ~n_ranks:k)

@@ -1,0 +1,17 @@
+(** NCCL 2.4 double binary trees (the paper's DGX-2 baseline for small
+    AllReduce sizes).
+
+    Two binary trees each carry half the data; every rank is a leaf in one
+    tree and an interior node in the other, so per-rank send/receive load
+    is balanced. Reduce runs up each tree, broadcast back down — exactly
+    {!Blink_collectives.Codegen.all_reduce} over the two trees. *)
+
+val trees : n_ranks:int -> Blink_collectives.Tree.weighted list
+(** The two half-share trees. For [n_ranks = 1], a single trivial tree.
+    Requires [n_ranks >= 1]. *)
+
+val all_reduce :
+  Blink_collectives.Codegen.spec ->
+  elems:int ->
+  Blink_sim.Program.t * Blink_collectives.Codegen.layout
+(** Double-binary-tree AllReduce over the spec's fabric. *)

@@ -1,0 +1,29 @@
+(** Horovod/NCCL-style hierarchical multi-server AllReduce: the paper's
+    multi-machine baseline (section 5.4, figure 22a).
+
+    Same three phases as Blink's protocol, but the local phases run over
+    NCCL's ring channels (path trees towards a fixed per-server leader)
+    instead of packed spanning trees — which is precisely where Blink's
+    gains on fragmented allocations come from. *)
+
+type t
+
+val create :
+  ?net_bw:float -> (Blink_topology.Server.t * int array) list -> t
+(** Build channels per server: NVLink rings when the local allocation
+    admits them, PCIe fallback otherwise. *)
+
+val fabric : t -> Blink_topology.Fabric.t
+
+val local_cls : t -> int -> Blink_topology.Fabric.link_class
+(** Which link class server [i]'s local rings use. *)
+
+val all_reduce :
+  ?chunk_elems:int -> ?stream_reuse:bool -> t -> elems:int ->
+  Blink_sim.Program.t * Blink_collectives.Codegen.layout
+(** When some server fell back to PCIe, the whole job's local phases run
+    at the PCIe class for that server (mirroring NCCL's behaviour). *)
+
+val time :
+  ?policy:Blink_sim.Engine.policy -> t -> Blink_sim.Program.t ->
+  Blink_sim.Engine.result

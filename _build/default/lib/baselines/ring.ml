@@ -1,0 +1,178 @@
+module Program = Blink_sim.Program
+module Fabric = Blink_topology.Fabric
+module Server = Blink_topology.Server
+module Tree = Blink_collectives.Tree
+module Codegen = Blink_collectives.Codegen
+module Emit = Blink_collectives.Emit
+
+type channels = { rings : int list list; cls : Fabric.link_class }
+
+let reverse_ring = function
+  | [] -> []
+  | first :: rest -> first :: List.rev rest
+
+let nccl_channels server ~gpus =
+  let k = Array.length gpus in
+  if k = 1 then { rings = [ [ 0 ] ]; cls = Fabric.Nv }
+  else begin
+    let cap i j = Server.pair_capacity server gpus.(i) gpus.(j) in
+    let cycles = Blink_graph.Hamiltonian.pack_cycles ~n:k ~cap in
+    match cycles with
+    | [] ->
+        (* No NVLink ring exists: NCCL drops to PCIe for the whole job. *)
+        let base = List.init k Fun.id in
+        { rings = [ base; reverse_ring base ]; cls = Fabric.Pcie }
+    | _ when k = 2 ->
+        (* Each packed cycle already uses both directions of one link. *)
+        { rings = cycles; cls = Fabric.Nv }
+    | _ ->
+        {
+          rings = List.concat_map (fun c -> [ c; reverse_ring c ]) cycles;
+          cls = Fabric.Nv;
+        }
+  end
+
+let n_rings c = List.length c.rings
+
+let nvswitch_channels ?(per_direction = 2) ~n_ranks () =
+  if n_ranks < 2 then { rings = [ [ 0 ] ]; cls = Fabric.Nv }
+  else begin
+    let base = List.init n_ranks Fun.id in
+    let both = [ base; reverse_ring base ] in
+    { rings = List.concat (List.init per_direction (fun _ -> both)); cls = Fabric.Nv }
+  end
+
+(* Rotate the ring so it starts at [root], then read it as a path tree. *)
+let ring_tree ~root ring =
+  let k = List.length ring in
+  if k = 1 then Tree.of_edges ~n_ranks:1 ~root:0 []
+  else begin
+    let arr = Array.of_list ring in
+    let start =
+      match Array.find_index (fun v -> v = root) arr with
+      | Some i -> i
+      | None -> invalid_arg "Ring.ring_tree: root not on ring"
+    in
+    let seq = List.init k (fun i -> arr.((start + i) mod k)) in
+    let rec edges = function
+      | a :: (b :: _ as rest) -> (a, b) :: edges rest
+      | [ _ ] | [] -> []
+    in
+    Tree.of_edges ~n_ranks:k ~root (edges seq)
+  end
+
+let path_trees ~root channels =
+  let share = 1. /. Float.of_int (List.length channels.rings) in
+  List.map (fun ring -> { Tree.tree = ring_tree ~root ring; share }) channels.rings
+
+let with_cls spec channels = { spec with Codegen.cls = channels.cls }
+
+let broadcast spec ~root ~elems ~channels =
+  Codegen.broadcast (with_cls spec channels) ~root ~elems
+    ~trees:(path_trees ~root channels)
+
+let reduce spec ~root ~elems ~channels =
+  Codegen.reduce (with_cls spec channels) ~root ~elems
+    ~trees:(path_trees ~root channels)
+
+let gather spec ~root ~elems ~channels =
+  Codegen.gather (with_cls spec channels) ~root ~elems
+    ~trees:(path_trees ~root channels)
+
+(* Ring AllReduce: reduce-scatter then all-gather over each ring's share of
+   the buffer. The ring's region is cut into k segments; at reduce-scatter
+   step t, position i sends segment (i - t) mod k to position i + 1, which
+   accumulates. After k-1 steps position i owns the full sum of segment
+   (i + 1) mod k, and k-1 all-gather steps circulate the sums. *)
+let all_reduce spec ~elems ~channels =
+  let spec = with_cls spec channels in
+  let ctx =
+    Emit.create ~fabric:spec.Codegen.fabric ~elem_bytes:spec.Codegen.elem_bytes
+      ~staging_elems:elems ()
+  in
+  let data = Codegen.declare_data ctx ~elems in
+  let ring_share = 1. /. Float.of_int (List.length channels.rings) in
+  List.iteri
+    (fun ri ring ->
+      let order = Array.of_list ring in
+      let len_ring = Array.length order in
+      if len_ring >= 2 then begin
+        (* This ring's contiguous region of the buffer. *)
+        let roff = int_of_float (Float.round (ring_share *. Float.of_int (ri * elems))) in
+        let rstop =
+          int_of_float (Float.round (ring_share *. Float.of_int ((ri + 1) * elems)))
+        in
+        let rlen = rstop - roff in
+        (* Segment boundaries within the region. *)
+        let seg_bound j = roff + (rlen * j / len_ring) in
+        let seg j =
+          let o = seg_bound j in
+          (o, seg_bound (j + 1) - o)
+        in
+        let hops =
+          Array.init len_ring (fun i ->
+              let src = order.(i) and dst = order.((i + 1) mod len_ring) in
+              match
+                Emit.streams_for ctx ~cls:spec.Codegen.cls ~src ~dst ~tree:ri
+                  ~flow:i ~reuse:spec.Codegen.stream_reuse
+              with
+              | Some h -> h
+              | None ->
+                  invalid_arg
+                    (Printf.sprintf "Ring.all_reduce: no %s path %d -> %d"
+                       (match spec.Codegen.cls with
+                       | Fabric.Nv -> "nvlink"
+                       | Fabric.Pcie -> "pcie"
+                       | Fabric.Net -> "network")
+                       src dst))
+        in
+        (* possession.(i).(j) = ops after which position i holds its current
+           value of segment j, per chunk. *)
+        let possession =
+          Array.init len_ring (fun _ -> Array.make len_ring [||])
+        in
+        let chunk_list j =
+          let o, l = seg j in
+          Array.of_list (Codegen.split_chunks ~chunk:spec.Codegen.chunk_elems ~off:o ~len:l)
+        in
+        let chunks = Array.init len_ring chunk_list in
+        for i = 0 to len_ring - 1 do
+          for j = 0 to len_ring - 1 do
+            possession.(i).(j) <- Array.map (fun _ -> []) chunks.(j)
+          done
+        done;
+        let send_step ~i ~j ~reduce_phase =
+          let src = order.(i) and dst = order.((i + 1) mod len_ring) in
+          Array.iteri
+            (fun ci (off, len) ->
+              if len > 0 then begin
+                let src_ref =
+                  { Program.node = src; buf = data.(src); off; len }
+                in
+                let dst_ref =
+                  { Program.node = dst; buf = data.(dst); off; len }
+                in
+                let op =
+                  Emit.send ctx ~hops:hops.(i) ~src:src_ref ~dst:dst_ref
+                    ~reduce:reduce_phase ~deps:possession.(i).(j).(ci)
+                in
+                possession.((i + 1) mod len_ring).(j).(ci) <- [ op ]
+              end)
+            chunks.(j)
+        in
+        for t = 0 to len_ring - 2 do
+          for i = 0 to len_ring - 1 do
+            send_step ~i ~j:(((i - t) mod len_ring + len_ring) mod len_ring)
+              ~reduce_phase:true
+          done
+        done;
+        for t = 0 to len_ring - 2 do
+          for i = 0 to len_ring - 1 do
+            send_step ~i
+              ~j:(((i + 1 - t) mod len_ring + len_ring) mod len_ring)
+              ~reduce_phase:false
+          done
+        done
+      end)
+    channels.rings;
+  (Emit.program ctx, { Codegen.data; output = None })

@@ -1,0 +1,54 @@
+(** NCCL-style ring collectives: the paper's baseline.
+
+    NCCL builds channels out of directed rings over the allocated GPUs. It
+    only rings over NVLink; when the allocation's NVLink graph admits no
+    Hamiltonian cycle it falls back to PCIe entirely (paper section 1,
+    figure 2b). Every packed undirected cycle yields two directed rings
+    (one per link direction). *)
+
+type channels = {
+  rings : int list list;  (** directed rings, as rank sequences *)
+  cls : Blink_topology.Fabric.link_class;  (** [Nv], or [Pcie] on fallback *)
+}
+
+val nccl_channels : Blink_topology.Server.t -> gpus:int array -> channels
+(** Channel construction for an allocation: greedy NVLink cycle packing
+    with both directions of every cycle, else the PCIe fallback ring
+    (ranks in id order, both directions). Single-GPU allocations get one
+    trivial ring. *)
+
+val nvswitch_channels : ?per_direction:int -> n_ranks:int -> unit -> channels
+(** NCCL's ring channels on an NVSwitch machine: [per_direction] (default
+    2) identical id-order rings in each direction, occupying that many of
+    each GPU's switch lanes. *)
+
+val ring_tree : root:int -> int list -> Blink_collectives.Tree.t
+(** The path tree a directed ring induces for one-to-many traffic from
+    [root]: root, then successive ring elements. *)
+
+val broadcast :
+  Blink_collectives.Codegen.spec ->
+  root:int -> elems:int -> channels:channels ->
+  Blink_sim.Program.t * Blink_collectives.Codegen.layout
+(** Pipelined ring broadcast: data split evenly over the rings, each ring
+    forwarding chunks along its path from the root. The spec's link class
+    is overridden by the channels' class. *)
+
+val reduce :
+  Blink_collectives.Codegen.spec ->
+  root:int -> elems:int -> channels:channels ->
+  Blink_sim.Program.t * Blink_collectives.Codegen.layout
+
+val gather :
+  Blink_collectives.Codegen.spec ->
+  root:int -> elems:int -> channels:channels ->
+  Blink_sim.Program.t * Blink_collectives.Codegen.layout
+
+val all_reduce :
+  Blink_collectives.Codegen.spec ->
+  elems:int -> channels:channels ->
+  Blink_sim.Program.t * Blink_collectives.Codegen.layout
+(** Bandwidth-optimal ring AllReduce: reduce-scatter then all-gather, each
+    ring working on its share of the buffer, 2(k-1) pipelined steps. *)
+
+val n_rings : channels -> int

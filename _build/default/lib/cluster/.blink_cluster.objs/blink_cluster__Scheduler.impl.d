@@ -1,0 +1,1 @@
+lib/cluster/scheduler.ml: Array Float Fun Hashtbl List Option Random

@@ -1,0 +1,114 @@
+type job = { id : int; gpus : int; duration : int }
+
+(* Demand mix: mostly small power-of-two jobs, a tail of 8- and 16-GPU
+   jobs, mirroring the shape of published multi-tenant traces. *)
+let demand_of_draw x =
+  if x < 0.30 then 1
+  else if x < 0.55 then 2
+  else if x < 0.80 then 4
+  else if x < 0.95 then 8
+  else 16
+
+let generate_trace ?(seed = 42) ~n_jobs () =
+  let rng = Random.State.make [| seed |] in
+  List.init n_jobs (fun id ->
+      let gpus = demand_of_draw (Random.State.float rng 1.) in
+      (* Log-uniform residence between 20 and 400 arrivals: keeps a
+         64-server cluster in the high-occupancy regime (~85%) where
+         fragmentation appears. *)
+      let duration =
+        int_of_float (20. *. (20. ** Random.State.float rng 1.))
+      in
+      { id; gpus; duration })
+
+type placement = { job : job; slices : (int * int) list }
+
+type stats = {
+  placements : placement list;
+  per_server_counts : int array;
+  fragmented_jobs : int;
+  multi_gpu_jobs : int;
+  rejected : int;
+}
+
+let simulate ?(servers = 64) jobs =
+  let free = Array.make servers 8 in
+  (* Departures keyed by arrival index. *)
+  let departures : (int, (int * int) list) Hashtbl.t = Hashtbl.create 64 in
+  let placements = ref [] in
+  let rejected = ref 0 in
+  List.iteri
+    (fun now job ->
+      (match Hashtbl.find_opt departures now with
+      | Some slices ->
+          List.iter (fun (s, g) -> free.(s) <- free.(s) + g) slices;
+          Hashtbl.remove departures now
+      | None -> ());
+      let total_free = Array.fold_left ( + ) 0 free in
+      if total_free < job.gpus then incr rejected
+      else begin
+        (* Best fit: pack into the fullest server that still holds the
+           whole job (tightening fragmentation); when no server has room,
+           split over the emptiest servers so the pieces are large (5+3,
+           6+2, ...) — the fragments figure 3 reports. *)
+        let slices = ref [] in
+        let best = ref (-1) in
+        Array.iteri
+          (fun s f ->
+            if f >= job.gpus && (!best < 0 || f < free.(!best)) then best := s)
+          free;
+        if !best >= 0 then begin
+          free.(!best) <- free.(!best) - job.gpus;
+          slices := [ (!best, job.gpus) ]
+        end
+        else begin
+          let order =
+            List.init servers Fun.id
+            |> List.stable_sort (fun a b -> compare free.(b) free.(a))
+          in
+          let remaining = ref job.gpus in
+          List.iter
+            (fun s ->
+              if !remaining > 0 && free.(s) > 0 then begin
+                let take = min free.(s) !remaining in
+                free.(s) <- free.(s) - take;
+                remaining := !remaining - take;
+                slices := (s, take) :: !slices
+              end)
+            order
+        end;
+        let slices = List.rev !slices in
+        placements := { job; slices } :: !placements;
+        let leave = now + job.duration in
+        let pending = Option.value (Hashtbl.find_opt departures leave) ~default:[] in
+        Hashtbl.replace departures leave (slices @ pending)
+      end)
+    jobs;
+  let placements = List.rev !placements in
+  let per_server_counts = Array.make 8 0 in
+  let fragmented = ref 0 in
+  let multi = ref 0 in
+  List.iter
+    (fun p ->
+      if p.job.gpus > 1 then begin
+        incr multi;
+        if List.length p.slices > 1 then incr fragmented;
+        List.iter
+          (fun (_, g) ->
+            per_server_counts.(g - 1) <- per_server_counts.(g - 1) + 1)
+          p.slices
+      end)
+    placements;
+  {
+    placements;
+    per_server_counts;
+    fragmented_jobs = !fragmented;
+    multi_gpu_jobs = !multi;
+    rejected = !rejected;
+  }
+
+let fraction stats g =
+  if g < 1 || g > 8 then invalid_arg "Scheduler.fraction: 1..8";
+  let total = Array.fold_left ( + ) 0 stats.per_server_counts in
+  if total = 0 then 0.
+  else Float.of_int stats.per_server_counts.(g - 1) /. Float.of_int total

@@ -1,0 +1,38 @@
+(** Multi-tenant GPU cluster simulation (paper figure 3).
+
+    The paper analyzed 40,000 multi-GPU jobs on an 8-GPU-server cluster and
+    found that, although jobs overwhelmingly request power-of-two GPU
+    counts, the per-server slices they actually receive are frequently 3,
+    5, 6 or 7 GPUs — the fragmentation Blink is designed for. This module
+    reproduces that distribution with a synthetic trace: jobs with
+    power-of-two demands arrive and depart, and a locality-{e unaware}
+    first-fit scheduler packs them onto servers, splitting jobs across
+    machines whenever no single server has room. *)
+
+type job = { id : int; gpus : int; duration : int }
+
+val generate_trace : ?seed:int -> n_jobs:int -> unit -> job list
+(** Power-of-two GPU demands (1-16) with the skew towards small jobs
+    reported in multi-tenant traces; durations are log-uniform. *)
+
+type placement = { job : job; slices : (int * int) list }
+(** Per-server pieces: [(server, gpus_on_that_server)]. *)
+
+type stats = {
+  placements : placement list;
+  per_server_counts : int array;
+      (** histogram over 1..8 of GPUs-per-server slices of {e multi-GPU}
+          jobs — figure 3's bars; index [g-1] counts slices of size [g] *)
+  fragmented_jobs : int;  (** multi-GPU jobs split across servers *)
+  multi_gpu_jobs : int;
+  rejected : int;  (** jobs that found no capacity and were dropped *)
+}
+
+val simulate : ?servers:int -> job list -> stats
+(** First-fit over [servers] 8-GPU machines (default 64). Jobs are
+    processed in arrival order; a job departs [duration] arrivals later,
+    freeing its GPUs. *)
+
+val fraction : stats -> int -> float
+(** Fraction of multi-GPU-job slices with the given per-server GPU count
+    (1-8). *)

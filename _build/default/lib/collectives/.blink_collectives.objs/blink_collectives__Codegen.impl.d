@@ -1,0 +1,1 @@
+lib/collectives/codegen.ml: Array Blink_sim Blink_topology Emit Float Hashtbl List Option Printf Tree

@@ -1,0 +1,1 @@
+lib/collectives/codegen.mli: Blink_sim Blink_topology Emit Hashtbl Tree

@@ -1,0 +1,1 @@
+lib/collectives/emit.ml: Array Blink_sim Blink_topology Float Hashtbl List Option

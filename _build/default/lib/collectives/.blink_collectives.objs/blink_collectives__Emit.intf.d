@@ -1,0 +1,1 @@
+lib/collectives/emit.mli: Blink_sim Blink_topology

@@ -1,0 +1,1 @@
+lib/collectives/micro.ml: Array Blink_sim Blink_topology Codegen Emit Float List Subtree Tree

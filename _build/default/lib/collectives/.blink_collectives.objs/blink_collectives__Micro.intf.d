@@ -1,0 +1,1 @@
+lib/collectives/micro.mli:

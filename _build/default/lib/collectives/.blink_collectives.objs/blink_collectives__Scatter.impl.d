@@ -1,0 +1,1 @@
+lib/collectives/scatter.ml: Array Blink_sim Blink_topology Codegen Emit List Subtree Tree

@@ -1,0 +1,1 @@
+lib/collectives/scatter.mli: Blink_sim Codegen Tree

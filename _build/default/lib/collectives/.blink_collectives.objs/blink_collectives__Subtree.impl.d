@@ -1,0 +1,1 @@
+lib/collectives/subtree.ml: Array Blink_sim Codegen Emit Hashtbl List Option Printf Queue

@@ -1,0 +1,1 @@
+lib/collectives/subtree.mli: Blink_sim Codegen Emit Hashtbl

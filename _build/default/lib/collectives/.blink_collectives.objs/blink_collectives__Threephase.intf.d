@@ -1,0 +1,1 @@
+lib/collectives/threephase.mli: Blink_sim Blink_topology Codegen Subtree

@@ -1,0 +1,1 @@
+lib/collectives/tree.ml: Array Format List Queue String

@@ -1,0 +1,1 @@
+lib/collectives/tree.mli: Format

@@ -1,0 +1,294 @@
+module Program = Blink_sim.Program
+module Engine = Blink_sim.Engine
+module Fabric = Blink_topology.Fabric
+
+type spec = {
+  fabric : Fabric.t;
+  cls : Fabric.link_class;
+  chunk_elems : int;
+  stream_reuse : bool;
+  elem_bytes : float;
+}
+
+let spec ?(cls = Fabric.Nv) ?(chunk_elems = 262_144) ?(stream_reuse = true)
+    ?(elem_bytes = 4.) fabric =
+  if chunk_elems <= 0 then invalid_arg "Codegen.spec: chunk_elems <= 0";
+  { fabric; cls; chunk_elems; stream_reuse; elem_bytes }
+
+type layout = { data : int array; output : int array option }
+
+let check_trees spec ~root ~trees =
+  let k = Fabric.n_ranks spec.fabric in
+  if trees = [] then invalid_arg "Codegen: empty tree list";
+  List.iter
+    (fun { Tree.tree; share } ->
+      if Tree.n_ranks tree <> k then
+        invalid_arg "Codegen: tree rank count does not match fabric";
+      if share <= 0. then invalid_arg "Codegen: non-positive tree share";
+      match root with
+      | Some r when tree.Tree.root <> r ->
+          invalid_arg "Codegen: tree rooted at the wrong rank"
+      | Some _ | None -> ())
+    trees
+
+(* Contiguous per-tree regions by share, via cumulative rounding so lengths
+   sum exactly to [elems]. *)
+let regions ~elems trees =
+  let total = List.fold_left (fun acc t -> acc +. t.Tree.share) 0. trees in
+  let boundary cum = int_of_float (Float.round (cum /. total *. Float.of_int elems)) in
+  let _, out =
+    List.fold_left
+      (fun (cum, acc) t ->
+        let cum' = cum +. t.Tree.share in
+        let start = boundary cum and stop = boundary cum' in
+        (cum', (t, start, stop - start) :: acc))
+      (0., []) trees
+  in
+  List.rev out
+
+let split_chunks ~chunk ~off ~len =
+  let rec go o remaining acc =
+    if remaining <= 0 then List.rev acc
+    else begin
+      let this = min chunk remaining in
+      go (o + this) (remaining - this) ((o, this) :: acc)
+    end
+  in
+  go off len []
+
+let edge_streams spec ctx ~tree_idx ~src ~dst ~flow =
+  match
+    Emit.streams_for ctx ~cls:spec.cls ~src ~dst ~tree:tree_idx ~flow
+      ~reuse:spec.stream_reuse
+  with
+  | Some hops -> hops
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Codegen: ranks %d -> %d not connected in this class"
+          src dst)
+
+let mem ~node ~buf ~off ~len = { Program.node; buf; off; len }
+
+let declare_data ctx ~elems =
+  let k = Fabric.n_ranks (Emit.fabric ctx) in
+  Array.init k (fun r -> Emit.data_buffer ctx ~rank:r ~len:elems)
+
+(* Broadcast one region of a source buffer down a tree. [source ci] gives
+   (mem_ref on the tree root, deps) for chunk [ci]; [dst_buf r] the target
+   buffer on rank [r]. Returns per-(rank, chunk) arrival op ids. *)
+let emit_tree_broadcast spec ctx ~tree_idx ~(tree : Tree.t) ~chunks ~source
+    ~dst_buf =
+  let arrival = Hashtbl.create 64 in
+  List.iter
+    (fun v ->
+      if v <> tree.Tree.root then begin
+        let u = tree.Tree.parent.(v) in
+        let hops = edge_streams spec ctx ~tree_idx ~src:u ~dst:v ~flow:v in
+        List.iteri
+          (fun ci (off, len) ->
+            let src, deps =
+              if u = tree.Tree.root then source ci
+              else
+                let src_ref =
+                  mem ~node:u ~buf:(dst_buf u) ~off ~len
+                in
+                (src_ref, [ Hashtbl.find arrival (u, ci) ])
+            in
+            let dst = mem ~node:v ~buf:(dst_buf v) ~off ~len in
+            let op = Emit.send ctx ~hops ~src ~dst ~reduce:false ~deps in
+            Hashtbl.replace arrival (v, ci) op)
+          chunks
+      end)
+    tree.Tree.order;
+  arrival
+
+(* Reduce one region of every rank's data buffer towards the tree root,
+   in place. Returns, per chunk, the ops that completed the root's sum. *)
+let emit_tree_reduce spec ctx ~tree_idx ~(tree : Tree.t) ~chunks ~data =
+  let contributions : (int * int, int list) Hashtbl.t = Hashtbl.create 64 in
+  let contrib key = Option.value (Hashtbl.find_opt contributions key) ~default:[] in
+  List.iter
+    (fun v ->
+      if v <> tree.Tree.root then begin
+        let u = tree.Tree.parent.(v) in
+        let hops = edge_streams spec ctx ~tree_idx ~src:v ~dst:u ~flow:v in
+        List.iteri
+          (fun ci (off, len) ->
+            let src = mem ~node:v ~buf:data.(v) ~off ~len in
+            let dst = mem ~node:u ~buf:data.(u) ~off ~len in
+            let deps = contrib (v, ci) in
+            let op = Emit.send ctx ~hops ~src ~dst ~reduce:true ~deps in
+            Hashtbl.replace contributions (u, ci) (op :: contrib (u, ci)))
+          chunks
+      end)
+    (List.rev tree.Tree.order);
+  List.mapi (fun ci _ -> contrib (tree.Tree.root, ci)) chunks
+
+let broadcast spec ~root ~elems ~trees =
+  check_trees spec ~root:(Some root) ~trees;
+  let ctx = Emit.create ~fabric:spec.fabric ~elem_bytes:spec.elem_bytes ~staging_elems:elems () in
+  let data = declare_data ctx ~elems in
+  List.iteri
+    (fun tree_idx ({ Tree.tree; _ }, off, len) ->
+      if len > 0 then begin
+        let chunks = split_chunks ~chunk:spec.chunk_elems ~off ~len in
+        let source ci =
+          let o, l = List.nth chunks ci in
+          (mem ~node:root ~buf:data.(root) ~off:o ~len:l, [])
+        in
+        ignore
+          (emit_tree_broadcast spec ctx ~tree_idx ~tree ~chunks ~source
+             ~dst_buf:(fun r -> data.(r)))
+      end)
+    (regions ~elems trees);
+  (Emit.program ctx, { data; output = None })
+
+let reduce spec ~root ~elems ~trees =
+  check_trees spec ~root:(Some root) ~trees;
+  let ctx = Emit.create ~fabric:spec.fabric ~elem_bytes:spec.elem_bytes ~staging_elems:elems () in
+  let data = declare_data ctx ~elems in
+  List.iteri
+    (fun tree_idx ({ Tree.tree; _ }, off, len) ->
+      if len > 0 then begin
+        let chunks = split_chunks ~chunk:spec.chunk_elems ~off ~len in
+        ignore (emit_tree_reduce spec ctx ~tree_idx ~tree ~chunks ~data)
+      end)
+    (regions ~elems trees);
+  (Emit.program ctx, { data; output = None })
+
+let all_reduce spec ~elems ~trees =
+  check_trees spec ~root:None ~trees;
+  let ctx = Emit.create ~fabric:spec.fabric ~elem_bytes:spec.elem_bytes ~staging_elems:elems () in
+  let data = declare_data ctx ~elems in
+  List.iteri
+    (fun tree_idx ({ Tree.tree; _ }, off, len) ->
+      if len > 0 then begin
+        let chunks = split_chunks ~chunk:spec.chunk_elems ~off ~len in
+        let root_done =
+          Array.of_list (emit_tree_reduce spec ctx ~tree_idx ~tree ~chunks ~data)
+        in
+        let source ci =
+          let o, l = List.nth chunks ci in
+          ( mem ~node:tree.Tree.root ~buf:data.(tree.Tree.root) ~off:o ~len:l,
+            root_done.(ci) )
+        in
+        ignore
+          (emit_tree_broadcast spec ctx ~tree_idx ~tree ~chunks ~source
+             ~dst_buf:(fun r -> data.(r)))
+      end)
+    (regions ~elems trees);
+  (Emit.program ctx, { data; output = None })
+
+(* Forwarding buffers for gather-style collectives: pass-through data at
+   intermediate ranks stages here, addressed by global output offset. *)
+let forward_buffers ctx ~total =
+  let k = Fabric.n_ranks (Emit.fabric ctx) in
+  let bufs = Array.make k (-1) in
+  fun r ->
+    if bufs.(r) < 0 then bufs.(r) <- Emit.data_buffer ctx ~rank:r ~len:total;
+    bufs.(r)
+
+let emit_gather spec ctx ~root ~elems ~trees ~data ~out =
+  let total = Fabric.n_ranks spec.fabric * elems in
+  let fwd = forward_buffers ctx ~total in
+  (* Per (segment, chunk-offset) completion op at the root, for all_gather. *)
+  let arrived = Hashtbl.create 64 in
+  List.iteri
+    (fun tree_idx ({ Tree.tree; _ }, off, len) ->
+      if len > 0 then begin
+        let chunks = split_chunks ~chunk:spec.chunk_elems ~off ~len in
+        Array.iteri
+          (fun w _ ->
+            if w <> root then begin
+              let path = Tree.path_to_root tree w in
+              List.iter
+                (fun (coff, clen) ->
+                  let goff = (w * elems) + coff in
+                  let rec forward src deps = function
+                    | x :: (y :: _ as rest) ->
+                        let hops =
+                          edge_streams spec ctx ~tree_idx ~src:x ~dst:y ~flow:x
+                        in
+                        let dst =
+                          if y = root then
+                            mem ~node:root ~buf:out ~off:goff ~len:clen
+                          else mem ~node:y ~buf:(fwd y) ~off:goff ~len:clen
+                        in
+                        let op =
+                          Emit.send ctx ~hops ~src ~dst ~reduce:false ~deps
+                        in
+                        if y = root then Hashtbl.replace arrived (w, coff) op
+                        else forward dst [ op ] rest
+                    | [ _ ] | [] -> ()
+                  in
+                  let src0 = mem ~node:w ~buf:data.(w) ~off:coff ~len:clen in
+                  forward src0 [] path)
+                chunks
+            end)
+          data
+      end)
+    (regions ~elems trees);
+  (* The root's own contribution is a local copy. *)
+  let self =
+    Emit.local_copy ctx ~rank:root
+      ~src:(mem ~node:root ~buf:data.(root) ~off:0 ~len:elems)
+      ~dst:(mem ~node:root ~buf:out ~off:(root * elems) ~len:elems)
+      ~deps:[]
+  in
+  (arrived, self)
+
+let gather spec ~root ~elems ~trees =
+  check_trees spec ~root:(Some root) ~trees;
+  let k = Fabric.n_ranks spec.fabric in
+  let total = k * elems in
+  let ctx = Emit.create ~fabric:spec.fabric ~elem_bytes:spec.elem_bytes ~staging_elems:total () in
+  let data = declare_data ctx ~elems in
+  let out_root = Emit.data_buffer ctx ~rank:root ~len:total in
+  let _arrived, _self = emit_gather spec ctx ~root ~elems ~trees ~data ~out:out_root in
+  let output = Array.make k (-1) in
+  output.(root) <- out_root;
+  (Emit.program ctx, { data; output = Some output })
+
+let all_gather spec ~root ~elems ~trees =
+  check_trees spec ~root:(Some root) ~trees;
+  let k = Fabric.n_ranks spec.fabric in
+  let total = k * elems in
+  let ctx = Emit.create ~fabric:spec.fabric ~elem_bytes:spec.elem_bytes ~staging_elems:total () in
+  let data = declare_data ctx ~elems in
+  let output = Array.init k (fun r -> Emit.data_buffer ctx ~rank:r ~len:total) in
+  let arrived, self = emit_gather spec ctx ~root ~elems ~trees ~data ~out:output.(root) in
+  (* Down phase: broadcast every segment's slice of each tree's region. *)
+  List.iteri
+    (fun tree_idx ({ Tree.tree; _ }, off, len) ->
+      if len > 0 then
+        for segment = 0 to k - 1 do
+          let chunks =
+            split_chunks ~chunk:spec.chunk_elems ~off:((segment * elems) + off)
+              ~len
+          in
+          let source ci =
+            let o, l = List.nth chunks ci in
+            let seg_off = o - (segment * elems) in
+            let dep =
+              if segment = root then [ self ]
+              else
+                match Hashtbl.find_opt arrived (segment, seg_off) with
+                | Some op -> [ op ]
+                | None ->
+                    (* Chunk boundaries line up between phases because both
+                       use the same chunk size and region offsets. *)
+                    assert false
+            in
+            (mem ~node:root ~buf:output.(root) ~off:o ~len:l, dep)
+          in
+          ignore
+            (emit_tree_broadcast spec ctx
+               ~tree_idx:(tree_idx + (segment * List.length trees))
+               ~tree ~chunks ~source
+               ~dst_buf:(fun r -> output.(r)))
+        done)
+    (regions ~elems trees);
+  (Emit.program ctx, { data; output = Some output })
+
+let run ?policy spec prog =
+  Engine.run ?policy ~resources:(Fabric.resources spec.fabric) prog

@@ -1,0 +1,162 @@
+module Program = Blink_sim.Program
+module Fabric = Blink_topology.Fabric
+module Link = Blink_topology.Link
+
+(* Stream bookkeeping: [slots] remembers which lane of a link a given
+   (tree, flow) was assigned (round-robin over physical lanes in the
+   non-reuse ablation); [lane_count] counts distinct flows seen per link;
+   [streams] maps the final key to a program stream. *)
+type stream_key =
+  | Lane of int * int  (* link, lane slot (ablation: flows share lanes) *)
+  | Private of int * int * int  (* link, tree, flow (stream management) *)
+  | Engine_stream of int  (* per-rank compute stream *)
+
+type t = {
+  fabric : Fabric.t;
+  prog : Program.t;
+  elem_bytes : float;
+  staging_elems : int;
+  streams : (stream_key, int) Hashtbl.t;
+  slots : (int * int * int, int) Hashtbl.t;  (* (link, tree, flow) -> slot *)
+  lane_count : (int, int) Hashtbl.t;  (* link -> #flows seen *)
+  staging : (int * int, int) Hashtbl.t;
+      (* (node, incoming stream) -> staging buffer id: one buffer per flow
+         per fabric node, so concurrent flows staging the same offsets
+         (e.g. two leaves of one tree crossing the NVSwitch) never collide *)
+}
+
+let create ~fabric ?(elem_bytes = 4.) ~staging_elems () =
+  {
+    fabric;
+    prog = Program.create ();
+    elem_bytes;
+    staging_elems;
+    streams = Hashtbl.create 64;
+    slots = Hashtbl.create 64;
+    lane_count = Hashtbl.create 64;
+    staging = Hashtbl.create 16;
+  }
+
+let program t = t.prog
+let fabric t = t.fabric
+let elem_bytes t = t.elem_bytes
+let bytes_of_elems t n = t.elem_bytes *. Float.of_int n
+
+let data_buffer t ~rank ~len =
+  Program.declare_buffer t.prog ~node:(Fabric.node_of_rank t.fabric rank) ~len
+
+let staging_buffer t node stream =
+  match Hashtbl.find_opt t.staging (node, stream) with
+  | Some buf -> buf
+  | None ->
+      let buf = Program.declare_buffer t.prog ~node ~len:t.staging_elems in
+      Hashtbl.replace t.staging (node, stream) buf;
+      buf
+
+let stream_of_key t key =
+  match Hashtbl.find_opt t.streams key with
+  | Some s -> s
+  | None ->
+      let s = Program.fresh_stream t.prog in
+      Hashtbl.replace t.streams key s;
+      s
+
+let lane_slot t ~link ~tree ~flow =
+  match Hashtbl.find_opt t.slots (link, tree, flow) with
+  | Some slot -> slot
+  | None ->
+      let seen = Option.value (Hashtbl.find_opt t.lane_count link) ~default:0 in
+      let lanes = (Fabric.resources t.fabric).(link).Blink_sim.Engine.lanes in
+      let slot = seen mod lanes in
+      Hashtbl.replace t.lane_count link (seen + 1);
+      Hashtbl.replace t.slots (link, tree, flow) slot;
+      slot
+
+let resolve_route t ~cls ~src ~dst =
+  match cls with
+  | Fabric.Nv -> (
+      match Fabric.nv_direct t.fabric ~src ~dst with
+      | Some res -> Some [ (res, Fabric.node_of_rank t.fabric dst) ]
+      | None -> Fabric.route t.fabric ~cls ~src ~dst)
+  | Fabric.Pcie | Fabric.Net -> Fabric.route t.fabric ~cls ~src ~dst
+
+let streams_for t ~cls ~src ~dst ~tree ~flow ~reuse =
+  match resolve_route t ~cls ~src ~dst with
+  | None -> None
+  | Some hops ->
+      Some
+        (List.map
+           (fun (res, node) ->
+             (* Blink's stream management ([reuse]) gives every (tree, flow)
+                its own stream per link: each flow then has at most one
+                chunk queued on the link at a time, so flows alternate
+                fairly. The ablation shares one stream per (link, lane):
+                submission order then drains one flow's chunks entirely
+                before the next flow's — the arbitrary delay the paper
+                observed with unmanaged CUDA scheduling. *)
+             let key =
+               if reuse then Private (res, tree, flow)
+               else Lane (res, lane_slot t ~link:res ~tree ~flow)
+             in
+             (res, node, stream_of_key t key))
+           hops)
+
+let send t ~hops ~src ~dst ~reduce ~deps =
+  if hops = [] then invalid_arg "Emit.send: empty route";
+  if src.Program.len <> dst.Program.len then
+    invalid_arg "Emit.send: length mismatch";
+  let bytes = bytes_of_elems t src.Program.len in
+  let rec emit current_src deps = function
+    | [] -> assert false
+    | [ (res, _node, stream) ] ->
+        (* Final hop lands on the destination GPU. *)
+        let action =
+          if reduce then Program.Reduce { src = current_src; dst }
+          else Program.Copy { src = current_src; dst }
+        in
+        let bw_scale = if reduce then Link.reduce_scale else 1. in
+        Program.add t.prog ~deps ~stream
+          (Program.Transfer { bytes; link = res; bw_scale; action = Some action })
+    | (res, node, stream) :: rest ->
+        (* Intermediate hop: stage at the fabric node, in this flow's own
+           buffer, at the destination's offsets (chunks of one flow are
+           disjoint regions, so they never collide either). *)
+        let buf = staging_buffer t node stream in
+        let stage =
+          {
+            Program.node;
+            buf;
+            off = dst.Program.off;
+            len = dst.Program.len;
+          }
+        in
+        let op =
+          Program.add t.prog ~deps ~stream
+            (Program.Transfer
+               {
+                 bytes;
+                 link = res;
+                 bw_scale = 1.;
+                 action = Some (Program.Copy { src = current_src; dst = stage });
+               })
+        in
+        emit stage [ op ] rest
+  in
+  emit src deps hops
+
+let local_copy t ~rank ~src ~dst ~deps =
+  if src.Program.len <> dst.Program.len then
+    invalid_arg "Emit.local_copy: length mismatch";
+  let engine = Fabric.engine t.fabric ~rank in
+  let stream = stream_of_key t (Engine_stream rank) in
+  Program.add t.prog ~deps ~stream
+    (Program.Compute
+       {
+         bytes = bytes_of_elems t src.Program.len;
+         engine;
+         action = Some (Program.Copy { src; dst });
+       })
+
+let delay t ~seconds ~deps =
+  let stream = Program.fresh_stream t.prog in
+  Program.add t.prog ~deps ~stream (Program.Delay { seconds })

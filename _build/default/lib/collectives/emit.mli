@@ -1,0 +1,83 @@
+(** Low-level program emission shared by every collective generator.
+
+    An emission context wraps a {!Blink_sim.Program} under construction for
+    a given {!Blink_topology.Fabric}: it caches CUDA-stream assignments per
+    (physical link, pipeline position) — the paper's stream-reuse
+    optimization (section 4.2.2) — and owns the staging buffers that
+    multi-hop routes (PCIe hierarchy, NVSwitch, network) forward through. *)
+
+type t
+
+val create :
+  fabric:Blink_topology.Fabric.t ->
+  ?elem_bytes:float ->
+  staging_elems:int ->
+  unit ->
+  t
+(** Fresh context with an empty program. [staging_elems] bounds the offsets
+    any emitted transfer may address (staging buffers are declared with this
+    length); [elem_bytes] defaults to 4 (fp32). *)
+
+val program : t -> Blink_sim.Program.t
+val fabric : t -> Blink_topology.Fabric.t
+val elem_bytes : t -> float
+
+val data_buffer : t -> rank:int -> len:int -> int
+(** Declare a buffer on a rank's node; returns its buffer id. *)
+
+val streams_for :
+  t ->
+  cls:Blink_topology.Fabric.link_class ->
+  src:int ->
+  dst:int ->
+  tree:int ->
+  flow:int ->
+  reuse:bool ->
+  (int * int * int) list option
+(** Resolved route from rank [src] to rank [dst] in the class:
+    [(link_resource, to_node, stream)] per hop. Direct NVLink channels
+    resolve to a single hop; [None] when the ranks are not connected in
+    that class.
+
+    A {e flow} is one tree edge's chunk sequence ([flow] is any id unique
+    within the tree, typically the edge's child rank). Stream assignment
+    implements the paper's stream-management optimization (section
+    4.2.2). With [reuse] every (tree, flow) gets its own stream on each
+    link it crosses, so each flow has at most one chunk queued on a link
+    at a time and contending flows alternate fairly. Without [reuse],
+    flows landing on the same physical lane share one stream in
+    submission order, so an entire flow's chunks drain before the next
+    flow's — the "arbitrarily delayed" behaviour the paper observed from
+    unmanaged CUDA scheduling. Repeated calls with the same arguments
+    return the same streams. *)
+
+val send :
+  t ->
+  hops:(int * int * int) list ->
+  src:Blink_sim.Program.mem_ref ->
+  dst:Blink_sim.Program.mem_ref ->
+  reduce:bool ->
+  deps:int list ->
+  int
+(** Emit one chunk transfer along a resolved route: one [Transfer] op per
+    hop, chained by dependencies, staging at intermediate nodes (same
+    offset as [dst]). The final hop writes [dst] — with a [Reduce] action
+    and the calibrated inline-reduction bandwidth penalty when [reduce],
+    else a [Copy]. Returns the final op id. [src.len] must equal
+    [dst.len], and [hops] must be non-empty. *)
+
+val local_copy :
+  t ->
+  rank:int ->
+  src:Blink_sim.Program.mem_ref ->
+  dst:Blink_sim.Program.mem_ref ->
+  deps:int list ->
+  int
+(** Same-GPU copy on the rank's compute engine (e.g. a root placing its own
+    contribution into a gather output). *)
+
+val delay : t -> seconds:float -> deps:int list -> int
+(** Fixed-latency op on a private stream (e.g. the
+    [cudaDeviceDisablePeerAccess] cost ahead of PCIe transfers). *)
+
+val bytes_of_elems : t -> int -> float

@@ -1,0 +1,47 @@
+(** The paper's micro-benchmarks (sections 2.2 and A.1): depth tests over
+    GPU chains, breadth tests over fan-in/fan-out stars, and the MIMO /
+    MCA multi-transfer patterns — all on DGX-1V allocations, returning
+    throughput in GB/s. These both calibrate the simulator against the
+    paper's measured numbers (~20-22 GB/s forward chains, ~18-19 GB/s
+    reduce+forward, ~18 GB/s MIMO/MCA) and regenerate figures 7, 8 and 24.
+
+    The final float argument is the per-source data size in megabytes
+    (1e6 bytes), matching the paper's axes; [chunk_elems] defaults to
+    262144 (1 MiB fp32). *)
+
+val chain_gpus : int -> int array
+(** The first [n] GPUs of an NVLink Hamiltonian path of the DGX-1V
+    (0-1-2-3-7-6-5-4). Requires [2 <= n <= 8]. *)
+
+val chain_forward : ?chunk_elems:int -> n_gpus:int -> float -> float
+(** Figure 23(a)/24(a): the head's buffer is forwarded down the chain. *)
+
+val chain_reduce_forward :
+  ?chunk_elems:int -> n_gpus:int -> float -> float
+(** Figure 6/7, 23(b)/24(b): every GPU contributes; each hop reduces the
+    incoming data with its own and forwards. *)
+
+val chain_reduce_broadcast :
+  ?chunk_elems:int -> n_gpus:int -> float -> float
+(** Figure 23(c)/24(c): reduce towards the tail, broadcast back. *)
+
+val fan_in_forward : ?chunk_elems:int -> degree:int -> float -> float
+(** Figure 25(a): [degree] sources feed the center, which forwards the
+    concatenation to a successor. [1 <= degree <= 3] (the DGX-1 fan
+    limit). *)
+
+val fan_in_reduce : ?chunk_elems:int -> degree:int -> float -> float
+(** Figure 25(b): the center reduces the incoming flows with its own data
+    before forwarding. *)
+
+val fan_out_forward : ?chunk_elems:int -> degree:int -> float -> float
+(** Figure 25(c): one source feeds the center, which multicasts to
+    [degree] successors. *)
+
+val mimo : ?chunk_elems:int -> float -> float
+(** Figure 8(a): two disjoint reduce+forward chains crossing one center
+    GPU; per-flow throughput. *)
+
+val mca : ?chunk_elems:int -> float -> float
+(** Figure 8(b): two reduce chains merging at a center that forwards the
+    combined result. *)

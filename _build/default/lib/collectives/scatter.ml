@@ -1,0 +1,40 @@
+module Program = Blink_sim.Program
+module Fabric = Blink_topology.Fabric
+
+(* ReduceScatter: segment r -> rank r, each over a re-rooted tree shape.
+   Uses the subset-tree emitter for its re-rooting support; every tree here
+   spans all ranks. *)
+let reduce_scatter spec ~elems ~trees =
+  Codegen.check_trees spec ~root:None ~trees;
+  let k = Fabric.n_ranks spec.Codegen.fabric in
+  let ctx =
+    Emit.create ~fabric:spec.Codegen.fabric ~elem_bytes:spec.Codegen.elem_bytes
+      ~staging_elems:elems ()
+  in
+  let data = Codegen.declare_data ctx ~elems in
+  let shapes =
+    List.map
+      (fun { Tree.tree; _ } ->
+        let edges = ref [] in
+        Array.iteri
+          (fun child parent -> if parent >= 0 then edges := (parent, child) :: !edges)
+          tree.Tree.parent;
+        Subtree.of_edges ~root:tree.Tree.root !edges)
+      trees
+    |> Array.of_list
+  in
+  let boundary r = r * elems / k in
+  for r = 0 to k - 1 do
+    let off = boundary r in
+    let len = boundary (r + 1) - off in
+    if len > 0 then begin
+      let tree = Subtree.reroot shapes.(r mod Array.length shapes) ~root:r in
+      let chunks = Codegen.split_chunks ~chunk:spec.Codegen.chunk_elems ~off ~len in
+      ignore
+        (Subtree.reduce spec ctx ~tree_idx:r tree ~chunks
+           ~data:(fun rank -> data.(rank))
+           ~deps:(fun _ _ -> []))
+    end
+  done;
+  (Emit.program ctx, { Codegen.data; output = None })
+

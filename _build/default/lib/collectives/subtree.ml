@@ -1,0 +1,123 @@
+module Program = Blink_sim.Program
+
+type t = {
+  root : int;
+  members : int list;
+  parent : (int, int) Hashtbl.t;
+  depth : (int, int) Hashtbl.t;
+}
+
+let build_from_adj ~root adj =
+  let parent = Hashtbl.create 8 in
+  let depth = Hashtbl.create 8 in
+  let order = ref [ root ] in
+  Hashtbl.replace depth root 0;
+  let queue = Queue.create () in
+  Queue.add root queue;
+  while not (Queue.is_empty queue) do
+    let v = Queue.take queue in
+    List.iter
+      (fun u ->
+        if not (Hashtbl.mem depth u) then begin
+          Hashtbl.replace depth u (Hashtbl.find depth v + 1);
+          Hashtbl.replace parent u v;
+          order := u :: !order;
+          Queue.add u queue
+        end)
+      (List.sort compare (Option.value (Hashtbl.find_opt adj v) ~default:[]))
+  done;
+  { root; members = List.rev !order; parent; depth }
+
+let adjacency edges =
+  let adj = Hashtbl.create 8 in
+  let push a b =
+    Hashtbl.replace adj a (b :: Option.value (Hashtbl.find_opt adj a) ~default:[])
+  in
+  List.iter
+    (fun (u, v) ->
+      if u = v then invalid_arg "Subtree: self loop";
+      push u v;
+      push v u)
+    edges;
+  adj
+
+let of_edges ~root edges =
+  let adj = adjacency edges in
+  if edges <> [] && not (Hashtbl.mem adj root) then
+    invalid_arg "Subtree.of_edges: root not on the tree";
+  if not (Hashtbl.mem adj root) then Hashtbl.replace adj root [];
+  let t = build_from_adj ~root adj in
+  if List.length t.members <> List.length edges + 1 then
+    invalid_arg "Subtree.of_edges: edges do not form a tree";
+  t
+
+let edges_of t =
+  Hashtbl.fold (fun child parent acc -> (parent, child) :: acc) t.parent []
+
+let reroot t ~root =
+  if not (List.mem root t.members) then
+    invalid_arg "Subtree.reroot: rank not a member";
+  of_edges ~root (edges_of t)
+
+let members t = t.members
+let n_members t = List.length t.members
+
+let edge_streams spec ctx ~tree_idx ~src ~dst ~flow =
+  match
+    Emit.streams_for ctx ~cls:spec.Codegen.cls ~src ~dst ~tree:tree_idx
+      ~flow ~reuse:spec.Codegen.stream_reuse
+  with
+  | Some hops -> hops
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Subtree: ranks %d -> %d not connected in this class"
+           src dst)
+
+let broadcast spec ctx ~tree_idx t ~chunks ~source ~dst_buf =
+  let arrival = Hashtbl.create 32 in
+  let chunks_arr = Array.of_list chunks in
+  List.iter
+    (fun v ->
+      if v <> t.root then begin
+        let u = Hashtbl.find t.parent v in
+        let hops = edge_streams spec ctx ~tree_idx ~src:u ~dst:v ~flow:v in
+        Array.iteri
+          (fun ci (off, len) ->
+            let src, deps =
+              if u = t.root then source ci
+              else
+                ( { Program.node = u; buf = dst_buf u; off; len },
+                  [ Hashtbl.find arrival (u, ci) ] )
+            in
+            let dst = { Program.node = v; buf = dst_buf v; off; len } in
+            let op = Emit.send ctx ~hops ~src ~dst ~reduce:false ~deps in
+            Hashtbl.replace arrival (v, ci) op)
+          chunks_arr
+      end)
+    t.members;
+  arrival
+
+let reduce spec ctx ~tree_idx t ~chunks ~data ~deps =
+  let chunks_arr = Array.of_list chunks in
+  let contributions = Hashtbl.create 32 in
+  let contrib key =
+    Option.value (Hashtbl.find_opt contributions key) ~default:[]
+  in
+  List.iter
+    (fun v ->
+      if v <> t.root then begin
+        let u = Hashtbl.find t.parent v in
+        let hops = edge_streams spec ctx ~tree_idx ~src:v ~dst:u ~flow:v in
+        Array.iteri
+          (fun ci (off, len) ->
+            let src = { Program.node = v; buf = data v; off; len } in
+            let dst = { Program.node = u; buf = data u; off; len } in
+            let op =
+              Emit.send ctx ~hops ~src ~dst ~reduce:true
+                ~deps:(contrib (v, ci) @ deps v ci)
+            in
+            Hashtbl.replace contributions (u, ci) (op :: contrib (u, ci)))
+          chunks_arr
+      end)
+    (List.rev t.members);
+  Array.mapi (fun ci _ -> contrib (t.root, ci)) chunks_arr

@@ -1,0 +1,53 @@
+(** Spanning trees over a {e subset} of ranks (one server's slice of a
+    multi-server job), with broadcast/reduce emitters mirroring
+    {!Codegen}'s whole-fabric ones.
+
+    The three-phase multi-server protocol (paper section 3.5) reduces and
+    broadcasts within each server over such local trees; re-rooting lets
+    every data partition use a distinct server-local root as the paper
+    prescribes. *)
+
+type t = private {
+  root : int;  (** global rank *)
+  members : int list;  (** all ranks in BFS order, root first *)
+  parent : (int, int) Hashtbl.t;
+  depth : (int, int) Hashtbl.t;
+}
+
+val of_edges : root:int -> (int * int) list -> t
+(** Undirected edge list [(u, v)] over global ranks; oriented away from
+    [root] by BFS. Raises [Invalid_argument] if the edges do not form a
+    tree containing [root]. A single-rank tree has no edges: use
+    [of_edges ~root []]. *)
+
+val reroot : t -> root:int -> t
+(** Same undirected tree, rooted elsewhere. *)
+
+val members : t -> int list
+val n_members : t -> int
+
+val broadcast :
+  Codegen.spec ->
+  Emit.t ->
+  tree_idx:int ->
+  t ->
+  chunks:(int * int) list ->
+  source:(int -> Blink_sim.Program.mem_ref * int list) ->
+  dst_buf:(int -> int) ->
+  (int * int, int) Hashtbl.t
+(** As {!Codegen.emit_tree_broadcast} but over the subset: arrival ops per
+    (member rank, chunk index). *)
+
+val reduce :
+  Codegen.spec ->
+  Emit.t ->
+  tree_idx:int ->
+  t ->
+  chunks:(int * int) list ->
+  data:(int -> int) ->
+  deps:(int -> int -> int list) ->
+  int list array
+(** In-place reduction towards the root. [data r] is rank [r]'s buffer;
+    [deps r ci] injects extra dependencies before rank [r] may send chunk
+    [ci] (use it to sequence phases). Returns root-completion ops per
+    chunk. *)

@@ -1,0 +1,122 @@
+module Program = Blink_sim.Program
+module Fabric = Blink_topology.Fabric
+
+type plan = {
+  trees : Subtree.t list;
+  ranks : int list;
+  cls : Fabric.link_class;
+}
+
+let validate plans =
+  if Array.length plans = 0 then invalid_arg "Threephase: no plans";
+  Array.iter
+    (fun plan ->
+      if plan.trees = [] then invalid_arg "Threephase: plan without trees";
+      let want = List.sort compare plan.ranks in
+      List.iter
+        (fun tree ->
+          if List.sort compare (Subtree.members tree) <> want then
+            invalid_arg "Threephase: tree does not span the plan's ranks")
+        plan.trees)
+    plans
+
+let all_reduce spec ~n_partitions ~plans ~elems =
+  validate plans;
+  if n_partitions <= 0 then invalid_arg "Threephase: n_partitions <= 0";
+  let n_servers = Array.length plans in
+  let ctx =
+    Emit.create ~fabric:spec.Codegen.fabric ~elem_bytes:spec.Codegen.elem_bytes
+      ~staging_elems:elems ()
+  in
+  let data = Codegen.declare_data ctx ~elems in
+  (* Partition p's region, local tree (re-rooted) and hub server. *)
+  let boundary p = p * elems / n_partitions in
+  let local_tree s p =
+    let plan = plans.(s) in
+    let tree = List.nth plan.trees (p mod List.length plan.trees) in
+    let ranks = Array.of_list plan.ranks in
+    Subtree.reroot tree ~root:ranks.(p mod Array.length ranks)
+  in
+  let no_deps _ _ = [] in
+  for p = 0 to n_partitions - 1 do
+    let off = boundary p in
+    let len = boundary (p + 1) - off in
+    if len > 0 then begin
+      let chunks = Codegen.split_chunks ~chunk:spec.Codegen.chunk_elems ~off ~len in
+      let chunks_arr = Array.of_list chunks in
+      let hub = p mod n_servers in
+      let trees = Array.init n_servers (fun s -> local_tree s p) in
+      let roots = Array.map (fun (t : Subtree.t) -> t.Subtree.root) trees in
+      let local_spec s = { spec with Codegen.cls = plans.(s).cls } in
+      (* Phase 1: local reductions. *)
+      let local_done =
+        Array.init n_servers (fun s ->
+            Subtree.reduce (local_spec s) ctx ~tree_idx:p trees.(s) ~chunks
+              ~data:(fun r -> data.(r))
+              ~deps:no_deps)
+      in
+      (* Phase 2: one-hop cross-server reduce then scatter-back, between
+         the partition's server-local roots, over the network. *)
+      let net_hops src dst =
+        match
+          Emit.streams_for ctx ~cls:Fabric.Net ~src ~dst ~tree:p ~flow:src
+            ~reuse:spec.Codegen.stream_reuse
+        with
+        | Some hops -> hops
+        | None -> invalid_arg "Threephase: servers not network-connected"
+      in
+      let hub_ready =
+        Array.mapi
+          (fun ci (coff, clen) ->
+            let into_hub =
+              List.filteri (fun s _ -> s <> hub) (Array.to_list (Array.mapi (fun s r -> (s, r)) roots))
+              |> List.map (fun (s, root) ->
+                     let src =
+                       { Program.node = root; buf = data.(root); off = coff; len = clen }
+                     in
+                     let dst =
+                       { Program.node = roots.(hub); buf = data.(roots.(hub)); off = coff; len = clen }
+                     in
+                     Emit.send ctx ~hops:(net_hops root roots.(hub)) ~src ~dst
+                       ~reduce:true
+                       ~deps:(local_done.(s).(ci) @ local_done.(hub).(ci)))
+            in
+            (* Single-server degenerate case: the hub's sum is just its own
+               local reduction. *)
+            if into_hub = [] then local_done.(hub).(ci) else into_hub)
+          chunks_arr
+      in
+      let root_has =
+        Array.mapi
+          (fun ci _ ->
+            Array.init n_servers (fun s ->
+                if s = hub then hub_ready.(ci)
+                else
+                  let coff, clen = chunks_arr.(ci) in
+                  let src =
+                    { Program.node = roots.(hub); buf = data.(roots.(hub)); off = coff; len = clen }
+                  in
+                  let dst =
+                    { Program.node = roots.(s); buf = data.(roots.(s)); off = coff; len = clen }
+                  in
+                  [ Emit.send ctx
+                      ~hops:(net_hops roots.(hub) roots.(s))
+                      ~src ~dst ~reduce:false ~deps:hub_ready.(ci) ]))
+          chunks_arr
+      in
+      (* Phase 3: local broadcasts from each server-local root. *)
+      Array.iteri
+        (fun s (tree : Subtree.t) ->
+          let source ci =
+            let coff, clen = chunks_arr.(ci) in
+            ( { Program.node = roots.(s); buf = data.(roots.(s)); off = coff; len = clen },
+              root_has.(ci).(s) )
+          in
+          ignore
+            (Subtree.broadcast (local_spec s) ctx ~tree_idx:(n_partitions + p)
+               tree ~chunks ~source
+               ~dst_buf:(fun r -> data.(r))))
+        trees
+    end
+  done;
+  (Emit.program ctx, { Codegen.data; output = None })

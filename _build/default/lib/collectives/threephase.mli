@@ -1,0 +1,38 @@
+(** Three-phase cross-server AllReduce (paper section 3.5, figure 10).
+
+    Data is cut into partitions, each with a distinct server-local root:
+
+    + {b local reduce} — every server reduces each partition's region over
+      one of its local spanning trees, towards that partition's local root;
+    + {b cross-server reduce-broadcast} — per partition, a hub server's
+      root collects the per-server partials over the network (one-hop) and
+      sends back the sum;
+    + {b local broadcast} — each local root broadcasts the result down the
+      same local tree.
+
+    The local trees are supplied by the caller: Blink packs spanning trees
+    (core library), the Horovod/NCCL-style baseline uses ring path trees —
+    both flavours share this emitter. *)
+
+type plan = {
+  trees : Subtree.t list;
+      (** local trees of one server; partition [p] uses tree [p mod length]
+          re-rooted at that partition's local root *)
+  ranks : int list;  (** the server's global ranks *)
+  cls : Blink_topology.Fabric.link_class;
+      (** link class of this server's local phases ([Nv], or [Pcie] when a
+          ring baseline fell back) *)
+}
+
+val all_reduce :
+  Codegen.spec ->
+  n_partitions:int ->
+  plans:plan array ->
+  elems:int ->
+  Blink_sim.Program.t * Codegen.layout
+(** Emit the full three-phase AllReduce. Each plan's [cls] governs that
+    server's local phases; the cross-server phase always routes over [Net].
+    Partition hubs rotate over servers; local roots rotate over each
+    server's ranks. Requires at least one plan and one tree per plan, and
+    every plan's trees spanning exactly that plan's ranks. Every rank's
+    data buffer ends up holding the global sum. *)

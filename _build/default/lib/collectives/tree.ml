@@ -1,0 +1,83 @@
+type t = {
+  root : int;
+  parent : int array;
+  children : int list array;
+  depth : int array;
+  order : int list;
+}
+
+let of_parents ~root parent =
+  let n = Array.length parent in
+  if root < 0 || root >= n || parent.(root) <> -1 then
+    invalid_arg "Tree.of_parents: bad root";
+  let children = Array.make n [] in
+  Array.iteri
+    (fun child p ->
+      if child <> root then begin
+        if p < 0 || p >= n || p = child then
+          invalid_arg "Tree.of_parents: bad parent entry";
+        children.(p) <- child :: children.(p)
+      end)
+    parent;
+  Array.iteri (fun i c -> children.(i) <- List.sort compare c) children;
+  let depth = Array.make n (-1) in
+  let order = ref [ root ] in
+  depth.(root) <- 0;
+  let queue = Queue.create () in
+  Queue.add root queue;
+  while not (Queue.is_empty queue) do
+    let v = Queue.take queue in
+    List.iter
+      (fun c ->
+        depth.(c) <- depth.(v) + 1;
+        order := c :: !order;
+        Queue.add c queue)
+      children.(v)
+  done;
+  if Array.exists (fun d -> d < 0) depth then
+    invalid_arg "Tree.of_parents: not spanning (cycle or disconnected)";
+  { root; parent; children; depth; order = List.rev !order }
+
+let of_edges ~n_ranks ~root edges =
+  if List.length edges <> n_ranks - 1 then
+    invalid_arg "Tree.of_edges: wrong edge count";
+  let parent = Array.make n_ranks (-2) in
+  parent.(root) <- -1;
+  List.iter
+    (fun (p, c) ->
+      if c < 0 || c >= n_ranks || p < 0 || p >= n_ranks then
+        invalid_arg "Tree.of_edges: rank out of range";
+      if c = root then invalid_arg "Tree.of_edges: edge into root";
+      if parent.(c) <> -2 then invalid_arg "Tree.of_edges: duplicate child";
+      parent.(c) <- p)
+    edges;
+  if Array.exists (fun p -> p = -2) parent then
+    invalid_arg "Tree.of_edges: not spanning";
+  of_parents ~root parent
+
+let path_to_root t rank =
+  let rec climb v acc =
+    if v = t.root then List.rev (v :: acc) else climb t.parent.(v) (v :: acc)
+  in
+  climb rank []
+
+let max_depth t = Array.fold_left max 0 t.depth
+let n_ranks t = Array.length t.parent
+
+type weighted = { tree : t; share : float }
+
+let normalize_shares trees =
+  let positive = List.filter (fun (_, w) -> w > 0.) trees in
+  let total = List.fold_left (fun acc (_, w) -> acc +. w) 0. positive in
+  if total <= 0. then invalid_arg "Tree.normalize_shares: no positive weights";
+  List.map (fun (tree, w) -> { tree; share = w /. total }) positive
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>tree root=%d depth=%d" t.root (max_depth t);
+  Array.iteri
+    (fun v cs ->
+      if cs <> [] then
+        Format.fprintf ppf "@,  %d -> %s" v
+          (String.concat "," (List.map string_of_int cs)))
+    t.children;
+  Format.fprintf ppf "@]"

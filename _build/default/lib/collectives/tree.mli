@@ -1,0 +1,35 @@
+(** Rank-level spanning trees: the shape consumed by the collective
+    generators. Produced from a {!Treegen} packing (core library), from the
+    one-hop DGX-2 construction, or from baseline constructions (double
+    binary trees, ring-as-path). *)
+
+type t = private {
+  root : int;
+  parent : int array;  (** parent rank per rank; [-1] at the root *)
+  children : int list array;  (** children per rank, ascending *)
+  depth : int array;  (** hop distance from the root *)
+  order : int list;  (** all ranks in BFS order (root first) *)
+}
+
+val of_edges : n_ranks:int -> root:int -> (int * int) list -> t
+(** [(parent, child)] pairs; must form a spanning tree of the ranks rooted
+    at [root]. Raises [Invalid_argument] otherwise. *)
+
+val of_parents : root:int -> int array -> t
+(** Parent array form ([-1] at root). *)
+
+val path_to_root : t -> int -> int list
+(** Ranks from the given rank up to (and including) the root. *)
+
+val max_depth : t -> int
+val n_ranks : t -> int
+
+type weighted = { tree : t; share : float }
+(** A tree plus the fraction of the collective's data it carries. *)
+
+val normalize_shares : (t * float) list -> weighted list
+(** Scale raw weights (e.g. GB/s rates) into shares summing to 1; drops
+    non-positive weights. Raises [Invalid_argument] when all weights are
+    non-positive. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/core/blink.ml: Array Blink_collectives Blink_graph Blink_sim Blink_topology Chunking Float Fun Hashtbl List Logs Option String Treegen

@@ -1,0 +1,1 @@
+lib/core/blink.mli: Blink_collectives Blink_graph Blink_sim Blink_topology Chunking Treegen

@@ -1,0 +1,1 @@
+lib/core/comm.ml: Array Blink Blink_collectives Blink_sim

@@ -1,0 +1,1 @@
+lib/core/hybrid.ml: Array Blink Blink_collectives Blink_sim Blink_topology Float Fun List Option

@@ -1,0 +1,1 @@
+lib/core/hybrid.mli: Blink Blink_collectives Blink_sim

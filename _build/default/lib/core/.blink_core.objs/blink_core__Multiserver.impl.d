@@ -1,0 +1,1 @@
+lib/core/multiserver.ml: Array Blink_collectives Blink_graph Blink_sim Blink_topology List Treegen

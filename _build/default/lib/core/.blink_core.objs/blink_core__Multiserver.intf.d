@@ -1,0 +1,1 @@
+lib/core/multiserver.mli: Blink_collectives Blink_sim Blink_topology

@@ -1,0 +1,1 @@
+lib/core/treegen.ml: Array Blink_graph Blink_lp Float Format Fun Hashtbl List Logs Option Queue String

@@ -1,0 +1,1 @@
+lib/core/treegen.mli: Blink_graph Format

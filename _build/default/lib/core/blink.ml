@@ -1,0 +1,170 @@
+module Digraph = Blink_graph.Digraph
+module Server = Blink_topology.Server
+module Fabric = Blink_topology.Fabric
+module Tree = Blink_collectives.Tree
+module Codegen = Blink_collectives.Codegen
+module Engine = Blink_sim.Engine
+
+let log_src = Logs.Src.create "blink" ~doc:"Blink planner facade"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type plan_kind =
+  | Packed of { directed : Treegen.packing; undirected : Treegen.packing }
+  | One_hop of float  (* aggregate rate, GB/s *)
+
+type t = {
+  server : Server.t;
+  fabric : Fabric.t;
+  graph : Digraph.t;
+  kind : plan_kind;
+  root : int;
+  chunk_cache : (int, int) Hashtbl.t;  (* log2 size class -> MIAD chunk *)
+}
+
+let trees_of_packing g (p : Treegen.packing) =
+  let k = Digraph.n_vertices g in
+  List.map
+    (fun tree ->
+      let edges =
+        List.map
+          (fun id ->
+            let e = Digraph.edge g id in
+            (e.Digraph.src, e.Digraph.dst))
+          tree.Treegen.edges
+      in
+      (Tree.of_edges ~n_ranks:k ~root:p.Treegen.root edges, tree.Treegen.weight))
+    p.Treegen.trees
+  |> Tree.normalize_shares
+
+let one_hop_tree ~n_ranks ~root =
+  let edges =
+    List.filter_map
+      (fun v -> if v = root then None else Some (root, v))
+      (List.init n_ranks Fun.id)
+  in
+  Tree.of_edges ~n_ranks ~root edges
+
+let one_hop_trees ~n_ranks =
+  let share = 1. /. Float.of_int n_ranks in
+  List.init n_ranks (fun root ->
+      { Tree.tree = one_hop_tree ~n_ranks ~root; share })
+
+let create ?root ?epsilon ?threshold server ~gpus =
+  let fabric = Fabric.of_server server ~gpus in
+  let graph = Server.nvlink_digraph server ~gpus in
+  let k = Array.length gpus in
+  match server.Server.nvswitch with
+  | Some kind ->
+      let rate = 6. *. Blink_topology.Link.bandwidth kind in
+      let root = Option.value root ~default:0 in
+      { server; fabric; graph; kind = One_hop rate; root;
+        chunk_cache = Hashtbl.create 8 }
+  | None ->
+      let root =
+        match root with Some r -> r | None -> Treegen.best_root graph
+      in
+      let directed = Treegen.plan ?epsilon ?threshold graph ~root in
+      if directed.Treegen.trees = [] && k > 1 then
+        invalid_arg
+          "Blink.create: allocation has no NVLink spanning structure from \
+           the root (disconnected NVLink graph); use hybrid/PCIe transfers";
+      let undirected = Treegen.plan_undirected ?epsilon ?threshold graph ~root in
+      Log.info (fun m ->
+          m "%s gpus=[%s]: root gpu %d, broadcast %.1f GB/s (%d trees), \
+             all-reduce %.1f GB/s (%d trees)"
+            server.Server.name
+            (String.concat "," (List.map string_of_int (Array.to_list gpus)))
+            gpus.(root) directed.Treegen.rate
+            (List.length directed.Treegen.trees)
+            undirected.Treegen.rate
+            (List.length undirected.Treegen.trees));
+      { server; fabric; graph; kind = Packed { directed; undirected }; root;
+        chunk_cache = Hashtbl.create 8 }
+
+let fabric t = t.fabric
+let server t = t.server
+let root t = t.root
+let n_ranks t = Fabric.n_ranks t.fabric
+
+let packing t =
+  match t.kind with Packed p -> Some p.directed | One_hop _ -> None
+
+let undirected_packing t =
+  match t.kind with Packed p -> Some p.undirected | One_hop _ -> None
+
+let rate t =
+  match t.kind with Packed p -> p.directed.Treegen.rate | One_hop r -> r
+
+let all_reduce_rate t =
+  match t.kind with Packed p -> p.undirected.Treegen.rate | One_hop r -> r
+
+let broadcast_trees t =
+  match t.kind with
+  | Packed p -> trees_of_packing t.graph p.directed
+  | One_hop _ ->
+      [ { Tree.tree = one_hop_tree ~n_ranks:(n_ranks t) ~root:t.root; share = 1. } ]
+
+let all_reduce_trees t =
+  match t.kind with
+  | Packed p -> trees_of_packing t.graph p.undirected
+  | One_hop _ -> one_hop_trees ~n_ranks:(n_ranks t)
+
+let spec ?chunk_elems ?stream_reuse t =
+  Codegen.spec ?chunk_elems ?stream_reuse t.fabric
+
+let broadcast ?chunk_elems ?stream_reuse t ~elems =
+  Codegen.broadcast (spec ?chunk_elems ?stream_reuse t) ~root:t.root ~elems
+    ~trees:(broadcast_trees t)
+
+let reduce ?chunk_elems ?stream_reuse t ~elems =
+  Codegen.reduce (spec ?chunk_elems ?stream_reuse t) ~root:t.root ~elems
+    ~trees:(broadcast_trees t)
+
+let all_reduce ?chunk_elems ?stream_reuse t ~elems =
+  Codegen.all_reduce (spec ?chunk_elems ?stream_reuse t) ~elems
+    ~trees:(all_reduce_trees t)
+
+let gather ?chunk_elems ?stream_reuse t ~elems =
+  Codegen.gather (spec ?chunk_elems ?stream_reuse t) ~root:t.root ~elems
+    ~trees:(broadcast_trees t)
+
+let all_gather ?chunk_elems ?stream_reuse t ~elems =
+  Codegen.all_gather (spec ?chunk_elems ?stream_reuse t) ~root:t.root ~elems
+    ~trees:(broadcast_trees t)
+
+let reduce_scatter ?chunk_elems ?stream_reuse t ~elems =
+  Blink_collectives.Scatter.reduce_scatter (spec ?chunk_elems ?stream_reuse t)
+    ~elems ~trees:(all_reduce_trees t)
+
+let time ?policy t prog =
+  Engine.run ?policy ~resources:(Fabric.resources t.fabric) prog
+
+let algbw_gbps ~elems result =
+  4. *. Float.of_int elems /. result.Engine.makespan /. 1e9
+
+let tune_chunk ?(elems = 67_108_864) t =
+  let measure ~chunk_elems =
+    let prog, _ = all_reduce ~chunk_elems t ~elems in
+    algbw_gbps ~elems (time t prog)
+  in
+  Chunking.tune ~measure ()
+
+let tuned_chunk t ~elems =
+  let size_class =
+    let rec log2 n acc = if n <= 1 then acc else log2 (n lsr 1) (acc + 1) in
+    log2 (max 1 elems) 0
+  in
+  match Hashtbl.find_opt t.chunk_cache size_class with
+  | Some chunk -> chunk
+  | None ->
+      (* Probe at a representative size of the class, starting from a
+         size-proportional initial chunk. *)
+      let init = max 256 (min 262_144 (elems / 16)) in
+      let measure ~chunk_elems =
+        let prog, _ = all_reduce ~chunk_elems t ~elems in
+        algbw_gbps ~elems (time t prog)
+      in
+      let result = Chunking.tune ~init ~measure () in
+      Hashtbl.replace t.chunk_cache size_class result.Chunking.chosen;
+      result.Chunking.chosen

@@ -1,0 +1,118 @@
+(** The Blink library facade: probe a topology, generate trees, build and
+    time collective programs — the full TreeGen + CodeGen pipeline of the
+    paper behind an NCCL-shaped API.
+
+    {[
+      let handle = Blink.create Blink_topology.Server.dgx1v ~gpus:[| 1; 4; 5; 6 |] in
+      let prog, _ = Blink.all_reduce handle ~elems:125_000_000 () in
+      let result = Blink.time handle prog in
+      Format.printf "AllReduce: %.1f GB/s@."
+        (Blink.algbw_gbps ~elems:125_000_000 result)
+    ]} *)
+
+type t
+
+val create :
+  ?root:int ->
+  ?epsilon:float ->
+  ?threshold:float ->
+  Blink_topology.Server.t ->
+  gpus:int array ->
+  t
+(** Probe the server's interconnect restricted to [gpus] and plan trees.
+    On NVLink machines this runs MWU packing + ILP minimization
+    ({!Treegen.plan}) from [root] (default: the max-rate root). On
+    NVSwitch machines (DGX-2) it uses the one-hop constructions of paper
+    section 3.5 instead. *)
+
+val fabric : t -> Blink_topology.Fabric.t
+val server : t -> Blink_topology.Server.t
+val root : t -> int
+val n_ranks : t -> int
+
+val packing : t -> Treegen.packing option
+(** The directed (arborescence) packing used for one-to-many primitives
+    ([None] on NVSwitch machines). *)
+
+val undirected_packing : t -> Treegen.packing option
+(** The undirected packing used for many-to-many primitives: trees that
+    consume each duplex link in both directions (reduce up, broadcast
+    down), so the up and down flows never collide — see paper section
+    3.3. *)
+
+val rate : t -> float
+(** Achieved one-to-many packing rate in GB/s (for NVSwitch machines: the
+    one-hop aggregate attach bandwidth). *)
+
+val all_reduce_rate : t -> float
+(** Achieved many-to-many packing rate in GB/s. *)
+
+val broadcast_trees : t -> Blink_collectives.Tree.weighted list
+(** Trees rooted at {!root}, shares proportional to packed weights. *)
+
+val all_reduce_trees : t -> Blink_collectives.Tree.weighted list
+(** Trees for many-to-many primitives: the undirected packing's trees on
+    DGX-1-like machines; [n] one-hop trees with rotating roots on NVSwitch
+    machines. *)
+
+val spec :
+  ?chunk_elems:int -> ?stream_reuse:bool -> t -> Blink_collectives.Codegen.spec
+(** CodeGen parameters against this handle's fabric (NVLink class). *)
+
+(** {2 Collectives} — each returns the program and its buffer layout. *)
+
+val broadcast :
+  ?chunk_elems:int -> ?stream_reuse:bool -> t -> elems:int ->
+  Blink_sim.Program.t * Blink_collectives.Codegen.layout
+
+val reduce :
+  ?chunk_elems:int -> ?stream_reuse:bool -> t -> elems:int ->
+  Blink_sim.Program.t * Blink_collectives.Codegen.layout
+
+val all_reduce :
+  ?chunk_elems:int -> ?stream_reuse:bool -> t -> elems:int ->
+  Blink_sim.Program.t * Blink_collectives.Codegen.layout
+
+val gather :
+  ?chunk_elems:int -> ?stream_reuse:bool -> t -> elems:int ->
+  Blink_sim.Program.t * Blink_collectives.Codegen.layout
+
+val all_gather :
+  ?chunk_elems:int -> ?stream_reuse:bool -> t -> elems:int ->
+  Blink_sim.Program.t * Blink_collectives.Codegen.layout
+
+val reduce_scatter :
+  ?chunk_elems:int -> ?stream_reuse:bool -> t -> elems:int ->
+  Blink_sim.Program.t * Blink_collectives.Codegen.layout
+(** Segment [r] of every buffer reduced into rank [r]'s buffer (NCCL
+    in-place convention over a [n_ranks]-segment buffer). *)
+
+(** {2 Timing} *)
+
+val time :
+  ?policy:Blink_sim.Engine.policy -> t -> Blink_sim.Program.t ->
+  Blink_sim.Engine.result
+
+val algbw_gbps : elems:int -> Blink_sim.Engine.result -> float
+(** Algorithm bandwidth: buffer bytes (4 per element) divided by makespan,
+    in GB/s — the paper's throughput metric. *)
+
+val tune_chunk : ?elems:int -> t -> Chunking.result
+(** Run the MIAD chunk-size autotuner against simulated AllReduce
+    iterations (default 64 Mi elements = 256 MB). *)
+
+val tuned_chunk : t -> elems:int -> int
+(** MIAD-chosen chunk size for AllReduce buffers of roughly this size,
+    cached per power-of-two size class on the handle — the library's
+    analogue of Blink tuning during a job's first training iterations. *)
+
+(** {2 Helpers reused by benchmarks and the multi-server layer} *)
+
+val trees_of_packing :
+  Blink_graph.Digraph.t -> Treegen.packing -> Blink_collectives.Tree.weighted list
+(** Convert packed digraph-edge trees into rank trees with normalized
+    shares. *)
+
+val one_hop_trees : n_ranks:int -> Blink_collectives.Tree.weighted list
+(** The DGX-2 construction: [n] equal-share trees, tree [i] rooted at rank
+    [i] with every other rank a direct child. *)

@@ -1,0 +1,35 @@
+type step = { chunk_elems : int; throughput : float }
+type result = { chosen : int; trace : step list }
+
+let tune ?(init = 262_144) ?(grow = 2.0) ?shrink ?(max_iters = 16) ~measure () =
+  if init <= 0 then invalid_arg "Chunking.tune: init <= 0";
+  if grow <= 1. then invalid_arg "Chunking.tune: grow <= 1";
+  let shrink = Option.value shrink ~default:(max 1 (init / 2)) in
+  let trace = ref [] in
+  let probe chunk_elems =
+    let throughput = measure ~chunk_elems in
+    trace := { chunk_elems; throughput } :: !trace;
+    throughput
+  in
+  (* Multiplicative increase while throughput improves. *)
+  let rec increase chunk best iters =
+    if iters >= max_iters then (chunk, best)
+    else begin
+      let next = int_of_float (Float.of_int chunk *. grow) in
+      let t = probe next in
+      if t > best then increase next t (iters + 1) else (chunk, best)
+    end
+  in
+  (* Additive decrease while it keeps improving on the overshoot point. *)
+  let rec decrease chunk best iters =
+    if iters >= max_iters || chunk - shrink <= 0 then (chunk, best)
+    else begin
+      let next = chunk - shrink in
+      let t = probe next in
+      if t > best then decrease next t (iters + 1) else (chunk, best)
+    end
+  in
+  let t0 = probe init in
+  let up_chunk, up_best = increase init t0 1 in
+  let chosen, _ = decrease up_chunk up_best (List.length !trace) in
+  { chosen; trace = List.rev !trace }

@@ -1,0 +1,28 @@
+(** Automatic chunk-size selection (paper section 4.2.1, figure 12).
+
+    Chunk size trades pipeline latency against per-op scheduling overhead.
+    Blink explores it online over a training job's first iterations with a
+    multiplicative-increase, additive-decrease (MIAD) scheme: grow the
+    chunk geometrically while measured throughput improves, back off
+    additively once it degrades, stop at steady state. *)
+
+type step = { chunk_elems : int; throughput : float }
+
+type result = {
+  chosen : int;  (** steady-state chunk size, in elements *)
+  trace : step list;  (** every probe, in order — figure 12's series *)
+}
+
+val tune :
+  ?init:int ->
+  ?grow:float ->
+  ?shrink:int ->
+  ?max_iters:int ->
+  measure:(chunk_elems:int -> float) ->
+  unit ->
+  result
+(** [tune ~measure ()] probes [measure] (higher is better; e.g. simulated
+    GB/s) starting from [init] (default 262144 elements = 1 MiB of fp32),
+    multiplying by [grow] (default 2.0) while improving, then stepping
+    back by [shrink] elements (default [init/2]) until throughput stops
+    recovering. At most [max_iters] probes (default 16). *)

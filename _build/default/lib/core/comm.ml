@@ -1,0 +1,101 @@
+module Codegen = Blink_collectives.Codegen
+module Sem = Blink_sim.Semantics
+
+type t = { blink : Blink.t }
+
+let init ?root server ~gpus = { blink = Blink.create ?root server ~gpus }
+let n_ranks t = Blink.n_ranks t.blink
+let handle t = t.blink
+
+type 'a result = { value : 'a; seconds : float }
+
+let check_inputs t inputs =
+  let k = n_ranks t in
+  if Array.length inputs <> k then
+    invalid_arg "Comm: need one buffer per rank";
+  let len = Array.length inputs.(0) in
+  Array.iter
+    (fun b ->
+      if Array.length b <> len then invalid_arg "Comm: buffer length mismatch")
+    inputs;
+  len
+
+(* Common driver: generate, load inputs, replay semantics, time. *)
+let execute t ~elems ~load ~extract gen =
+  let chunk = Blink.tuned_chunk t.blink ~elems in
+  let prog, layout = gen ~chunk_elems:chunk in
+  let mem = Sem.memory_of_program prog in
+  load mem layout;
+  Sem.run prog mem;
+  let seconds = (Blink.time t.blink prog).Blink_sim.Engine.makespan in
+  { value = extract mem layout; seconds }
+
+let load_all inputs mem (layout : Codegen.layout) =
+  Array.iteri
+    (fun r buf -> Sem.write mem ~node:r ~buf:layout.Codegen.data.(r) buf)
+    inputs
+
+let read_data mem (layout : Codegen.layout) r =
+  Sem.read mem ~node:r ~buf:layout.Codegen.data.(r)
+
+let all_reduce t inputs =
+  let elems = check_inputs t inputs in
+  let k = n_ranks t in
+  execute t ~elems
+    ~load:(load_all inputs)
+    ~extract:(fun mem layout -> Array.init k (read_data mem layout))
+    (fun ~chunk_elems -> Blink.all_reduce ~chunk_elems t.blink ~elems)
+
+let broadcast t input =
+  let elems = Array.length input in
+  let k = n_ranks t in
+  let root = Blink.root t.blink in
+  execute t ~elems
+    ~load:(fun mem layout ->
+      Sem.write mem ~node:root ~buf:layout.Codegen.data.(root) input)
+    ~extract:(fun mem layout -> Array.init k (read_data mem layout))
+    (fun ~chunk_elems -> Blink.broadcast ~chunk_elems t.blink ~elems)
+
+let reduce t inputs =
+  let elems = check_inputs t inputs in
+  let root = Blink.root t.blink in
+  execute t ~elems
+    ~load:(load_all inputs)
+    ~extract:(fun mem layout -> read_data mem layout root)
+    (fun ~chunk_elems -> Blink.reduce ~chunk_elems t.blink ~elems)
+
+let output_buffer (layout : Codegen.layout) r =
+  match layout.Codegen.output with
+  | Some o -> o.(r)
+  | None -> invalid_arg "Comm: collective produced no output buffer"
+
+let gather t inputs =
+  let elems = check_inputs t inputs in
+  let root = Blink.root t.blink in
+  execute t ~elems
+    ~load:(load_all inputs)
+    ~extract:(fun mem layout ->
+      Sem.read mem ~node:root ~buf:(output_buffer layout root))
+    (fun ~chunk_elems -> Blink.gather ~chunk_elems t.blink ~elems)
+
+let all_gather t inputs =
+  let elems = check_inputs t inputs in
+  let k = n_ranks t in
+  execute t ~elems
+    ~load:(load_all inputs)
+    ~extract:(fun mem layout ->
+      Array.init k (fun r -> Sem.read mem ~node:r ~buf:(output_buffer layout r)))
+    (fun ~chunk_elems -> Blink.all_gather ~chunk_elems t.blink ~elems)
+
+let reduce_scatter t inputs =
+  let elems = check_inputs t inputs in
+  let k = n_ranks t in
+  execute t ~elems
+    ~load:(load_all inputs)
+    ~extract:(fun mem layout ->
+      Array.init k (fun r ->
+          let full = read_data mem layout r in
+          let off = r * elems / k in
+          let stop = (r + 1) * elems / k in
+          Array.sub full off (stop - off)))
+    (fun ~chunk_elems -> Blink.reduce_scatter ~chunk_elems t.blink ~elems)

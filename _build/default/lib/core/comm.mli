@@ -1,0 +1,46 @@
+(** NCCL-shaped front end: a communicator that actually executes
+    collectives — data in, data out — while reporting the simulated wall
+    time the schedule would take on the machine's interconnect.
+
+    The paper ships Blink as an NCCL-compatible shared library loaded with
+    LD_PRELOAD; this module is that surface for the simulated substrate.
+    Each call plans (once, cached on the communicator), generates the
+    program, replays its memory semantics over the supplied buffers, and
+    times it with the discrete-event engine. Chunk sizes come from the
+    MIAD autotuner, cached per size class, like Blink tuning during a
+    job's first iterations.
+
+    All rank buffers of a call must have equal length. Results are
+    returned functionally; inputs are never mutated. *)
+
+type t
+
+val init :
+  ?root:int -> Blink_topology.Server.t -> gpus:int array -> t
+(** Create a communicator over the allocation ([gpus.(i)] is rank [i]). *)
+
+val n_ranks : t -> int
+val handle : t -> Blink.t
+(** The underlying planner handle (trees, rates, fabric). *)
+
+type 'a result = { value : 'a; seconds : float }
+(** A collective's output plus its simulated execution time. *)
+
+val all_reduce : t -> float array array -> float array array result
+(** Element-wise sum across ranks, delivered to every rank. *)
+
+val broadcast : t -> float array -> float array array result
+(** The root's buffer delivered to every rank. *)
+
+val reduce : t -> float array array -> float array result
+(** Element-wise sum delivered to the root. *)
+
+val gather : t -> float array array -> float array result
+(** Concatenation (segment [r] = rank [r]'s buffer) at the root. *)
+
+val all_gather : t -> float array array -> float array array result
+(** Concatenation delivered to every rank. *)
+
+val reduce_scatter : t -> float array array -> float array array result
+(** Rank [r] receives the reduced segment [r]; segments split the buffer
+    as evenly as possible ([value.(r)] has the segment's length). *)

@@ -1,0 +1,111 @@
+module Program = Blink_sim.Program
+module Fabric = Blink_topology.Fabric
+module Tree = Blink_collectives.Tree
+module Codegen = Blink_collectives.Codegen
+module Emit = Blink_collectives.Emit
+
+let split ~total_bytes ~bw_pcie ~bw_nvl ~t_dpa =
+  if bw_pcie <= 0. || bw_nvl <= 0. then
+    invalid_arg "Hybrid.split: non-positive bandwidth";
+  let d_pcie =
+    ((total_bytes *. bw_pcie) -. (t_dpa *. bw_pcie *. bw_nvl))
+    /. (bw_pcie +. bw_nvl)
+  in
+  let d_pcie = Float.max 0. (Float.min total_bytes d_pcie) in
+  (d_pcie, total_bytes -. d_pcie)
+
+let dpa_latency ~n_ranks = 1.5e-4 *. Float.of_int n_ranks
+
+let pcie_chain_tree handle =
+  let k = Blink.n_ranks handle in
+  let root = Blink.root handle in
+  (* Path in rank-id order (PCIe locality follows GPU ids on DGX-1-like
+     machines), split at the root so it remains a path tree. *)
+  let before = List.filter (fun r -> r < root) (List.init k Fun.id) in
+  let after = List.filter (fun r -> r > root) (List.init k Fun.id) in
+  let rec path_edges from = function
+    | [] -> []
+    | v :: rest -> (from, v) :: path_edges v rest
+  in
+  let edges =
+    path_edges root (List.rev before) @ path_edges root after
+  in
+  Tree.of_edges ~n_ranks:k ~root edges
+
+let broadcast ?chunk_elems ?stream_reuse ?t_dpa handle ~elems =
+  let fabric = Blink.fabric handle in
+  let k = Blink.n_ranks handle in
+  let t_dpa = Option.value t_dpa ~default:(dpa_latency ~n_ranks:k) in
+  let bw_nvl = Blink.rate handle *. 1e9 in
+  let chain = pcie_chain_tree handle in
+  let bw_pcie =
+    Fabric.pcie_bandwidth fabric ~ranks:(List.init k Fun.id)
+  in
+  let total_bytes = 4. *. Float.of_int elems in
+  (* Fold the PCIe pipeline-fill time (chunks store-and-forward through
+     switch/CPU hops) into the fixed cost, so the split balances actual
+     completion times rather than steady-state rates. *)
+  let chunk_bytes = 4. *. 65_536. in
+  let segments_per_hop = 3. in
+  let fill =
+    Float.of_int (k - 1) *. segments_per_hop
+    *. (Blink_topology.Link.op_latency Blink_topology.Link.Pcie
+       +. (chunk_bytes /. bw_pcie))
+  in
+  let d_pcie, _ =
+    split ~total_bytes ~bw_pcie ~bw_nvl ~t_dpa:(t_dpa +. fill)
+  in
+  let pcie_elems = min elems (int_of_float (d_pcie /. 4.)) in
+  let nvl_elems = elems - pcie_elems in
+  let spec_nv = Codegen.spec ?chunk_elems ?stream_reuse fabric in
+  (* PCIe chunks stay small: the chain store-and-forwards through several
+     switch/CPU hops, so fill time scales with chunk size. *)
+  let spec_pcie =
+    {
+      spec_nv with
+      Codegen.cls = Fabric.Pcie;
+      chunk_elems = min spec_nv.Codegen.chunk_elems 65_536;
+    }
+  in
+  let ctx =
+    Emit.create ~fabric ~elem_bytes:spec_nv.Codegen.elem_bytes
+      ~staging_elems:elems ()
+  in
+  let data = Codegen.declare_data ctx ~elems in
+  let root = Blink.root handle in
+  (* NVLink trees cover [0, nvl_elems). *)
+  List.iteri
+    (fun tree_idx ({ Tree.tree; _ }, off, len) ->
+      if len > 0 then begin
+        let chunks =
+          Codegen.split_chunks ~chunk:spec_nv.Codegen.chunk_elems ~off ~len
+        in
+        let chunks_arr = Array.of_list chunks in
+        let source ci =
+          let o, l = chunks_arr.(ci) in
+          ({ Program.node = root; buf = data.(root); off = o; len = l }, [])
+        in
+        ignore
+          (Codegen.emit_tree_broadcast spec_nv ctx ~tree_idx ~tree ~chunks
+             ~source
+             ~dst_buf:(fun r -> data.(r)))
+      end)
+    (Codegen.regions ~elems:nvl_elems (Blink.broadcast_trees handle));
+  (* PCIe chain covers [nvl_elems, elems) after the peer-access switch. *)
+  if pcie_elems > 0 then begin
+    let switch = Emit.delay ctx ~seconds:t_dpa ~deps:[] in
+    let chunks =
+      Codegen.split_chunks ~chunk:spec_pcie.Codegen.chunk_elems ~off:nvl_elems
+        ~len:pcie_elems
+    in
+    let chunks_arr = Array.of_list chunks in
+    let source ci =
+      let o, l = chunks_arr.(ci) in
+      ({ Program.node = root; buf = data.(root); off = o; len = l }, [ switch ])
+    in
+    ignore
+      (Codegen.emit_tree_broadcast spec_pcie ctx ~tree_idx:(1 + k) ~tree:chain
+         ~chunks ~source
+         ~dst_buf:(fun r -> data.(r)))
+  end;
+  (Emit.program ctx, { Codegen.data; output = None })

@@ -1,0 +1,37 @@
+(** Hybrid PCIe + NVLink transfers (paper section 3.4, figure 21).
+
+    The CUDA driver cannot drive PCIe and NVLink P2P between the same GPU
+    pair at once: Blink builds a {e separate} tree set over PCIe, pays the
+    [cudaDeviceDisablePeerAccess] latency [T_dpa] once, and splits the
+    buffer so both transfers finish together (equation 8):
+
+    {v D_pcie = D * BWp / (BWp + BWn)  -  T_dpa * BWp * BWn / (BWp + BWn) v} *)
+
+val split :
+  total_bytes:float -> bw_pcie:float -> bw_nvl:float -> t_dpa:float ->
+  float * float
+(** [(d_pcie, d_nvl)] in bytes, clamped to [0, total]. Bandwidths in
+    bytes/second, [t_dpa] in seconds. Raises [Invalid_argument] on
+    non-positive bandwidths. *)
+
+val dpa_latency : n_ranks:int -> float
+(** Calibrated [cudaDeviceDisablePeerAccess] cost: grows with the number
+    of GPUs whose peer mappings must be torn down (paper measures it
+    during warm-up; we model 0.15 ms per GPU). *)
+
+val pcie_chain_tree : Blink.t -> Blink_collectives.Tree.t
+(** Path tree over all ranks in id order rooted at the Blink root — the
+    single PCIe tree (locality-ordered, so each PCIe segment is crossed
+    once per direction). *)
+
+val broadcast :
+  ?chunk_elems:int ->
+  ?stream_reuse:bool ->
+  ?t_dpa:float ->
+  Blink.t ->
+  elems:int ->
+  Blink_sim.Program.t * Blink_collectives.Codegen.layout
+(** Hybrid broadcast: NVLink trees carry [d_nvl], the PCIe chain carries
+    [d_pcie] behind a [T_dpa] delay. With [t_dpa] too large for the buffer
+    the PCIe share clamps to zero and this degenerates to the NVLink-only
+    broadcast. *)

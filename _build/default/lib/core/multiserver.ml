@@ -1,0 +1,85 @@
+module Digraph = Blink_graph.Digraph
+module Server = Blink_topology.Server
+module Fabric = Blink_topology.Fabric
+module Subtree = Blink_collectives.Subtree
+module Threephase = Blink_collectives.Threephase
+module Codegen = Blink_collectives.Codegen
+
+type t = {
+  fabric : Fabric.t;
+  plans : Threephase.plan array;
+  n_partitions : int;
+}
+
+(* Local spanning trees of one server's allocation, as subset trees over
+   global ranks. A single GPU yields one trivial tree. *)
+let plan_server ?epsilon ?threshold server ~gpus ~rank_offset =
+  let k = Array.length gpus in
+  let global i = rank_offset + i in
+  let ranks = List.init k global in
+  if k = 1 then
+    {
+      Threephase.trees = [ Subtree.of_edges ~root:(global 0) [] ];
+      ranks;
+      cls = Fabric.Nv;
+    }
+  else begin
+    let g = Server.nvlink_digraph server ~gpus in
+    let root = Treegen.best_root g in
+    (* Local trees run reduce and broadcast phases over the same edges, so
+       the undirected (duplex-link) packing is the right model. *)
+    let packing = Treegen.plan_undirected ?epsilon ?threshold g ~root in
+    if packing.Treegen.trees = [] then
+      invalid_arg
+        "Multiserver: a server's local NVLink graph is disconnected; \
+         allocate NVLink-connected GPUs per server";
+    let trees =
+      List.map
+        (fun tree ->
+          let edges =
+            List.map
+              (fun id ->
+                let e = Digraph.edge g id in
+                (global e.Digraph.src, global e.Digraph.dst))
+              tree.Treegen.edges
+          in
+          Subtree.of_edges ~root:(global root) edges)
+        packing.Treegen.trees
+    in
+    { Threephase.trees; ranks; cls = Fabric.Nv }
+  end
+
+let create ?net_bw ?epsilon ?threshold servers =
+  if servers = [] then invalid_arg "Multiserver.create: no servers";
+  let fabric =
+    Fabric.of_cluster ?net_bw (List.map fst servers)
+      ~allocs:(List.map snd servers)
+  in
+  let _, plans =
+    List.fold_left
+      (fun (offset, acc) (server, gpus) ->
+        let plan = plan_server ?epsilon ?threshold server ~gpus ~rank_offset:offset in
+        (offset + Array.length gpus, plan :: acc))
+      (0, []) servers
+  in
+  let plans = Array.of_list (List.rev plans) in
+  let max_trees =
+    Array.fold_left
+      (fun acc plan -> max acc (List.length plan.Threephase.trees))
+      1 plans
+  in
+  (* Enough partitions that every server's trees all carry data and hubs
+     rotate over all servers. *)
+  let n_partitions = max_trees * Array.length plans in
+  { fabric; plans; n_partitions }
+
+let fabric t = t.fabric
+let n_partitions t = t.n_partitions
+let plans t = t.plans
+
+let all_reduce ?chunk_elems ?stream_reuse t ~elems =
+  let spec = Codegen.spec ?chunk_elems ?stream_reuse t.fabric in
+  Threephase.all_reduce spec ~n_partitions:t.n_partitions ~plans:t.plans ~elems
+
+let time ?policy t prog =
+  Blink_sim.Engine.run ?policy ~resources:(Fabric.resources t.fabric) prog

@@ -1,0 +1,32 @@
+(** Blink's multi-server AllReduce (paper section 3.5, figure 10): local
+    spanning-tree reductions, one-hop cross-server reduce-broadcast
+    between server-local roots, local broadcasts — built on
+    {!Blink_collectives.Threephase} with tree packing per server. *)
+
+type t
+
+val create :
+  ?net_bw:float ->
+  ?epsilon:float ->
+  ?threshold:float ->
+  (Blink_topology.Server.t * int array) list ->
+  t
+(** Plan a job spanning several servers with the given per-server GPU
+    allocations. [net_bw] is the per-server NIC bandwidth in GB/s
+    (default 5 = 40 Gbps, the paper's commodity cloud setting). Each
+    server's local allocation must have a connected NVLink graph, or be a
+    single GPU. *)
+
+val fabric : t -> Blink_topology.Fabric.t
+val n_partitions : t -> int
+
+val plans : t -> Blink_collectives.Threephase.plan array
+(** The per-server local trees fed to the three-phase emitter. *)
+
+val all_reduce :
+  ?chunk_elems:int -> ?stream_reuse:bool -> t -> elems:int ->
+  Blink_sim.Program.t * Blink_collectives.Codegen.layout
+
+val time :
+  ?policy:Blink_sim.Engine.policy -> t -> Blink_sim.Program.t ->
+  Blink_sim.Engine.result

@@ -1,0 +1,580 @@
+module Digraph = Blink_graph.Digraph
+module Maxflow = Blink_graph.Maxflow
+module Arborescence = Blink_graph.Arborescence
+module Dsu = Blink_graph.Dsu
+module Simplex = Blink_lp.Simplex
+module Ilp = Blink_lp.Ilp
+
+let log_src = Logs.Src.create "blink.treegen" ~doc:"Blink tree planning"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type tree = { edges : int list; weight : float }
+
+type packing = {
+  root : int;
+  trees : tree list;
+  rate : float;
+  optimal : float;
+  undirected : bool;
+}
+
+let tol = 1e-9
+
+let optimal_rate g ~root =
+  if Digraph.n_vertices g <= 1 then 0. else Maxflow.broadcast_rate g ~root
+
+(* ------------------------------------------------------------------ *)
+(* Garg-Konemann core over abstract "items" (directed edges or duplex
+   links). The oracle returns a minimum-price spanning structure as an
+   item list, or None when none exists. *)
+
+let garg_konemann ~epsilon ~caps ~oracle =
+  let m = Array.length caps in
+  let delta =
+    (1. +. epsilon) *. (((1. +. epsilon) *. Float.of_int m) ** (-1. /. epsilon))
+  in
+  let price = Array.map (fun c -> delta /. c) caps in
+  let purchases : (int list, float) Hashtbl.t = Hashtbl.create 64 in
+  let continue = ref true in
+  (* Terminates in O(m ln m / eps^2) purchases; the guard is a safety net. *)
+  let max_iters = 1_000_000 in
+  let iters = ref 0 in
+  while !continue && !iters < max_iters do
+    incr iters;
+    match oracle price with
+    | None -> continue := false
+    | Some items ->
+        let total_price =
+          List.fold_left (fun acc i -> acc +. price.(i)) 0. items
+        in
+        if total_price >= 1. then continue := false
+        else begin
+          let cmin =
+            List.fold_left (fun acc i -> Float.min acc caps.(i)) infinity items
+          in
+          let key = List.sort compare items in
+          let prev = Option.value (Hashtbl.find_opt purchases key) ~default:0. in
+          Hashtbl.replace purchases key (prev +. cmin);
+          List.iter
+            (fun i ->
+              price.(i) <- price.(i) *. (1. +. (epsilon *. cmin /. caps.(i))))
+            items
+        end
+  done;
+  let scale = Float.log (1. /. delta) /. Float.log (1. +. epsilon) in
+  (* The textbook scale can leave a few percent of overload on some item;
+     rescaling by the worst measured overload restores feasibility while
+     keeping the (1 - O(eps)) guarantee. *)
+  let load = Array.make m 0. in
+  Hashtbl.iter
+    (fun items bought ->
+      List.iter (fun i -> load.(i) <- load.(i) +. (bought /. scale)) items)
+    purchases;
+  let overload = ref 1. in
+  for i = 0 to m - 1 do
+    let ratio = load.(i) /. caps.(i) in
+    if ratio > !overload then overload := ratio
+  done;
+  Hashtbl.fold
+    (fun items bought acc ->
+      let weight = bought /. scale /. !overload in
+      if weight > tol then (items, weight) :: acc else acc)
+    purchases []
+  |> List.sort compare
+
+(* LP re-optimization over a candidate set: maximize total weight subject
+   to per-item capacities. Returns (lp_opt, weights). *)
+let candidate_lp ~caps ~candidates =
+  let k = Array.length candidates in
+  let used = Hashtbl.create 64 in
+  Array.iter (fun items -> List.iter (fun i -> Hashtbl.replace used i ()) items)
+    candidates;
+  let rows =
+    Hashtbl.fold
+      (fun item () acc ->
+        let row = Array.make k 0. in
+        Array.iteri
+          (fun ci items -> if List.mem item items then row.(ci) <- 1.)
+          candidates;
+        (row, caps.(item)) :: acc)
+      used []
+  in
+  let a = Array.of_list (List.map fst rows) in
+  let b = Array.of_list (List.map snd rows) in
+  match Simplex.maximize ~c:(Array.make k 1.) ~a ~b with
+  | Simplex.Optimal { objective; solution } -> (objective, solution)
+  | Simplex.Infeasible | Simplex.Unbounded ->
+      (* 0 is always feasible and capacities bound the objective. *)
+      assert false
+
+(* ------------------------------------------------------------------ *)
+(* Directed packing: items are directed edge ids, oracle Chu-Liu/Edmonds. *)
+
+let pack ?(epsilon = 0.1) g ~root =
+  let n = Digraph.n_vertices g in
+  if n <= 1 || not (Digraph.is_connected_from g ~root) then
+    { root; trees = []; rate = 0.; optimal = 0.; undirected = false }
+  else begin
+    let optimal = optimal_rate g ~root in
+    let caps =
+      Array.init (Digraph.n_edges g) (fun i -> (Digraph.edge g i).Digraph.cap)
+    in
+    let oracle price =
+      Arborescence.min_arborescence g ~root ~cost:(fun e ->
+          price.(e.Digraph.id))
+    in
+    let trees =
+      garg_konemann ~epsilon ~caps ~oracle
+      |> List.map (fun (edges, weight) -> { edges; weight })
+    in
+    let rate = List.fold_left (fun acc t -> acc +. t.weight) 0. trees in
+    Log.debug (fun m ->
+        m "MWU (directed): %d trees, rate %.2f of optimal %.2f"
+          (List.length trees) rate optimal);
+    { root; trees; rate; optimal; undirected = false }
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Undirected packing: items are duplex links (pairs of opposite directed
+   edges of equal capacity); the tree oracle is Kruskal over links. *)
+
+type link = { fwd : int; bwd : int; lcap : float }
+
+let undirected_links g =
+  (* Pair each directed edge with an unpaired reverse of equal capacity. *)
+  let unpaired : (int * int, int list) Hashtbl.t = Hashtbl.create 32 in
+  let links = ref [] in
+  Digraph.fold_edges
+    (fun e () ->
+      let fwd_key = (e.Digraph.src, e.Digraph.dst) in
+      let rev_key = (e.Digraph.dst, e.Digraph.src) in
+      match Hashtbl.find_opt unpaired rev_key with
+      | Some (partner :: rest) ->
+          Hashtbl.replace unpaired rev_key rest;
+          let p = Digraph.edge g partner in
+          if Float.abs (p.Digraph.cap -. e.Digraph.cap) > 1e-9 then
+            invalid_arg "Treegen: asymmetric link capacities";
+          links :=
+            {
+              fwd = min partner e.Digraph.id;
+              bwd = max partner e.Digraph.id;
+              lcap = e.Digraph.cap;
+            }
+            :: !links
+      | Some [] | None ->
+          let same = Option.value (Hashtbl.find_opt unpaired fwd_key) ~default:[] in
+          Hashtbl.replace unpaired fwd_key (same @ [ e.Digraph.id ]))
+    g ();
+  Hashtbl.iter
+    (fun _ pending ->
+      if pending <> [] then
+        invalid_arg "Treegen: graph is not symmetric (unpaired directed edge)")
+    unpaired;
+  Array.of_list (List.rev !links)
+
+let link_endpoints g (l : link) =
+  let e = Digraph.edge g l.fwd in
+  (e.Digraph.src, e.Digraph.dst)
+
+(* Minimum spanning tree over links by price; None when disconnected. *)
+let kruskal ~n g links price =
+  let order =
+    List.init (Array.length links) Fun.id
+    |> List.sort (fun a b ->
+           let c = compare price.(a) price.(b) in
+           if c <> 0 then c else compare a b)
+  in
+  let dsu = Dsu.create n in
+  let chosen =
+    List.filter
+      (fun li ->
+        let u, v = link_endpoints g links.(li) in
+        Dsu.union dsu u v)
+      order
+  in
+  if Dsu.n_sets dsu = 1 then Some chosen else None
+
+(* Orient a link tree away from [root]: returns directed edge ids. *)
+let orient g links ~root link_ids =
+  let adj = Hashtbl.create 16 in
+  let push a b li =
+    Hashtbl.replace adj a ((b, li) :: Option.value (Hashtbl.find_opt adj a) ~default:[])
+  in
+  List.iter
+    (fun li ->
+      let u, v = link_endpoints g links.(li) in
+      push u v li;
+      push v u li)
+    link_ids;
+  let seen = Hashtbl.create 16 in
+  Hashtbl.replace seen root ();
+  let queue = Queue.create () in
+  Queue.add root queue;
+  let edges = ref [] in
+  while not (Queue.is_empty queue) do
+    let u = Queue.take queue in
+    List.iter
+      (fun (v, li) ->
+        if not (Hashtbl.mem seen v) then begin
+          Hashtbl.replace seen v ();
+          let l = links.(li) in
+          let fwd_edge = Digraph.edge g l.fwd in
+          let id = if fwd_edge.Digraph.src = u then l.fwd else l.bwd in
+          edges := id :: !edges;
+          Queue.add v queue
+        end)
+      (Option.value (Hashtbl.find_opt adj u) ~default:[])
+  done;
+  List.rev !edges
+
+let pack_undirected ?(epsilon = 0.1) g ~root =
+  let n = Digraph.n_vertices g in
+  if n <= 1 || not (Digraph.is_connected_from g ~root) then
+    { root; trees = []; rate = 0.; optimal = 0.; undirected = true }
+  else begin
+    let links = undirected_links g in
+    let caps = Array.map (fun l -> l.lcap) links in
+    let oracle price = kruskal ~n g links price in
+    let raw = garg_konemann ~epsilon ~caps ~oracle in
+    let optimal, _ =
+      if raw = [] then (0., [||])
+      else candidate_lp ~caps ~candidates:(Array.of_list (List.map fst raw))
+    in
+    let trees =
+      List.map
+        (fun (link_ids, weight) ->
+          { edges = orient g links ~root link_ids; weight })
+        raw
+    in
+    let rate = List.fold_left (fun acc t -> acc +. t.weight) 0. trees in
+    { root; trees; rate; optimal; undirected = true }
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Greedy integral extraction: repeatedly pull a spanning tree out of the
+   unit-normalized residual capacities, preferring well-provisioned items.
+   MWU's candidate set occasionally misses an integral packing that exists
+   (its trees were shaped by prices, not integrality); these candidates
+   give the ILP that option. *)
+
+let depleted_price = 1e18
+
+let greedy_integral g ~root ~undirected ~unit =
+  let found = ref [] in
+  if undirected then begin
+    let links = undirected_links g in
+    let n = Digraph.n_vertices g in
+    let residual = Array.map (fun l -> l.lcap /. unit) links in
+    let continue = ref true in
+    while !continue do
+      let price =
+        Array.map
+          (fun r -> if r < 0.999 then depleted_price else 1. -. (1e-6 *. r))
+          residual
+      in
+      match kruskal ~n g links price with
+      | Some link_ids
+        when List.for_all (fun li -> residual.(li) >= 0.999) link_ids ->
+          List.iter (fun li -> residual.(li) <- residual.(li) -. 1.) link_ids;
+          found := orient g links ~root link_ids :: !found
+      | Some _ | None -> continue := false
+    done
+  end
+  else begin
+    (* Exact integral arborescence packing by Edmonds' constructive proof
+       (Schrijver's safe-edge formulation): while building tree t of k,
+       grow the covered set S one edge at a time, picking any frontier
+       edge whose removal keeps every uncovered vertex (k - t)-connected
+       from the root in the residual. Such an edge always exists while the
+       invariant holds, and k = the integral min cut, so this extracts the
+       full optimal packing. Capacities must be (near-)integer multiples
+       of [unit]; otherwise we return nothing and the ILP works from the
+       MWU candidates alone. *)
+    let m = Digraph.n_edges g in
+    let n = Digraph.n_vertices g in
+    let residual = Array.make m 0 in
+    let integral = ref true in
+    for i = 0 to m - 1 do
+      let units = (Digraph.edge g i).Digraph.cap /. unit in
+      if Float.abs (units -. Float.round units) > 1e-6 then integral := false;
+      residual.(i) <- int_of_float (Float.round units)
+    done;
+    if !integral then begin
+      let residual_graph () =
+        let rg = Digraph.create ~n in
+        for i = 0 to m - 1 do
+          if residual.(i) > 0 then begin
+            let e = Digraph.edge g i in
+            ignore
+              (Digraph.add_edge rg ~src:e.Digraph.src ~dst:e.Digraph.dst
+                 ~cap:(Float.of_int residual.(i)))
+          end
+        done;
+        rg
+      in
+      (* Lovász's invariant checks EVERY vertex, covered or not: removing a
+         frontier edge may drop connectivity to a vertex already inside S,
+         and the remaining trees still have to span it. *)
+      let connectivity_at_least need =
+        need <= 0
+        ||
+        let rg = residual_graph () in
+        let ok = ref true in
+        for w = 0 to n - 1 do
+          if w <> root && !ok then
+            if Maxflow.max_flow rg ~src:root ~dst:w < Float.of_int need -. 1e-6
+            then ok := false
+        done;
+        !ok
+      in
+      let k =
+        let rg = residual_graph () in
+        let rate = ref infinity in
+        for w = 0 to n - 1 do
+          if w <> root then rate := Float.min !rate (Maxflow.max_flow rg ~src:root ~dst:w)
+        done;
+        if !rate = infinity then 0 else int_of_float (Float.floor (!rate +. 1e-6))
+      in
+      let failed = ref false in
+      for t = k downto 1 do
+        if not !failed then begin
+          let in_s = Array.make n false in
+          in_s.(root) <- true;
+          let covered = ref 1 in
+          let tree = ref [] in
+          while !covered < n && not !failed do
+            (* Try every frontier edge until one is safe. *)
+            let accepted = ref false in
+            let i = ref 0 in
+            while (not !accepted) && !i < m do
+              let e = Digraph.edge g !i in
+              if residual.(!i) > 0 && in_s.(e.Digraph.src) && not in_s.(e.Digraph.dst)
+              then begin
+                residual.(!i) <- residual.(!i) - 1;
+                if connectivity_at_least (t - 1) then begin
+                  accepted := true;
+                  in_s.(e.Digraph.dst) <- true;
+                  incr covered;
+                  tree := !i :: !tree
+                end
+                else residual.(!i) <- residual.(!i) + 1
+              end;
+              incr i
+            done;
+            if not !accepted then failed := true
+          done;
+          if not !failed then found := List.rev !tree :: !found
+        end
+      done
+    end
+  end;
+  !found
+
+(* ------------------------------------------------------------------ *)
+(* ILP tree minimization, generic over the packing's capacity model. *)
+
+let minimize ?(threshold = 0.05) g packing =
+  if packing.trees = [] then packing
+  else begin
+    let item_caps, items_of_tree =
+      if packing.undirected then begin
+        let links = undirected_links g in
+        let link_of_edge = Array.make (Digraph.n_edges g) (-1) in
+        Array.iteri
+          (fun li l ->
+            link_of_edge.(l.fwd) <- li;
+            link_of_edge.(l.bwd) <- li)
+          links;
+        ( Array.map (fun l -> l.lcap) links,
+          fun t -> List.map (fun e -> link_of_edge.(e)) t.edges )
+      end
+      else
+        ( Array.init (Digraph.n_edges g) (fun i ->
+              (Digraph.edge g i).Digraph.cap),
+          fun t -> t.edges )
+    in
+    let unit = Array.fold_left Float.min infinity item_caps in
+    let n_mwu = List.length packing.trees in
+    let candidates =
+      let greedy =
+        greedy_integral g ~root:packing.root ~undirected:packing.undirected ~unit
+        |> List.map (fun edges -> { edges; weight = 0. })
+      in
+      let seen = Hashtbl.create 32 in
+      List.filter
+        (fun t ->
+          let key = List.sort compare t.edges in
+          if Hashtbl.mem seen key then false
+          else begin
+            Hashtbl.add seen key ();
+            true
+          end)
+        (packing.trees @ greedy)
+      |> Array.of_list
+    in
+    let is_greedy i = i >= n_mwu in
+    let cand_items = Array.map items_of_tree candidates in
+    let k = Array.length candidates in
+    (* Constraint rows per used item, capacities in units. *)
+    let used = Hashtbl.create 64 in
+    Array.iter
+      (fun items -> List.iter (fun i -> Hashtbl.replace used i ()) items)
+      cand_items;
+    let rows =
+      Hashtbl.fold
+        (fun item () acc ->
+          let row = Array.make k 0. in
+          Array.iteri
+            (fun ci items -> if List.mem item items then row.(ci) <- 1.)
+            cand_items;
+          (row, item_caps.(item) /. unit) :: acc)
+        used []
+      |> List.sort compare
+    in
+    let a = Array.of_list (List.map fst rows) in
+    let b = Array.of_list (List.map snd rows) in
+    let c = Array.make k 1. in
+    let upper =
+      Array.map
+        (fun items ->
+          List.fold_left
+            (fun acc i -> Float.min acc (item_caps.(i) /. unit))
+            infinity items)
+        cand_items
+    in
+    match Simplex.maximize ~c ~a ~b with
+    | Simplex.Infeasible | Simplex.Unbounded -> packing (* unreachable *)
+    | Simplex.Optimal { objective = lp_opt; solution = lp_sol } ->
+        (* The simplex solution is basic: restricting the ILP to its
+           support keeps branch-and-bound tiny without losing the LP
+           optimum. The integral candidates from the greedy/Edmonds
+           extraction are kept regardless — they are exactly the columns
+           the ILP needs for an integral optimum. *)
+        let support =
+          List.filter
+            (fun i -> lp_sol.(i) > 1e-7 || is_greedy i)
+            (List.init k Fun.id)
+          |> Array.of_list
+        in
+        let ks = Array.length support in
+        let sub arr = Array.map (fun i -> arr.(i)) support in
+        let a' = Array.map sub a in
+        let problem integer =
+          { Ilp.c = sub c; a = a'; b; upper = sub upper; integer }
+        in
+        (* Relaxation order: most fractional LP weight first. *)
+        let order =
+          List.init ks Fun.id
+          |> List.sort (fun i j ->
+                 let frac x = Float.abs (x -. Float.round x) in
+                 compare
+                   (frac lp_sol.(support.(j)))
+                   (frac lp_sol.(support.(i))))
+          |> Array.of_list
+        in
+        let target = (1. -. threshold) *. lp_opt in
+        let rec attempt n_frac =
+          let integer = Array.make ks true in
+          for idx = 0 to n_frac - 1 do
+            integer.(order.(idx)) <- false
+          done;
+          match Ilp.solve ~max_nodes:20_000 (problem integer) with
+          | Some { Ilp.objective; solution } when objective +. tol >= target ->
+              Some solution
+          | _ -> if n_frac >= ks then None else attempt (n_frac + 1)
+        in
+        (match attempt 0 with
+        | None -> packing (* fully relaxed ILP equals the LP; unreachable *)
+        | Some solution ->
+            let trees =
+              let out = ref [] in
+              Array.iteri
+                (fun i orig ->
+                  if solution.(i) > 1e-7 then
+                    out :=
+                      {
+                        edges = candidates.(orig).edges;
+                        weight = solution.(i) *. unit;
+                      }
+                      :: !out)
+                support;
+              List.rev !out
+            in
+            let rate = List.fold_left (fun acc t -> acc +. t.weight) 0. trees in
+            Log.debug (fun m ->
+                m "ILP: %d -> %d trees, rate %.2f (candidate LP optimum %.2f)"
+                  (List.length packing.trees) (List.length trees) rate
+                  (lp_opt *. unit));
+            { packing with trees; rate })
+  end
+
+let plan ?epsilon ?threshold g ~root =
+  minimize ?threshold g (pack ?epsilon g ~root)
+
+let plan_undirected ?epsilon ?threshold g ~root =
+  minimize ?threshold g (pack_undirected ?epsilon g ~root)
+
+let best_root g =
+  let n = Digraph.n_vertices g in
+  let best = ref 0 and best_rate = ref neg_infinity in
+  for r = 0 to n - 1 do
+    let rate = optimal_rate g ~root:r in
+    if rate > !best_rate +. tol then begin
+      best := r;
+      best_rate := rate
+    end
+  done;
+  !best
+
+let feasible g packing =
+  let trees_ok =
+    List.for_all
+      (fun t ->
+        t.weight > 0.
+        && Arborescence.is_arborescence g ~root:packing.root t.edges)
+      packing.trees
+  in
+  let caps_ok =
+    if packing.undirected then begin
+      let links = undirected_links g in
+      let link_of_edge = Array.make (Digraph.n_edges g) (-1) in
+      Array.iteri
+        (fun li l ->
+          link_of_edge.(l.fwd) <- li;
+          link_of_edge.(l.bwd) <- li)
+        links;
+      let load = Array.make (Array.length links) 0. in
+      List.iter
+        (fun t ->
+          List.iter
+            (fun e -> load.(link_of_edge.(e)) <- load.(link_of_edge.(e)) +. t.weight)
+            t.edges)
+        packing.trees;
+      Array.for_all Fun.id
+        (Array.mapi (fun li l -> load.(li) <= l.lcap +. 1e-6) links)
+    end
+    else begin
+      let load = Array.make (Digraph.n_edges g) 0. in
+      List.iter
+        (fun t -> List.iter (fun e -> load.(e) <- load.(e) +. t.weight) t.edges)
+        packing.trees;
+      let ok = ref true in
+      Array.iteri
+        (fun e x -> if x > (Digraph.edge g e).Digraph.cap +. 1e-6 then ok := false)
+        load;
+      !ok
+    end
+  in
+  trees_ok && caps_ok
+
+let pp ppf p =
+  Format.fprintf ppf "@[<v>packing root=%d rate=%.3f optimal=%.3f (%d trees%s)"
+    p.root p.rate p.optimal (List.length p.trees)
+    (if p.undirected then ", undirected" else "");
+  List.iter
+    (fun t ->
+      Format.fprintf ppf "@,  w=%.3f edges=[%s]" t.weight
+        (String.concat ";" (List.map string_of_int t.edges)))
+    p.trees;
+  Format.fprintf ppf "@]"

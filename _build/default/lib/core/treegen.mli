@@ -1,0 +1,79 @@
+(** TreeGen: maximal fractional packing of spanning trees
+    (paper sections 3.1-3.3).
+
+    Two packing modes, both driven by the same multiplicative-weight-update
+    (Garg-Konemann) core and the same ILP minimization:
+
+    - {b Directed} ({!pack}, {!plan}) — arborescences from a root under
+      per-directed-edge capacities: optimal for one-to-many primitives
+      (Broadcast, Gather). The optimum equals the min over non-root
+      vertices of the root-to-vertex max-flow (Edmonds' theorem), reported
+      in {!field-optimal} and used to validate the approximation.
+    - {b Undirected} ({!pack_undirected}, {!plan_undirected}) — spanning
+      trees under per-{e link} capacities, where a link is a full-duplex
+      channel consumed in both directions at once (reduce up, broadcast
+      down): the right object for many-to-many primitives (AllReduce,
+      AllGather), matching the 2(N-1)/N message lower bound the way rings
+      do. Trees are reported oriented away from the root.
+
+    The ILP step ({!minimize}) restricts weights to integer multiples of
+    the capacity unit and re-allows fractional weights one variable at a
+    time until within [threshold] of the candidate-set LP optimum. On the
+    full 8-GPU DGX-1V the directed planner returns 6 unit trees (138 GB/s)
+    and the undirected planner 3 unit trees — the paper's numbers. *)
+
+type tree = {
+  edges : int list;  (** Digraph edge ids forming the arborescence *)
+  weight : float;  (** rate carried by this tree, in capacity units *)
+}
+
+type packing = {
+  root : int;
+  trees : tree list;
+  rate : float;  (** [sum weight]: achieved packing rate *)
+  optimal : float;  (** certified upper/achievable bound (see mode docs) *)
+  undirected : bool;  (** which capacity model the packing satisfies *)
+}
+
+val pack : ?epsilon:float -> Blink_graph.Digraph.t -> root:int -> packing
+(** Directed MWU packing; [epsilon] (default [0.1]) trades tree count and
+    run time for approximation quality: the returned rate is at least
+    [(1 - 2 * epsilon) * optimal] and always capacity-feasible. Trees with
+    identical edge sets are merged. Returns an empty packing (rate 0) when
+    some vertex is unreachable from the root. *)
+
+val pack_undirected :
+  ?epsilon:float -> Blink_graph.Digraph.t -> root:int -> packing
+(** Undirected MWU packing. The graph must be symmetric (every physical
+    link present as two opposite directed edges of equal capacity, as
+    {!Blink_topology.Server.nvlink_digraph} builds); raises
+    [Invalid_argument] otherwise. [optimal] is the LP optimum over the
+    candidate trees (a certified achievable rate). *)
+
+val minimize :
+  ?threshold:float -> Blink_graph.Digraph.t -> packing -> packing
+(** ILP tree minimization (default [threshold] = [0.05], the paper's 5%).
+    Honors the packing's capacity model. The result never uses more trees
+    than the input and never loses more than [threshold] of the
+    candidate-set optimum. *)
+
+val plan :
+  ?epsilon:float -> ?threshold:float -> Blink_graph.Digraph.t -> root:int ->
+  packing
+(** [pack] followed by [minimize]. *)
+
+val plan_undirected :
+  ?epsilon:float -> ?threshold:float -> Blink_graph.Digraph.t -> root:int ->
+  packing
+(** [pack_undirected] followed by [minimize]. *)
+
+val best_root : Blink_graph.Digraph.t -> int
+(** Root with the highest optimal broadcast rate (ties: lowest id). *)
+
+val feasible : Blink_graph.Digraph.t -> packing -> bool
+(** Every tree is a spanning arborescence from the packing root, and
+    capacities hold under the packing's model: per directed edge, or — for
+    undirected packings — per duplex link counting each tree once on each
+    link it crosses in either orientation (tolerance 1e-6). *)
+
+val pp : Format.formatter -> packing -> unit

@@ -1,0 +1,1 @@
+lib/dnn/training.ml: Float Hashtbl List Models

@@ -1,0 +1,1 @@
+lib/dnn/training.mli: Models

@@ -1,0 +1,94 @@
+type bucket = { name : string; params : int }
+
+type t = {
+  name : string;
+  buckets : bucket list;
+  batch_size : int;
+  fwd_ms : float;
+  bwd_ms : float;
+}
+
+(* Parameter counts follow the original architectures (fp32). Buckets are
+   listed in backward-pass completion order: classifier first, stem last —
+   the order wait-free backpropagation makes gradients available. *)
+
+let alexnet =
+  {
+    name = "alexnet";
+    buckets =
+      [
+        { name = "fc8"; params = 4_097_000 };
+        { name = "fc7"; params = 16_781_312 };
+        { name = "fc6"; params = 37_752_832 };
+        { name = "conv5"; params = 590_080 };
+        { name = "conv4"; params = 884_992 };
+        { name = "conv3"; params = 663_936 };
+        { name = "conv2"; params = 307_392 };
+        { name = "conv1"; params = 23_296 };
+      ];
+    batch_size = 128;
+    fwd_ms = 14.;
+    bwd_ms = 28.;
+  }
+
+let resnet18 =
+  {
+    name = "resnet18";
+    buckets =
+      [
+        { name = "fc"; params = 513_000 };
+        { name = "layer4"; params = 8_393_728 };
+        { name = "layer3"; params = 2_099_712 };
+        { name = "layer2"; params = 525_568 };
+        { name = "layer1"; params = 147_968 };
+        { name = "stem"; params = 9_536 };
+      ];
+    batch_size = 32;
+    fwd_ms = 10.;
+    bwd_ms = 20.;
+  }
+
+let resnet50 =
+  {
+    name = "resnet50";
+    buckets =
+      [
+        { name = "fc"; params = 2_049_000 };
+        { name = "layer4"; params = 14_964_736 };
+        { name = "layer3"; params = 7_098_368 };
+        { name = "layer2"; params = 1_219_584 };
+        { name = "layer1"; params = 215_808 };
+        { name = "stem"; params = 9_536 };
+      ];
+    batch_size = 32;
+    fwd_ms = 36.;
+    bwd_ms = 71.;
+  }
+
+let vgg16 =
+  {
+    name = "vgg16";
+    buckets =
+      [
+        { name = "fc8"; params = 4_097_000 };
+        { name = "fc7"; params = 16_781_312 };
+        { name = "fc6"; params = 102_764_544 };
+        { name = "conv5"; params = 7_079_424 };
+        { name = "conv4"; params = 5_899_776 };
+        { name = "conv3"; params = 1_475_328 };
+        { name = "conv2"; params = 221_440 };
+        { name = "conv1"; params = 38_720 };
+      ];
+    batch_size = 32;
+    fwd_ms = 52.;
+    bwd_ms = 104.;
+  }
+
+let all = [ alexnet; resnet18; resnet50; vgg16 ]
+
+let params t = List.fold_left (fun acc b -> acc + b.params) 0 t.buckets
+let gradient_bytes t = 4. *. Float.of_int (params t)
+
+let compute_ms ?(gpu_gen = `V100) t =
+  let scale = match gpu_gen with `V100 -> 1. | `P100 -> 1.6 in
+  (t.fwd_ms *. scale, t.bwd_ms *. scale)

@@ -1,0 +1,36 @@
+(** The paper's four image-classification workloads (section 5.4), with
+    real parameter counts, coarse per-layer gradient buckets (backward
+    order), and per-iteration compute times calibrated to published
+    ImageNet throughput on V100/P100 GPUs. Per-GPU minibatches follow the
+    original papers' hyper-parameters on an 8-GPU machine (section 5.4:
+    "the same per-GPU mini-batch size ... used in the original papers"),
+    e.g. ResNet's 256 total = 32 per GPU. *)
+
+type bucket = { name : string; params : int }
+(** One gradient-synchronization unit (a layer or block), [params] fp32
+    parameters. *)
+
+type t = {
+  name : string;
+  buckets : bucket list;
+      (** in backward-pass completion order (output layer first) *)
+  batch_size : int;  (** per-GPU minibatch *)
+  fwd_ms : float;  (** forward pass, V100 fp32, milliseconds *)
+  bwd_ms : float;  (** backward pass, V100 fp32, milliseconds *)
+}
+
+val alexnet : t
+val resnet18 : t
+val resnet50 : t
+val vgg16 : t
+val all : t list
+
+val params : t -> int
+(** Total parameter count. *)
+
+val gradient_bytes : t -> float
+(** fp32 gradient volume per iteration. *)
+
+val compute_ms : ?gpu_gen:[ `P100 | `V100 ] -> t -> float * float
+(** (forward, backward) per-iteration compute in ms; P100 scales the V100
+    times by the calibrated generation gap (~1.6x slower). *)

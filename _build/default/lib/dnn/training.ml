@@ -1,0 +1,68 @@
+type backend = { label : string; all_reduce_seconds : float -> float }
+
+type iteration = {
+  compute_ms : float;
+  comm_ms : float;
+  iteration_ms : float;
+  exposed_comm_ms : float;
+}
+
+let iteration ?gpu_gen ?(overlap = true) model backend =
+  let fwd_ms, bwd_ms = Models.compute_ms ?gpu_gen model in
+  let total_params = Float.of_int (Models.params model) in
+  (* Backward time attributed to a bucket in proportion to its parameters:
+     coarse, but preserves the property that big late layers (VGG/AlexNet
+     fully-connected) finish early in the backward pass and overlap well. *)
+  let bucket_ready =
+    let elapsed = ref 0. in
+    List.map
+      (fun b ->
+        let share = Float.of_int b.Models.params /. total_params in
+        elapsed := !elapsed +. (bwd_ms *. share);
+        (b, !elapsed))
+      model.Models.buckets
+  in
+  let comm_ms = ref 0. in
+  let comm_done = ref 0. in
+  List.iter
+    (fun (b, ready_ms) ->
+      let cost_ms =
+        backend.all_reduce_seconds (4. *. Float.of_int b.Models.params) *. 1e3
+      in
+      comm_ms := !comm_ms +. cost_ms;
+      let start = if overlap then Float.max ready_ms !comm_done else !comm_done in
+      comm_done := start +. cost_ms)
+    bucket_ready;
+  let comm_done = if overlap then !comm_done else bwd_ms +. !comm_ms in
+  let compute_ms = fwd_ms +. bwd_ms in
+  let iteration_ms = fwd_ms +. Float.max bwd_ms comm_done in
+  {
+    compute_ms;
+    comm_ms = !comm_ms;
+    iteration_ms;
+    exposed_comm_ms = iteration_ms -. compute_ms;
+  }
+
+let overhead_percent it = 100. *. it.exposed_comm_ms /. it.iteration_ms
+
+let speedup_percent ~baseline it =
+  100. *. (baseline.iteration_ms -. it.iteration_ms) /. baseline.iteration_ms
+
+let comm_reduction_percent ~baseline it =
+  if baseline.exposed_comm_ms <= 0. then 0.
+  else
+    100.
+    *. (baseline.exposed_comm_ms -. it.exposed_comm_ms)
+    /. baseline.exposed_comm_ms
+
+let memoized_backend ~label cost =
+  let cache : (float, float) Hashtbl.t = Hashtbl.create 16 in
+  let all_reduce_seconds bytes =
+    match Hashtbl.find_opt cache bytes with
+    | Some t -> t
+    | None ->
+        let t = cost bytes in
+        Hashtbl.replace cache bytes t;
+        t
+  in
+  { label; all_reduce_seconds }

@@ -1,0 +1,44 @@
+(** Data-parallel iteration-time model with wait-free backpropagation
+    (paper sections 2 and 5.4).
+
+    Backward compute runs bucket by bucket (output layer first); each
+    bucket's AllReduce can launch as soon as its gradients are ready, and
+    collectives execute in order, one at a time, on the interconnect. The
+    iteration ends when both backward compute and the last AllReduce have
+    finished; the next forward cannot start earlier. This is the standard
+    overlap model (Poseidon / wait-free backprop, the optimization the
+    paper assumes when reporting communication overheads). *)
+
+type backend = {
+  label : string;
+  all_reduce_seconds : float -> float;
+      (** time to AllReduce a gradient bucket of the given byte size *)
+}
+
+type iteration = {
+  compute_ms : float;  (** forward + backward compute *)
+  comm_ms : float;  (** total AllReduce busy time *)
+  iteration_ms : float;  (** wall-clock with overlap *)
+  exposed_comm_ms : float;  (** iteration - compute: the visible overhead *)
+}
+
+val iteration :
+  ?gpu_gen:[ `P100 | `V100 ] -> ?overlap:bool -> Models.t -> backend ->
+  iteration
+(** [overlap] defaults to [true] (wait-free backprop); with [false] all
+    communication happens after the backward pass (no hiding). *)
+
+val overhead_percent : iteration -> float
+(** [100 * exposed_comm / iteration]: figure 5's y-axis. *)
+
+val speedup_percent : baseline:iteration -> iteration -> float
+(** Percentage reduction in iteration time vs the baseline: figure 18's
+    y-axis. *)
+
+val comm_reduction_percent : baseline:iteration -> iteration -> float
+(** Percentage reduction in exposed communication time vs the baseline. *)
+
+val memoized_backend :
+  label:string -> (float -> float) -> backend
+(** Wrap an expensive per-size cost function (e.g. a simulator run) with a
+    cache keyed on byte size. *)

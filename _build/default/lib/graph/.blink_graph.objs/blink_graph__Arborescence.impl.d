@@ -1,0 +1,1 @@
+lib/graph/arborescence.ml: Array Digraph Hashtbl List

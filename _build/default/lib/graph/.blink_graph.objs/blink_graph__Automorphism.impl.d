@@ -1,0 +1,1 @@
+lib/graph/automorphism.ml: Array Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/graph/hamiltonian.ml: Array Fun List

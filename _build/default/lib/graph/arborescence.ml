@@ -1,0 +1,196 @@
+(* Chu-Liu/Edmonds by recursive cycle contraction. Working edges carry the id
+   of the original Digraph edge so the final answer can be reported in terms
+   of the caller's graph. Sizes here are tiny (n <= 16 GPUs), so the simple
+   O(V * E) recursive formulation is plenty. *)
+
+type wedge = { orig : int; wsrc : int; wdst : int; cost : float }
+
+(* Core recursion over a vertex count and working edge list. Vertices are
+   0 .. n-1 and [root] is one of them. Returns original edge ids. *)
+let rec solve n root (wedges : wedge list) : int list option =
+  if n <= 1 then Some []
+  else begin
+    (* Cheapest incoming working edge for every non-root vertex. *)
+    let inc = Array.make n None in
+    List.iter
+      (fun e ->
+        if e.wdst <> root && e.wsrc <> e.wdst then
+          match inc.(e.wdst) with
+          | None -> inc.(e.wdst) <- Some e
+          | Some best -> if e.cost < best.cost then inc.(e.wdst) <- Some e)
+      wedges;
+    let missing = ref false in
+    for v = 0 to n - 1 do
+      if v <> root && inc.(v) = None then missing := true
+    done;
+    if !missing then None
+    else begin
+      (* Find a cycle in the functional graph v -> src(inc(v)), if any.
+         Colors: 0 unvisited, 1 on current path, 2 done. *)
+      let color = Array.make n 0 in
+      color.(root) <- 2;
+      let cycle = ref [] in
+      let v = ref 0 in
+      while !cycle = [] && !v < n do
+        if color.(!v) = 0 then begin
+          (* Walk parents until we hit a visited vertex. *)
+          let path = ref [] in
+          let u = ref !v in
+          while color.(!u) = 0 do
+            color.(!u) <- 1;
+            path := !u :: !path;
+            match inc.(!u) with
+            | Some e -> u := e.wsrc
+            | None -> assert false (* non-root vertices all have inc *)
+          done;
+          if color.(!u) = 1 then begin
+            (* !u is on the current path: the portion of the path from the
+               first occurrence of !u onwards is the cycle. *)
+            let rec from_u = function
+              | [] -> assert false
+              | x :: rest -> if x = !u then x :: rest else from_u rest
+            in
+            (* [path] is reversed (deepest first); re-reverse to walk from
+               the start vertex, then cut at the cycle entry. *)
+            cycle := from_u (List.rev !path)
+          end;
+          List.iter (fun x -> color.(x) <- 2) !path
+        end;
+        incr v
+      done;
+      match !cycle with
+      | [] ->
+          (* Acyclic: the chosen in-edges are the arborescence. *)
+          let ids = ref [] in
+          for u = 0 to n - 1 do
+            match inc.(u) with
+            | Some e when u <> root -> ids := e.orig :: !ids
+            | _ -> ()
+          done;
+          Some !ids
+      | cyc ->
+          let in_cycle = Array.make n false in
+          List.iter (fun x -> in_cycle.(x) <- true) cyc;
+          (* Contract the cycle into fresh vertex [c]; relabel the rest. *)
+          let c = 0 in
+          let relabel = Array.make n (-1) in
+          let next = ref 1 in
+          for u = 0 to n - 1 do
+            if in_cycle.(u) then relabel.(u) <- c
+            else begin
+              relabel.(u) <- !next;
+              incr next
+            end
+          done;
+          let n' = !next in
+          let root' = relabel.(root) in
+          (* Edges into the cycle get reduced costs; remember which original
+             edge each contracted edge stands for, and which cycle vertex it
+             enters (to break the cycle on expansion). *)
+          let enters = Hashtbl.create 16 in
+          (* key: orig id of an edge entering the cycle; value: entered vertex *)
+          let contracted =
+            List.filter_map
+              (fun e ->
+                let su = in_cycle.(e.wsrc) and dv = in_cycle.(e.wdst) in
+                if su && dv then None
+                else if dv then begin
+                  let chosen =
+                    match inc.(e.wdst) with Some x -> x | None -> assert false
+                  in
+                  if not (Hashtbl.mem enters e.orig) then
+                    Hashtbl.add enters e.orig e.wdst;
+                  Some
+                    {
+                      orig = e.orig;
+                      wsrc = relabel.(e.wsrc);
+                      wdst = c;
+                      cost = e.cost -. chosen.cost;
+                    }
+                end
+                else
+                  Some
+                    { e with wsrc = relabel.(e.wsrc); wdst = relabel.(e.wdst) })
+              wedges
+          in
+          (match solve n' root' contracted with
+          | None -> None
+          | Some chosen_ids ->
+              (* Exactly one chosen edge enters the contracted vertex: find
+                 it via the [enters] table, then add every cycle in-edge
+                 except the one into the vertex that edge enters. *)
+              let entry_vertex = ref (-1) in
+              List.iter
+                (fun id ->
+                  match Hashtbl.find_opt enters id with
+                  | Some v -> entry_vertex := v
+                  | None -> ())
+                chosen_ids;
+              assert (!entry_vertex >= 0);
+              let cycle_edges =
+                List.filter_map
+                  (fun u ->
+                    if u = !entry_vertex then None
+                    else
+                      match inc.(u) with
+                      | Some e -> Some e.orig
+                      | None -> assert false)
+                  cyc
+              in
+              Some (cycle_edges @ chosen_ids))
+    end
+  end
+
+let min_arborescence g ~root ~cost =
+  let n = Digraph.n_vertices g in
+  if root < 0 || root >= n then invalid_arg "Arborescence: root out of range";
+  let wedges =
+    Digraph.fold_edges
+      (fun e acc ->
+        { orig = e.Digraph.id; wsrc = e.Digraph.src; wdst = e.Digraph.dst;
+          cost = cost e }
+        :: acc)
+      g []
+  in
+  solve n root wedges
+
+let is_arborescence g ~root ids =
+  let n = Digraph.n_vertices g in
+  let indeg = Array.make n 0 in
+  let ok = ref (List.length ids = n - 1) in
+  List.iter
+    (fun id ->
+      let e = Digraph.edge g id in
+      indeg.(e.Digraph.dst) <- indeg.(e.Digraph.dst) + 1)
+    ids;
+  if indeg.(root) <> 0 then ok := false;
+  for v = 0 to n - 1 do
+    if v <> root && indeg.(v) <> 1 then ok := false
+  done;
+  if !ok then begin
+    (* In-degree profile is right; connectivity from the root seals it. *)
+    let sub = Digraph.create ~n in
+    List.iter
+      (fun id ->
+        let e = Digraph.edge g id in
+        ignore (Digraph.add_edge sub ~src:e.Digraph.src ~dst:e.Digraph.dst ~cap:1.))
+      ids;
+    ok := Digraph.is_connected_from sub ~root
+  end;
+  !ok
+
+let tree_cost g ~cost ids =
+  List.fold_left (fun acc id -> acc +. cost (Digraph.edge g id)) 0. ids
+
+let depth g ~root ids =
+  if not (is_arborescence g ~root ids) then
+    invalid_arg "Arborescence.depth: not an arborescence";
+  let n = Digraph.n_vertices g in
+  let children = Array.make n [] in
+  List.iter
+    (fun id ->
+      let e = Digraph.edge g id in
+      children.(e.Digraph.src) <- e.Digraph.dst :: children.(e.Digraph.src))
+    ids;
+  let rec go v = List.fold_left (fun d c -> max d (1 + go c)) 0 children.(v) in
+  go root

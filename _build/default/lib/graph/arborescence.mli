@@ -1,0 +1,26 @@
+(** Minimum-cost spanning arborescences (Chu-Liu/Edmonds).
+
+    An out-arborescence rooted at [r] is a set of edges giving every vertex
+    except [r] exactly one incoming edge, with every vertex reachable from
+    [r]. This is the object Blink packs: each packed tree is one arborescence
+    and the MWU packer repeatedly asks for the minimum-cost one under its
+    current edge prices. *)
+
+val min_arborescence :
+  Digraph.t -> root:int -> cost:(Digraph.edge -> float) -> int list option
+(** [min_arborescence g ~root ~cost] returns the edge ids of a minimum-cost
+    spanning arborescence rooted at [root], or [None] when some vertex is
+    unreachable from [root]. Costs may be any finite floats. On a 1-vertex
+    graph the result is [Some []]. *)
+
+val is_arborescence : Digraph.t -> root:int -> int list -> bool
+(** Checks that the given edge ids form a spanning arborescence of [g]
+    rooted at [root]. *)
+
+val tree_cost : Digraph.t -> cost:(Digraph.edge -> float) -> int list -> float
+(** Sum of [cost] over the given edge ids. *)
+
+val depth : Digraph.t -> root:int -> int list -> int
+(** Longest root-to-leaf hop count of an arborescence ([0] for a single
+    vertex). Raises [Invalid_argument] if the edges do not form an
+    arborescence rooted at [root]. *)

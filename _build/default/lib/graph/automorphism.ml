@@ -1,0 +1,61 @@
+let automorphisms ~n ~weight =
+  let img = Array.make n (-1) in
+  let used = Array.make n false in
+  let results = ref [] in
+  (* Map vertices one at a time, checking weights against all previously
+     mapped vertices: prunes hard on weighted graphs. *)
+  let rec assign u =
+    if u = n then results := Array.copy img :: !results
+    else
+      for cand = 0 to n - 1 do
+        if not used.(cand) then begin
+          let ok = ref true in
+          for prev = 0 to u - 1 do
+            if !ok
+               && (weight u prev <> weight cand img.(prev)
+                  || weight prev u <> weight img.(prev) cand)
+            then ok := false
+          done;
+          if !ok then begin
+            img.(u) <- cand;
+            used.(cand) <- true;
+            assign (u + 1);
+            used.(cand) <- false;
+            img.(u) <- -1
+          end
+        end
+      done
+  in
+  assign 0;
+  !results
+
+let canonical_subset ~autos subset =
+  let image p = List.sort compare (List.map (fun v -> p.(v)) subset) in
+  List.fold_left
+    (fun best p ->
+      let candidate = image p in
+      if compare candidate best < 0 then candidate else best)
+    subset autos
+
+let orbits ~autos sets =
+  let table = Hashtbl.create 64 in
+  List.iter
+    (fun s ->
+      let key = canonical_subset ~autos s in
+      let members = Option.value (Hashtbl.find_opt table key) ~default:[] in
+      Hashtbl.replace table key (s :: members))
+    sets;
+  Hashtbl.fold (fun _ members acc -> List.sort compare members :: acc) table []
+  |> List.sort compare
+
+let subsets ~n ~size =
+  let rec go start remaining =
+    if remaining = 0 then [ [] ]
+    else if start >= n then []
+    else
+      let with_start =
+        List.map (fun rest -> start :: rest) (go (start + 1) (remaining - 1))
+      in
+      with_start @ go (start + 1) remaining
+  in
+  go 0 size

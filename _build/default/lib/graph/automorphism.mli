@@ -1,0 +1,26 @@
+(** Automorphisms of small edge-weighted graphs and orbit binning of vertex
+    subsets.
+
+    The paper bins GPU allocations by "topology uniqueness": e.g. on a DGX-1,
+    GPUs [0;1;2;3] induce the same topology as [4;5;6;7]. Two allocations are
+    in the same bin iff some automorphism of the full server interconnect
+    maps one onto the other. With 8 GPUs a pruned backtracking search over
+    vertex mappings is instantaneous. *)
+
+val automorphisms : n:int -> weight:(int -> int -> float) -> int array list
+(** All permutations [p] of [0 .. n-1] such that
+    [weight (p u) (p v) = weight u v] for all [u <> v]. [weight] must be
+    symmetric in the intended use but this is not required. The identity is
+    always included. *)
+
+val canonical_subset : autos:int array list -> int list -> int list
+(** Lexicographically-least sorted image of the subset under the group:
+    the orbit representative. The subset must be sorted ascending. *)
+
+val orbits : autos:int array list -> int list list -> int list list list
+(** Partition the given subsets (each sorted ascending) into orbits. Each
+    orbit lists its member subsets; orbits are returned with members and
+    orbit list sorted for determinism. *)
+
+val subsets : n:int -> size:int -> int list list
+(** All sorted subsets of [0 .. n-1] of the given size, lexicographic. *)

@@ -1,0 +1,125 @@
+type edge = { id : int; src : int; dst : int; cap : float; tag : int }
+
+type t = {
+  n : int;
+  mutable edges : edge array;  (* grows; first [m] slots are live *)
+  mutable m : int;
+  out_adj : int list array;  (* edge ids, reverse insertion order *)
+  in_adj : int list array;
+}
+
+let dummy_edge = { id = -1; src = -1; dst = -1; cap = 0.; tag = 0 }
+
+let create ~n =
+  if n < 0 then invalid_arg "Digraph.create: negative size";
+  { n; edges = Array.make (max 8 n) dummy_edge; m = 0;
+    out_adj = Array.make n []; in_adj = Array.make n [] }
+
+let n_vertices g = g.n
+let n_edges g = g.m
+
+let check_vertex g v name =
+  if v < 0 || v >= g.n then
+    invalid_arg (Printf.sprintf "Digraph.%s: vertex %d out of range [0,%d)" name v g.n)
+
+let add_edge ?(tag = 0) g ~src ~dst ~cap =
+  check_vertex g src "add_edge";
+  check_vertex g dst "add_edge";
+  if src = dst then invalid_arg "Digraph.add_edge: self loop";
+  if cap <= 0. then invalid_arg "Digraph.add_edge: non-positive capacity";
+  if g.m = Array.length g.edges then begin
+    let bigger = Array.make (2 * g.m) dummy_edge in
+    Array.blit g.edges 0 bigger 0 g.m;
+    g.edges <- bigger
+  end;
+  let id = g.m in
+  g.edges.(id) <- { id; src; dst; cap; tag };
+  g.m <- g.m + 1;
+  g.out_adj.(src) <- id :: g.out_adj.(src);
+  g.in_adj.(dst) <- id :: g.in_adj.(dst);
+  id
+
+let add_bidi ?tag g u v ~cap =
+  let a = add_edge ?tag g ~src:u ~dst:v ~cap in
+  let b = add_edge ?tag g ~src:v ~dst:u ~cap in
+  (a, b)
+
+let edge g id =
+  if id < 0 || id >= g.m then
+    invalid_arg (Printf.sprintf "Digraph.edge: id %d out of range [0,%d)" id g.m);
+  g.edges.(id)
+
+let edges g =
+  let rec collect i acc = if i < 0 then acc else collect (i - 1) (g.edges.(i) :: acc) in
+  collect (g.m - 1) []
+
+let out_edges g v =
+  check_vertex g v "out_edges";
+  List.rev_map (fun id -> g.edges.(id)) g.out_adj.(v)
+
+let in_edges g v =
+  check_vertex g v "in_edges";
+  List.rev_map (fun id -> g.edges.(id)) g.in_adj.(v)
+
+let out_degree g v = check_vertex g v "out_degree"; List.length g.out_adj.(v)
+let in_degree g v = check_vertex g v "in_degree"; List.length g.in_adj.(v)
+
+let fold_edges f g init =
+  let acc = ref init in
+  for i = 0 to g.m - 1 do acc := f g.edges.(i) !acc done;
+  !acc
+
+let find_edge g ~src ~dst =
+  List.find_opt (fun e -> e.dst = dst) (out_edges g src)
+
+let total_cap g ~src ~dst =
+  List.fold_left (fun acc e -> if e.dst = dst then acc +. e.cap else acc)
+    0. (out_edges g src)
+
+let induced g vs =
+  Array.iter (fun v -> check_vertex g v "induced") vs;
+  let k = Array.length vs in
+  let new_id = Array.make g.n (-1) in
+  Array.iteri
+    (fun i v ->
+      if new_id.(v) >= 0 then invalid_arg "Digraph.induced: duplicate vertex";
+      new_id.(v) <- i)
+    vs;
+  let sub = create ~n:k in
+  for i = 0 to g.m - 1 do
+    let e = g.edges.(i) in
+    if new_id.(e.src) >= 0 && new_id.(e.dst) >= 0 then
+      ignore
+        (add_edge ~tag:e.tag sub ~src:new_id.(e.src) ~dst:new_id.(e.dst) ~cap:e.cap)
+  done;
+  sub
+
+let reverse g =
+  let r = create ~n:g.n in
+  for i = 0 to g.m - 1 do
+    let e = g.edges.(i) in
+    ignore (add_edge ~tag:e.tag r ~src:e.dst ~dst:e.src ~cap:e.cap)
+  done;
+  r
+
+let reachable g ~from =
+  check_vertex g from "reachable";
+  let seen = Array.make g.n false in
+  let rec visit v =
+    if not seen.(v) then begin
+      seen.(v) <- true;
+      List.iter (fun id -> visit g.edges.(id).dst) g.out_adj.(v)
+    end
+  in
+  visit from;
+  seen
+
+let is_connected_from g ~root = Array.for_all Fun.id (reachable g ~from:root)
+
+let pp ppf g =
+  Format.fprintf ppf "@[<v>digraph n=%d m=%d" g.n g.m;
+  for i = 0 to g.m - 1 do
+    let e = g.edges.(i) in
+    Format.fprintf ppf "@,  %d -> %d cap=%.2f tag=%d" e.src e.dst e.cap e.tag
+  done;
+  Format.fprintf ppf "@]"

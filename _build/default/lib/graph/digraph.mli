@@ -1,0 +1,77 @@
+(** Capacitated directed multigraphs over dense vertex ids [0 .. n-1].
+
+    This is the shared graph representation for the whole code base: the
+    topology layer models every interconnect (NVLink, PCIe, NIC) as a
+    directed edge with a capacity in GB/s, and the tree-packing, max-flow
+    and ring-search algorithms all operate on values of this type.
+
+    Graphs are append-only: edges can be added but never removed. Algorithms
+    that need residual capacities keep their own mutable side arrays indexed
+    by {!field-id}. *)
+
+type edge = private {
+  id : int;  (** dense edge id, [0 .. n_edges - 1] *)
+  src : int;
+  dst : int;
+  cap : float;  (** capacity (GB/s); must be positive *)
+  tag : int;  (** caller-defined label, e.g. link class or pair id *)
+}
+
+type t
+
+val create : n:int -> t
+(** [create ~n] is an empty graph with [n] vertices and no edges. *)
+
+val add_edge : ?tag:int -> t -> src:int -> dst:int -> cap:float -> int
+(** [add_edge g ~src ~dst ~cap] appends a directed edge and returns its id.
+    Raises [Invalid_argument] if an endpoint is out of range, [src = dst],
+    or [cap <= 0]. Parallel edges are allowed. [tag] defaults to [0]. *)
+
+val add_bidi : ?tag:int -> t -> int -> int -> cap:float -> int * int
+(** [add_bidi g u v ~cap] adds edges [u -> v] and [v -> u] of capacity [cap]
+    each (a full-duplex link) and returns both ids. *)
+
+val n_vertices : t -> int
+val n_edges : t -> int
+
+val edge : t -> int -> edge
+(** [edge g id] is the edge with the given id. Raises [Invalid_argument] on
+    an unknown id. *)
+
+val edges : t -> edge list
+(** All edges in insertion order. *)
+
+val out_edges : t -> int -> edge list
+(** Edges leaving a vertex, in insertion order. *)
+
+val in_edges : t -> int -> edge list
+(** Edges entering a vertex, in insertion order. *)
+
+val out_degree : t -> int -> int
+val in_degree : t -> int -> int
+
+val fold_edges : (edge -> 'a -> 'a) -> t -> 'a -> 'a
+
+val find_edge : t -> src:int -> dst:int -> edge option
+(** First edge from [src] to [dst], if any. *)
+
+val total_cap : t -> src:int -> dst:int -> float
+(** Sum of capacities of all parallel edges from [src] to [dst]. *)
+
+val induced : t -> int array -> t
+(** [induced g vs] is the subgraph induced by the vertex subset [vs]: vertex
+    [i] of the result corresponds to [vs.(i)]. Edge tags are preserved; edge
+    ids are freshly assigned. Raises [Invalid_argument] if [vs] contains
+    duplicates or out-of-range vertices. *)
+
+val reverse : t -> t
+(** Same vertices, every edge flipped. Edge ids are preserved (edge [i] of
+    the result is edge [i] of the input, reversed). *)
+
+val reachable : t -> from:int -> bool array
+(** Vertices reachable from [from] following edge directions. *)
+
+val is_connected_from : t -> root:int -> bool
+(** [true] iff every vertex is reachable from [root]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,67 @@
+let find_cycle ~n ~cap =
+  if n <= 0 then invalid_arg "Hamiltonian.find_cycle: empty graph"
+  else if n = 1 then Some [ 0 ]
+  else if n = 2 then
+    (* A 2-ring occupies one full-duplex link (one unit of pair capacity),
+       using each direction once. *)
+    if cap 0 1 >= 1 then Some [ 0; 1 ] else None
+  else begin
+    (* Backtracking from vertex 0; [path] is built in reverse. Neighbours
+       with more residual capacity are tried first: consuming the widest
+       pairs early leaves single links intact for later cycles, which is
+       what lets the full packing (e.g. 3 cycles on a DGX-1V) be found
+       greedily. *)
+    let used = Array.make n false in
+    used.(0) <- true;
+    let rec extend last count path =
+      if count = n then if cap last 0 >= 1 then Some (List.rev path) else None
+      else begin
+        let candidates =
+          List.filter (fun v -> (not used.(v)) && cap last v >= 1)
+            (List.init n Fun.id)
+          |> List.stable_sort (fun a b -> compare (cap last b) (cap last a))
+        in
+        let rec try_candidates = function
+          | [] -> None
+          | v :: rest -> (
+              used.(v) <- true;
+              match extend v (count + 1) (v :: path) with
+              | Some _ as found -> found
+              | None ->
+                  used.(v) <- false;
+                  try_candidates rest)
+        in
+        try_candidates candidates
+      end
+    in
+    extend 0 1 [ 0 ]
+  end
+
+let pack_cycles ~n ~cap =
+  let residual = Array.make_matrix n n 0 in
+  for u = 0 to n - 1 do
+    for v = 0 to n - 1 do
+      if u <> v then residual.(u).(v) <- cap u v
+    done
+  done;
+  let rec loop acc =
+    match find_cycle ~n ~cap:(fun u v -> residual.(u).(v)) with
+    | None -> List.rev acc
+    | Some cycle ->
+        let decrement u v =
+          residual.(u).(v) <- residual.(u).(v) - 1;
+          residual.(v).(u) <- residual.(v).(u) - 1
+        in
+        let rec consume = function
+          | [] -> ()
+          | [ last ] -> decrement last (List.hd cycle)
+          | u :: (v :: _ as rest) ->
+              decrement u v;
+              consume rest
+        in
+        (match cycle with
+        | [ a; b ] -> decrement a b  (* 2-ring: one duplex link *)
+        | _ -> if n > 1 then consume cycle);
+        loop (cycle :: acc)
+  in
+  loop []

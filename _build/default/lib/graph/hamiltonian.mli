@@ -1,0 +1,21 @@
+(** Hamiltonian-cycle search and greedy ring packing.
+
+    NCCL's collectives are built from rings: directed Hamiltonian cycles over
+    the allocated GPUs, each consuming one link in each direction per hop.
+    This module finds such cycles in an undirected pair-capacity graph and
+    packs as many link-disjoint ones as it can, mirroring NCCL's channel
+    construction. Graphs are tiny (<= 16 vertices), so backtracking search
+    is exact enough in practice. *)
+
+val find_cycle : n:int -> cap:(int -> int -> int) -> int list option
+(** [find_cycle ~n ~cap] is a Hamiltonian cycle [v0; v1; ...; v_{n-1}]
+    (implicitly closed back to [v0]) using only pairs with [cap u v >= 1],
+    or [None]. [cap] must be symmetric. For [n = 1] returns [Some [0]];
+    for [n = 2] a ring exists iff [cap 0 1 >= 1] (a 2-ring occupies one
+    full-duplex link, one direction each way). *)
+
+val pack_cycles : n:int -> cap:(int -> int -> int) -> int list list
+(** Greedily pack link-disjoint Hamiltonian cycles: find a cycle, subtract
+    one unit of capacity from each pair it uses, repeat until no cycle
+    remains. Returns the cycles found (possibly []). Each undirected cycle
+    corresponds to two directed NCCL rings (one per link direction). *)

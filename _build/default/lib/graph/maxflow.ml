@@ -1,0 +1,124 @@
+(* Dinic's algorithm with an explicit residual arc array. Arc [2i] carries the
+   forward residual of edge [i], arc [2i+1] the backward residual. *)
+
+let eps = 1e-9
+
+type residual = {
+  n : int;
+  head : int array;  (* arc id -> destination vertex *)
+  next : int array;  (* arc id -> next arc out of the same vertex *)
+  first : int array;  (* vertex -> first arc id, or -1 *)
+  res : float array;  (* arc id -> residual capacity *)
+}
+
+let build (g : Digraph.t) =
+  let n = Digraph.n_vertices g and m = Digraph.n_edges g in
+  let head = Array.make (2 * m) 0 in
+  let next = Array.make (2 * m) (-1) in
+  let first = Array.make n (-1) in
+  let res = Array.make (2 * m) 0. in
+  for i = 0 to m - 1 do
+    let e = Digraph.edge g i in
+    head.(2 * i) <- e.Digraph.dst;
+    next.(2 * i) <- first.(e.Digraph.src);
+    first.(e.Digraph.src) <- 2 * i;
+    res.(2 * i) <- e.Digraph.cap;
+    head.((2 * i) + 1) <- e.Digraph.src;
+    next.((2 * i) + 1) <- first.(e.Digraph.dst);
+    first.(e.Digraph.dst) <- (2 * i) + 1;
+    res.((2 * i) + 1) <- 0.
+  done;
+  { n; head; next; first; res }
+
+(* BFS level graph; [level.(v) = -1] marks unreachable vertices. *)
+let levels r ~src =
+  let level = Array.make r.n (-1) in
+  let queue = Queue.create () in
+  level.(src) <- 0;
+  Queue.add src queue;
+  while not (Queue.is_empty queue) do
+    let v = Queue.take queue in
+    let arc = ref r.first.(v) in
+    while !arc >= 0 do
+      let u = r.head.(!arc) in
+      if r.res.(!arc) > eps && level.(u) < 0 then begin
+        level.(u) <- level.(v) + 1;
+        Queue.add u queue
+      end;
+      arc := r.next.(!arc)
+    done
+  done;
+  level
+
+let rec augment r level iter ~v ~dst pushed =
+  if v = dst then pushed
+  else begin
+    let rec try_arcs () =
+      let arc = iter.(v) in
+      if arc < 0 then 0.
+      else begin
+        let u = r.head.(arc) in
+        if r.res.(arc) > eps && level.(u) = level.(v) + 1 then begin
+          let got =
+            augment r level iter ~v:u ~dst (Float.min pushed r.res.(arc))
+          in
+          if got > eps then begin
+            r.res.(arc) <- r.res.(arc) -. got;
+            r.res.(arc lxor 1) <- r.res.(arc lxor 1) +. got;
+            got
+          end
+          else begin
+            iter.(v) <- r.next.(arc);
+            try_arcs ()
+          end
+        end
+        else begin
+          iter.(v) <- r.next.(arc);
+          try_arcs ()
+        end
+      end
+    in
+    try_arcs ()
+  end
+
+let run g ~src ~dst =
+  if src = dst then invalid_arg "Maxflow: src = dst";
+  let r = build g in
+  let flow = ref 0. in
+  let continue = ref true in
+  while !continue do
+    let level = levels r ~src in
+    if level.(dst) < 0 then continue := false
+    else begin
+      let iter = Array.copy r.first in
+      let pushing = ref true in
+      while !pushing do
+        let got = augment r level iter ~v:src ~dst infinity in
+        if got > eps then flow := !flow +. got else pushing := false
+      done
+    end
+  done;
+  (!flow, r)
+
+let max_flow g ~src ~dst = fst (run g ~src ~dst)
+
+let max_flow_with_assignment g ~src ~dst =
+  let flow, r = run g ~src ~dst in
+  let m = Digraph.n_edges g in
+  let per_edge =
+    Array.init m (fun i -> (Digraph.edge g i).Digraph.cap -. r.res.(2 * i))
+  in
+  (flow, per_edge)
+
+let min_cut g ~src ~dst =
+  let flow, r = run g ~src ~dst in
+  let level = levels r ~src in
+  (flow, Array.map (fun l -> l >= 0) level)
+
+let broadcast_rate g ~root =
+  let n = Digraph.n_vertices g in
+  let rate = ref infinity in
+  for v = 0 to n - 1 do
+    if v <> root then rate := Float.min !rate (max_flow g ~src:root ~dst:v)
+  done;
+  !rate

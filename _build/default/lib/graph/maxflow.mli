@@ -1,0 +1,21 @@
+(** Maximum flow on capacitated digraphs (Dinic's algorithm).
+
+    Used to compute the provably-optimal broadcast rate of a topology:
+    by Edmonds' arborescence-packing theorem the maximum fractional packing
+    of arborescences rooted at [r] equals [min over v <> r] of the max-flow
+    value from [r] to [v]. The MWU packer is validated against this bound. *)
+
+val max_flow : Digraph.t -> src:int -> dst:int -> float
+(** Value of a maximum [src]-[dst] flow. [0.] when [dst] is unreachable.
+    Raises [Invalid_argument] if [src = dst]. *)
+
+val max_flow_with_assignment : Digraph.t -> src:int -> dst:int -> float * float array
+(** Max-flow value plus per-edge flow amounts (indexed by edge id). *)
+
+val min_cut : Digraph.t -> src:int -> dst:int -> float * bool array
+(** Max-flow value and the source side of a minimum cut. *)
+
+val broadcast_rate : Digraph.t -> root:int -> float
+(** [min over v <> root] of [max_flow ~src:root ~dst:v]: the optimal rate at
+    which data can be broadcast from [root] (Edmonds 1973, Lovasz 1976).
+    [0.] if some vertex is unreachable; [infinity] on a 1-vertex graph. *)

@@ -1,0 +1,29 @@
+(** Mixed-integer linear programs by LP-relaxation branch-and-bound.
+
+    {v maximize c.x  subject to  A x <= b,  0 <= x <= upper,
+       x_j integer for every j with integer.(j) v}
+
+    Blink's tree minimization (paper section 3.2) is solved through this
+    module: variables are candidate-tree weights, constraints are edge
+    capacities, and integrality is relaxed one variable at a time until the
+    achievable rate is close enough to the fractional optimum. *)
+
+type problem = {
+  c : float array;  (** objective coefficients (maximized) *)
+  a : float array array;  (** constraint matrix, rows of length [|c|] *)
+  b : float array;  (** right-hand sides *)
+  upper : float array;  (** per-variable upper bounds (use [infinity] for none) *)
+  integer : bool array;  (** which variables must be integral *)
+}
+
+type result = { objective : float; solution : float array }
+
+val solve : ?max_nodes:int -> problem -> result option
+(** Best feasible solution, or [None] when infeasible. [max_nodes] bounds
+    the branch-and-bound tree (default [200_000]); if exhausted, the best
+    incumbent found so far is returned (still [None] if none was found).
+    Raises [Invalid_argument] on dimension mismatches. *)
+
+val is_feasible : problem -> float array -> bool
+(** Whether the assignment satisfies all constraints, bounds and
+    integrality requirements (tolerance 1e-6). *)

@@ -1,0 +1,199 @@
+(* Two-phase dense tableau simplex with Bland's rule.
+
+   Layout: columns [0 .. n-1] are the structural variables, [n .. n+m-1] the
+   slacks, and during phase I columns [n+m ..] are artificials. The tableau
+   keeps A (m x total), the rhs b (>= 0 after row normalization), and the
+   basis (one column index per row). The objective row is maintained
+   implicitly by recomputing reduced costs from the basis, which is slower
+   but simpler and perfectly fine at these sizes. *)
+
+type status =
+  | Optimal of { objective : float; solution : float array }
+  | Infeasible
+  | Unbounded
+
+let eps = 1e-9
+
+type tableau = {
+  m : int;
+  total : int;
+  a : float array array;  (* m rows, total cols *)
+  b : float array;  (* length m, kept >= -eps *)
+  basis : int array;  (* length m *)
+}
+
+let pivot t ~row ~col =
+  let prow = t.a.(row) in
+  let pval = prow.(col) in
+  for j = 0 to t.total - 1 do
+    prow.(j) <- prow.(j) /. pval
+  done;
+  t.b.(row) <- t.b.(row) /. pval;
+  for i = 0 to t.m - 1 do
+    if i <> row then begin
+      let factor = t.a.(i).(col) in
+      if Float.abs factor > 0. then begin
+        let irow = t.a.(i) in
+        for j = 0 to t.total - 1 do
+          irow.(j) <- irow.(j) -. (factor *. prow.(j))
+        done;
+        t.b.(i) <- t.b.(i) -. (factor *. t.b.(row))
+      end
+    end
+  done;
+  t.basis.(row) <- col
+
+(* Reduced cost of column j for objective [obj] (maximization):
+   obj_j - sum_i obj_{basis i} * a_{i j}. *)
+let reduced_costs t obj =
+  let rc = Array.make t.total 0. in
+  for j = 0 to t.total - 1 do
+    let acc = ref obj.(j) in
+    for i = 0 to t.m - 1 do
+      let cb = obj.(t.basis.(i)) in
+      if cb <> 0. then acc := !acc -. (cb *. t.a.(i).(j))
+    done;
+    rc.(j) <- !acc
+  done;
+  rc
+
+let objective_value t obj =
+  let acc = ref 0. in
+  for i = 0 to t.m - 1 do
+    acc := !acc +. (obj.(t.basis.(i)) *. t.b.(i))
+  done;
+  !acc
+
+(* Optimize [obj] (maximize) over the current tableau. [allowed] masks the
+   columns the entering variable may come from. Returns [false] when
+   unbounded. Bland's rule: smallest eligible entering column, smallest
+   basis variable on ratio ties. *)
+let optimize t obj allowed =
+  let rec loop () =
+    let rc = reduced_costs t obj in
+    let entering = ref (-1) in
+    (for j = 0 to t.total - 1 do
+       if !entering < 0 && allowed j && rc.(j) > eps then entering := j
+     done);
+    if !entering < 0 then true
+    else begin
+      let col = !entering in
+      let row = ref (-1) in
+      let best = ref infinity in
+      for i = 0 to t.m - 1 do
+        if t.a.(i).(col) > eps then begin
+          let ratio = t.b.(i) /. t.a.(i).(col) in
+          if
+            ratio < !best -. eps
+            || (ratio < !best +. eps
+               && (!row < 0 || t.basis.(i) < t.basis.(!row)))
+          then begin
+            best := ratio;
+            row := i
+          end
+        end
+      done;
+      if !row < 0 then false
+      else begin
+        pivot t ~row:!row ~col;
+        loop ()
+      end
+    end
+  in
+  loop ()
+
+let solve_max ~c ~a ~b =
+  let m = Array.length a in
+  let n = Array.length c in
+  Array.iter
+    (fun row ->
+      if Array.length row <> n then
+        invalid_arg "Simplex: constraint row length mismatch")
+    a;
+  if Array.length b <> m then invalid_arg "Simplex: rhs length mismatch";
+  (* Rows with negative rhs are negated (the slack then has coefficient -1)
+     and receive an artificial variable for phase I. *)
+  let needs_artificial = Array.map (fun bi -> bi < 0.) b in
+  let n_art =
+    Array.fold_left (fun k need -> if need then k + 1 else k) 0 needs_artificial
+  in
+  let total = n + m + n_art in
+  let t =
+    {
+      m;
+      total;
+      a = Array.make_matrix m total 0.;
+      b = Array.make m 0.;
+      basis = Array.make m 0;
+    }
+  in
+  let art_col = ref (n + m) in
+  for i = 0 to m - 1 do
+    let sign = if needs_artificial.(i) then -1. else 1. in
+    for j = 0 to n - 1 do
+      t.a.(i).(j) <- sign *. a.(i).(j)
+    done;
+    t.a.(i).(n + i) <- sign;
+    t.b.(i) <- sign *. b.(i);
+    if needs_artificial.(i) then begin
+      t.a.(i).(!art_col) <- 1.;
+      t.basis.(i) <- !art_col;
+      incr art_col
+    end
+    else t.basis.(i) <- n + i
+  done;
+  let feasible =
+    if n_art = 0 then true
+    else begin
+      (* Phase I: maximize -(sum of artificials). *)
+      let phase1 = Array.make total 0. in
+      for j = n + m to total - 1 do
+        phase1.(j) <- -1.
+      done;
+      let bounded = optimize t phase1 (fun _ -> true) in
+      assert bounded;
+      let infeasibility = -.objective_value t phase1 in
+      if infeasibility > 1e-6 then false
+      else begin
+        (* Drive any remaining (zero-valued) artificials out of the basis. *)
+        for i = 0 to m - 1 do
+          if t.basis.(i) >= n + m then begin
+            let j = ref 0 in
+            let found = ref false in
+            while (not !found) && !j < n + m do
+              if Float.abs t.a.(i).(!j) > eps then begin
+                pivot t ~row:i ~col:!j;
+                found := true
+              end;
+              incr j
+            done
+            (* A row with no eligible pivot is redundant; the artificial
+               stays basic at value 0, harmless for phase II since its
+               column is excluded below. *)
+          end
+        done;
+        true
+      end
+    end
+  in
+  if not feasible then Infeasible
+  else begin
+    let phase2 = Array.make total 0. in
+    Array.blit c 0 phase2 0 n;
+    if not (optimize t phase2 (fun j -> j < n + m)) then Unbounded
+    else begin
+      let solution = Array.make n 0. in
+      for i = 0 to m - 1 do
+        if t.basis.(i) < n then solution.(t.basis.(i)) <- t.b.(i)
+      done;
+      Optimal { objective = objective_value t phase2; solution }
+    end
+  end
+
+let maximize ~c ~a ~b = solve_max ~c ~a ~b
+
+let minimize ~c ~a ~b =
+  match solve_max ~c:(Array.map (fun x -> -.x) c) ~a ~b with
+  | Optimal { objective; solution } ->
+      Optimal { objective = -.objective; solution }
+  | (Infeasible | Unbounded) as other -> other

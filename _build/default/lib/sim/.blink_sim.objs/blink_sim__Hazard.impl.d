@@ -1,0 +1,1 @@
+lib/sim/hazard.ml: Array Hashtbl List Option Program

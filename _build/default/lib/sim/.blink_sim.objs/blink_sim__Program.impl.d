@@ -1,0 +1,1 @@
+lib/sim/program.ml: Array Format Fun Hashtbl List Option Printf String

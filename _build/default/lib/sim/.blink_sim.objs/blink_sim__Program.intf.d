@@ -1,0 +1,1 @@
+lib/sim/program.mli: Format

@@ -1,0 +1,1 @@
+lib/sim/semantics.ml: Array Hashtbl List Option Printf Program

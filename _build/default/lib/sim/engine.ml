@@ -1,0 +1,153 @@
+type resource = { bandwidth : float; latency : float; lanes : int; gap : float }
+type policy = [ `Fair | `Stream_priority ]
+
+type result = {
+  makespan : float;
+  finish : float array;
+  start : float array;
+  busy : float array;
+}
+
+type event = Ready of int | Lane_free of int  (* op id | resource id *)
+
+(* Delays occupy no resource; [None] below means "start immediately". *)
+let resource_of_op (o : Program.op) =
+  match o.kind with
+  | Program.Transfer { link; _ } -> Some link
+  | Program.Compute { engine; _ } -> Some engine
+  | Program.Delay _ -> None
+
+(* Time until the op's data is available once service starts. *)
+let data_time resources (o : Program.op) =
+  match o.kind with
+  | Program.Transfer { bytes; link; bw_scale; _ } ->
+      let r = resources.(link) in
+      bytes /. (r.bandwidth *. bw_scale)
+  | Program.Compute { bytes; engine; _ } ->
+      let r = resources.(engine) in
+      bytes /. r.bandwidth
+  | Program.Delay { seconds } -> seconds
+
+let pipeline_latency resources (o : Program.op) =
+  match resource_of_op o with None -> 0. | Some r -> resources.(r).latency
+
+let run ?(policy = `Fair) ~resources prog =
+  Array.iteri
+    (fun i r ->
+      if r.lanes <= 0 || r.latency < 0. || r.bandwidth <= 0. || r.gap < 0. then
+        invalid_arg (Printf.sprintf "Engine.run: bad resource %d" i))
+    resources;
+  let n = Program.n_ops prog in
+  let n_res = Array.length resources in
+  Program.iter_ops
+    (fun o ->
+      match resource_of_op o with
+      | Some r when r < 0 || r >= n_res ->
+          invalid_arg
+            (Printf.sprintf "Engine.run: op %d uses unknown resource %d"
+               o.Program.id r)
+      | Some _ | None -> ())
+    prog;
+  let finish = Array.make n nan in
+  let start = Array.make n nan in
+  let busy = Array.make n_res 0. in
+  (* Pending-dependency counts: explicit deps plus one for a stream
+     predecessor. Data dependencies pay the resource's pipeline latency;
+     stream order does not (back-to-back chunks on one lane issue from the
+     queue without a fresh launch round-trip). *)
+  let pending = Array.make n 0 in
+  let ready_time = Array.make n 0. in
+  let dependents = Array.make n [] in  (* (dependent, is_stream_edge) *)
+  Program.iter_ops
+    (fun o ->
+      let id = o.Program.id in
+      ready_time.(id) <- pipeline_latency resources o;
+      List.iter
+        (fun d ->
+          pending.(id) <- pending.(id) + 1;
+          dependents.(d) <- (id, false) :: dependents.(d))
+        o.Program.deps)
+    prog;
+  for s = 0 to Program.n_streams prog - 1 do
+    let rec chain = function
+      | a :: (b :: _ as rest) ->
+          pending.(b) <- pending.(b) + 1;
+          dependents.(a) <- (b, true) :: dependents.(a);
+          chain rest
+      | [ _ ] | [] -> ()
+    in
+    chain (Program.stream_ops prog s)
+  done;
+  let events : (float, event) Pqueue.t = Pqueue.create () in
+  (* Per-resource waiting sets keyed by the scheduling policy. *)
+  let wait_key t (o : Program.op) =
+    match policy with
+    | `Fair -> (t, o.Program.stream, o.Program.id)
+    | `Stream_priority -> (0., o.Program.stream, o.Program.id)
+  in
+  let waiting =
+    Array.init n_res (fun _ -> (Pqueue.create () : (float * int * int, int) Pqueue.t))
+  in
+  let free_lanes = Array.map (fun r -> r.lanes) resources in
+  let makespan = ref 0. in
+  let start_op t id =
+    let o = Program.op prog id in
+    let dur = data_time resources o in
+    start.(id) <- t;
+    finish.(id) <- t +. dur;
+    (match resource_of_op o with
+    | Some r ->
+        let occupancy = Float.max dur resources.(r).gap in
+        busy.(r) <- busy.(r) +. occupancy;
+        free_lanes.(r) <- free_lanes.(r) - 1;
+        Pqueue.add events (t +. occupancy) (Lane_free r)
+    | None -> ());
+    if finish.(id) > !makespan then makespan := finish.(id);
+    List.iter
+      (fun (dep, is_stream) ->
+        let d = Program.op prog dep in
+        let candidate =
+          if is_stream then finish.(id)
+          else finish.(id) +. pipeline_latency resources d
+        in
+        if candidate > ready_time.(dep) then ready_time.(dep) <- candidate;
+        pending.(dep) <- pending.(dep) - 1;
+        if pending.(dep) = 0 then Pqueue.add events ready_time.(dep) (Ready dep))
+      dependents.(id)
+  in
+  Program.iter_ops
+    (fun o ->
+      if pending.(o.Program.id) = 0 then
+        Pqueue.add events ready_time.(o.Program.id) (Ready o.Program.id))
+    prog;
+  let rec drain () =
+    match Pqueue.pop events with
+    | None -> ()
+    | Some (t, ev) ->
+        (match ev with
+        | Ready id -> (
+            let o = Program.op prog id in
+            match resource_of_op o with
+            | None -> start_op t id
+            | Some r ->
+                if free_lanes.(r) > 0 then start_op t id
+                else Pqueue.add waiting.(r) (wait_key t o) id)
+        | Lane_free r ->
+            free_lanes.(r) <- free_lanes.(r) + 1;
+            (match Pqueue.pop waiting.(r) with
+            | Some (_, id) -> start_op t id
+            | None -> ()));
+        drain ()
+  in
+  drain ();
+  (* Every op must have run; a cycle would leave NaNs (impossible by
+     construction, but guard against programmer error). *)
+  Array.iteri
+    (fun i f ->
+      if Float.is_nan f then
+        invalid_arg (Printf.sprintf "Engine.run: op %d never became ready" i))
+    finish;
+  { makespan = !makespan; finish; start; busy }
+
+let throughput ~bytes result =
+  if result.makespan <= 0. then 0. else bytes /. result.makespan

@@ -1,0 +1,45 @@
+(** Discrete-event timing simulation of a {!Program} on a set of resources.
+
+    Every resource is a multi-lane FIFO server: a directed link (one lane per
+    physical NVLink/PCIe channel) or a GPU compute engine. An op becomes
+    ready when its dependencies and its stream predecessor have finished;
+    after a [latency] pipeline delay it waits for a free lane and occupies
+    it for [max (bytes / (bandwidth * bw_scale)) gap] seconds; its data is
+    available [bytes / (bandwidth * bw_scale)] after service starts.
+
+    The queueing policy models the CUDA behaviour discussed in paper
+    section 4.2.2: [`Fair] serves waiting ops by readiness time (the
+    behaviour Blink obtains through stream reuse), while [`Stream_priority]
+    serves whole streams in stream-id order, starving late streams the way
+    unmanaged CUDA scheduling can. *)
+
+type resource = {
+  bandwidth : float;  (** bytes/second per lane *)
+  latency : float;
+      (** pipeline delay: an op starts service no earlier than
+          [ready + latency], but the wait does not occupy a lane — queued
+          work hides it, like an asynchronous DMA queue *)
+  lanes : int;  (** concurrent ops served *)
+  gap : float;
+      (** minimum lane occupancy per op (seconds): the cost of issuing the
+          copy/sync commands, which caps how many tiny chunks a lane can
+          push per second (paper section 4.2.1) *)
+}
+
+type policy = [ `Fair | `Stream_priority ]
+
+type result = {
+  makespan : float;  (** completion time of the last op (seconds) *)
+  finish : float array;  (** per-op completion times *)
+  start : float array;  (** per-op start-of-service times *)
+  busy : float array;  (** per-resource total busy time (lane-seconds) *)
+}
+
+val run : ?policy:policy -> resources:resource array -> Program.t -> result
+(** Raises [Invalid_argument] if an op names an unknown resource or a
+    resource spec is invalid (non-positive lanes, negative latency). *)
+
+val throughput : bytes:float -> result -> float
+(** [bytes /. makespan], in GB/s when [bytes] is in bytes and times in
+    seconds scaled accordingly (the code base uses bytes and seconds, so
+    divide by 1e9 upstream; this helper returns bytes per second). *)

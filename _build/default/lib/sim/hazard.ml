@@ -1,0 +1,104 @@
+type violation = { op_a : int; op_b : int; node : int; buf : int }
+
+type access_kind = Read | Write | Accum
+
+type access = { op : int; off : int; len : int; kind : access_kind }
+
+let accesses_of_op (o : Program.op) =
+  let of_action = function
+    | Program.Copy { src; dst } ->
+        [ (src, Read); (dst, Write) ]
+    | Program.Reduce { src; dst } -> [ (src, Read); (dst, Accum) ]
+  in
+  match o.Program.kind with
+  | Program.Transfer { action = Some a; _ } | Program.Compute { action = Some a; _ } ->
+      of_action a
+  | Program.Transfer { action = None; _ }
+  | Program.Compute { action = None; _ }
+  | Program.Delay _ ->
+      []
+
+(* Ancestor bitsets over the dependency + stream-order DAG; ascending op id
+   is a topological order by construction. *)
+let ancestors prog =
+  let n = Program.n_ops prog in
+  let words = (n + 62) / 63 in
+  let anc = Array.make_matrix n words 0 in
+  let set a j = a.(j / 63) <- a.(j / 63) lor (1 lsl (j mod 63)) in
+  let union a b =
+    for w = 0 to words - 1 do
+      a.(w) <- a.(w) lor b.(w)
+    done
+  in
+  let stream_pred = Array.make n (-1) in
+  for s = 0 to Program.n_streams prog - 1 do
+    let rec chain = function
+      | a :: (b :: _ as rest) ->
+          stream_pred.(b) <- a;
+          chain rest
+      | [ _ ] | [] -> ()
+    in
+    chain (Program.stream_ops prog s)
+  done;
+  Program.iter_ops
+    (fun o ->
+      let id = o.Program.id in
+      let absorb p =
+        union anc.(id) anc.(p);
+        set anc.(id) p
+      in
+      List.iter absorb o.Program.deps;
+      if stream_pred.(id) >= 0 then absorb stream_pred.(id))
+    prog;
+  fun a b ->
+    (* is a an ancestor of b? *)
+    anc.(b).(a / 63) land (1 lsl (a mod 63)) <> 0
+
+let conflicting a b =
+  match (a.kind, b.kind) with
+  | Read, Read -> false
+  | Accum, Accum -> false  (* commutative accumulation *)
+  | _ -> true
+
+let check prog =
+  let is_ancestor = ancestors prog in
+  (* Bucket accesses by (node, buf). *)
+  let buckets : (int * int, access list) Hashtbl.t = Hashtbl.create 64 in
+  Program.iter_ops
+    (fun o ->
+      List.iter
+        (fun (r, kind) ->
+          let key = (r.Program.node, r.Program.buf) in
+          let access = { op = o.Program.id; off = r.Program.off; len = r.Program.len; kind } in
+          Hashtbl.replace buckets key
+            (access :: Option.value (Hashtbl.find_opt buckets key) ~default:[]))
+        (accesses_of_op o))
+    prog;
+  let violations = ref [] in
+  Hashtbl.iter
+    (fun (node, buf) accesses ->
+      let sorted =
+        List.sort (fun a b -> compare (a.off, a.op) (b.off, b.op)) accesses
+        |> Array.of_list
+      in
+      let k = Array.length sorted in
+      for i = 0 to k - 1 do
+        let a = sorted.(i) in
+        let j = ref (i + 1) in
+        (* Only pairs whose intervals can still overlap a's. *)
+        while !j < k && sorted.(!j).off < a.off + a.len do
+          let b = sorted.(!j) in
+          if a.op <> b.op && conflicting a b
+             && (not (is_ancestor a.op b.op))
+             && not (is_ancestor b.op a.op)
+          then
+            violations :=
+              { op_a = min a.op b.op; op_b = max a.op b.op; node; buf }
+              :: !violations;
+          incr j
+        done
+      done)
+    buckets;
+  List.sort_uniq compare !violations
+
+let is_race_free prog = check prog = []

@@ -1,0 +1,29 @@
+(** Static data-race detection over a program's memory actions.
+
+    The timing engine may execute any schedule consistent with
+    dependencies and stream order; the semantic executor replays one fixed
+    topological order. A program is only trustworthy if {e every} such
+    schedule computes the same thing — i.e. conflicting accesses to
+    overlapping buffer regions are always ordered. This module checks
+    that, so the test suite can prove the generated collectives are
+    race-free rather than merely right under one replay order.
+
+    Two same-region [Reduce] destinations are {e not} a conflict: addition
+    commutes, and fan-in reduction (several children accumulating into one
+    parent region) depends on exactly that. Every other unordered pair
+    touching overlapping bytes with at least one write is reported. *)
+
+type violation = {
+  op_a : int;
+  op_b : int;  (** the unordered conflicting ops, [op_a < op_b] *)
+  node : int;
+  buf : int;  (** the buffer both touch *)
+}
+
+val check : Program.t -> violation list
+(** Empty iff the program is race-free. Cost is
+    O(ops^2 / word_size) memory for the ancestor bitsets plus pairwise
+    interval comparison per buffer — meant for test-sized programs
+    (tens of thousands of ops). *)
+
+val is_race_free : Program.t -> bool

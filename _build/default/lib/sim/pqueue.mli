@@ -1,0 +1,13 @@
+(** Minimal binary min-heap priority queue.
+
+    Keys are compared with polymorphic compare; insertion order breaks ties
+    (earlier insertions pop first), which keeps the simulator deterministic. *)
+
+type ('k, 'v) t
+
+val create : unit -> ('k, 'v) t
+val add : ('k, 'v) t -> 'k -> 'v -> unit
+val pop : ('k, 'v) t -> ('k * 'v) option
+val peek : ('k, 'v) t -> ('k * 'v) option
+val is_empty : ('k, 'v) t -> bool
+val length : ('k, 'v) t -> int

@@ -1,0 +1,61 @@
+type memory = (int * int, float array) Hashtbl.t
+
+let memory_of_program prog =
+  let mem = Hashtbl.create 32 in
+  List.iter
+    (fun (node, buf, len) -> Hashtbl.replace mem (node, buf) (Array.make len 0.))
+    (Program.buffers prog);
+  mem
+
+let lookup mem ~node ~buf =
+  match Hashtbl.find_opt mem (node, buf) with
+  | Some arr -> arr
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Semantics: unknown buffer (node=%d, buf=%d)" node buf)
+
+let write mem ~node ~buf values =
+  let arr = lookup mem ~node ~buf in
+  if Array.length values <> Array.length arr then
+    invalid_arg "Semantics.write: length mismatch";
+  Array.blit values 0 arr 0 (Array.length values)
+
+let read mem ~node ~buf = Array.copy (lookup mem ~node ~buf)
+
+let slice mem (r : Program.mem_ref) =
+  let arr = lookup mem ~node:r.Program.node ~buf:r.Program.buf in
+  if r.Program.off < 0 || r.Program.len < 0
+     || r.Program.off + r.Program.len > Array.length arr
+  then
+    invalid_arg
+      (Printf.sprintf "Semantics: out-of-bounds ref node=%d buf=%d off=%d len=%d"
+         r.Program.node r.Program.buf r.Program.off r.Program.len);
+  arr
+
+let apply mem = function
+  | Program.Copy { src; dst } ->
+      if src.Program.len <> dst.Program.len then
+        invalid_arg "Semantics: copy length mismatch";
+      let s = slice mem src and d = slice mem dst in
+      Array.blit s src.Program.off d dst.Program.off src.Program.len
+  | Program.Reduce { src; dst } ->
+      if src.Program.len <> dst.Program.len then
+        invalid_arg "Semantics: reduce length mismatch";
+      let s = slice mem src and d = slice mem dst in
+      for i = 0 to src.Program.len - 1 do
+        d.(dst.Program.off + i) <-
+          d.(dst.Program.off + i) +. s.(src.Program.off + i)
+      done
+
+let run prog mem =
+  List.iter
+    (fun id ->
+      let o = Program.op prog id in
+      let action =
+        match o.Program.kind with
+        | Program.Transfer { action; _ } | Program.Compute { action; _ } ->
+            action
+        | Program.Delay _ -> None
+      in
+      Option.iter (apply mem) action)
+    (Program.topological_order prog)

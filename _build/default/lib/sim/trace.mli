@@ -1,0 +1,42 @@
+(** Post-mortem analysis of a timed program: per-resource utilization,
+    critical-path extraction, and Chrome-trace export for visual
+    inspection (load the JSON in chrome://tracing or Perfetto).
+
+    These are the tools used to debug every scheduling pathology found
+    while building the collectives (head-of-line blocking on shared
+    streams, convoy effects on multi-lane links, fill/drain of deep
+    trees); they are part of the public API because downstream users will
+    hit the same questions. *)
+
+type utilization = {
+  resource : int;
+  busy : float;  (** lane-seconds of work served *)
+  fraction : float;  (** busy / (lanes * makespan) *)
+}
+
+val utilizations :
+  resources:Engine.resource array -> Engine.result -> utilization list
+(** Per-resource utilization, busiest first. *)
+
+val bottleneck : resources:Engine.resource array -> Engine.result -> int
+(** Resource with the highest utilization fraction. Raises
+    [Invalid_argument] when there are no resources. *)
+
+type span = {
+  op : int;
+  start : float;
+  finish : float;
+  via : [ `Dep | `Stream | `Start ];
+      (** what this op waited on: a data dependency, its stream
+          predecessor, or nothing (it started the chain) *)
+}
+
+val critical_path : Program.t -> Engine.result -> span list
+(** Chain of ops ending at the last-finishing op, following at each step
+    the predecessor (dependency or stream) that finished last. Ordered
+    start-of-chain first. Gaps between consecutive spans are time spent
+    waiting for a lane. *)
+
+val to_chrome_json : Program.t -> Engine.result -> string
+(** Chrome trace-event JSON: one row per resource, one slice per op
+    (microsecond timestamps). Delay ops appear on a dedicated row. *)

@@ -1,0 +1,1 @@
+lib/topology/alloc.ml: Array Blink_graph Buffer Fun Hashtbl List Printf Server String

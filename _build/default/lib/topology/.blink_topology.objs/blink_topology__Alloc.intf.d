@@ -1,0 +1,1 @@
+lib/topology/alloc.mli: Server

@@ -1,0 +1,1 @@
+lib/topology/fabric.ml: Array Blink_sim Float Fun Hashtbl Link List Queue Server

@@ -1,0 +1,1 @@
+lib/topology/fabric.mli: Blink_sim Server

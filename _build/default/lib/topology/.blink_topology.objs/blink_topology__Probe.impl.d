@@ -1,0 +1,1 @@
+lib/topology/probe.ml: Array Link List Printf Server String

@@ -1,0 +1,1 @@
+lib/topology/probe.mli: Link Server Stdlib

@@ -1,0 +1,1 @@
+lib/topology/server.ml: Array Blink_graph Float Format Fun Hashtbl Link List Option Printf

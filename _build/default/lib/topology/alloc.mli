@@ -1,0 +1,43 @@
+(** GPU allocations and topology-uniqueness binning.
+
+    Cluster schedulers hand jobs arbitrary GPU subsets of a server; the
+    paper bins the resulting configurations by "topology uniqueness"
+    (section 5.2). Reverse-engineering the counts it reports — 46 unique
+    settings on a DGX-1V and 14 on a DGX-1P for 3-8 GPUs — the rule is:
+    configurations are distinct {e weighted-isomorphism classes of the
+    induced NVLink subgraph}, restricted to allocations whose NVLink graph
+    is connected (a disconnected allocation degenerates to PCIe for every
+    library, so it exercises nothing NVLink-specific). Both exact counts
+    are locked in by unit tests. *)
+
+val automorphisms : Server.t -> int array list
+(** Automorphism group of the server's pair-weight graph. *)
+
+val nvlink_connected : Server.t -> int list -> bool
+(** Whether the allocation's induced NVLink graph is connected. *)
+
+val canonical_key : Server.t -> int list -> string
+(** Canonical form of the induced weighted NVLink subgraph: equal keys iff
+    the two allocations are isomorphic. Allocation sizes must be <= 8 (the
+    key minimizes over all k! vertex orders). *)
+
+val unique_configs : Server.t -> sizes:int list -> int list list
+(** One representative (lexicographically-least sorted GPU list) per
+    NVLink-connected isomorphism class, for each size in order — the
+    x-axis of paper figures 15-17. On DGX-1V with sizes 3-8 this has 46
+    entries; on DGX-1P, 14. *)
+
+val all_configs : Server.t -> sizes:int list -> int list list
+(** Class representatives without the connectivity filter (used by the
+    end-to-end figures that also exercise PCIe fallback). *)
+
+val orbit_representatives : Server.t -> size:int -> int list list
+(** One representative per orbit of the host graph's automorphism group —
+    a finer partition than {!unique_configs} (two isomorphic allocations
+    can sit in different orbits). *)
+
+val class_size : Server.t -> int list -> int
+(** Number of same-size allocations isomorphic to the given one. *)
+
+val to_string : int list -> string
+(** Compact label like ["0,1,3"]. *)

@@ -1,0 +1,239 @@
+type link_class = Nv | Pcie | Net
+
+type link = { res : int; from_node : int; to_node : int; cls : link_class }
+
+type t = {
+  servers : Server.t array;
+  ranks : (int * int) array;  (* rank -> (server, gpu) *)
+  n_nodes : int;
+  resources : Blink_sim.Engine.resource array;
+  engines : int array;  (* rank -> compute resource id *)
+  nv_table : (int * int, int) Hashtbl.t;  (* (src rank, dst rank) -> res *)
+  adjacency : link list array;  (* node -> outgoing fabric links *)
+  bandwidths : float array;  (* resource id -> per-lane GB/s *)
+}
+
+(* Mutable builder state threaded through construction. *)
+type builder = {
+  mutable specs : Blink_sim.Engine.resource list;  (* reverse order *)
+  mutable next_res : int;
+  mutable next_node : int;
+  mutable adj : (int * link) list;  (* (from_node, link), reverse order *)
+}
+
+let new_node b =
+  let id = b.next_node in
+  b.next_node <- b.next_node + 1;
+  id
+
+let new_resource b spec =
+  let id = b.next_res in
+  b.next_res <- b.next_res + 1;
+  b.specs <- spec :: b.specs;
+  id
+
+let add_link b ~from_node ~to_node ~cls spec =
+  let res = new_resource b spec in
+  b.adj <- (from_node, { res; from_node; to_node; cls }) :: b.adj;
+  res
+
+let add_duplex b u v ~cls spec =
+  let a = add_link b ~from_node:u ~to_node:v ~cls spec in
+  let c = add_link b ~from_node:v ~to_node:u ~cls spec in
+  (a, c)
+
+(* Engine bandwidths are in bytes/second; Link declares GB/s. *)
+let gb = 1e9
+
+let spec_of_kind ?(lanes = 1) kind =
+  {
+    Blink_sim.Engine.bandwidth = Link.bandwidth kind *. gb;
+    latency = Link.op_latency kind;
+    lanes;
+    gap = Link.issue_gap kind;
+  }
+
+(* Compute engines: reductions are charged to transfers via bw_scale, so the
+   engine only models kernel-launch latency plus a high streaming rate. *)
+let compute_spec =
+  {
+    Blink_sim.Engine.bandwidth = 300. *. gb;
+    latency = 5.0e-6;
+    lanes = 2;
+    gap = 4.0e-6;
+  }
+
+let build ?(net_bw = Link.bandwidth Link.Nic) (servers : Server.t array)
+    (allocs : int array array) =
+  if Array.length servers <> Array.length allocs then
+    invalid_arg "Fabric: servers/allocs length mismatch";
+  let ranks =
+    Array.to_list allocs
+    |> List.mapi (fun s gpus -> Array.to_list gpus |> List.map (fun g -> (s, g)))
+    |> List.concat |> Array.of_list
+  in
+  let k = Array.length ranks in
+  let b = { specs = []; next_res = 0; next_node = 0; adj = [] } in
+  (* Ranks claim node ids 0..k-1. *)
+  for _ = 1 to k do
+    ignore (new_node b)
+  done;
+  let node_of = Hashtbl.create 16 in
+  Array.iteri (fun r (s, g) -> Hashtbl.replace node_of (s, g) r) ranks;
+  let engines = Array.init k (fun _ -> new_resource b compute_spec) in
+  let nv_table = Hashtbl.create 32 in
+  let multi_server = Array.length servers > 1 in
+  let net_switch = if multi_server then Some (new_node b) else None in
+  Array.iteri
+    (fun s server ->
+      let rank_of g = Hashtbl.find_opt node_of (s, g) in
+      let local_ranks =
+        List.filter_map rank_of (List.init server.Server.n_gpus Fun.id)
+      in
+      (* NVLink: direct pair channels, lanes = multiplicity. *)
+      (match server.Server.nvswitch with
+      | Some kind ->
+          let switch = new_node b in
+          List.iter
+            (fun r ->
+              ignore (add_duplex b r switch ~cls:Nv (spec_of_kind ~lanes:6 kind)))
+            local_ranks
+      | None ->
+          let seen_pairs = Hashtbl.create 16 in
+          List.iter
+            (fun (u, v, _) ->
+              let key = (min u v, max u v) in
+              if not (Hashtbl.mem seen_pairs key) then begin
+                Hashtbl.replace seen_pairs key ();
+                match (rank_of u, rank_of v) with
+                | Some ru, Some rv ->
+                    let kind, mult =
+                      match Server.pair_links server u v with
+                      | Some info -> info
+                      | None -> assert false
+                    in
+                    let fwd, bwd =
+                      add_duplex b ru rv ~cls:Nv (spec_of_kind ~lanes:mult kind)
+                    in
+                    Hashtbl.replace nv_table (ru, rv) fwd;
+                    Hashtbl.replace nv_table (rv, ru) bwd
+                | _ -> ()
+              end)
+            server.Server.nvlinks);
+      (* PCIe hierarchy: switch and CPU nodes, GPU-switch / switch-CPU /
+         QPI segments. *)
+      let cpu0 = new_node b and cpu1 = new_node b in
+      ignore (add_duplex b cpu0 cpu1 ~cls:Pcie (spec_of_kind Link.Qpi));
+      List.iteri
+        (fun sw_idx group ->
+          let members = List.filter_map rank_of group in
+          if members <> [] then begin
+            let sw = new_node b in
+            let cpu = if Server.cpu_of_switch server sw_idx = 0 then cpu0 else cpu1 in
+            ignore (add_duplex b sw cpu ~cls:Pcie (spec_of_kind Link.Pcie));
+            List.iter
+              (fun r -> ignore (add_duplex b r sw ~cls:Pcie (spec_of_kind Link.Pcie)))
+              members
+          end)
+        server.Server.pcie_switches;
+      (* Network attach: one NIC per server, shared by its ranks. *)
+      match net_switch with
+      | Some net ->
+          let nic = new_node b in
+          let nic_spec =
+            {
+              Blink_sim.Engine.bandwidth = net_bw *. gb;
+              latency = Link.op_latency Link.Nic;
+              lanes = 1;
+              gap = Link.issue_gap Link.Nic;
+            }
+          in
+          ignore (add_duplex b nic net ~cls:Net nic_spec);
+          List.iter
+            (fun r ->
+              (* GPU-to-NIC staging runs over PCIe speeds but belongs to the
+                 Net class so network routes stay within one class. *)
+              ignore (add_duplex b r nic ~cls:Net (spec_of_kind Link.Pcie)))
+            local_ranks
+      | None -> ())
+    servers;
+  let n_nodes = b.next_node in
+  let adjacency = Array.make n_nodes [] in
+  List.iter
+    (fun (from_node, link) -> adjacency.(from_node) <- link :: adjacency.(from_node))
+    b.adj;
+  let resources = Array.of_list (List.rev b.specs) in
+  let bandwidths = Array.map (fun r -> r.Blink_sim.Engine.bandwidth) resources in
+  { servers; ranks; n_nodes; resources; engines; nv_table; adjacency; bandwidths }
+
+let of_server server ~gpus = build [| server |] [| gpus |]
+
+let of_cluster ?net_bw servers ~allocs =
+  build ?net_bw (Array.of_list servers) (Array.of_list allocs)
+
+let n_ranks t = Array.length t.ranks
+let server_of_rank t r = fst t.ranks.(r)
+let gpu_of_rank t r = snd t.ranks.(r)
+
+let ranks_of_server t s =
+  List.filter
+    (fun r -> server_of_rank t r = s)
+    (List.init (n_ranks t) Fun.id)
+
+let n_servers t = Array.length t.servers
+let n_nodes t = t.n_nodes
+let node_of_rank _t r = r
+let resources t = t.resources
+let engine t ~rank = t.engines.(rank)
+let nv_direct t ~src ~dst = Hashtbl.find_opt t.nv_table (src, dst)
+
+let route t ~cls ~src ~dst =
+  if src = dst then Some []
+  else begin
+    (* BFS over links of the class; fewest hops, deterministic order. *)
+    let prev = Array.make t.n_nodes None in
+    let seen = Array.make t.n_nodes false in
+    let queue = Queue.create () in
+    seen.(src) <- true;
+    Queue.add src queue;
+    let found = ref false in
+    while (not !found) && not (Queue.is_empty queue) do
+      let v = Queue.take queue in
+      List.iter
+        (fun link ->
+          if link.cls = cls && not seen.(link.to_node) then begin
+            seen.(link.to_node) <- true;
+            prev.(link.to_node) <- Some link;
+            if link.to_node = dst then found := true;
+            Queue.add link.to_node queue
+          end)
+        (List.rev t.adjacency.(v))
+    done;
+    if not seen.(dst) then None
+    else begin
+      let rec unwind node acc =
+        match prev.(node) with
+        | None -> acc
+        | Some link -> unwind link.from_node ((link.res, link.to_node) :: acc)
+      in
+      Some (unwind dst [])
+    end
+  end
+
+let link_bandwidth t res = t.bandwidths.(res)
+
+let route_bandwidth t hops =
+  List.fold_left (fun acc (res, _) -> Float.min acc t.bandwidths.(res)) infinity hops
+
+let pcie_bandwidth t ~ranks =
+  let rec chain = function
+    | a :: (b :: _ as rest) ->
+        let hop_bw =
+          match route t ~cls:Pcie ~src:a ~dst:b with
+          | Some hops -> route_bandwidth t hops
+          | None -> 0.
+        in
+        Float.min hop_bw (chain rest)
+    | [ _ ] | [] -> infinity
+  in
+  chain ranks

@@ -1,0 +1,65 @@
+(** Lowering of a server (or cluster) plus a GPU allocation into simulator
+    resources.
+
+    Participating GPUs become {e ranks} [0 .. k-1]. Every directed physical
+    channel becomes an {!Blink_sim.Engine.resource}: NVLink pairs get one
+    resource per direction with one lane per physical link; the PCIe
+    hierarchy contributes GPU-switch, switch-CPU and CPU-CPU (QPI) segments;
+    NVSwitch machines get a switch node with a 6-lane attach per GPU;
+    clusters get a NIC per server and a network switch. Transfers that are
+    not single-hop (PCIe, NVSwitch, network) are expressed as routes through
+    intermediate fabric nodes — CodeGen pipelines chunks through them, which
+    is exactly how contention on shared segments (e.g. a PCIe ring's closing
+    hop) emerges in the timing simulation. *)
+
+type link_class = Nv | Pcie | Net
+
+type t
+
+val of_server : Server.t -> gpus:int array -> t
+(** Single-machine fabric over the allocated GPUs (rank [i] = [gpus.(i)]). *)
+
+val of_cluster : ?net_bw:float -> Server.t list -> allocs:int array list -> t
+(** Multi-server fabric; ranks are numbered server by server.
+    [net_bw] is the per-server NIC bandwidth in GB/s (default
+    {!Link.bandwidth}[ Nic] = 5 GB/s, i.e. 40 Gbps). *)
+
+val n_ranks : t -> int
+val server_of_rank : t -> int -> int
+val gpu_of_rank : t -> int -> int
+(** Original GPU id within its server. *)
+
+val ranks_of_server : t -> int -> int list
+val n_servers : t -> int
+
+val n_nodes : t -> int
+(** Ranks plus fabric (switch/CPU/NIC) nodes; node ids [0 .. n_nodes-1],
+    with ranks occupying [0 .. n_ranks-1]. *)
+
+val node_of_rank : t -> int -> int
+
+val resources : t -> Blink_sim.Engine.resource array
+(** The resource table to pass to {!Blink_sim.Engine.run}. *)
+
+val engine : t -> rank:int -> int
+(** Compute-engine resource id of a rank. *)
+
+val nv_direct : t -> src:int -> dst:int -> int option
+(** Resource id of the direct NVLink channel between two ranks of the same
+    server, if wired (always [None] on NVSwitch machines — use {!route}). *)
+
+val route : t -> cls:link_class -> src:int -> dst:int -> (int * int) list option
+(** Hop list [[(link_resource, to_node); ...]] from rank [src]'s node to
+    rank [dst]'s node using only links of the class (fewest hops; [None]
+    if disconnected in that class). *)
+
+val link_bandwidth : t -> int -> float
+(** Per-lane bandwidth of a link resource, in bytes/second. *)
+
+val route_bandwidth : t -> (int * int) list -> float
+(** Bottleneck per-lane bandwidth along a route, in bytes/second. *)
+
+val pcie_bandwidth : t -> ranks:int list -> float
+(** Bottleneck bandwidth of the PCIe chain visiting the given ranks in
+    order, in bytes/second — the BW_PCIe estimate used by the hybrid
+    split (Eq. 8). *)

@@ -1,0 +1,50 @@
+type kind = Nvlink_gen1 | Nvlink_gen2 | Pcie | Qpi | Nic
+
+(* Achievable payload bandwidths (GB/s per direction), calibrated to the
+   paper's micro-benchmarks: gen2 chains sustain ~21-22 GB/s of the 25 GB/s
+   peak, gen1 ~19-20 of 20-25, PCIe 8-12, commodity network 40 Gbps. *)
+let bandwidth = function
+  | Nvlink_gen1 -> 19.5
+  | Nvlink_gen2 -> 21.5
+  | Pcie -> 10.5
+  | Qpi -> 9.
+  | Nic -> 5.  (* 40 Gbps *)
+
+(* Pipeline delay per hop: a chunk is visible to the next hop this long
+   after its transfer begins to be scheduled (CUDA event + launch). *)
+let op_latency = function
+  | Nvlink_gen1 | Nvlink_gen2 -> 1.0e-5
+  | Pcie -> 1.5e-5
+  | Qpi -> 1.5e-5
+  | Nic -> 5.0e-5
+
+(* Minimum lane occupancy per chunk: the three CUDA commands each chunk
+   costs (copy + event + wait, paper section 4.2.1). *)
+let issue_gap = function
+  | Nvlink_gen1 | Nvlink_gen2 -> 4.0e-6
+  | Pcie | Qpi -> 6.0e-6
+  | Nic -> 2.0e-5
+
+let reduce_scale = 0.85
+
+let tag = function
+  | Nvlink_gen1 -> 0
+  | Nvlink_gen2 -> 1
+  | Pcie -> 2
+  | Qpi -> 3
+  | Nic -> 4
+
+let of_tag = function
+  | 0 -> Nvlink_gen1
+  | 1 -> Nvlink_gen2
+  | 2 -> Pcie
+  | 3 -> Qpi
+  | 4 -> Nic
+  | t -> invalid_arg (Printf.sprintf "Link.of_tag: %d" t)
+
+let to_string = function
+  | Nvlink_gen1 -> "nvlink-gen1"
+  | Nvlink_gen2 -> "nvlink-gen2"
+  | Pcie -> "pcie"
+  | Qpi -> "qpi"
+  | Nic -> "nic"

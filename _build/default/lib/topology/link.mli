@@ -1,0 +1,36 @@
+(** Interconnect link classes and their calibrated performance constants.
+
+    Bandwidths are per direction, per physical link, in GB/s; latencies are
+    the fixed per-operation overheads (CUDA launch / DMA setup analogue).
+    The values are calibrated so the simulator's micro-benchmarks land on
+    the paper's measured numbers: NVLink gen1 18-20 GB/s, gen2 22-25 GB/s,
+    PCIe 8-12 GB/s, commodity network 40 Gbps (section 2.2, section 5.4). *)
+
+type kind =
+  | Nvlink_gen1  (** DGX-1P links, ~20 GB/s per direction *)
+  | Nvlink_gen2  (** DGX-1V / DGX-2 links, ~23 GB/s per direction *)
+  | Pcie  (** GPU-switch / switch-CPU segments *)
+  | Qpi  (** CPU-CPU interconnect *)
+  | Nic  (** cross-server network, default 40 Gbps *)
+
+val bandwidth : kind -> float
+(** GB/s per direction per physical link. *)
+
+val op_latency : kind -> float
+(** Per-hop pipeline delay in seconds: how long after a chunk's
+    dependencies resolve its transfer can begin (launch + event cost). *)
+
+val issue_gap : kind -> float
+(** Minimum per-chunk lane occupancy in seconds — the command-issue cost
+    that makes very small chunks inefficient (paper section 4.2.1). *)
+
+val reduce_scale : float
+(** Effective-bandwidth multiplier applied to a transfer whose receiver
+    reduces inline (paper measures ~15% drop: 18-19 GB/s vs 21-22). *)
+
+val tag : kind -> int
+val of_tag : int -> kind
+(** Dense encoding used as {!Blink_graph.Digraph} edge tags. [of_tag]
+    raises [Invalid_argument] on unknown tags. *)
+
+val to_string : kind -> string

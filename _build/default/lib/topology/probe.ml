@@ -1,0 +1,93 @@
+let tokens line =
+  String.split_on_char ' ' line
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun t -> t <> "")
+
+let is_gpu_label t =
+  String.length t > 3 && String.uppercase_ascii (String.sub t 0 3) = "GPU"
+
+(* NVk multiplicity, 0 for PCIe-only relations, None for unknown tokens. *)
+let multiplicity_of_token t =
+  match String.uppercase_ascii t with
+  | "X" -> Some (-1)  (* self *)
+  | "SYS" | "NODE" | "PHB" | "PIX" | "PXB" -> Some 0
+  | u when String.length u >= 3 && String.sub u 0 2 = "NV" -> (
+      match int_of_string_opt (String.sub u 2 (String.length u - 2)) with
+      | Some k when k >= 1 -> Some k
+      | Some _ | None -> None)
+  | _ -> None
+
+let parse ?(name = "probed") ?(nvlink = Link.Nvlink_gen2) text =
+  let lines =
+    String.split_on_char '\n' text
+    |> List.map String.trim
+    |> List.filter (fun l -> l <> "")
+  in
+  (* Rows are the lines starting with a GPU label; the header (if any) is
+     whatever precedes them. *)
+  let rows =
+    List.filter_map
+      (fun line ->
+        match tokens line with
+        (* A data row starts with a GPU label followed by relation tokens;
+           the column-header line is GPU labels all the way and is skipped. *)
+        | first :: (second :: _ as rest)
+          when is_gpu_label first && not (is_gpu_label second) ->
+            Some (first, rest)
+        | _ -> None)
+      lines
+  in
+  let n = List.length rows in
+  if n = 0 then Error "no GPU rows found"
+  else begin
+    let matrix = Array.make_matrix n n 0 in
+    let error = ref None in
+    List.iteri
+      (fun i (label, entries) ->
+        if !error = None then begin
+          if List.length entries < n then
+            error := Some (Printf.sprintf "row %s has fewer than %d entries" label n)
+          else
+            List.iteri
+              (fun j tok ->
+                if j < n && !error = None then
+                  match multiplicity_of_token tok with
+                  | Some -1 ->
+                      if i <> j then
+                        error :=
+                          Some (Printf.sprintf "row %s: X off the diagonal" label)
+                  | Some k -> matrix.(i).(j) <- k
+                  | None ->
+                      error :=
+                        Some (Printf.sprintf "row %s: unknown token %S" label tok))
+              entries
+        end)
+      rows;
+    match !error with
+    | Some e -> Error e
+    | None ->
+        let asym = ref None in
+        for i = 0 to n - 1 do
+          for j = i + 1 to n - 1 do
+            if matrix.(i).(j) <> matrix.(j).(i) && !asym = None then
+              asym := Some (Printf.sprintf "matrix not symmetric at (%d,%d)" i j)
+          done
+        done;
+        (match !asym with
+        | Some e -> Error e
+        | None ->
+            let nvlinks = ref [] in
+            for i = 0 to n - 1 do
+              for j = i + 1 to n - 1 do
+                for _ = 1 to matrix.(i).(j) do
+                  nvlinks := (i, j, nvlink) :: !nvlinks
+                done
+              done
+            done;
+            Ok (Server.custom ~name ~n_gpus:n ~nvlinks:(List.rev !nvlinks) ()))
+  end
+
+let parse_exn ?name ?nvlink text =
+  match parse ?name ?nvlink text with
+  | Ok server -> server
+  | Error e -> invalid_arg ("Probe.parse: " ^ e)

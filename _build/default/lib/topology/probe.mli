@@ -1,0 +1,32 @@
+(** Runtime topology probing (paper section 2.3, step 1: "Blink probes the
+    topology of the machine and infers the interconnect across only the
+    GPUs allocated").
+
+    Without driver access, the portable probe artifact is the matrix
+    `nvidia-smi topo -m` prints. This module parses that text into a
+    {!Server.t}, which the planner consumes like any built-in machine:
+
+    {v
+            GPU0  GPU1  GPU2  GPU3
+      GPU0   X    NV1   NV2   SYS
+      GPU1  NV1    X    SYS   NV2
+      GPU2  NV2   SYS    X    NV1
+      GPU3  SYS   NV2   NV1    X
+    v}
+
+    [NVk] means k NVLinks between the pair; [SYS]/[NODE]/[PHB]/[PIX]/[PXB]
+    all mean "PCIe only" (the hierarchy detail is modeled by
+    {!Server.t.pcie_switches}, defaulted here). Trailing columns (CPU
+    affinity etc.) are ignored. *)
+
+val parse :
+  ?name:string ->
+  ?nvlink:Link.kind ->
+  string ->
+  (Server.t, string) Stdlib.result
+(** Parse a topology matrix. [nvlink] is the link generation NVk entries
+    denote (default {!Link.Nvlink_gen2}). Errors name the offending line.
+    The matrix must be symmetric. *)
+
+val parse_exn : ?name:string -> ?nvlink:Link.kind -> string -> Server.t
+(** As {!parse}; raises [Invalid_argument] on malformed input. *)

@@ -1,0 +1,73 @@
+(** Multi-GPU server descriptions: NVLink wiring and PCIe hierarchy.
+
+    The DGX-1 hybrid cube-mesh (paper Figure 1): two fully connected quads
+    {0,1,2,3} and {4,5,6,7} plus the matching 0-4, 1-5, 2-6, 3-7 — 16 links.
+    The DGX-1V keeps the same 16 pairs but 8 of them carry two NVLinks
+    (every V100 has 6 ports instead of the P100's 4), and all links are
+    gen2. The DGX-2 connects 16 V100s through NVSwitch with 6 NVLinks per
+    GPU. *)
+
+type t = private {
+  name : string;
+  n_gpus : int;
+  nvlinks : (int * int * Link.kind) list;
+      (** one entry per physical link; [u < v]; empty when NVSwitch-based *)
+  nvswitch : Link.kind option;
+      (** [Some kind]: all GPUs attach to an NVSwitch with 6 links of that
+          kind each *)
+  pcie_switches : int list list;
+      (** GPU groups per PCIe switch, in switch order *)
+  switches_per_cpu : int;  (** leading switches attach to CPU0, rest CPU1 *)
+}
+
+val dgx1p : t
+val dgx1v : t
+val dgx2 : t
+
+val custom :
+  name:string ->
+  n_gpus:int ->
+  ?nvlinks:(int * int * Link.kind) list ->
+  ?nvswitch:Link.kind ->
+  ?pcie_switches:int list list ->
+  ?switches_per_cpu:int ->
+  unit ->
+  t
+(** Describe any machine — Blink's planners are topology-generic, so this
+    is all it takes to target new hardware. [nvlinks] lists physical links
+    (repeat a pair for multi-link connections); alternatively [nvswitch]
+    declares an NVSwitch-style non-blocking fabric (mutually exclusive
+    with [nvlinks]). [pcie_switches] defaults to pairing consecutive GPUs;
+    [switches_per_cpu] defaults to half the switches. Raises
+    [Invalid_argument] on out-of-range GPU ids, self-links, or PCIe groups
+    that do not partition the GPUs. *)
+
+val pair_links : t -> int -> int -> (Link.kind * int) option
+(** NVLink class and multiplicity between a GPU pair, if directly wired
+    (always [None] on NVSwitch machines). *)
+
+val pair_capacity : t -> int -> int -> int
+(** Number of direct NVLinks between a pair ([0] if none). *)
+
+val nvlink_bandwidth : t -> float
+(** Per-direction bandwidth of one of this server's NVLinks. *)
+
+val pair_weight : t -> int -> int -> float
+(** Total NVLink GB/s between a pair; the edge weight used for
+    automorphism computations. *)
+
+val nvlink_digraph : t -> gpus:int array -> Blink_graph.Digraph.t
+(** Directed capacitated graph over the allocated GPUs only: vertex [i]
+    stands for [gpus.(i)]; every physical NVLink contributes one edge in
+    each direction with its per-direction bandwidth, tagged with its
+    {!Link.kind}. On an NVSwitch server each ordered pair gets a single
+    edge of capacity [6 * link / (k - 1)] — the per-peer share of the
+    GPU's switch attach bandwidth. Raises [Invalid_argument] on bad GPU
+    ids or duplicates. *)
+
+val switch_of_gpu : t -> int -> int
+(** Index of the PCIe switch a GPU hangs off. *)
+
+val cpu_of_switch : t -> int -> int
+
+val pp : Format.formatter -> t -> unit

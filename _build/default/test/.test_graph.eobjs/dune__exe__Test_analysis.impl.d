@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Array Blink_baselines Blink_collectives Blink_core Blink_sim Blink_topology Float Fun List Printf QCheck QCheck_alcotest Random Str String

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Array Blink_baselines Blink_collectives Blink_core Blink_sim Blink_topology Float Fun List Printf

@@ -1,0 +1,1 @@
+test/test_cluster.ml: Alcotest Array Blink_cluster Float List Printf

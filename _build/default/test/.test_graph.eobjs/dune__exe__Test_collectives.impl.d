@@ -1,0 +1,1 @@
+test/test_collectives.ml: Alcotest Array Blink_collectives Blink_core Blink_sim Blink_topology Float Fun Gen List Printf QCheck QCheck_alcotest Random

@@ -1,0 +1,1 @@
+test/test_comm.ml: Alcotest Array Blink_core Blink_graph Blink_topology Float Fun Printf

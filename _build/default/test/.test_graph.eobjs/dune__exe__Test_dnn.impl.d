@@ -1,0 +1,1 @@
+test/test_dnn.ml: Alcotest Blink_dnn Float List Printf String

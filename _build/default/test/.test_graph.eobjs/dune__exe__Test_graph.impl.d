@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Blink_graph Float Fun List Option QCheck QCheck_alcotest Random

@@ -1,0 +1,1 @@
+test/test_lp.ml: Alcotest Array Blink_lp Float Fun QCheck QCheck_alcotest Random

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Blink_sim Float List Option QCheck QCheck_alcotest

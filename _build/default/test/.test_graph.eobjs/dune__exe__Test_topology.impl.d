@@ -1,0 +1,1 @@
+test/test_topology.ml: Alcotest Array Blink_core Blink_graph Blink_sim Blink_topology Buffer Fun List Printf QCheck QCheck_alcotest Random

@@ -1,0 +1,79 @@
+module S = Blink_cluster.Scheduler
+
+let trace = S.generate_trace ~n_jobs:40_000 ()
+
+let test_trace_shape () =
+  Alcotest.(check int) "job count" 40_000 (List.length trace);
+  List.iter
+    (fun j ->
+      Alcotest.(check bool) "power-of-two demand" true
+        (List.mem j.S.gpus [ 1; 2; 4; 8; 16 ]);
+      Alcotest.(check bool) "positive duration" true (j.S.duration > 0))
+    trace;
+  let small = List.length (List.filter (fun j -> j.S.gpus <= 2) trace) in
+  Alcotest.(check bool) "small jobs majority" true
+    (Float.of_int small > 0.4 *. 40_000.)
+
+let test_trace_deterministic () =
+  let a = S.generate_trace ~seed:7 ~n_jobs:100 () in
+  let b = S.generate_trace ~seed:7 ~n_jobs:100 () in
+  let c = S.generate_trace ~seed:8 ~n_jobs:100 () in
+  Alcotest.(check bool) "same seed same trace" true (a = b);
+  Alcotest.(check bool) "different seed differs" true (a <> c)
+
+let stats = S.simulate ~servers:64 trace
+
+let test_slices_consistent () =
+  List.iter
+    (fun p ->
+      let total = List.fold_left (fun acc (_, g) -> acc + g) 0 p.S.slices in
+      Alcotest.(check int) "slices sum to demand" p.S.job.S.gpus total;
+      List.iter
+        (fun (s, g) ->
+          Alcotest.(check bool) "valid server" true (s >= 0 && s < 64);
+          Alcotest.(check bool) "slice size" true (g >= 1 && g <= 8))
+        p.S.slices)
+    stats.S.placements
+
+let test_fragmentation_occurs () =
+  (* The point of figure 3: odd per-server slices appear even though every
+     job asks for a power of two. *)
+  Alcotest.(check bool) "some jobs fragmented" true (stats.S.fragmented_jobs > 0);
+  let odd_fraction = S.fraction stats 3 +. S.fraction stats 5 +. S.fraction stats 6 +. S.fraction stats 7 in
+  Alcotest.(check bool)
+    (Printf.sprintf "3/5/6/7-GPU slices exist (%.1f%%)" (100. *. odd_fraction))
+    true (odd_fraction > 0.02);
+  Alcotest.(check bool) "most jobs placed" true
+    (stats.S.rejected < 40_000 / 2)
+
+let test_fractions_normalized () =
+  let total = List.fold_left (fun acc g -> acc +. S.fraction stats g) 0. (List.init 8 (fun i -> i + 1)) in
+  Alcotest.(check (float 1e-9)) "fractions sum to 1" 1. total;
+  Alcotest.(check bool) "bounds checked" true
+    (try ignore (S.fraction stats 9); false with Invalid_argument _ -> true)
+
+let test_histogram_counts_multi_gpu_only () =
+  let slices = Array.fold_left ( + ) 0 stats.S.per_server_counts in
+  let multi_slices =
+    List.fold_left
+      (fun acc p -> if p.S.job.S.gpus > 1 then acc + List.length p.S.slices else acc)
+      0 stats.S.placements
+  in
+  Alcotest.(check int) "histogram covers multi-gpu slices" multi_slices slices
+
+let () =
+  Alcotest.run "cluster"
+    [
+      ( "trace",
+        [
+          Alcotest.test_case "shape" `Quick test_trace_shape;
+          Alcotest.test_case "deterministic" `Quick test_trace_deterministic;
+        ] );
+      ( "scheduler",
+        [
+          Alcotest.test_case "slices consistent" `Quick test_slices_consistent;
+          Alcotest.test_case "fragmentation occurs" `Quick test_fragmentation_occurs;
+          Alcotest.test_case "fractions normalized" `Quick test_fractions_normalized;
+          Alcotest.test_case "histogram scope" `Quick test_histogram_counts_multi_gpu_only;
+        ] );
+    ]

@@ -1,0 +1,369 @@
+module D = Blink_graph.Digraph
+module Server = Blink_topology.Server
+module Link = Blink_topology.Link
+module Treegen = Blink_core.Treegen
+module Blink = Blink_core.Blink
+module Chunking = Blink_core.Chunking
+module Hybrid = Blink_core.Hybrid
+module Multiserver = Blink_core.Multiserver
+module E = Blink_sim.Engine
+
+let check_float = Alcotest.(check (float 1e-6))
+let gen2 = Link.bandwidth Link.Nvlink_gen2
+let gen1 = Link.bandwidth Link.Nvlink_gen1
+
+let dgx1v_graph gpus = Server.nvlink_digraph Server.dgx1v ~gpus
+let full8 = Array.init 8 Fun.id
+
+(* ------------------------------------------------------------------ *)
+(* Treegen: the paper's headline planning numbers *)
+
+let test_dgx1v_directed_packing () =
+  (* Paper section 3.2: the optimal DGX-1V packing is 6 unit-rate trees. *)
+  let g = dgx1v_graph full8 in
+  let p = Treegen.plan g ~root:0 in
+  Alcotest.(check int) "6 trees" 6 (List.length p.Treegen.trees);
+  check_float "rate = 6 units" (6. *. gen2) p.Treegen.rate;
+  check_float "optimal = 6 units" (6. *. gen2) p.Treegen.optimal;
+  Alcotest.(check bool) "feasible" true (Treegen.feasible g p);
+  List.iter
+    (fun t -> check_float "unit weight" gen2 t.Treegen.weight)
+    p.Treegen.trees
+
+let test_dgx1p_directed_packing () =
+  let g = Server.nvlink_digraph Server.dgx1p ~gpus:full8 in
+  let p = Treegen.plan g ~root:0 in
+  Alcotest.(check int) "4 trees" 4 (List.length p.Treegen.trees);
+  check_float "rate = 4 units" (4. *. gen1) p.Treegen.rate;
+  Alcotest.(check bool) "feasible" true (Treegen.feasible g p)
+
+let test_mwu_within_guarantee () =
+  let g = dgx1v_graph full8 in
+  let epsilon = 0.1 in
+  let p = Treegen.pack ~epsilon g ~root:0 in
+  Alcotest.(check bool) "rate within (1-2eps) of optimal" true
+    (p.Treegen.rate >= (1. -. (2. *. epsilon)) *. p.Treegen.optimal);
+  Alcotest.(check bool) "never exceeds optimal" true
+    (p.Treegen.rate <= p.Treegen.optimal +. 1e-6);
+  Alcotest.(check bool) "feasible" true (Treegen.feasible g p)
+
+let test_ilp_reduces_tree_count () =
+  let g = dgx1v_graph full8 in
+  let raw = Treegen.pack ~epsilon:0.05 g ~root:0 in
+  let mini = Treegen.minimize g raw in
+  Alcotest.(check bool) "fewer or equal trees" true
+    (List.length mini.Treegen.trees <= List.length raw.Treegen.trees);
+  Alcotest.(check bool) "keeps 95% of rate" true
+    (mini.Treegen.rate >= 0.95 *. raw.Treegen.optimal);
+  Alcotest.(check bool) "feasible" true (Treegen.feasible g mini)
+
+let test_undirected_packing_dgx1v () =
+  (* 24 duplex links / 7 tree edges = 24/7 units fractional optimum. *)
+  let g = dgx1v_graph full8 in
+  let p = Treegen.plan_undirected g ~root:0 in
+  Alcotest.(check bool) "undirected flag" true p.Treegen.undirected;
+  check_float "optimal = 24/7 units" (24. /. 7. *. gen2) p.Treegen.optimal;
+  Alcotest.(check bool) "within 5% of optimal" true
+    (p.Treegen.rate >= 0.95 *. p.Treegen.optimal);
+  Alcotest.(check bool) "feasible under link capacities" true (Treegen.feasible g p)
+
+let test_partial_allocation_packing () =
+  (* Figure 1/2's fragmented allocation 1,4,5,6. *)
+  let g = dgx1v_graph [| 1; 4; 5; 6 |] in
+  let p = Treegen.plan g ~root:0 in
+  check_float "2 units" (2. *. gen2) p.Treegen.rate;
+  Alcotest.(check bool) "feasible" true (Treegen.feasible g p)
+
+let test_disconnected_packing () =
+  (* 0,5,6: gpu 0 has no NVLink to 5 or 6 *)
+  let g = dgx1v_graph [| 0; 5; 6 |] in
+  let p = Treegen.pack g ~root:0 in
+  Alcotest.(check (list int)) "no trees" []
+    (List.map (fun t -> List.length t.Treegen.edges) p.Treegen.trees);
+  check_float "zero rate" 0. p.Treegen.rate
+
+let test_best_root () =
+  (* asymmetric graph: only vertex 0 reaches everything *)
+  let g = D.create ~n:3 in
+  ignore (D.add_edge g ~src:0 ~dst:1 ~cap:1.);
+  ignore (D.add_edge g ~src:1 ~dst:2 ~cap:1.);
+  ignore (D.add_edge g ~src:2 ~dst:1 ~cap:1.);
+  Alcotest.(check int) "root 0" 0 (Treegen.best_root g)
+
+let prop_packing_sound_on_allocations =
+  QCheck.Test.make ~name:"plan feasible and near-optimal on random allocations"
+    ~count:30
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let rng = Random.State.make [| seed + 13 |] in
+      (* any subset of size 2..8 whose nvlink graph is connected *)
+      let rec pick () =
+        let size = 2 + Random.State.int rng 7 in
+        let all = Array.init 8 Fun.id in
+        for i = 7 downto 1 do
+          let j = Random.State.int rng (i + 1) in
+          let t = all.(i) in
+          all.(i) <- all.(j);
+          all.(j) <- t
+        done;
+        let gpus = Array.sub all 0 size in
+        Array.sort compare gpus;
+        if Blink_topology.Alloc.nvlink_connected Server.dgx1v (Array.to_list gpus)
+        then gpus
+        else pick ()
+      in
+      let gpus = pick () in
+      let g = dgx1v_graph gpus in
+      let p = Treegen.plan ~epsilon:0.1 g ~root:0 in
+      Treegen.feasible g p
+      && p.Treegen.rate >= 0.8 *. p.Treegen.optimal
+      && p.Treegen.rate <= p.Treegen.optimal +. 1e-6)
+
+(* ------------------------------------------------------------------ *)
+(* Blink facade *)
+
+let test_facade_rates () =
+  let h = Blink.create Server.dgx1v ~gpus:full8 in
+  check_float "broadcast rate" (6. *. gen2) (Blink.rate h);
+  Alcotest.(check bool) "allreduce rate near 24/7 units" true
+    (Blink.all_reduce_rate h >= 0.95 *. (24. /. 7. *. gen2));
+  Alcotest.(check int) "ranks" 8 (Blink.n_ranks h);
+  Alcotest.(check bool) "has packing" true (Blink.packing h <> None);
+  Alcotest.(check bool) "has undirected packing" true (Blink.undirected_packing h <> None)
+
+let test_facade_dgx2 () =
+  let h = Blink.create Server.dgx2 ~gpus:(Array.init 16 Fun.id) in
+  Alcotest.(check bool) "no packing on nvswitch" true (Blink.packing h = None);
+  check_float "one-hop rate" (6. *. gen2) (Blink.rate h);
+  Alcotest.(check int) "16 one-hop trees" 16 (List.length (Blink.all_reduce_trees h));
+  let roots =
+    List.map (fun t -> t.Blink_collectives.Tree.tree.Blink_collectives.Tree.root)
+      (Blink.all_reduce_trees h)
+    |> List.sort_uniq compare
+  in
+  Alcotest.(check int) "distinct roots" 16 (List.length roots)
+
+let test_facade_rejects_disconnected () =
+  Alcotest.(check bool) "disconnected rejected" true
+    (try ignore (Blink.create Server.dgx1v ~gpus:[| 0; 5; 6 |]); false
+     with Invalid_argument _ -> true)
+
+let test_facade_beats_pcie_fallback () =
+  (* The headline: on 1,4,5,6 Blink uses NVLinks NCCL cannot ring. *)
+  let gpus = [| 1; 4; 5; 6 |] in
+  let h = Blink.create Server.dgx1v ~gpus in
+  let elems = 25_000_000 in
+  let bp, _ = Blink.broadcast ~chunk_elems:262_144 h ~elems in
+  let blink = Blink.algbw_gbps ~elems (Blink.time h bp) in
+  let ch = Blink_baselines.Ring.nccl_channels Server.dgx1v ~gpus in
+  Alcotest.(check bool) "nccl falls to pcie" true
+    (ch.Blink_baselines.Ring.cls = Blink_topology.Fabric.Pcie);
+  let spec =
+    Blink_collectives.Codegen.spec ~chunk_elems:262_144 (Blink.fabric h)
+  in
+  let np, _ = Blink_baselines.Ring.broadcast spec ~root:(Blink.root h) ~elems ~channels:ch in
+  let nccl = Blink.algbw_gbps ~elems (Blink.time h np) in
+  Alcotest.(check bool)
+    (Printf.sprintf "blink %.1f >= 3x nccl %.1f" blink nccl)
+    true
+    (blink >= 3. *. nccl)
+
+let test_one_hop_trees_shape () =
+  let trees = Blink.one_hop_trees ~n_ranks:4 in
+  Alcotest.(check int) "4 trees" 4 (List.length trees);
+  List.iteri
+    (fun i { Blink_collectives.Tree.tree; share } ->
+      Alcotest.(check int) "root i" i tree.Blink_collectives.Tree.root;
+      Alcotest.(check int) "depth 1" 1 (Blink_collectives.Tree.max_depth tree);
+      check_float "equal shares" 0.25 share)
+    trees
+
+(* ------------------------------------------------------------------ *)
+(* Chunking (MIAD) *)
+
+let test_miad_finds_peak () =
+  (* unimodal throughput curve peaking at 2 MiB *)
+  let peak = 2. *. 1024. *. 1024. in
+  let measure ~chunk_elems =
+    let x = Float.of_int chunk_elems in
+    1. /. ((x /. peak) +. (peak /. x))
+  in
+  let r = Chunking.tune ~init:65_536 ~measure () in
+  let best = measure ~chunk_elems:r.Chunking.chosen in
+  Alcotest.(check bool) "within 15% of peak" true (best >= 0.85 *. 0.5);
+  Alcotest.(check bool) "trace non-empty" true (List.length r.Chunking.trace >= 3)
+
+let test_miad_trace_phases () =
+  (* monotone-increasing measure: MIAD keeps growing to max_iters *)
+  let measure ~chunk_elems = Float.of_int chunk_elems in
+  let r = Chunking.tune ~init:1024 ~max_iters:5 ~measure () in
+  Alcotest.(check bool) "grew" true (r.Chunking.chosen > 1024);
+  let sizes = List.map (fun s -> s.Chunking.chunk_elems) r.Chunking.trace in
+  Alcotest.(check bool) "multiplicative phase doubles" true
+    (match sizes with a :: b :: _ -> b = 2 * a | _ -> false)
+
+let test_miad_validation () =
+  Alcotest.(check bool) "bad init" true
+    (try ignore (Chunking.tune ~init:0 ~measure:(fun ~chunk_elems:_ -> 0.) ()); false
+     with Invalid_argument _ -> true)
+
+let test_facade_tuner_runs () =
+  let h = Blink.create Server.dgx1v ~gpus:[| 2; 3; 6; 7 |] in
+  let r = Blink.tune_chunk ~elems:4_000_000 h in
+  Alcotest.(check bool) "positive chunk" true (r.Chunking.chosen > 0);
+  Alcotest.(check bool) "probed several sizes" true (List.length r.Chunking.trace >= 3)
+
+(* ------------------------------------------------------------------ *)
+(* Hybrid *)
+
+let test_hybrid_split_properties () =
+  let total = 1e9 in
+  let d_pcie, d_nvl = Hybrid.split ~total_bytes:total ~bw_pcie:1e10 ~bw_nvl:1e11 ~t_dpa:0. in
+  check_float "conserves" total (d_pcie +. d_nvl);
+  (* equal finish times when interior *)
+  check_float "balanced" (d_pcie /. 1e10) (d_nvl /. 1e11);
+  let d_pcie, _ = Hybrid.split ~total_bytes:total ~bw_pcie:1e10 ~bw_nvl:1e11 ~t_dpa:1e3 in
+  check_float "clamps to zero" 0. d_pcie;
+  Alcotest.(check bool) "rejects bad bandwidth" true
+    (try ignore (Hybrid.split ~total_bytes:1. ~bw_pcie:0. ~bw_nvl:1. ~t_dpa:0.); false
+     with Invalid_argument _ -> true)
+
+let prop_hybrid_split_sound =
+  QCheck.Test.make ~name:"hybrid split conserves bytes and stays in range" ~count:200
+    QCheck.(triple (float_range 1e6 1e10) (float_range 1e9 1e11) (float_range 0. 0.01))
+    (fun (total, bw, t_dpa) ->
+      let d_pcie, d_nvl = Hybrid.split ~total_bytes:total ~bw_pcie:bw ~bw_nvl:(3. *. bw) ~t_dpa in
+      d_pcie >= 0. && d_nvl >= 0. && Float.abs (d_pcie +. d_nvl -. total) < 1e-3)
+
+let test_hybrid_never_slower () =
+  List.iter
+    (fun n ->
+      let gpus = Blink_collectives.Micro.chain_gpus n in
+      let h = Blink.create Server.dgx1v ~gpus in
+      let elems = 25_000_000 in
+      let np, _ = Blink.broadcast h ~elems in
+      let hp, _ = Hybrid.broadcast h ~elems in
+      let t_nv = (Blink.time h np).E.makespan in
+      let t_hy = (Blink.time h hp).E.makespan in
+      Alcotest.(check bool)
+        (Printf.sprintf "%d gpus: hybrid %.2fms <= nvlink %.2fms * 1.02" n
+           (t_hy *. 1e3) (t_nv *. 1e3))
+        true
+        (t_hy <= t_nv *. 1.02))
+    [ 3; 4; 6; 8 ]
+
+let test_hybrid_semantics () =
+  let h = Blink.create Server.dgx1v ~gpus:[| 0; 1; 2 |] in
+  let elems = 200_000 in
+  let prog, layout = Hybrid.broadcast ~chunk_elems:10_000 h ~elems in
+  let mem = Blink_sim.Semantics.memory_of_program prog in
+  let root = Blink.root h in
+  let input = Array.init elems (fun i -> Float.of_int (i mod 251)) in
+  Blink_sim.Semantics.write mem ~node:root
+    ~buf:layout.Blink_collectives.Codegen.data.(root) input;
+  Blink_sim.Semantics.run prog mem;
+  for r = 0 to 2 do
+    Alcotest.(check bool) (Printf.sprintf "rank %d" r) true
+      (Blink_sim.Semantics.read mem ~node:r
+         ~buf:layout.Blink_collectives.Codegen.data.(r)
+      = input)
+  done
+
+let test_pcie_chain_tree () =
+  let h = Blink.create Server.dgx1v ~gpus:full8 in
+  let chain = Hybrid.pcie_chain_tree h in
+  Alcotest.(check int) "rooted at blink root" (Blink.root h)
+    chain.Blink_collectives.Tree.root;
+  (* a path: every rank has at most 2 neighbours *)
+  Array.iteri
+    (fun v children ->
+      let neighbours =
+        List.length children + if v = chain.Blink_collectives.Tree.root then 0 else 1
+      in
+      Alcotest.(check bool) "path degree" true (neighbours <= 2))
+    chain.Blink_collectives.Tree.children
+
+(* ------------------------------------------------------------------ *)
+(* Multiserver *)
+
+let test_multiserver_plan () =
+  let ms =
+    Multiserver.create [ (Server.dgx1v, [| 0; 1; 2 |]); (Server.dgx1v, [| 0; 1; 2; 3; 4 |]) ]
+  in
+  Alcotest.(check int) "two plans" 2 (Array.length (Multiserver.plans ms));
+  Alcotest.(check bool) "partitions cover servers and trees" true
+    (Multiserver.n_partitions ms >= 2)
+
+let test_multiserver_bandwidth_scaling () =
+  let servers = [ (Server.dgx1v, [| 0; 1; 2 |]); (Server.dgx1v, [| 0; 1; 2; 3; 4 |]) ] in
+  let elems = 12_500_000 in
+  let throughput net_bw =
+    let ms = Multiserver.create ~net_bw servers in
+    let prog, _ = Multiserver.all_reduce ms ~elems in
+    4. *. Float.of_int elems /. (Multiserver.time ms prog).E.makespan
+  in
+  let slow = throughput 5. in
+  let fast = throughput 25. in
+  Alcotest.(check bool)
+    (Printf.sprintf "5x network helps (%.2f -> %.2f GB/s)" (slow /. 1e9) (fast /. 1e9))
+    true
+    (fast > slow *. 2.)
+
+let test_multiserver_single_gpu_servers () =
+  let ms = Multiserver.create [ (Server.dgx1v, [| 0 |]); (Server.dgx1v, [| 1 |]) ] in
+  let elems = 10_000 in
+  let prog, layout = Multiserver.all_reduce ~chunk_elems:1_000 ms ~elems in
+  let mem = Blink_sim.Semantics.memory_of_program prog in
+  let a = Array.init elems (fun i -> Float.of_int i) in
+  let b = Array.init elems (fun i -> Float.of_int (2 * i)) in
+  Blink_sim.Semantics.write mem ~node:0 ~buf:layout.Blink_collectives.Codegen.data.(0) a;
+  Blink_sim.Semantics.write mem ~node:1 ~buf:layout.Blink_collectives.Codegen.data.(1) b;
+  Blink_sim.Semantics.run prog mem;
+  let got = Blink_sim.Semantics.read mem ~node:0 ~buf:layout.Blink_collectives.Codegen.data.(0) in
+  Alcotest.(check (float 1e-9)) "summed" 3. got.(1)
+
+let () =
+  Alcotest.run "core"
+    [
+      ( "treegen",
+        [
+          Alcotest.test_case "dgx-1v: 6 unit trees" `Quick test_dgx1v_directed_packing;
+          Alcotest.test_case "dgx-1p: 4 unit trees" `Quick test_dgx1p_directed_packing;
+          Alcotest.test_case "mwu guarantee" `Quick test_mwu_within_guarantee;
+          Alcotest.test_case "ilp reduces trees" `Quick test_ilp_reduces_tree_count;
+          Alcotest.test_case "undirected dgx-1v" `Quick test_undirected_packing_dgx1v;
+          Alcotest.test_case "fragmented allocation" `Quick test_partial_allocation_packing;
+          Alcotest.test_case "disconnected" `Quick test_disconnected_packing;
+          Alcotest.test_case "best root" `Quick test_best_root;
+          QCheck_alcotest.to_alcotest prop_packing_sound_on_allocations;
+        ] );
+      ( "facade",
+        [
+          Alcotest.test_case "rates" `Quick test_facade_rates;
+          Alcotest.test_case "dgx-2" `Quick test_facade_dgx2;
+          Alcotest.test_case "rejects disconnected" `Quick test_facade_rejects_disconnected;
+          Alcotest.test_case "beats pcie fallback" `Quick test_facade_beats_pcie_fallback;
+          Alcotest.test_case "one-hop trees" `Quick test_one_hop_trees_shape;
+        ] );
+      ( "chunking",
+        [
+          Alcotest.test_case "finds peak" `Quick test_miad_finds_peak;
+          Alcotest.test_case "trace phases" `Quick test_miad_trace_phases;
+          Alcotest.test_case "validation" `Quick test_miad_validation;
+          Alcotest.test_case "facade tuner" `Quick test_facade_tuner_runs;
+        ] );
+      ( "hybrid",
+        [
+          Alcotest.test_case "split properties" `Quick test_hybrid_split_properties;
+          QCheck_alcotest.to_alcotest prop_hybrid_split_sound;
+          Alcotest.test_case "never slower" `Quick test_hybrid_never_slower;
+          Alcotest.test_case "semantics" `Quick test_hybrid_semantics;
+          Alcotest.test_case "pcie chain tree" `Quick test_pcie_chain_tree;
+        ] );
+      ( "multiserver",
+        [
+          Alcotest.test_case "plan" `Quick test_multiserver_plan;
+          Alcotest.test_case "bandwidth scaling" `Quick test_multiserver_bandwidth_scaling;
+          Alcotest.test_case "single-gpu servers" `Quick test_multiserver_single_gpu_servers;
+        ] );
+    ]

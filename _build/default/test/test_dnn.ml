@@ -1,0 +1,111 @@
+module Models = Blink_dnn.Models
+module Training = Blink_dnn.Training
+
+let check_float = Alcotest.(check (float 1e-6))
+
+let test_parameter_counts () =
+  (* Totals within 1% of the published architectures. *)
+  let close name want got =
+    let ratio = Float.of_int got /. Float.of_int want in
+    Alcotest.(check bool)
+      (Printf.sprintf "%s params %d ~ %d" name got want)
+      true
+      (ratio > 0.99 && ratio < 1.01)
+  in
+  close "alexnet" 61_100_840 (Models.params Models.alexnet);
+  close "resnet18" 11_689_512 (Models.params Models.resnet18);
+  close "resnet50" 25_557_032 (Models.params Models.resnet50);
+  close "vgg16" 138_357_544 (Models.params Models.vgg16)
+
+let test_gradient_bytes () =
+  check_float "4 bytes per param"
+    (4. *. Float.of_int (Models.params Models.resnet50))
+    (Models.gradient_bytes Models.resnet50)
+
+let test_compute_scaling () =
+  let f_v, b_v = Models.compute_ms ~gpu_gen:`V100 Models.resnet50 in
+  let f_p, b_p = Models.compute_ms ~gpu_gen:`P100 Models.resnet50 in
+  Alcotest.(check bool) "p100 slower" true (f_p > f_v && b_p > b_v);
+  check_float "ratio" (f_p /. f_v) (b_p /. b_v)
+
+let instant = { Training.label = "instant"; all_reduce_seconds = (fun _ -> 0.) }
+
+let fixed_rate gbps =
+  { Training.label = "fixed"; all_reduce_seconds = (fun bytes -> bytes /. (gbps *. 1e9)) }
+
+let test_no_comm_no_overhead () =
+  let it = Training.iteration Models.resnet50 instant in
+  check_float "no exposed comm" 0. it.Training.exposed_comm_ms;
+  let f, b = Models.compute_ms Models.resnet50 in
+  check_float "iteration = compute" (f +. b) it.Training.iteration_ms;
+  check_float "overhead 0%" 0. (Training.overhead_percent it)
+
+let test_overlap_helps () =
+  let backend = fixed_rate 5. in
+  let with_overlap = Training.iteration ~overlap:true Models.vgg16 backend in
+  let without = Training.iteration ~overlap:false Models.vgg16 backend in
+  Alcotest.(check bool) "overlap at most as slow" true
+    (with_overlap.Training.iteration_ms <= without.Training.iteration_ms);
+  check_float "same comm volume" with_overlap.Training.comm_ms without.Training.comm_ms;
+  (* without overlap the exposed time is the whole comm *)
+  check_float "no-overlap exposes everything" without.Training.comm_ms
+    without.Training.exposed_comm_ms
+
+let test_slow_network_dominates () =
+  let it = Training.iteration Models.vgg16 (fixed_rate 0.5) in
+  (* 553 MB at 0.5 GB/s > 1 s: comm-bound *)
+  Alcotest.(check bool) "overhead over 50%" true (Training.overhead_percent it > 50.)
+
+let test_speedup_metrics () =
+  let slow = Training.iteration Models.alexnet (fixed_rate 1.) in
+  let fast = Training.iteration Models.alexnet (fixed_rate 50.) in
+  Alcotest.(check bool) "speedup positive" true
+    (Training.speedup_percent ~baseline:slow fast > 0.);
+  Alcotest.(check bool) "comm reduction large" true
+    (Training.comm_reduction_percent ~baseline:slow fast > 50.);
+  check_float "self speedup" 0. (Training.speedup_percent ~baseline:slow slow)
+
+let test_memoized_backend () =
+  let calls = ref 0 in
+  let backend =
+    Training.memoized_backend ~label:"memo" (fun bytes ->
+        incr calls;
+        bytes *. 1e-12)
+  in
+  ignore (Training.iteration Models.resnet50 backend);
+  let after_first = !calls in
+  ignore (Training.iteration Models.resnet50 backend);
+  Alcotest.(check int) "cached on second run" after_first !calls;
+  Alcotest.(check bool) "one call per distinct bucket size" true
+    (after_first <= List.length Models.resnet50.Models.buckets)
+
+let test_buckets_backward_order () =
+  (* First bucket of each model is its classifier head. *)
+  List.iter
+    (fun m ->
+      let head = List.hd m.Models.buckets in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s head is fc" m.Models.name)
+        true
+        (String.length head.Models.name >= 2 && String.sub head.Models.name 0 2 = "fc"))
+    Models.all
+
+let () =
+  Alcotest.run "dnn"
+    [
+      ( "models",
+        [
+          Alcotest.test_case "parameter counts" `Quick test_parameter_counts;
+          Alcotest.test_case "gradient bytes" `Quick test_gradient_bytes;
+          Alcotest.test_case "gpu generation scaling" `Quick test_compute_scaling;
+          Alcotest.test_case "bucket order" `Quick test_buckets_backward_order;
+        ] );
+      ( "training",
+        [
+          Alcotest.test_case "no comm, no overhead" `Quick test_no_comm_no_overhead;
+          Alcotest.test_case "overlap helps" `Quick test_overlap_helps;
+          Alcotest.test_case "slow network dominates" `Quick test_slow_network_dominates;
+          Alcotest.test_case "speedup metrics" `Quick test_speedup_metrics;
+          Alcotest.test_case "memoized backend" `Quick test_memoized_backend;
+        ] );
+    ]

@@ -1,0 +1,283 @@
+module Pq = Blink_sim.Pqueue
+module P = Blink_sim.Program
+module E = Blink_sim.Engine
+module Sem = Blink_sim.Semantics
+
+let check_float = Alcotest.(check (float 1e-9))
+let check_time = Alcotest.(check (float 1e-7))
+
+(* ------------------------------------------------------------------ *)
+(* Pqueue *)
+
+let test_pqueue_order () =
+  let q = Pq.create () in
+  List.iter (fun k -> Pq.add q k k) [ 5; 1; 4; 1; 3 ];
+  Alcotest.(check int) "length" 5 (Pq.length q);
+  let drained = List.init 5 (fun _ -> fst (Option.get (Pq.pop q))) in
+  Alcotest.(check (list int)) "sorted" [ 1; 1; 3; 4; 5 ] drained;
+  Alcotest.(check bool) "empty" true (Pq.is_empty q)
+
+let test_pqueue_fifo_ties () =
+  let q = Pq.create () in
+  Pq.add q 1. "first";
+  Pq.add q 1. "second";
+  Pq.add q 0. "zero";
+  Alcotest.(check (option (pair (float 0.) string))) "peek" (Some (0., "zero")) (Pq.peek q);
+  ignore (Pq.pop q);
+  Alcotest.(check string) "tie insertion order" "first" (snd (Option.get (Pq.pop q)));
+  Alcotest.(check string) "then second" "second" (snd (Option.get (Pq.pop q)))
+
+let prop_pqueue_sorts =
+  QCheck.Test.make ~name:"pqueue drains sorted" ~count:100
+    QCheck.(list (int_bound 1000))
+    (fun keys ->
+      let q = Pq.create () in
+      List.iter (fun k -> Pq.add q k ()) keys;
+      let rec drain acc =
+        match Pq.pop q with None -> List.rev acc | Some (k, ()) -> drain (k :: acc)
+      in
+      drain [] = List.sort compare keys)
+
+(* ------------------------------------------------------------------ *)
+(* Program *)
+
+let test_program_builder () =
+  let p = P.create () in
+  let s = P.fresh_stream p in
+  let a = P.add p ~stream:s (P.Delay { seconds = 1. }) in
+  let b = P.add p ~deps:[ a ] ~stream:s (P.Delay { seconds = 2. }) in
+  Alcotest.(check int) "ops" 2 (P.n_ops p);
+  Alcotest.(check (list int)) "stream order" [ a; b ] (P.stream_ops p s);
+  Alcotest.(check (list int)) "topo" [ a; b ] (P.topological_order p);
+  Alcotest.(check (list int)) "deps" [ a ] (P.op p b).P.deps
+
+let test_program_errors () =
+  let p = P.create () in
+  let s = P.fresh_stream p in
+  Alcotest.check_raises "forward dep" (Invalid_argument "Program.add: forward dependency")
+    (fun () -> ignore (P.add p ~deps:[ 5 ] ~stream:s (P.Delay { seconds = 0. })));
+  Alcotest.check_raises "unknown stream" (Invalid_argument "Program.add: unknown stream")
+    (fun () -> ignore (P.add p ~stream:7 (P.Delay { seconds = 0. })));
+  Alcotest.check_raises "negative delay" (Invalid_argument "Program.add: negative delay")
+    (fun () -> ignore (P.add p ~stream:s (P.Delay { seconds = -1. })))
+
+let test_program_buffers () =
+  let p = P.create () in
+  let b0 = P.declare_buffer p ~node:3 ~len:10 in
+  let b1 = P.declare_buffer p ~node:3 ~len:20 in
+  let c0 = P.declare_buffer p ~node:5 ~len:7 in
+  Alcotest.(check (list int)) "dense per node" [ 0; 1; 0 ] [ b0; b1; c0 ];
+  Alcotest.(check int) "len" 20 (P.buffer_len p ~node:3 ~buf:b1);
+  Alcotest.(check int) "buffers" 3 (List.length (P.buffers p))
+
+(* ------------------------------------------------------------------ *)
+(* Engine *)
+
+let one_link ?(bandwidth = 1e9) ?(latency = 0.) ?(lanes = 1) ?(gap = 0.) () =
+  [| { E.bandwidth; latency; lanes; gap } |]
+
+let transfer ?(bytes = 1e9) ?(bw_scale = 1.) link =
+  P.Transfer { bytes; link; bw_scale; action = None }
+
+let test_engine_single_transfer () =
+  let p = P.create () in
+  let s = P.fresh_stream p in
+  ignore (P.add p ~stream:s (transfer ~bytes:5e8 0));
+  let r = E.run ~resources:(one_link ()) p in
+  check_time "half second" 0.5 r.E.makespan
+
+let test_engine_latency_on_data_deps () =
+  (* a -> b with latency 0.1: b starts at finish(a) + latency.
+     c in a's stream: no latency between stream neighbours. *)
+  let resources = one_link ~latency:0.1 () in
+  let p = P.create () in
+  let s = P.fresh_stream p in
+  let a = P.add p ~stream:s (transfer ~bytes:1e9 0) in
+  let s2 = P.fresh_stream p in
+  ignore (P.add p ~deps:[ a ] ~stream:s2 (transfer ~bytes:1e9 0));
+  ignore (P.add p ~stream:s (transfer ~bytes:1e9 0));
+  let r = E.run ~resources p in
+  (* op a: starts at 0.1 (initial latency), ends 1.1; stream mate starts 1.1
+     (no extra latency), ends 2.1; dependent ready 1.1 + 0.1 = 1.2 but the
+     lane is busy until 2.1, so it ends at 3.1. *)
+  check_time "stream mate back-to-back" 2.1 r.E.finish.(2);
+  check_time "dependent pays latency and waits" 3.1 r.E.finish.(1)
+
+let test_engine_lanes () =
+  let resources = [| { E.bandwidth = 1e9; latency = 0.; lanes = 2; gap = 0. } |] in
+  let p = P.create () in
+  for _ = 1 to 4 do
+    let s = P.fresh_stream p in
+    ignore (P.add p ~stream:s (transfer ~bytes:1e9 0))
+  done;
+  let r = E.run ~resources p in
+  check_time "4 ops over 2 lanes" 2. r.E.makespan;
+  check_float "busy" 4. r.E.busy.(0)
+
+let test_engine_gap () =
+  (* Tiny transfers: lane occupancy floors at the gap. *)
+  let resources = one_link ~gap:0.5 () in
+  let p = P.create () in
+  for _ = 1 to 3 do
+    let s = P.fresh_stream p in
+    ignore (P.add p ~stream:s (transfer ~bytes:1. 0))
+  done;
+  let r = E.run ~resources p in
+  (* data finishes fast but lanes release every 0.5s: third op starts at 1.0 *)
+  check_time "issue-gap bound" 1.0 r.E.start.(2)
+
+let test_engine_bw_scale () =
+  let p = P.create () in
+  let s = P.fresh_stream p in
+  ignore (P.add p ~stream:s (transfer ~bytes:1e9 ~bw_scale:0.5 0));
+  let r = E.run ~resources:(one_link ()) p in
+  check_time "scaled" 2. r.E.makespan
+
+let test_engine_delay_and_compute () =
+  let resources = one_link () in
+  let p = P.create () in
+  let s = P.fresh_stream p in
+  let d = P.add p ~stream:s (P.Delay { seconds = 0.25 }) in
+  ignore (P.add p ~deps:[ d ] ~stream:s (transfer ~bytes:1e9 0));
+  let r = E.run ~resources p in
+  check_time "delay then transfer" 1.25 r.E.makespan
+
+let test_engine_pipeline_formula () =
+  (* Chain of h hops, c chunks: makespan = (h - 1 + c) * t + h * latency
+     with equal hop times t and per-hop latency. *)
+  let h = 4 and c = 6 in
+  let t = 0.1 and lat = 0.01 in
+  let resources =
+    Array.init h (fun _ -> { E.bandwidth = 1e9; latency = lat; lanes = 1; gap = 0. })
+  in
+  let p = P.create () in
+  let streams = Array.init h (fun _ -> P.fresh_stream p) in
+  let prev = Array.make c (-1) in
+  for hop = 0 to h - 1 do
+    for chunk = 0 to c - 1 do
+      let deps = if hop = 0 then [] else [ prev.(chunk) ] in
+      prev.(chunk) <-
+        P.add p ~deps ~stream:streams.(hop) (transfer ~bytes:(t *. 1e9) hop)
+    done
+  done;
+  let r = E.run ~resources p in
+  check_time "pipeline makespan"
+    ((Float.of_int (h - 1 + c) *. t) +. (Float.of_int h *. lat))
+    r.E.makespan
+
+let test_engine_policies () =
+  (* Two streams contending on one lane; Stream_priority must finish stream
+     0 entirely before starting stream 1's queued ops. *)
+  let resources = one_link () in
+  let build () =
+    let p = P.create () in
+    let s0 = P.fresh_stream p in
+    let s1 = P.fresh_stream p in
+    let last0 = ref (-1) and last1 = ref (-1) in
+    for _ = 1 to 3 do
+      last0 := P.add p ~stream:s0 (transfer ~bytes:1e8 0);
+      last1 := P.add p ~stream:s1 (transfer ~bytes:1e8 0)
+    done;
+    (p, !last0, !last1)
+  in
+  let p, _, last1 = build () in
+  let fair = E.run ~policy:`Fair ~resources p in
+  let p', _, last1' = build () in
+  let unfair = E.run ~policy:`Stream_priority ~resources p' in
+  Alcotest.(check bool) "stream 1 delayed under priority" true
+    (unfair.E.finish.(last1') >= fair.E.finish.(last1) -. 1e-9);
+  check_time "same total work" fair.E.makespan unfair.E.makespan
+
+let test_engine_validation () =
+  let p = P.create () in
+  let s = P.fresh_stream p in
+  ignore (P.add p ~stream:s (transfer 3));
+  Alcotest.(check bool) "unknown resource rejected" true
+    (try
+       ignore (E.run ~resources:(one_link ()) p);
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Semantics *)
+
+let test_semantics_copy_reduce () =
+  let p = P.create () in
+  let s = P.fresh_stream p in
+  let src = P.declare_buffer p ~node:0 ~len:4 in
+  let dst = P.declare_buffer p ~node:1 ~len:4 in
+  let mref node buf off len = { P.node; buf; off; len } in
+  let a =
+    P.add p ~stream:s
+      (P.Transfer
+         { bytes = 16.; link = 0; bw_scale = 1.;
+           action = Some (P.Copy { src = mref 0 src 0 4; dst = mref 1 dst 0 4 }) })
+  in
+  ignore
+    (P.add p ~deps:[ a ] ~stream:s
+       (P.Transfer
+          { bytes = 8.; link = 0; bw_scale = 1.;
+            action = Some (P.Reduce { src = mref 0 src 0 2; dst = mref 1 dst 2 2 }) }));
+  let mem = Sem.memory_of_program p in
+  Sem.write mem ~node:0 ~buf:src [| 1.; 2.; 3.; 4. |];
+  Sem.run p mem;
+  Alcotest.(check (array (float 1e-9))) "copy then reduce"
+    [| 1.; 2.; 4.; 6. |]
+    (Sem.read mem ~node:1 ~buf:dst)
+
+let test_semantics_bounds () =
+  let p = P.create () in
+  let s = P.fresh_stream p in
+  let b = P.declare_buffer p ~node:0 ~len:2 in
+  let mref off len = { P.node = 0; buf = b; off; len } in
+  ignore
+    (P.add p ~stream:s
+       (P.Transfer
+          { bytes = 1.; link = 0; bw_scale = 1.;
+            action = Some (P.Copy { src = mref 0 2; dst = mref 1 2 }) }));
+  let mem = Sem.memory_of_program p in
+  Alcotest.(check bool) "out of bounds rejected" true
+    (try Sem.run p mem; false with Invalid_argument _ -> true)
+
+let test_semantics_write_mismatch () =
+  let p = P.create () in
+  ignore (P.declare_buffer p ~node:0 ~len:3);
+  let mem = Sem.memory_of_program p in
+  Alcotest.check_raises "length mismatch"
+    (Invalid_argument "Semantics.write: length mismatch") (fun () ->
+      Sem.write mem ~node:0 ~buf:0 [| 1. |])
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "pqueue",
+        [
+          Alcotest.test_case "ordering" `Quick test_pqueue_order;
+          Alcotest.test_case "fifo ties" `Quick test_pqueue_fifo_ties;
+          QCheck_alcotest.to_alcotest prop_pqueue_sorts;
+        ] );
+      ( "program",
+        [
+          Alcotest.test_case "builder" `Quick test_program_builder;
+          Alcotest.test_case "errors" `Quick test_program_errors;
+          Alcotest.test_case "buffers" `Quick test_program_buffers;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "single transfer" `Quick test_engine_single_transfer;
+          Alcotest.test_case "latency semantics" `Quick test_engine_latency_on_data_deps;
+          Alcotest.test_case "lanes" `Quick test_engine_lanes;
+          Alcotest.test_case "issue gap" `Quick test_engine_gap;
+          Alcotest.test_case "bw scale" `Quick test_engine_bw_scale;
+          Alcotest.test_case "delay" `Quick test_engine_delay_and_compute;
+          Alcotest.test_case "pipeline formula" `Quick test_engine_pipeline_formula;
+          Alcotest.test_case "policies" `Quick test_engine_policies;
+          Alcotest.test_case "validation" `Quick test_engine_validation;
+        ] );
+      ( "semantics",
+        [
+          Alcotest.test_case "copy/reduce" `Quick test_semantics_copy_reduce;
+          Alcotest.test_case "bounds" `Quick test_semantics_bounds;
+          Alcotest.test_case "write mismatch" `Quick test_semantics_write_mismatch;
+        ] );
+    ]
