@@ -390,7 +390,7 @@ let fig22a () =
   let hi = Hierarchical.create servers in
   let backend_of label time_fn =
     Training.memoized_backend ~label (fun bytes ->
-        let elems = max 64 (int_of_float (bytes /. 4.)) in
+        let elems = max 64 (int_of_float (bytes /. Training.bytes_per_elem)) in
         time_fn elems)
   in
   let blink =

@@ -61,11 +61,59 @@ let bechamel_suite () =
     tests
 
 (* ------------------------------------------------------------------ *)
+(* Plan-cache mode: prove that planning work is done once and repeated
+   collectives replay the compiled plan. *)
+
+module Comm = Blink_core.Comm
+module Plan = Blink_core.Plan
+
+let plan_cache_suite () =
+  let iters = 100 in
+  let elems = 1_000_000 in
+  Util.heading "Plan cache: %dx Comm.all_reduce of %d elems on gpus {1,4,5,6}"
+    iters elems;
+  let c = Comm.init Server.dgx1v ~gpus:[| 1; 4; 5; 6 |] in
+  let inputs =
+    Array.init 4 (fun r ->
+        Array.init elems (fun i -> Float.of_int (((i * 3) + (r * 7)) mod 11)))
+  in
+  let wall f =
+    let t0 = Sys.time () in
+    let x = f () in
+    (Sys.time () -. t0, x)
+  in
+  (* First call compiles: tree extraction + MIAD tuning + codegen. *)
+  let t_first, _ = wall (fun () -> Comm.all_reduce c inputs) in
+  let t_rest = ref 0. in
+  for _ = 2 to iters do
+    let t, _ = wall (fun () -> Comm.all_reduce c inputs) in
+    t_rest := !t_rest +. t
+  done;
+  let { Blink.hits; misses } = Comm.plan_cache_stats c in
+  let avg_rest = !t_rest /. Float.of_int (iters - 1) in
+  Util.row "  first call (plan + execute):    %8.1f ms\n" (t_first *. 1e3);
+  Util.row "  later calls (cached plan):      %8.1f ms avg\n" (avg_rest *. 1e3);
+  Util.row "  planning amortization:          %8.1fx\n" (t_first /. avg_rest);
+  Util.row "  plan cache: %d hits / %d misses (%.1f%% hit rate)\n" hits misses
+    (100. *. Float.of_int hits /. Float.of_int (hits + misses));
+  (* Split one cached iteration into its passes on a timing-only plan. *)
+  let handle = Comm.handle c in
+  let t_plan_hit, plan =
+    wall (fun () -> Blink.plan handle Plan.All_reduce ~elems)
+  in
+  let t_timing, _ = wall (fun () -> Plan.execute ~data:false plan) in
+  let t_replay, _ = wall (fun () -> Plan.execute plan) in
+  Util.row "  per call: plan lookup %.3f ms, timing pass %.1f ms, \
+            timing+data passes %.1f ms\n"
+    (t_plan_hit *. 1e3) (t_timing *. 1e3) (t_replay *. 1e3)
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   match Array.to_list Sys.argv with
   | _ :: [] ->
       Figures.all_figures ();
+      plan_cache_suite ();
       bechamel_suite ();
       print_newline ()
   | _ :: args ->
@@ -74,10 +122,13 @@ let () =
           match arg with
           | "list" ->
               List.iter (fun (name, _) -> print_endline name) Figures.registry;
+              print_endline "plan-cache";
               print_endline "bechamel"
           | "all" ->
               Figures.all_figures ();
+              plan_cache_suite ();
               bechamel_suite ()
+          | "plan-cache" -> plan_cache_suite ()
           | "bechamel" -> bechamel_suite ()
           | name -> (
               match List.assoc_opt name Figures.registry with

@@ -15,7 +15,7 @@ let elems_of_mb m = int_of_float (m *. mb /. 4.)
 (* Chunk policy used uniformly across methods in the figures: 1 MiB for
    large buffers, shrinking for small ones so every transfer still
    pipelines. *)
-let chunk_for elems = max 256 (min 262_144 (elems / 16))
+let chunk_for elems = Blink.heuristic_chunk ~elems
 
 let heading fmt =
   Printf.ksprintf
@@ -25,7 +25,7 @@ let heading fmt =
 
 let row fmt = Printf.printf fmt
 
-let gbps ~elems (r : E.result) = 4. *. Float.of_int elems /. r.E.makespan /. 1e9
+let gbps ~elems (r : E.result) = Blink.algbw_gbps ~elems r
 
 let time_fabric fabric prog =
   E.run ~resources:(Fabric.resources fabric) prog
@@ -55,19 +55,15 @@ let nccl_all_reduce ?(mbytes = 500.) server ~gpus fabric =
   let prog, _ = Ring.all_reduce spec ~elems ~channels in
   gbps ~elems (time_fabric fabric prog)
 
-(* Simulator-backed AllReduce cost functions for the training model. *)
-let blink_backend handle =
-  Blink_dnn.Training.memoized_backend ~label:"blink" (fun bytes ->
-      let elems = max 64 (int_of_float (bytes /. 4.)) in
-      let prog, _ =
-        Blink.all_reduce ~chunk_elems:(chunk_for elems) handle ~elems
-      in
-      (Blink.time handle prog).E.makespan)
+(* Simulator-backed AllReduce cost functions for the training model. The
+   Blink side goes through the handle's compiled-plan cache; the ring
+   baseline has no plan layer, so it keeps the generic memoizer. *)
+let blink_backend handle = Blink_dnn.Training.plan_backend handle
 
 let nccl_backend server ~gpus fabric =
   let channels = Ring.nccl_channels server ~gpus in
   Blink_dnn.Training.memoized_backend ~label:"nccl" (fun bytes ->
-      let elems = max 64 (int_of_float (bytes /. 4.)) in
+      let elems = max 64 (int_of_float (bytes /. Blink_dnn.Training.bytes_per_elem)) in
       let spec = Codegen.spec ~chunk_elems:(chunk_for elems) fabric in
       let prog, _ = Ring.all_reduce spec ~elems ~channels in
       (time_fabric fabric prog).E.makespan)

@@ -11,6 +11,7 @@ module Server = Blink_topology.Server
 module Alloc = Blink_topology.Alloc
 module Fabric = Blink_topology.Fabric
 module Blink = Blink_core.Blink
+module Plan = Blink_core.Plan
 module Treegen = Blink_core.Treegen
 module Ring = Blink_baselines.Ring
 module Codegen = Blink_collectives.Codegen
@@ -134,16 +135,19 @@ let collective_arg =
 
 let bench server gpus collective mbytes =
   let handle = Blink.create server ~gpus in
-  let elems = int_of_float (mbytes *. 1e6 /. 4.) in
-  let chunk = max 256 (min 262_144 (elems / 16)) in
-  let blink_prog, _ =
+  let elems = int_of_float (mbytes *. 1e6 /. Blink.bytes_per_elem) in
+  let chunk = Blink.heuristic_chunk ~elems in
+  let plan_collective =
     match collective with
-    | `Broadcast -> Blink.broadcast ~chunk_elems:chunk handle ~elems
-    | `All_reduce -> Blink.all_reduce ~chunk_elems:chunk handle ~elems
-    | `Gather -> Blink.gather ~chunk_elems:chunk handle ~elems
-    | `All_gather -> Blink.all_gather ~chunk_elems:chunk handle ~elems
+    | `Broadcast -> Plan.Broadcast
+    | `All_reduce -> Plan.All_reduce
+    | `Gather -> Plan.Gather
+    | `All_gather -> Plan.All_gather
   in
-  let blink = Blink.algbw_gbps ~elems (Blink.time handle blink_prog) in
+  let plan = Blink.plan ~chunk_elems:chunk handle plan_collective ~elems in
+  let blink =
+    Blink.algbw_gbps ~elems (Plan.execute ~data:false plan).Plan.timing
+  in
   Format.printf "blink: %.1f GB/s@." blink;
   if server.Server.nvswitch = None then begin
     let channels = Ring.nccl_channels server ~gpus in
@@ -177,18 +181,14 @@ let model_arg =
 let train server gpus model =
   let handle = Blink.create server ~gpus in
   let fabric = Blink.fabric handle in
-  let chunk elems = max 256 (min 262_144 (elems / 16)) in
-  let blink_backend =
-    Training.memoized_backend ~label:"blink" (fun bytes ->
-        let elems = max 64 (int_of_float (bytes /. 4.)) in
-        let prog, _ = Blink.all_reduce ~chunk_elems:(chunk elems) handle ~elems in
-        (Blink.time handle prog).Blink_sim.Engine.makespan)
-  in
+  let blink_backend = Training.plan_backend handle in
   let channels = Ring.nccl_channels server ~gpus in
   let nccl_backend =
     Training.memoized_backend ~label:"nccl" (fun bytes ->
-        let elems = max 64 (int_of_float (bytes /. 4.)) in
-        let spec = Codegen.spec ~chunk_elems:(chunk elems) fabric in
+        let elems = max 64 (int_of_float (bytes /. Training.bytes_per_elem)) in
+        let spec =
+          Codegen.spec ~chunk_elems:(Blink.heuristic_chunk ~elems) fabric
+        in
         let prog, _ = Ring.all_reduce spec ~elems ~channels in
         (Blink.time handle prog).Blink_sim.Engine.makespan)
   in

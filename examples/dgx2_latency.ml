@@ -7,6 +7,7 @@
 
 module Server = Blink_topology.Server
 module Blink = Blink_core.Blink
+module Plan = Blink_core.Plan
 module Ring = Blink_baselines.Ring
 module Dbtree = Blink_baselines.Dbtree
 module Codegen = Blink_collectives.Codegen
@@ -23,12 +24,13 @@ let () =
   List.iter
     (fun kb ->
       let elems = max 16 (kb * 256) in
-      let chunk = max 256 (min 262_144 (elems / 16)) in
+      let chunk = Blink.heuristic_chunk ~elems in
       let spec = Codegen.spec ~chunk_elems:chunk fabric in
-      let bp, _ = Blink.all_reduce ~chunk_elems:chunk handle ~elems in
+      let bplan = Blink.plan ~chunk_elems:chunk handle Plan.All_reduce ~elems in
       let dp, _ = Dbtree.all_reduce spec ~elems in
       let rp, _ = Ring.all_reduce spec ~elems ~channels:rings in
       let lat p = (Blink.time handle p).E.makespan *. 1e6 in
-      Format.printf "%8dKB %13.0fus %13.0fus %13.0fus@." kb (lat bp) (lat dp) (lat rp))
+      let blat = Plan.seconds (Plan.execute ~data:false bplan) *. 1e6 in
+      Format.printf "%8dKB %13.0fus %13.0fus %13.0fus@." kb blat (lat dp) (lat rp))
     [ 4; 16; 64; 256; 1024 ];
   Format.printf "@.(throughput crossover for large buffers: run `bench/main.exe fig19`)@."

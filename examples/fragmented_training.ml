@@ -17,9 +17,7 @@ module Training = Blink_dnn.Training
 
 (* Pick a fragmented slice from a simulated cluster: a per-server piece of
    3-7 GPUs whose NVLink graph is connected (Blink's requirement). *)
-let fragmented_allocation () =
-  let jobs = Scheduler.generate_trace ~seed:11 ~n_jobs:20_000 () in
-  let stats = Scheduler.simulate ~servers:64 jobs in
+let fragmented_allocation stats =
   let candidate =
     List.find_map
       (fun p ->
@@ -44,7 +42,20 @@ let fragmented_allocation () =
   | None -> [| 1; 4; 5; 6 |]
 
 let () =
-  let gpus = fragmented_allocation () in
+  let jobs = Scheduler.generate_trace ~seed:11 ~n_jobs:20_000 () in
+  let stats = Scheduler.simulate ~servers:64 jobs in
+
+  (* What the whole trace's fragments are capable of: one compiled plan
+     per slice shape covers thousands of placements. *)
+  Format.printf "per-server slices of multi-GPU jobs (one compiled plan per shape):@.";
+  List.iter
+    (fun p ->
+      Format.printf "  %d GPUs: %5d slices, Blink AllReduce %.1f GB/s@."
+        p.Scheduler.size p.Scheduler.count p.Scheduler.all_reduce_gbps)
+    (Scheduler.profile_slices stats);
+  Format.printf "@.";
+
+  let gpus = fragmented_allocation stats in
   Format.printf "scheduler handed us GPUs {%s} of a DGX-1V@."
     (String.concat "," (List.map string_of_int (Array.to_list gpus)));
 
@@ -62,17 +73,14 @@ let () =
   let chunk elems = max 256 (min 262_144 (elems / 16)) in
   let nccl_backend =
     Training.memoized_backend ~label:"nccl" (fun bytes ->
-        let elems = max 64 (int_of_float (bytes /. 4.)) in
+        let elems = max 64 (int_of_float (bytes /. Training.bytes_per_elem)) in
         let spec = Codegen.spec ~chunk_elems:(chunk elems) fabric in
         let prog, _ = Ring.all_reduce spec ~elems ~channels in
         (Blink.time handle prog).Blink_sim.Engine.makespan)
   in
-  let blink_backend =
-    Training.memoized_backend ~label:"blink" (fun bytes ->
-        let elems = max 64 (int_of_float (bytes /. 4.)) in
-        let prog, _ = Blink.all_reduce ~chunk_elems:(chunk elems) handle ~elems in
-        (Blink.time handle prog).Blink_sim.Engine.makespan)
-  in
+  (* The Blink side goes through the handle's compiled-plan cache: each
+     gradient-bucket size compiles once, every later iteration replays. *)
+  let blink_backend = Training.plan_backend handle in
   Format.printf "%-10s %14s %14s %12s %12s@." "model" "NCCL iter(ms)"
     "Blink iter(ms)" "time saved" "comm hidden";
   List.iter

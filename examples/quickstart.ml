@@ -6,6 +6,7 @@
 
 module Server = Blink_topology.Server
 module Blink = Blink_core.Blink
+module Plan = Blink_core.Plan
 module Treegen = Blink_core.Treegen
 module Ring = Blink_baselines.Ring
 module Codegen = Blink_collectives.Codegen
@@ -25,33 +26,42 @@ let () =
   Format.printf "broadcast rate %.1f GB/s, all-reduce rate %.1f GB/s@."
     (Blink.rate handle) (Blink.all_reduce_rate handle);
 
-  (* Generate an AllReduce program for a 100 MB gradient buffer. *)
+  (* Compile an AllReduce plan for a 100 MB gradient buffer — generated
+     once per allocation, replayed every iteration. *)
   let elems = 25_000_000 in
-  let prog, layout = Blink.all_reduce handle ~elems in
+  let plan = Blink.plan ~chunk_elems:262_144 handle Plan.All_reduce ~elems in
   Format.printf "CodeGen: %d ops over %d streams@."
-    (Blink_sim.Program.n_ops prog)
-    (Blink_sim.Program.n_streams prog);
+    (Blink_sim.Program.n_ops plan.Plan.program)
+    (Blink_sim.Program.n_streams plan.Plan.program);
 
-  (* Verify the schedule's semantics on real buffers (small slice). *)
+  (* Verify the schedule's semantics on real buffers (small slice):
+     Plan.execute runs the data-replay and timing passes over the same
+     program instance. *)
   let small = 10_000 in
-  let vprog, vlayout = Blink.all_reduce ~chunk_elems:1_000 handle ~elems:small in
-  let mem = Sem.memory_of_program vprog in
-  Array.iteri
-    (fun r _ ->
-      Sem.write mem ~node:r ~buf:vlayout.Codegen.data.(r)
-        (Array.init small (fun i -> Float.of_int ((i + r) mod 7))))
-    gpus;
-  Sem.run vprog mem;
-  let got = Sem.read mem ~node:0 ~buf:vlayout.Codegen.data.(0) in
+  let vplan = Blink.plan ~chunk_elems:1_000 handle Plan.All_reduce ~elems:small in
+  let exec =
+    Plan.execute
+      ~load:(fun mem layout ->
+        Array.iteri
+          (fun r _ ->
+            Sem.write mem ~node:r ~buf:layout.Codegen.data.(r)
+              (Array.init small (fun i -> Float.of_int ((i + r) mod 7))))
+          gpus)
+      vplan
+  in
+  let mem = Option.get exec.Plan.memory in
+  let got = Sem.read mem ~node:0 ~buf:vplan.Plan.layout.Codegen.data.(0) in
   let expect i =
     Float.of_int (((i + 0) mod 7) + ((i + 1) mod 7) + ((i + 2) mod 7) + ((i + 3) mod 7))
   in
   assert (Array.for_all Fun.id (Array.mapi (fun i x -> x = expect i) got));
   Format.printf "semantics: every rank holds the element-wise sum ✓@.";
 
-  (* Time Blink vs the ring baseline on the simulated interconnect. *)
-  ignore layout;
-  let blink = Blink.algbw_gbps ~elems (Blink.time handle prog) in
+  (* Time Blink vs the ring baseline on the simulated interconnect; the
+     big plan only needs the timing pass. *)
+  let blink =
+    Blink.algbw_gbps ~elems (Plan.execute ~data:false plan).Plan.timing
+  in
   let channels = Ring.nccl_channels Server.dgx1v ~gpus in
   let spec = Codegen.spec (Blink.fabric handle) in
   let nccl_prog, _ = Ring.all_reduce spec ~elems ~channels in

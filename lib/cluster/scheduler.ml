@@ -112,3 +112,59 @@ let fraction stats g =
   let total = Array.fold_left ( + ) 0 stats.per_server_counts in
   if total = 0 then 0.
   else Float.of_int stats.per_server_counts.(g - 1) /. Float.of_int total
+
+(* ------------------------------------------------------------------ *)
+(* Communication capability of the fragments, via the compiled-plan layer *)
+
+module Server = Blink_topology.Server
+module Alloc = Blink_topology.Alloc
+module Blink = Blink_core.Blink
+module Plan = Blink_core.Plan
+
+type slice_profile = { size : int; count : int; all_reduce_gbps : float }
+
+(* Lexicographically-least NVLink-connected allocation of size [g] (any
+   subset works on NVSwitch machines). *)
+let representative_alloc server g =
+  let n = server.Server.n_gpus in
+  if g > n then None
+  else if server.Server.nvswitch <> None then
+    Some (Array.init g Fun.id)
+  else begin
+    let rec subsets lo size =
+      if size = 0 then Seq.return []
+      else
+        Seq.concat
+          (Seq.map
+             (fun first ->
+               Seq.map (fun rest -> first :: rest) (subsets (first + 1) (size - 1)))
+             (Seq.init (n - lo - size + 1) (fun i -> lo + i)))
+    in
+    Seq.find
+      (fun gpus -> Alloc.nvlink_connected server gpus)
+      (subsets 0 g)
+    |> Option.map Array.of_list
+  end
+
+let profile_slices ?(server = Server.dgx1v) ?(elems = 4_000_000) stats =
+  List.filter_map
+    (fun g ->
+      let count = stats.per_server_counts.(g - 1) in
+      if count = 0 then None
+      else
+        match representative_alloc server g with
+        | None -> Some { size = g; count; all_reduce_gbps = 0. }
+        | Some gpus ->
+            (* One handle and one compiled plan per slice *shape*: every
+               further slice of this size in the trace would replay it. *)
+            let handle = Blink.create server ~gpus in
+            let plan =
+              Blink.plan ~chunk_elems:(Blink.heuristic_chunk ~elems) handle
+                Plan.All_reduce ~elems
+            in
+            let gbps =
+              Blink.algbw_gbps ~elems
+                (Plan.execute ~data:false plan).Plan.timing
+            in
+            Some { size = g; count; all_reduce_gbps = gbps })
+    [ 2; 3; 4; 5; 6; 7; 8 ]

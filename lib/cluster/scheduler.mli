@@ -36,3 +36,23 @@ val simulate : ?servers:int -> job list -> stats
 val fraction : stats -> int -> float
 (** Fraction of multi-GPU-job slices with the given per-server GPU count
     (1-8). *)
+
+type slice_profile = {
+  size : int;  (** per-server slice size (2-8) *)
+  count : int;  (** occurrences of that slice size in the trace *)
+  all_reduce_gbps : float;
+      (** simulated Blink AllReduce algorithm bandwidth on a
+          representative NVLink-connected allocation of that size
+          ([0.] when no connected allocation exists) *)
+}
+
+val profile_slices :
+  ?server:Blink_topology.Server.t -> ?elems:int -> stats -> slice_profile list
+(** Attach a communication capability to figure 3's fragmentation
+    histogram through the compiled-plan layer: for each multi-GPU slice
+    size present in the trace, compile {e one} Blink plan
+    ({!Blink_core.Blink.plan}) on a representative allocation and report
+    its simulated AllReduce bandwidth — thousands of trace slices share a
+    handful of compiled plans, the paper's plan-once/run-always split at
+    cluster scale. [server] defaults to the DGX-1V; [elems] (default 4M
+    fp32) sizes the probed buffer. *)

@@ -13,6 +13,8 @@ type plan_kind =
   | Packed of { directed : Treegen.packing; undirected : Treegen.packing }
   | One_hop of float  (* aggregate rate, GB/s *)
 
+type cache_stats = { hits : int; misses : int }
+
 type t = {
   server : Server.t;
   fabric : Fabric.t;
@@ -20,6 +22,15 @@ type t = {
   kind : plan_kind;
   root : int;
   chunk_cache : (int, int) Hashtbl.t;  (* log2 size class -> MIAD chunk *)
+  (* Compiled-plan cache: one entry per (collective, elems, chunk) key, so
+     repeated collectives at the same size skip tree extraction, codegen
+     and tuning — the paper's generate-once / run-every-iteration split. *)
+  plans : (Plan.collective * int * int, Plan.t) Hashtbl.t;
+  mutable plan_hits : int;
+  mutable plan_misses : int;
+  (* Tree extraction from the packings is pure; memoize it per handle. *)
+  mutable bcast_trees : Tree.weighted list option;
+  mutable ar_trees : Tree.weighted list option;
 }
 
 let trees_of_packing g (p : Treegen.packing) =
@@ -54,12 +65,18 @@ let create ?root ?epsilon ?threshold server ~gpus =
   let fabric = Fabric.of_server server ~gpus in
   let graph = Server.nvlink_digraph server ~gpus in
   let k = Array.length gpus in
+  let fresh kind root =
+    { server; fabric; graph; kind; root;
+      chunk_cache = Hashtbl.create 8;
+      plans = Hashtbl.create 16;
+      plan_hits = 0; plan_misses = 0;
+      bcast_trees = None; ar_trees = None }
+  in
   match server.Server.nvswitch with
   | Some kind ->
       let rate = 6. *. Blink_topology.Link.bandwidth kind in
       let root = Option.value root ~default:0 in
-      { server; fabric; graph; kind = One_hop rate; root;
-        chunk_cache = Hashtbl.create 8 }
+      fresh (One_hop rate) root
   | None ->
       let root =
         match root with Some r -> r | None -> Treegen.best_root graph
@@ -79,8 +96,7 @@ let create ?root ?epsilon ?threshold server ~gpus =
             (List.length directed.Treegen.trees)
             undirected.Treegen.rate
             (List.length undirected.Treegen.trees));
-      { server; fabric; graph; kind = Packed { directed; undirected }; root;
-        chunk_cache = Hashtbl.create 8 }
+      fresh (Packed { directed; undirected }) root
 
 let fabric t = t.fabric
 let server t = t.server
@@ -100,15 +116,30 @@ let all_reduce_rate t =
   match t.kind with Packed p -> p.undirected.Treegen.rate | One_hop r -> r
 
 let broadcast_trees t =
-  match t.kind with
-  | Packed p -> trees_of_packing t.graph p.directed
-  | One_hop _ ->
-      [ { Tree.tree = one_hop_tree ~n_ranks:(n_ranks t) ~root:t.root; share = 1. } ]
+  match t.bcast_trees with
+  | Some trees -> trees
+  | None ->
+      let trees =
+        match t.kind with
+        | Packed p -> trees_of_packing t.graph p.directed
+        | One_hop _ ->
+            [ { Tree.tree = one_hop_tree ~n_ranks:(n_ranks t) ~root:t.root;
+                share = 1. } ]
+      in
+      t.bcast_trees <- Some trees;
+      trees
 
 let all_reduce_trees t =
-  match t.kind with
-  | Packed p -> trees_of_packing t.graph p.undirected
-  | One_hop _ -> one_hop_trees ~n_ranks:(n_ranks t)
+  match t.ar_trees with
+  | Some trees -> trees
+  | None ->
+      let trees =
+        match t.kind with
+        | Packed p -> trees_of_packing t.graph p.undirected
+        | One_hop _ -> one_hop_trees ~n_ranks:(n_ranks t)
+      in
+      t.ar_trees <- Some trees;
+      trees
 
 let spec ?chunk_elems ?stream_reuse t =
   Codegen.spec ?chunk_elems ?stream_reuse t.fabric
@@ -140,8 +171,12 @@ let reduce_scatter ?chunk_elems ?stream_reuse t ~elems =
 let time ?policy t prog =
   Engine.run ?policy ~resources:(Fabric.resources t.fabric) prog
 
-let algbw_gbps ~elems result =
-  4. *. Float.of_int elems /. result.Engine.makespan /. 1e9
+let bytes_per_elem = 4.
+
+let algbw_gbps ?(bytes_per_elem = bytes_per_elem) ~elems result =
+  bytes_per_elem *. Float.of_int elems /. result.Engine.makespan /. 1e9
+
+let heuristic_chunk ~elems = max 256 (min 262_144 (elems / 16))
 
 let tune_chunk ?(elems = 67_108_864) t =
   let measure ~chunk_elems =
@@ -160,7 +195,7 @@ let tuned_chunk t ~elems =
   | None ->
       (* Probe at a representative size of the class, starting from a
          size-proportional initial chunk. *)
-      let init = max 256 (min 262_144 (elems / 16)) in
+      let init = heuristic_chunk ~elems in
       let measure ~chunk_elems =
         let prog, _ = all_reduce ~chunk_elems t ~elems in
         algbw_gbps ~elems (time t prog)
@@ -168,3 +203,33 @@ let tuned_chunk t ~elems =
       let result = Chunking.tune ~init ~measure () in
       Hashtbl.replace t.chunk_cache size_class result.Chunking.chosen;
       result.Chunking.chosen
+
+(* ------------------------------------------------------------------ *)
+(* Compiled-plan cache *)
+
+let trees_for t (c : Plan.collective) =
+  match c with
+  | Plan.All_reduce | Plan.Reduce_scatter -> all_reduce_trees t
+  | Plan.Broadcast | Plan.Reduce | Plan.Gather | Plan.All_gather ->
+      broadcast_trees t
+
+let plan ?chunk_elems t collective ~elems =
+  let chunk =
+    match chunk_elems with Some c -> c | None -> tuned_chunk t ~elems
+  in
+  let key = (collective, elems, chunk) in
+  match Hashtbl.find_opt t.plans key with
+  | Some plan ->
+      t.plan_hits <- t.plan_hits + 1;
+      plan
+  | None ->
+      t.plan_misses <- t.plan_misses + 1;
+      let spec = Codegen.spec ~chunk_elems:chunk t.fabric in
+      let plan =
+        Plan.build collective ~spec ~root:t.root ~elems
+          ~trees:(trees_for t collective)
+      in
+      Hashtbl.replace t.plans key plan;
+      plan
+
+let plan_cache_stats t = { hits = t.plan_hits; misses = t.plan_misses }

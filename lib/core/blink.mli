@@ -4,10 +4,10 @@
 
     {[
       let handle = Blink.create Blink_topology.Server.dgx1v ~gpus:[| 1; 4; 5; 6 |] in
-      let prog, _ = Blink.all_reduce handle ~elems:125_000_000 () in
-      let result = Blink.time handle prog in
+      let plan = Blink.plan handle Plan.All_reduce ~elems:125_000_000 in
+      let exec = Plan.execute ~data:false plan in
       Format.printf "AllReduce: %.1f GB/s@."
-        (Blink.algbw_gbps ~elems:125_000_000 result)
+        (Blink.algbw_gbps ~elems:125_000_000 exec.Plan.timing)
     ]} *)
 
 type t
@@ -87,15 +87,46 @@ val reduce_scatter :
 (** Segment [r] of every buffer reduced into rank [r]'s buffer (NCCL
     in-place convention over a [n_ranks]-segment buffer). *)
 
+(** {2 Compiled plans}
+
+    The paper's plan/execute split: {!plan} compiles (or fetches from the
+    handle's cache) a {!Plan.t} for a [(collective, elems, chunk)] key;
+    repeated collectives at the same size reuse the compiled program
+    instead of re-running tree extraction, codegen and MIAD tuning. *)
+
+val plan : ?chunk_elems:int -> t -> Plan.collective -> elems:int -> Plan.t
+(** Cached compilation. When [chunk_elems] is omitted the MIAD-tuned
+    chunk for the size class is used ({!tuned_chunk}); tuning runs only
+    on the first miss for that class. The returned plan is shared: two
+    calls with the same key return the same instance. *)
+
+type cache_stats = { hits : int; misses : int }
+
+val plan_cache_stats : t -> cache_stats
+(** Lifetime hit/miss counters of this handle's plan cache (fresh handles
+    start at zero — the cache is invalidated-by-construction per
+    handle/allocation). *)
+
 (** {2 Timing} *)
 
 val time :
   ?policy:Blink_sim.Engine.policy -> t -> Blink_sim.Program.t ->
   Blink_sim.Engine.result
 
-val algbw_gbps : elems:int -> Blink_sim.Engine.result -> float
-(** Algorithm bandwidth: buffer bytes (4 per element) divided by makespan,
-    in GB/s — the paper's throughput metric. *)
+val bytes_per_elem : float
+(** Element width assumed throughout (fp32 = 4 bytes): the single knob a
+    future dtype change turns, shared with the DNN training model. *)
+
+val algbw_gbps :
+  ?bytes_per_elem:float -> elems:int -> Blink_sim.Engine.result -> float
+(** Algorithm bandwidth: buffer bytes ([bytes_per_elem], default
+    {!bytes_per_elem}, per element) divided by makespan, in GB/s — the
+    paper's throughput metric. *)
+
+val heuristic_chunk : elems:int -> int
+(** Size-proportional chunk policy ([elems/16] clamped to [256 ..
+    262144]): the uniform default used by benchmarks and as the MIAD
+    tuner's starting point. *)
 
 val tune_chunk : ?elems:int -> t -> Chunking.result
 (** Run the MIAD chunk-size autotuner against simulated AllReduce

@@ -6,6 +6,7 @@ type t = { blink : Blink.t }
 let init ?root server ~gpus = { blink = Blink.create ?root server ~gpus }
 let n_ranks t = Blink.n_ranks t.blink
 let handle t = t.blink
+let plan_cache_stats t = Blink.plan_cache_stats t.blink
 
 type 'a result = { value : 'a; seconds : float }
 
@@ -20,15 +21,14 @@ let check_inputs t inputs =
     inputs;
   len
 
-(* Common driver: generate, load inputs, replay semantics, time. *)
-let execute t ~elems ~load ~extract gen =
-  let chunk = Blink.tuned_chunk t.blink ~elems in
-  let prog, layout = gen ~chunk_elems:chunk in
-  let mem = Sem.memory_of_program prog in
-  load mem layout;
-  Sem.run prog mem;
-  let seconds = (Blink.time t.blink prog).Blink_sim.Engine.makespan in
-  { value = extract mem layout; seconds }
+(* Common driver: fetch the compiled plan (cache hit on every repeat at
+   the same size), then run its single program instance through both the
+   timing and data-replay passes. *)
+let execute t ~elems ~load ~extract collective =
+  let plan = Blink.plan t.blink collective ~elems in
+  let exec = Plan.execute ~load plan in
+  let mem = Option.get exec.Plan.memory in
+  { value = extract mem plan.Plan.layout; seconds = Plan.seconds exec }
 
 let load_all inputs mem (layout : Codegen.layout) =
   Array.iteri
@@ -44,7 +44,7 @@ let all_reduce t inputs =
   execute t ~elems
     ~load:(load_all inputs)
     ~extract:(fun mem layout -> Array.init k (read_data mem layout))
-    (fun ~chunk_elems -> Blink.all_reduce ~chunk_elems t.blink ~elems)
+    Plan.All_reduce
 
 let broadcast t input =
   let elems = Array.length input in
@@ -54,7 +54,7 @@ let broadcast t input =
     ~load:(fun mem layout ->
       Sem.write mem ~node:root ~buf:layout.Codegen.data.(root) input)
     ~extract:(fun mem layout -> Array.init k (read_data mem layout))
-    (fun ~chunk_elems -> Blink.broadcast ~chunk_elems t.blink ~elems)
+    Plan.Broadcast
 
 let reduce t inputs =
   let elems = check_inputs t inputs in
@@ -62,7 +62,7 @@ let reduce t inputs =
   execute t ~elems
     ~load:(load_all inputs)
     ~extract:(fun mem layout -> read_data mem layout root)
-    (fun ~chunk_elems -> Blink.reduce ~chunk_elems t.blink ~elems)
+    Plan.Reduce
 
 let output_buffer (layout : Codegen.layout) r =
   match layout.Codegen.output with
@@ -76,7 +76,7 @@ let gather t inputs =
     ~load:(load_all inputs)
     ~extract:(fun mem layout ->
       Sem.read mem ~node:root ~buf:(output_buffer layout root))
-    (fun ~chunk_elems -> Blink.gather ~chunk_elems t.blink ~elems)
+    Plan.Gather
 
 let all_gather t inputs =
   let elems = check_inputs t inputs in
@@ -85,7 +85,7 @@ let all_gather t inputs =
     ~load:(load_all inputs)
     ~extract:(fun mem layout ->
       Array.init k (fun r -> Sem.read mem ~node:r ~buf:(output_buffer layout r)))
-    (fun ~chunk_elems -> Blink.all_gather ~chunk_elems t.blink ~elems)
+    Plan.All_gather
 
 let reduce_scatter t inputs =
   let elems = check_inputs t inputs in
@@ -98,4 +98,4 @@ let reduce_scatter t inputs =
           let off = r * elems / k in
           let stop = (r + 1) * elems / k in
           Array.sub full off (stop - off)))
-    (fun ~chunk_elems -> Blink.reduce_scatter ~chunk_elems t.blink ~elems)
+    Plan.Reduce_scatter

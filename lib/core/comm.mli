@@ -4,11 +4,12 @@
 
     The paper ships Blink as an NCCL-compatible shared library loaded with
     LD_PRELOAD; this module is that surface for the simulated substrate.
-    Each call plans (once, cached on the communicator), generates the
-    program, replays its memory semantics over the supplied buffers, and
-    times it with the discrete-event engine. Chunk sizes come from the
-    MIAD autotuner, cached per size class, like Blink tuning during a
-    job's first iterations.
+    Each call fetches a compiled {!Plan.t} from the communicator's plan
+    cache — compiling (codegen + MIAD chunk tuning) only on the first
+    call at a given size — then executes the plan's single program
+    instance through both the data-replay and timing passes
+    ({!Plan.execute}). Chunk sizes come from the MIAD autotuner, cached
+    per size class, like Blink tuning during a job's first iterations.
 
     All rank buffers of a call must have equal length. Results are
     returned functionally; inputs are never mutated. *)
@@ -22,6 +23,9 @@ val init :
 val n_ranks : t -> int
 val handle : t -> Blink.t
 (** The underlying planner handle (trees, rates, fabric). *)
+
+val plan_cache_stats : t -> Blink.cache_stats
+(** Hit/miss counters of the communicator's compiled-plan cache. *)
 
 type 'a result = { value : 'a; seconds : float }
 (** A collective's output plus its simulated execution time. *)

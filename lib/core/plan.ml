@@ -1,0 +1,72 @@
+module Codegen = Blink_collectives.Codegen
+module Scatter = Blink_collectives.Scatter
+module Fabric = Blink_topology.Fabric
+module Engine = Blink_sim.Engine
+module Sem = Blink_sim.Semantics
+
+type collective =
+  | All_reduce
+  | Broadcast
+  | Reduce
+  | Gather
+  | All_gather
+  | Reduce_scatter
+
+let collective_name = function
+  | All_reduce -> "all_reduce"
+  | Broadcast -> "broadcast"
+  | Reduce -> "reduce"
+  | Gather -> "gather"
+  | All_gather -> "all_gather"
+  | Reduce_scatter -> "reduce_scatter"
+
+type t = {
+  collective : collective;
+  elems : int;
+  chunk_elems : int;
+  root : int;
+  n_ranks : int;
+  program : Blink_sim.Program.t;
+  layout : Codegen.layout;
+  trees : Blink_collectives.Tree.weighted list;
+  resources : Engine.resource array;
+}
+
+let build collective ~spec ~root ~elems ~trees =
+  let program, layout =
+    match collective with
+    | All_reduce -> Codegen.all_reduce spec ~elems ~trees
+    | Broadcast -> Codegen.broadcast spec ~root ~elems ~trees
+    | Reduce -> Codegen.reduce spec ~root ~elems ~trees
+    | Gather -> Codegen.gather spec ~root ~elems ~trees
+    | All_gather -> Codegen.all_gather spec ~root ~elems ~trees
+    | Reduce_scatter -> Scatter.reduce_scatter spec ~elems ~trees
+  in
+  {
+    collective;
+    elems;
+    chunk_elems = spec.Codegen.chunk_elems;
+    root;
+    n_ranks = Fabric.n_ranks spec.Codegen.fabric;
+    program;
+    layout;
+    trees;
+    resources = Fabric.resources spec.Codegen.fabric;
+  }
+
+type execution = { timing : Engine.result; memory : Sem.memory option }
+
+let execute ?policy ?(data = true) ?load t =
+  let timing = Engine.run ?policy ~resources:t.resources t.program in
+  let memory =
+    if not data then None
+    else begin
+      let mem = Sem.memory_of_program t.program in
+      (match load with Some f -> f mem t.layout | None -> ());
+      Sem.run t.program mem;
+      Some mem
+    end
+  in
+  { timing; memory }
+
+let seconds e = e.timing.Engine.makespan

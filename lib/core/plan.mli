@@ -1,0 +1,70 @@
+(** Compiled collective plans: the plan/execute split of the paper.
+
+    Blink's pitch is that topology-aware plans are generated {e once per
+    GPU allocation} (probe, TreeGen, CodeGen, chunk tuning) and then
+    reused for every training iteration. A {!t} is that compiled
+    artifact: the generated program, its buffer layout, the tree set it
+    was built from, and the fabric resources it runs on, for one
+    [(collective, elems, chunk_elems)] key.
+
+    Building a plan is the expensive, amortized path ({!build} runs
+    CodeGen); executing one is the hot path ({!execute} replays the same
+    program instance through the event-driven timing engine and,
+    optionally, the dataflow semantics). {!Blink.plan} maintains a
+    per-handle cache of these so repeated collectives at the same size
+    skip tree extraction, codegen and tuning entirely. *)
+
+type collective =
+  | All_reduce
+  | Broadcast
+  | Reduce
+  | Gather
+  | All_gather
+  | Reduce_scatter
+
+val collective_name : collective -> string
+(** Lower-case label, e.g. ["all_reduce"] — for logs and bench output. *)
+
+type t = {
+  collective : collective;
+  elems : int;  (** per-rank buffer length the program was generated for *)
+  chunk_elems : int;  (** pipeline chunk size baked into the program *)
+  root : int;  (** root rank for rooted collectives *)
+  n_ranks : int;
+  program : Blink_sim.Program.t;
+  layout : Blink_collectives.Codegen.layout;
+  trees : Blink_collectives.Tree.weighted list;
+  resources : Blink_sim.Engine.resource array;
+}
+
+val build :
+  collective ->
+  spec:Blink_collectives.Codegen.spec ->
+  root:int ->
+  elems:int ->
+  trees:Blink_collectives.Tree.weighted list ->
+  t
+(** Run CodeGen once for the collective over the given weighted trees.
+    [spec] carries the chunk size and fabric; [root] is ignored by
+    root-less collectives ([All_reduce], [Reduce_scatter]) but still
+    recorded. *)
+
+type execution = {
+  timing : Blink_sim.Engine.result;
+  memory : Blink_sim.Semantics.memory option;
+      (** [Some] unless executed with [~data:false] *)
+}
+
+val execute :
+  ?policy:Blink_sim.Engine.policy ->
+  ?data:bool ->
+  ?load:(Blink_sim.Semantics.memory -> Blink_collectives.Codegen.layout -> unit) ->
+  t ->
+  execution
+(** Run the plan's single program instance through both passes: the
+    event-driven timing engine, and the dataflow replay over fresh
+    buffers ([load] fills them first). [~data:false] skips the replay —
+    the fast path for timing-only users; [load] is then ignored. *)
+
+val seconds : execution -> float
+(** The simulated makespan of the execution. *)

@@ -1,4 +1,10 @@
+module Blink = Blink_core.Blink
+module Plan = Blink_core.Plan
+
 type backend = { label : string; all_reduce_seconds : float -> float }
+
+(* Gradient element width: the one knob shared with Blink.algbw_gbps. *)
+let bytes_per_elem = Blink.bytes_per_elem
 
 type iteration = {
   compute_ms : float;
@@ -27,7 +33,8 @@ let iteration ?gpu_gen ?(overlap = true) model backend =
   List.iter
     (fun (b, ready_ms) ->
       let cost_ms =
-        backend.all_reduce_seconds (4. *. Float.of_int b.Models.params) *. 1e3
+        backend.all_reduce_seconds (bytes_per_elem *. Float.of_int b.Models.params)
+        *. 1e3
       in
       comm_ms := !comm_ms +. cost_ms;
       let start = if overlap then Float.max ready_ms !comm_done else !comm_done in
@@ -64,5 +71,18 @@ let memoized_backend ~label cost =
         let t = cost bytes in
         Hashtbl.replace cache bytes t;
         t
+  in
+  { label; all_reduce_seconds }
+
+let plan_backend ?(label = "blink") ?chunk_elems handle =
+  let all_reduce_seconds bytes =
+    let elems = max 64 (int_of_float (bytes /. bytes_per_elem)) in
+    let chunk_elems =
+      match chunk_elems with
+      | Some c -> c
+      | None -> Blink.heuristic_chunk ~elems
+    in
+    let plan = Blink.plan ~chunk_elems handle Plan.All_reduce ~elems in
+    Plan.seconds (Plan.execute ~data:false plan)
   in
   { label; all_reduce_seconds }

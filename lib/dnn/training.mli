@@ -38,7 +38,22 @@ val speedup_percent : baseline:iteration -> iteration -> float
 val comm_reduction_percent : baseline:iteration -> iteration -> float
 (** Percentage reduction in exposed communication time vs the baseline. *)
 
+val bytes_per_elem : float
+(** Gradient element width used to convert parameter counts to AllReduce
+    byte sizes — aliased from {!Blink_core.Blink.bytes_per_elem} so a
+    future dtype change has one knob. *)
+
 val memoized_backend :
   label:string -> (float -> float) -> backend
 (** Wrap an expensive per-size cost function (e.g. a simulator run) with a
-    cache keyed on byte size. *)
+    cache keyed on byte size — for backends without a plan cache of their
+    own (the NCCL-style baselines). Blink backends should use
+    {!plan_backend} instead. *)
+
+val plan_backend :
+  ?label:string -> ?chunk_elems:int -> Blink_core.Blink.t -> backend
+(** A Blink AllReduce cost function backed by the handle's compiled-plan
+    cache ({!Blink_core.Blink.plan}): each distinct bucket size compiles
+    once; every later iteration replays the cached plan through the
+    timing-only fast path. [chunk_elems] defaults to
+    {!Blink_core.Blink.heuristic_chunk} for the bucket size. *)

@@ -61,6 +61,30 @@ let test_histogram_counts_multi_gpu_only () =
   in
   Alcotest.(check int) "histogram covers multi-gpu slices" multi_slices slices
 
+let test_profile_slices () =
+  (* The plan-layer bridge: one compiled plan per slice shape, with a
+     positive simulated AllReduce bandwidth whenever a connected
+     allocation of that size exists. *)
+  let profiles = S.profile_slices ~elems:100_000 stats in
+  Alcotest.(check bool) "some shapes profiled" true (profiles <> []);
+  List.iter
+    (fun p ->
+      Alcotest.(check bool) "multi-gpu sizes only" true
+        (p.S.size >= 2 && p.S.size <= 8);
+      Alcotest.(check int) "count matches histogram"
+        stats.S.per_server_counts.(p.S.size - 1) p.S.count;
+      Alcotest.(check bool)
+        (Printf.sprintf "size %d has bandwidth (%.1f GB/s)" p.S.size
+           p.S.all_reduce_gbps)
+        true
+        (p.S.all_reduce_gbps > 0.))
+    profiles;
+  (* Sizes absent from the trace are absent from the profile. *)
+  List.iter
+    (fun p ->
+      Alcotest.(check bool) "only populated sizes" true (p.S.count > 0))
+    profiles
+
 let () =
   Alcotest.run "cluster"
     [
@@ -75,5 +99,6 @@ let () =
           Alcotest.test_case "fragmentation occurs" `Quick test_fragmentation_occurs;
           Alcotest.test_case "fractions normalized" `Quick test_fractions_normalized;
           Alcotest.test_case "histogram scope" `Quick test_histogram_counts_multi_gpu_only;
+          Alcotest.test_case "slice comm profile" `Quick test_profile_slices;
         ] );
     ]

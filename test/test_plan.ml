@@ -1,0 +1,180 @@
+(* The compiled-plan layer: plans are built once per (collective, size,
+   chunk) key, cached per handle, and replayed through one Plan.execute
+   entry point for both timing and data. *)
+
+module Server = Blink_topology.Server
+module Blink = Blink_core.Blink
+module Plan = Blink_core.Plan
+module Comm = Blink_core.Comm
+module Codegen = Blink_collectives.Codegen
+module Sem = Blink_sim.Semantics
+
+let inputs k elems =
+  Array.init k (fun r ->
+      Array.init elems (fun i -> Float.of_int (((i * 3) + (r * 7)) mod 11)))
+
+let sum_of k elems =
+  let acc = Array.make elems 0. in
+  Array.iter (Array.iteri (fun i x -> acc.(i) <- acc.(i) +. x)) (inputs k elems);
+  acc
+
+let array_eq a b =
+  Array.length a = Array.length b
+  && Array.for_all Fun.id (Array.mapi (fun i x -> Float.abs (x -. b.(i)) < 1e-6) a)
+
+let gpus = [| 1; 4; 5; 6 |]
+
+let test_repeated_calls_hit_cache () =
+  let c = Comm.init Server.dgx1v ~gpus in
+  let elems = 2_000 in
+  let { Blink.hits; misses } = Comm.plan_cache_stats c in
+  Alcotest.(check int) "fresh handle: no hits" 0 hits;
+  Alcotest.(check int) "fresh handle: no misses" 0 misses;
+  let ins = inputs 4 elems in
+  let first = Comm.all_reduce c ins in
+  let { Blink.hits; misses } = Comm.plan_cache_stats c in
+  Alcotest.(check int) "first call misses" 1 misses;
+  Alcotest.(check int) "first call does not hit" 0 hits;
+  let n = 10 in
+  let want = sum_of 4 elems in
+  for _ = 2 to n do
+    let { Comm.value; seconds } = Comm.all_reduce c ins in
+    (* Replays of the cached plan return identical results and times. *)
+    Alcotest.(check (float 1e-12)) "same simulated time" first.Comm.seconds
+      seconds;
+    Array.iter
+      (fun got -> Alcotest.(check bool) "same sums" true (array_eq want got))
+      value
+  done;
+  let { Blink.hits; misses } = Comm.plan_cache_stats c in
+  Alcotest.(check int) "later calls all hit" (n - 1) hits;
+  Alcotest.(check int) "no further compilation" 1 misses
+
+let test_distinct_sizes_miss () =
+  let c = Comm.init Server.dgx1v ~gpus in
+  ignore (Comm.all_reduce c (inputs 4 1_000));
+  ignore (Comm.all_reduce c (inputs 4 2_000));
+  ignore (Comm.all_reduce c (inputs 4 3_000));
+  let { Blink.hits; misses } = Comm.plan_cache_stats c in
+  Alcotest.(check int) "one miss per size" 3 misses;
+  Alcotest.(check int) "no cross-size hits" 0 hits
+
+let test_distinct_collectives_miss () =
+  let h = Blink.create Server.dgx1v ~gpus in
+  let elems = 1_000 in
+  let a = Blink.plan ~chunk_elems:256 h Plan.All_reduce ~elems in
+  let b = Blink.plan ~chunk_elems:256 h Plan.Broadcast ~elems in
+  Alcotest.(check bool) "different programs" true (a != b);
+  let { Blink.misses; _ } = Blink.plan_cache_stats h in
+  Alcotest.(check int) "two misses" 2 misses
+
+let test_cached_plan_is_shared_instance () =
+  let h = Blink.create Server.dgx1v ~gpus in
+  let a = Blink.plan ~chunk_elems:512 h Plan.All_reduce ~elems:4_000 in
+  let b = Blink.plan ~chunk_elems:512 h Plan.All_reduce ~elems:4_000 in
+  (* Physical equality: the second call re-ran neither treegen nor
+     codegen — it returned the very same compiled artifact. *)
+  Alcotest.(check bool) "same plan instance" true (a == b);
+  Alcotest.(check bool) "same program instance" true
+    (a.Plan.program == b.Plan.program)
+
+let test_fresh_handle_fresh_cache () =
+  (* Invalidated-by-construction: a new handle (new allocation) shares
+     nothing with the old one. *)
+  let h1 = Blink.create Server.dgx1v ~gpus in
+  ignore (Blink.plan ~chunk_elems:512 h1 Plan.All_reduce ~elems:4_000);
+  let h2 = Blink.create Server.dgx1v ~gpus in
+  let { Blink.hits; misses } = Blink.plan_cache_stats h2 in
+  Alcotest.(check int) "fresh hits" 0 hits;
+  Alcotest.(check int) "fresh misses" 0 misses;
+  ignore (Blink.plan ~chunk_elems:512 h2 Plan.All_reduce ~elems:4_000);
+  let { Blink.misses; _ } = Blink.plan_cache_stats h2 in
+  Alcotest.(check int) "recompiles on the new handle" 1 misses
+
+let test_timing_only_fast_path () =
+  let h = Blink.create Server.dgx1v ~gpus in
+  let plan = Blink.plan ~chunk_elems:512 h Plan.All_reduce ~elems:2_000 in
+  let fast = Plan.execute ~data:false plan in
+  Alcotest.(check bool) "no memory allocated" true (fast.Plan.memory = None);
+  let full = Plan.execute plan in
+  Alcotest.(check bool) "memory allocated" true (full.Plan.memory <> None);
+  (* Both passes consume the same program instance, so timing agrees. *)
+  Alcotest.(check (float 1e-12)) "same makespan" (Plan.seconds fast)
+    (Plan.seconds full)
+
+let test_execute_load_and_replay () =
+  let h = Blink.create Server.dgx1v ~gpus in
+  let elems = 1_500 in
+  let plan = Blink.plan ~chunk_elems:256 h Plan.All_reduce ~elems in
+  let exec =
+    Plan.execute
+      ~load:(fun mem layout ->
+        Array.iteri
+          (fun r buf -> Sem.write mem ~node:r ~buf:layout.Codegen.data.(r) buf)
+          (inputs 4 elems))
+      plan
+  in
+  let mem = Option.get exec.Plan.memory in
+  let want = sum_of 4 elems in
+  for r = 0 to 3 do
+    Alcotest.(check bool)
+      (Printf.sprintf "rank %d sum" r)
+      true
+      (array_eq want (Sem.read mem ~node:r ~buf:plan.Plan.layout.Codegen.data.(r)))
+  done
+
+let test_tuned_chunk_does_not_pollute_cache () =
+  (* Plans requested without an explicit chunk trigger MIAD tuning; the
+     tuning probes run outside the plan cache, so the cache still records
+     exactly one miss. *)
+  let h = Blink.create Server.dgx1v ~gpus in
+  ignore (Blink.plan h Plan.All_reduce ~elems:100_000);
+  let { Blink.misses; _ } = Blink.plan_cache_stats h in
+  Alcotest.(check int) "one miss despite tuning" 1 misses;
+  ignore (Blink.plan h Plan.All_reduce ~elems:100_000);
+  let { Blink.hits; misses } = Blink.plan_cache_stats h in
+  Alcotest.(check int) "second call hits" 1 hits;
+  Alcotest.(check int) "still one miss" 1 misses
+
+let test_all_collectives_build () =
+  let h = Blink.create Server.dgx1v ~gpus in
+  List.iter
+    (fun c ->
+      let plan = Blink.plan ~chunk_elems:512 h c ~elems:1_000 in
+      Alcotest.(check string) "collective recorded"
+        (Plan.collective_name c)
+        (Plan.collective_name plan.Plan.collective);
+      Alcotest.(check bool)
+        (Plan.collective_name c ^ " times")
+        true
+        (Plan.seconds (Plan.execute ~data:false plan) > 0.))
+    [ Plan.All_reduce; Plan.Broadcast; Plan.Reduce; Plan.Gather;
+      Plan.All_gather; Plan.Reduce_scatter ]
+
+let () =
+  Alcotest.run "plan"
+    [
+      ( "cache",
+        [
+          Alcotest.test_case "repeated calls hit" `Quick
+            test_repeated_calls_hit_cache;
+          Alcotest.test_case "distinct sizes miss" `Quick
+            test_distinct_sizes_miss;
+          Alcotest.test_case "distinct collectives miss" `Quick
+            test_distinct_collectives_miss;
+          Alcotest.test_case "cached plan is shared" `Quick
+            test_cached_plan_is_shared_instance;
+          Alcotest.test_case "per-handle invalidation" `Quick
+            test_fresh_handle_fresh_cache;
+          Alcotest.test_case "tuning stays out of cache" `Quick
+            test_tuned_chunk_does_not_pollute_cache;
+        ] );
+      ( "execute",
+        [
+          Alcotest.test_case "timing-only fast path" `Quick
+            test_timing_only_fast_path;
+          Alcotest.test_case "load and replay" `Quick
+            test_execute_load_and_replay;
+          Alcotest.test_case "all collectives" `Quick test_all_collectives_build;
+        ] );
+    ]

@@ -188,6 +188,38 @@ let test_engine_policies () =
     (unfair.E.finish.(last1') >= fair.E.finish.(last1) -. 1e-9);
   check_time "same total work" fair.E.makespan unfair.E.makespan
 
+let test_engine_stream_priority_beats_arrival_order () =
+  (* A scenario where the two policies demonstrably pick different ops
+     from the waiting queue. One lane; a long transfer A (stream 0)
+     occupies it while two one-byte transfers queue behind it: B (the
+     HIGHER-numbered stream) arrives at t=2, C (the LOWER-numbered
+     stream) at t=4. `Fair serves the queue by arrival time (B first);
+     `Stream_priority serves by stream number (C first). *)
+  let resources = one_link ~bandwidth:1. () in
+  let build () =
+    let p = P.create () in
+    let s_a = P.fresh_stream p in
+    let s_c = P.fresh_stream p in
+    let s_b = P.fresh_stream p in
+    ignore (P.add p ~stream:s_a (transfer ~bytes:10. 0));
+    (* Delays gate the queued transfers' ready times without touching the
+       link; stream order makes each transfer wait for its delay. *)
+    ignore (P.add p ~stream:s_b (P.Delay { seconds = 2. }));
+    let b = P.add p ~stream:s_b (transfer ~bytes:1. 0) in
+    ignore (P.add p ~stream:s_c (P.Delay { seconds = 4. }));
+    let c = P.add p ~stream:s_c (transfer ~bytes:1. 0) in
+    (p, b, c)
+  in
+  let p, b, c = build () in
+  let fair = E.run ~policy:`Fair ~resources p in
+  check_time "fair: earlier arrival (B) served first" 11. fair.E.finish.(b);
+  check_time "fair: C runs second" 12. fair.E.finish.(c);
+  let p, b, c = build () in
+  let prio = E.run ~policy:`Stream_priority ~resources p in
+  check_time "priority: lower stream (C) served first" 11. prio.E.finish.(c);
+  check_time "priority: B runs second" 12. prio.E.finish.(b);
+  check_time "same makespan either way" fair.E.makespan prio.E.makespan
+
 let test_engine_validation () =
   let p = P.create () in
   let s = P.fresh_stream p in
@@ -272,6 +304,8 @@ let () =
           Alcotest.test_case "delay" `Quick test_engine_delay_and_compute;
           Alcotest.test_case "pipeline formula" `Quick test_engine_pipeline_formula;
           Alcotest.test_case "policies" `Quick test_engine_policies;
+          Alcotest.test_case "stream priority vs fair" `Quick
+            test_engine_stream_priority_beats_arrival_order;
           Alcotest.test_case "validation" `Quick test_engine_validation;
         ] );
       ( "semantics",
