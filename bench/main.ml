@@ -105,7 +105,16 @@ let plan_cache_suite () =
   let t_replay, _ = wall (fun () -> Plan.execute plan) in
   Util.row "  per call: plan lookup %.3f ms, timing pass %.1f ms, \
             timing+data passes %.1f ms\n"
-    (t_plan_hit *. 1e3) (t_timing *. 1e3) (t_replay *. 1e3)
+    (t_plan_hit *. 1e3) (t_timing *. 1e3) (t_replay *. 1e3);
+  (* Dump the communicator's telemetry registry — the same counters the
+     rows above summarize — as a machine-readable artifact for CI. *)
+  let out = "BENCH_plan_cache.json" in
+  let oc = open_out out in
+  output_string oc
+    (Blink_telemetry.Telemetry.metrics_json_string (Comm.telemetry c));
+  output_char oc '\n';
+  close_out oc;
+  Util.row "  telemetry snapshot written to %s\n" out
 
 (* ------------------------------------------------------------------ *)
 

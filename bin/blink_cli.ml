@@ -1,9 +1,11 @@
 (* blink: command-line front end.
 
-   $ blink topo  --server dgx1v --gpus 1,4,5,6
-   $ blink plan  --server dgx1v --gpus 1,4,5,6 --undirected
-   $ blink bench --server dgx1v --gpus 1,4,5,6 --collective allreduce --mbytes 500
-   $ blink train --server dgx1v --gpus 1,4,5,6 --model resnet50
+   $ blink topo    --server dgx1v --gpus 1,4,5,6
+   $ blink plan    --server dgx1v --gpus 1,4,5,6 --undirected
+   $ blink bench   --server dgx1v --gpus 1,4,5,6 --collective allreduce --mbytes 500
+   $ blink train   --server dgx1v --gpus 1,4,5,6 --model resnet50
+   $ blink trace   all_reduce --server dgx1v --gpus 1,4,5,6
+   $ blink metrics --server dgx1v --gpus 1,4,5,6 --runs 3
    $ blink cluster --jobs 40000 --servers 64 *)
 
 open Cmdliner
@@ -13,6 +15,7 @@ module Fabric = Blink_topology.Fabric
 module Blink = Blink_core.Blink
 module Plan = Blink_core.Plan
 module Treegen = Blink_core.Treegen
+module Telemetry = Blink_telemetry.Telemetry
 module Ring = Blink_baselines.Ring
 module Codegen = Blink_collectives.Codegen
 module Models = Blink_dnn.Models
@@ -209,43 +212,108 @@ let train_cmd =
   Cmd.v (Cmd.info "train" ~doc:"Model a data-parallel training iteration")
     Term.(const train $ server_arg $ gpus_arg $ model_arg)
 
-(* ------------------------------- trace ------------------------------- *)
+(* --------------------------- trace / metrics --------------------------- *)
 
-let trace server gpus collective mbytes out =
-  let handle = Blink.create server ~gpus in
-  let elems = int_of_float (mbytes *. 1e6 /. 4.) in
-  let chunk = max 256 (min 262_144 (elems / 16)) in
-  let prog, _ =
-    match collective with
-    | `Broadcast -> Blink.broadcast ~chunk_elems:chunk handle ~elems
-    | `All_reduce -> Blink.all_reduce ~chunk_elems:chunk handle ~elems
-    | `Gather -> Blink.gather ~chunk_elems:chunk handle ~elems
-    | `All_gather -> Blink.all_gather ~chunk_elems:chunk handle ~elems
+let plan_collective_conv =
+  let parse = function
+    | "all_reduce" | "allreduce" -> Ok Plan.All_reduce
+    | "broadcast" -> Ok Plan.Broadcast
+    | "reduce" -> Ok Plan.Reduce
+    | "gather" -> Ok Plan.Gather
+    | "all_gather" | "allgather" -> Ok Plan.All_gather
+    | "reduce_scatter" | "reducescatter" -> Ok Plan.Reduce_scatter
+    | s ->
+        Error
+          (`Msg
+            (Printf.sprintf
+               "unknown collective %S \
+                (all_reduce|broadcast|reduce|gather|all_gather|reduce_scatter)"
+               s))
   in
-  let result = Blink.time handle prog in
+  Arg.conv (parse, fun ppf c -> Format.pp_print_string ppf (Plan.collective_name c))
+
+let trace_collective_arg =
+  Arg.(value & pos 0 plan_collective_conv Plan.All_reduce
+       & info [] ~docv:"COLLECTIVE"
+           ~doc:"all_reduce|broadcast|reduce|gather|all_gather|reduce_scatter")
+
+let small_mbytes_arg =
+  Arg.(value & opt float 64. & info [ "mbytes" ] ~docv:"MB"
+       ~doc:"Buffer size in MB.")
+
+(* Full pipeline under one tracing telemetry handle: handle creation runs
+   TreeGen, the uncached plan lookup runs MIAD tuning + CodeGen, and the
+   execute replays the program through the engine — so the exported
+   timeline carries the planning spans (wall clock) next to the engine's
+   per-op slices (simulated time). *)
+let trace collective server gpus mbytes out =
+  let telemetry = Telemetry.create ~trace:true () in
+  let handle = Blink.create ~telemetry server ~gpus in
+  let elems = int_of_float (mbytes *. 1e6 /. Blink.bytes_per_elem) in
+  let plan = Blink.plan handle collective ~elems in
+  let exec = Plan.execute ~data:false plan in
+  let result = exec.Plan.timing in
   let resources = Fabric.resources (Blink.fabric handle) in
-  Format.printf "makespan %.3f ms (%.1f GB/s)@."
+  Format.printf "%s of %.0f MB: makespan %.3f ms (%.1f GB/s), chunk %d elems@."
+    (Plan.collective_name collective) mbytes
     (result.Blink_sim.Engine.makespan *. 1e3)
-    (Blink.algbw_gbps ~elems result);
+    (Blink.algbw_gbps ~elems result)
+    plan.Plan.chunk_elems;
   List.iteri
     (fun i u ->
       if i < 5 then
         Format.printf "  resource %d: %.0f%% utilized@." u.Blink_sim.Trace.resource
           (100. *. u.Blink_sim.Trace.fraction))
     (Blink_sim.Trace.utilizations ~resources result);
-  let path = Blink_sim.Trace.critical_path prog result in
-  Format.printf "critical path: %d spans@." (List.length path);
   let oc = open_out out in
-  output_string oc (Blink_sim.Trace.to_chrome_json prog result);
+  output_string oc (Telemetry.chrome_json telemetry);
   close_out oc;
-  Format.printf "chrome trace written to %s (load in chrome://tracing)@." out
+  Format.printf
+    "chrome trace written to %s (load in Perfetto / chrome://tracing): \
+     planning spans on the wall-clock track, engine ops on the \
+     simulated-time track@."
+    out
 
 let trace_cmd =
   Cmd.v
-    (Cmd.info "trace" ~doc:"Time a collective and export a Chrome trace")
-    Term.(const trace $ server_arg $ gpus_arg $ collective_arg $ mbytes_arg
+    (Cmd.info "trace"
+       ~doc:"Run the full plan+execute pipeline and export a merged Chrome trace")
+    Term.(const trace $ trace_collective_arg $ server_arg $ gpus_arg
+          $ small_mbytes_arg
           $ Arg.(value & opt string "blink_trace.json"
                  & info [ "out" ] ~docv:"FILE" ~doc:"Output JSON path."))
+
+let metrics collective server gpus mbytes runs out =
+  let telemetry = Telemetry.create () in
+  let handle = Blink.create ~telemetry server ~gpus in
+  let elems = int_of_float (mbytes *. 1e6 /. Blink.bytes_per_elem) in
+  for _ = 1 to max 1 runs do
+    let plan = Blink.plan handle collective ~elems in
+    ignore (Plan.execute ~data:false plan)
+  done;
+  let stats = Blink.plan_cache_stats handle in
+  Format.eprintf "%d runs of %s: plan cache %d hits / %d misses@."
+    runs (Plan.collective_name collective) stats.Blink.hits stats.Blink.misses;
+  let json = Telemetry.metrics_json_string telemetry in
+  match out with
+  | None -> print_string json; print_newline ()
+  | Some path ->
+      let oc = open_out path in
+      output_string oc json;
+      close_out oc;
+      Format.eprintf "metrics snapshot written to %s@." path
+
+let metrics_cmd =
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:"Run a collective repeatedly and print the telemetry metrics snapshot")
+    Term.(const metrics $ trace_collective_arg $ server_arg $ gpus_arg
+          $ small_mbytes_arg
+          $ Arg.(value & opt int 3 & info [ "runs" ] ~docv:"N"
+                 ~doc:"Plan+execute repetitions (repeats hit the plan cache).")
+          $ Arg.(value & opt (some string) None
+                 & info [ "out" ] ~docv:"FILE"
+                     ~doc:"Write the JSON here instead of stdout."))
 
 (* ------------------------------ cluster ------------------------------ *)
 
@@ -275,4 +343,8 @@ let () =
     Cmd.info "blink" ~version:"1.0.0"
       ~doc:"Fast and generic collectives for distributed ML (MLSYS 2020 reproduction)"
   in
-  exit (Cmd.eval (Cmd.group info [ topo_cmd; plan_cmd; bench_cmd; train_cmd; trace_cmd; cluster_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ topo_cmd; plan_cmd; bench_cmd; train_cmd; trace_cmd; metrics_cmd;
+            cluster_cmd ]))

@@ -120,6 +120,8 @@ module Server = Blink_topology.Server
 module Alloc = Blink_topology.Alloc
 module Blink = Blink_core.Blink
 module Plan = Blink_core.Plan
+module Telemetry = Blink_telemetry.Telemetry
+module Json = Blink_telemetry.Json
 
 type slice_profile = { size : int; count : int; all_reduce_gbps : float }
 
@@ -146,25 +148,46 @@ let representative_alloc server g =
     |> Option.map Array.of_list
   end
 
-let profile_slices ?(server = Server.dgx1v) ?(elems = 4_000_000) stats =
+let profile_slices ?(server = Server.dgx1v) ?(elems = 4_000_000)
+    ?(telemetry = Telemetry.disabled) stats =
   List.filter_map
     (fun g ->
       let count = stats.per_server_counts.(g - 1) in
       if count = 0 then None
       else
-        match representative_alloc server g with
-        | None -> Some { size = g; count; all_reduce_gbps = 0. }
-        | Some gpus ->
-            (* One handle and one compiled plan per slice *shape*: every
-               further slice of this size in the trace would replay it. *)
-            let handle = Blink.create server ~gpus in
-            let plan =
-              Blink.plan ~chunk_elems:(Blink.heuristic_chunk ~elems) handle
-                Plan.All_reduce ~elems
-            in
-            let gbps =
-              Blink.algbw_gbps ~elems
-                (Plan.execute ~data:false plan).Plan.timing
-            in
-            Some { size = g; count; all_reduce_gbps = gbps })
+        let span_start = Telemetry.now_s telemetry in
+        let profile =
+          match representative_alloc server g with
+          | None -> { size = g; count; all_reduce_gbps = 0. }
+          | Some gpus ->
+              (* One handle and one compiled plan per slice *shape*: every
+                 further slice of this size in the trace would replay it.
+                 The per-size handle shares the caller's telemetry, so one
+                 registry aggregates the whole profiling sweep. *)
+              let handle = Blink.create ~telemetry server ~gpus in
+              let plan =
+                Blink.plan ~chunk_elems:(Blink.heuristic_chunk ~elems) handle
+                  Plan.All_reduce ~elems
+              in
+              let gbps =
+                Blink.algbw_gbps ~elems
+                  (Plan.execute ~data:false plan).Plan.timing
+              in
+              { size = g; count; all_reduce_gbps = gbps }
+        in
+        if Telemetry.enabled telemetry then begin
+          let labels = [ ("slice_size", string_of_int g) ] in
+          Telemetry.incr telemetry ~labels ~by:count "scheduler.slices";
+          Telemetry.set_gauge telemetry ~labels
+            "scheduler.slice.all_reduce_gbps" profile.all_reduce_gbps;
+          Telemetry.span telemetry ~cat:"scheduler" ~start:span_start
+            ~args:
+              [
+                ("slice_size", Json.int g);
+                ("count", Json.int count);
+                ("all_reduce_gbps", Json.float profile.all_reduce_gbps);
+              ]
+            (Printf.sprintf "scheduler.profile_slice_%d" g)
+        end;
+        Some profile)
     [ 2; 3; 4; 5; 6; 7; 8 ]

@@ -47,7 +47,11 @@ type slice_profile = {
 }
 
 val profile_slices :
-  ?server:Blink_topology.Server.t -> ?elems:int -> stats -> slice_profile list
+  ?server:Blink_topology.Server.t ->
+  ?elems:int ->
+  ?telemetry:Blink_telemetry.Telemetry.t ->
+  stats ->
+  slice_profile list
 (** Attach a communication capability to figure 3's fragmentation
     histogram through the compiled-plan layer: for each multi-GPU slice
     size present in the trace, compile {e one} Blink plan
@@ -55,4 +59,10 @@ val profile_slices :
     its simulated AllReduce bandwidth — thousands of trace slices share a
     handful of compiled plans, the paper's plan-once/run-always split at
     cluster scale. [server] defaults to the DGX-1V; [elems] (default 4M
-    fp32) sizes the probed buffer. *)
+    fp32) sizes the probed buffer.
+
+    [telemetry] (default disabled) is shared by every per-size Blink
+    handle, aggregating the whole sweep into one registry; per size it
+    also counts trace slices (["scheduler.slices"]), gauges the profiled
+    bandwidth and, when tracing, records a
+    ["scheduler.profile_slice_<g>"] span. *)

@@ -1,6 +1,8 @@
 module Program = Blink_sim.Program
 module Engine = Blink_sim.Engine
 module Fabric = Blink_topology.Fabric
+module Telemetry = Blink_telemetry.Telemetry
+module Json = Blink_telemetry.Json
 
 type spec = {
   fabric : Fabric.t;
@@ -8,12 +10,13 @@ type spec = {
   chunk_elems : int;
   stream_reuse : bool;
   elem_bytes : float;
+  telemetry : Telemetry.t;
 }
 
 let spec ?(cls = Fabric.Nv) ?(chunk_elems = 262_144) ?(stream_reuse = true)
-    ?(elem_bytes = 4.) fabric =
+    ?(elem_bytes = 4.) ?(telemetry = Telemetry.disabled) fabric =
   if chunk_elems <= 0 then invalid_arg "Codegen.spec: chunk_elems <= 0";
-  { fabric; cls; chunk_elems; stream_reuse; elem_bytes }
+  { fabric; cls; chunk_elems; stream_reuse; elem_bytes; telemetry }
 
 type layout = { data : int array; output : int array option }
 
@@ -55,6 +58,40 @@ let split_chunks ~chunk ~off ~len =
     end
   in
   go off len []
+
+(* Wrap one generator invocation: a wall-clock span plus ops/chunks
+   counters, all behind the spec's telemetry handle (a single match when
+   telemetry is disabled). *)
+let instrument spec ~name ~elems ~trees f =
+  let tel = spec.telemetry in
+  if not (Telemetry.enabled tel) then f ()
+  else begin
+    let t0 = Telemetry.now_s tel in
+    let (prog, _) as result = f () in
+    let ops = Program.n_ops prog in
+    let chunks =
+      List.fold_left
+        (fun acc (_, _, len) ->
+          if len <= 0 then acc
+          else acc + ((len + spec.chunk_elems - 1) / spec.chunk_elems))
+        0 (regions ~elems trees)
+    in
+    let labels = [ ("collective", name) ] in
+    Telemetry.incr tel ~labels "codegen.invocations";
+    Telemetry.incr tel ~labels ~by:ops "codegen.ops";
+    Telemetry.incr tel ~labels ~by:chunks "codegen.chunks";
+    Telemetry.span tel ~cat:"codegen" ~start:t0
+      ~args:
+        [
+          ("ops", Json.int ops);
+          ("chunks", Json.int chunks);
+          ("elems", Json.int elems);
+          ("chunk_elems", Json.int spec.chunk_elems);
+          ("trees", Json.int (List.length trees));
+        ]
+      ("codegen." ^ name);
+    result
+  end
 
 let edge_streams spec ctx ~tree_idx ~src ~dst ~flow =
   match
@@ -126,6 +163,7 @@ let emit_tree_reduce spec ctx ~tree_idx ~(tree : Tree.t) ~chunks ~data =
 
 let broadcast spec ~root ~elems ~trees =
   check_trees spec ~root:(Some root) ~trees;
+  instrument spec ~name:"broadcast" ~elems ~trees @@ fun () ->
   let ctx = Emit.create ~fabric:spec.fabric ~elem_bytes:spec.elem_bytes ~staging_elems:elems () in
   let data = declare_data ctx ~elems in
   List.iteri
@@ -145,6 +183,7 @@ let broadcast spec ~root ~elems ~trees =
 
 let reduce spec ~root ~elems ~trees =
   check_trees spec ~root:(Some root) ~trees;
+  instrument spec ~name:"reduce" ~elems ~trees @@ fun () ->
   let ctx = Emit.create ~fabric:spec.fabric ~elem_bytes:spec.elem_bytes ~staging_elems:elems () in
   let data = declare_data ctx ~elems in
   List.iteri
@@ -158,6 +197,7 @@ let reduce spec ~root ~elems ~trees =
 
 let all_reduce spec ~elems ~trees =
   check_trees spec ~root:None ~trees;
+  instrument spec ~name:"all_reduce" ~elems ~trees @@ fun () ->
   let ctx = Emit.create ~fabric:spec.fabric ~elem_bytes:spec.elem_bytes ~staging_elems:elems () in
   let data = declare_data ctx ~elems in
   List.iteri
@@ -239,6 +279,7 @@ let emit_gather spec ctx ~root ~elems ~trees ~data ~out =
 
 let gather spec ~root ~elems ~trees =
   check_trees spec ~root:(Some root) ~trees;
+  instrument spec ~name:"gather" ~elems ~trees @@ fun () ->
   let k = Fabric.n_ranks spec.fabric in
   let total = k * elems in
   let ctx = Emit.create ~fabric:spec.fabric ~elem_bytes:spec.elem_bytes ~staging_elems:total () in
@@ -251,6 +292,7 @@ let gather spec ~root ~elems ~trees =
 
 let all_gather spec ~root ~elems ~trees =
   check_trees spec ~root:(Some root) ~trees;
+  instrument spec ~name:"all_gather" ~elems ~trees @@ fun () ->
   let k = Fabric.n_ranks spec.fabric in
   let total = k * elems in
   let ctx = Emit.create ~fabric:spec.fabric ~elem_bytes:spec.elem_bytes ~staging_elems:total () in

@@ -18,6 +18,8 @@ type spec = {
   chunk_elems : int;
   stream_reuse : bool;
   elem_bytes : float;
+  telemetry : Blink_telemetry.Telemetry.t;
+      (** instrumentation sink for every generator run against this spec *)
 }
 
 val spec :
@@ -25,10 +27,11 @@ val spec :
   ?chunk_elems:int ->
   ?stream_reuse:bool ->
   ?elem_bytes:float ->
+  ?telemetry:Blink_telemetry.Telemetry.t ->
   Blink_topology.Fabric.t ->
   spec
 (** Defaults: NVLink class, 1 MiB chunks (262144 fp32 elements), stream
-    reuse on, 4-byte elements. *)
+    reuse on, 4-byte elements, telemetry disabled. *)
 
 type layout = {
   data : int array;  (** rank -> data buffer id *)
@@ -79,6 +82,18 @@ val check_trees : spec -> root:int option -> trees:Tree.weighted list -> unit
 (** Validate tree shapes against the fabric (raises [Invalid_argument]):
     rank counts match, shares are positive, and when [root] is given every
     tree is rooted there. *)
+
+val instrument :
+  spec ->
+  name:string ->
+  elems:int ->
+  trees:Tree.weighted list ->
+  (unit -> Blink_sim.Program.t * 'a) ->
+  Blink_sim.Program.t * 'a
+(** Run one generator under the spec's telemetry: a ["codegen.<name>"]
+    span plus ops/chunks counters labelled by collective. Exactly the
+    thunk call when telemetry is disabled. Exposed for out-of-module
+    generators ({!Scatter}, baselines). *)
 
 (** {2 Low-level phase emitters}
 

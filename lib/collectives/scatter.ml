@@ -6,6 +6,7 @@ module Fabric = Blink_topology.Fabric
    spans all ranks. *)
 let reduce_scatter spec ~elems ~trees =
   Codegen.check_trees spec ~root:None ~trees;
+  Codegen.instrument spec ~name:"reduce_scatter" ~elems ~trees @@ fun () ->
   let k = Fabric.n_ranks spec.Codegen.fabric in
   let ctx =
     Emit.create ~fabric:spec.Codegen.fabric ~elem_bytes:spec.Codegen.elem_bytes

@@ -4,6 +4,7 @@ module Fabric = Blink_topology.Fabric
 module Tree = Blink_collectives.Tree
 module Codegen = Blink_collectives.Codegen
 module Engine = Blink_sim.Engine
+module Telemetry = Blink_telemetry.Telemetry
 
 let log_src = Logs.Src.create "blink" ~doc:"Blink planner facade"
 
@@ -21,13 +22,16 @@ type t = {
   graph : Digraph.t;
   kind : plan_kind;
   root : int;
+  telemetry : Telemetry.t;
   chunk_cache : (int, int) Hashtbl.t;  (* log2 size class -> MIAD chunk *)
   (* Compiled-plan cache: one entry per (collective, elems, chunk) key, so
      repeated collectives at the same size skip tree extraction, codegen
-     and tuning — the paper's generate-once / run-every-iteration split. *)
+     and tuning — the paper's generate-once / run-every-iteration split.
+     Hit/miss/eviction counters live in the telemetry registry so the
+     exporters and {!plan_cache_stats} read the same numbers. *)
   plans : (Plan.collective * int * int, Plan.t) Hashtbl.t;
-  mutable plan_hits : int;
-  mutable plan_misses : int;
+  plan_order : (Plan.collective * int * int) Queue.t;  (* FIFO for eviction *)
+  max_plans : int option;
   (* Tree extraction from the packings is pure; memoize it per handle. *)
   mutable bcast_trees : Tree.weighted list option;
   mutable ar_trees : Tree.weighted list option;
@@ -61,15 +65,24 @@ let one_hop_trees ~n_ranks =
   List.init n_ranks (fun root ->
       { Tree.tree = one_hop_tree ~n_ranks ~root; share })
 
-let create ?root ?epsilon ?threshold server ~gpus =
+let create ?root ?epsilon ?threshold ?telemetry ?max_cached_plans server
+    ~gpus =
+  let telemetry =
+    match telemetry with Some t -> t | None -> Telemetry.create ()
+  in
+  (match max_cached_plans with
+  | Some n when n <= 0 ->
+      invalid_arg "Blink.create: max_cached_plans must be positive"
+  | _ -> ());
   let fabric = Fabric.of_server server ~gpus in
   let graph = Server.nvlink_digraph server ~gpus in
   let k = Array.length gpus in
   let fresh kind root =
-    { server; fabric; graph; kind; root;
+    { server; fabric; graph; kind; root; telemetry;
       chunk_cache = Hashtbl.create 8;
       plans = Hashtbl.create 16;
-      plan_hits = 0; plan_misses = 0;
+      plan_order = Queue.create ();
+      max_plans = max_cached_plans;
       bcast_trees = None; ar_trees = None }
   in
   match server.Server.nvswitch with
@@ -81,12 +94,14 @@ let create ?root ?epsilon ?threshold server ~gpus =
       let root =
         match root with Some r -> r | None -> Treegen.best_root graph
       in
-      let directed = Treegen.plan ?epsilon ?threshold graph ~root in
+      let directed = Treegen.plan ?epsilon ?threshold ~telemetry graph ~root in
       if directed.Treegen.trees = [] && k > 1 then
         invalid_arg
           "Blink.create: allocation has no NVLink spanning structure from \
            the root (disconnected NVLink graph); use hybrid/PCIe transfers";
-      let undirected = Treegen.plan_undirected ?epsilon ?threshold graph ~root in
+      let undirected =
+        Treegen.plan_undirected ?epsilon ?threshold ~telemetry graph ~root
+      in
       Log.info (fun m ->
           m "%s gpus=[%s]: root gpu %d, broadcast %.1f GB/s (%d trees), \
              all-reduce %.1f GB/s (%d trees)"
@@ -101,6 +116,7 @@ let create ?root ?epsilon ?threshold server ~gpus =
 let fabric t = t.fabric
 let server t = t.server
 let root t = t.root
+let telemetry t = t.telemetry
 let n_ranks t = Fabric.n_ranks t.fabric
 
 let packing t =
@@ -142,7 +158,7 @@ let all_reduce_trees t =
       trees
 
 let spec ?chunk_elems ?stream_reuse t =
-  Codegen.spec ?chunk_elems ?stream_reuse t.fabric
+  Codegen.spec ?chunk_elems ?stream_reuse ~telemetry:t.telemetry t.fabric
 
 let broadcast ?chunk_elems ?stream_reuse t ~elems =
   Codegen.broadcast (spec ?chunk_elems ?stream_reuse t) ~root:t.root ~elems
@@ -169,7 +185,16 @@ let reduce_scatter ?chunk_elems ?stream_reuse t ~elems =
     ~elems ~trees:(all_reduce_trees t)
 
 let time ?policy t prog =
-  Engine.run ?policy ~resources:(Fabric.resources t.fabric) prog
+  Engine.run ?policy ~telemetry:t.telemetry
+    ~resources:(Fabric.resources t.fabric) prog
+
+(* Engine run without telemetry, for MIAD probe measurements: each probe
+   simulates the same interval of virtual time, so recording their op
+   slices would stack dozens of overlapping runs onto the engine tracks
+   of the Chrome export. The probes are still visible through the
+   [miad.*] metrics and span that [Chunking.tune] records. *)
+let time_quiet t prog =
+  Engine.run ~resources:(Fabric.resources t.fabric) prog
 
 let bytes_per_elem = 4.
 
@@ -181,9 +206,9 @@ let heuristic_chunk ~elems = max 256 (min 262_144 (elems / 16))
 let tune_chunk ?(elems = 67_108_864) t =
   let measure ~chunk_elems =
     let prog, _ = all_reduce ~chunk_elems t ~elems in
-    algbw_gbps ~elems (time t prog)
+    algbw_gbps ~elems (time_quiet t prog)
   in
-  Chunking.tune ~measure ()
+  Chunking.tune ~telemetry:t.telemetry ~measure ()
 
 let tuned_chunk t ~elems =
   let size_class =
@@ -198,9 +223,9 @@ let tuned_chunk t ~elems =
       let init = heuristic_chunk ~elems in
       let measure ~chunk_elems =
         let prog, _ = all_reduce ~chunk_elems t ~elems in
-        algbw_gbps ~elems (time t prog)
+        algbw_gbps ~elems (time_quiet t prog)
       in
-      let result = Chunking.tune ~init ~measure () in
+      let result = Chunking.tune ~init ~telemetry:t.telemetry ~measure () in
       Hashtbl.replace t.chunk_cache size_class result.Chunking.chosen;
       result.Chunking.chosen
 
@@ -213,6 +238,18 @@ let trees_for t (c : Plan.collective) =
   | Plan.Broadcast | Plan.Reduce | Plan.Gather | Plan.All_gather ->
       broadcast_trees t
 
+(* Bound the cache with FIFO eviction when [max_cached_plans] was given.
+   Keys are unique in [plan_order] because we only enqueue on a miss. *)
+let evict_if_full t =
+  match t.max_plans with
+  | None -> ()
+  | Some cap ->
+      while Hashtbl.length t.plans >= cap do
+        let oldest = Queue.pop t.plan_order in
+        Hashtbl.remove t.plans oldest;
+        Telemetry.incr t.telemetry "plan.cache.evictions"
+      done
+
 let plan ?chunk_elems t collective ~elems =
   let chunk =
     match chunk_elems with Some c -> c | None -> tuned_chunk t ~elems
@@ -220,16 +257,27 @@ let plan ?chunk_elems t collective ~elems =
   let key = (collective, elems, chunk) in
   match Hashtbl.find_opt t.plans key with
   | Some plan ->
-      t.plan_hits <- t.plan_hits + 1;
+      Telemetry.incr t.telemetry "plan.cache.hits";
       plan
   | None ->
-      t.plan_misses <- t.plan_misses + 1;
-      let spec = Codegen.spec ~chunk_elems:chunk t.fabric in
+      Telemetry.incr t.telemetry "plan.cache.misses";
+      evict_if_full t;
+      let spec =
+        Codegen.spec ~chunk_elems:chunk ~telemetry:t.telemetry t.fabric
+      in
       let plan =
         Plan.build collective ~spec ~root:t.root ~elems
           ~trees:(trees_for t collective)
       in
       Hashtbl.replace t.plans key plan;
+      Queue.push key t.plan_order;
       plan
 
-let plan_cache_stats t = { hits = t.plan_hits; misses = t.plan_misses }
+(* Kept as a thin wrapper: the counters now live in the telemetry
+   registry, so exporters and this accessor can never disagree. A handle
+   created with [Telemetry.disabled] reports zeros. *)
+let plan_cache_stats t =
+  {
+    hits = Telemetry.counter_value t.telemetry "plan.cache.hits";
+    misses = Telemetry.counter_value t.telemetry "plan.cache.misses";
+  }

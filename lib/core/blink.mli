@@ -16,6 +16,8 @@ val create :
   ?root:int ->
   ?epsilon:float ->
   ?threshold:float ->
+  ?telemetry:Blink_telemetry.Telemetry.t ->
+  ?max_cached_plans:int ->
   Blink_topology.Server.t ->
   gpus:int array ->
   t
@@ -23,12 +25,29 @@ val create :
     On NVLink machines this runs MWU packing + ILP minimization
     ({!Treegen.plan}) from [root] (default: the max-rate root). On
     NVSwitch machines (DGX-2) it uses the one-hop constructions of paper
-    section 3.5 instead. *)
+    section 3.5 instead.
+
+    [telemetry] (default: a fresh metrics-only
+    [Blink_telemetry.Telemetry.create ()]) is threaded through every
+    pipeline stage this handle drives — TreeGen, CodeGen, MIAD tuning,
+    the plan cache and the timing engine. Pass
+    [Telemetry.create ~trace:true ()] to also capture spans/slices for
+    the Chrome exporter, or [Telemetry.disabled] to strip all
+    instrumentation (then {!plan_cache_stats} reports zeros).
+
+    [max_cached_plans] bounds the compiled-plan cache; when full, the
+    oldest entry is evicted FIFO (counted as ["plan.cache.evictions"]).
+    Unbounded by default. Raises [Invalid_argument] if non-positive. *)
 
 val fabric : t -> Blink_topology.Fabric.t
 val server : t -> Blink_topology.Server.t
 val root : t -> int
 val n_ranks : t -> int
+
+val telemetry : t -> Blink_telemetry.Telemetry.t
+(** The handle's telemetry sink — read it to export metrics
+    ({!Blink_telemetry.Telemetry.metrics_json_string}) or traces
+    ({!Blink_telemetry.Telemetry.chrome_json}). *)
 
 val packing : t -> Treegen.packing option
 (** The directed (arborescence) packing used for one-to-many primitives
@@ -105,7 +124,10 @@ type cache_stats = { hits : int; misses : int }
 val plan_cache_stats : t -> cache_stats
 (** Lifetime hit/miss counters of this handle's plan cache (fresh handles
     start at zero — the cache is invalidated-by-construction per
-    handle/allocation). *)
+    handle/allocation). Served from the telemetry registry (series
+    ["plan.cache.hits"] / ["plan.cache.misses"]), so this accessor and
+    the JSON exporters always agree; a handle created with
+    [~telemetry:Telemetry.disabled] reports zeros. *)
 
 (** {2 Timing} *)
 

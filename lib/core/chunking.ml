@@ -1,14 +1,21 @@
+module Telemetry = Blink_telemetry.Telemetry
+module Json = Blink_telemetry.Json
+
 type step = { chunk_elems : int; throughput : float }
 type result = { chosen : int; trace : step list }
 
-let tune ?(init = 262_144) ?(grow = 2.0) ?shrink ?(max_iters = 16) ~measure () =
+let tune ?(init = 262_144) ?(grow = 2.0) ?shrink ?(max_iters = 16)
+    ?(telemetry = Telemetry.disabled) ~measure () =
   if init <= 0 then invalid_arg "Chunking.tune: init <= 0";
   if grow <= 1. then invalid_arg "Chunking.tune: grow <= 1";
   let shrink = Option.value shrink ~default:(max 1 (init / 2)) in
+  let span_start = Telemetry.now_s telemetry in
   let trace = ref [] in
   let probe chunk_elems =
     let throughput = measure ~chunk_elems in
     trace := { chunk_elems; throughput } :: !trace;
+    Telemetry.incr telemetry "miad.iterations";
+    Telemetry.observe telemetry "miad.probe_throughput_gbps" throughput;
     throughput
   in
   (* Multiplicative increase while throughput improves. *)
@@ -32,4 +39,14 @@ let tune ?(init = 262_144) ?(grow = 2.0) ?shrink ?(max_iters = 16) ~measure () =
   let t0 = probe init in
   let up_chunk, up_best = increase init t0 1 in
   let chosen, _ = decrease up_chunk up_best (List.length !trace) in
+  if Telemetry.enabled telemetry then begin
+    Telemetry.set_gauge telemetry "miad.chosen_chunk_elems" (Float.of_int chosen);
+    Telemetry.span telemetry ~cat:"miad" ~start:span_start
+      ~args:
+        [
+          ("probes", Json.int (List.length !trace));
+          ("chosen_chunk_elems", Json.int chosen);
+        ]
+      "miad.tune"
+  end;
   { chosen; trace = List.rev !trace }

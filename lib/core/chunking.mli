@@ -18,6 +18,7 @@ val tune :
   ?grow:float ->
   ?shrink:int ->
   ?max_iters:int ->
+  ?telemetry:Blink_telemetry.Telemetry.t ->
   measure:(chunk_elems:int -> float) ->
   unit ->
   result
@@ -25,4 +26,8 @@ val tune :
     GB/s) starting from [init] (default 262144 elements = 1 MiB of fp32),
     multiplying by [grow] (default 2.0) while improving, then stepping
     back by [shrink] elements (default [init/2]) until throughput stops
-    recovering. At most [max_iters] probes (default 16). *)
+    recovering. At most [max_iters] probes (default 16).
+
+    [telemetry] counts tuning iterations (["miad.iterations"]), observes
+    each probe's throughput and, when tracing, records a ["miad.tune"]
+    span. *)

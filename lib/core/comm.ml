@@ -3,9 +3,12 @@ module Sem = Blink_sim.Semantics
 
 type t = { blink : Blink.t }
 
-let init ?root server ~gpus = { blink = Blink.create ?root server ~gpus }
+let init ?root ?telemetry ?max_cached_plans server ~gpus =
+  { blink = Blink.create ?root ?telemetry ?max_cached_plans server ~gpus }
+
 let n_ranks t = Blink.n_ranks t.blink
 let handle t = t.blink
+let telemetry t = Blink.telemetry t.blink
 let plan_cache_stats t = Blink.plan_cache_stats t.blink
 
 type 'a result = { value : 'a; seconds : float }

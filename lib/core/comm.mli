@@ -17,12 +17,21 @@
 type t
 
 val init :
-  ?root:int -> Blink_topology.Server.t -> gpus:int array -> t
-(** Create a communicator over the allocation ([gpus.(i)] is rank [i]). *)
+  ?root:int ->
+  ?telemetry:Blink_telemetry.Telemetry.t ->
+  ?max_cached_plans:int ->
+  Blink_topology.Server.t ->
+  gpus:int array ->
+  t
+(** Create a communicator over the allocation ([gpus.(i)] is rank [i]).
+    [telemetry] and [max_cached_plans] are passed to {!Blink.create}. *)
 
 val n_ranks : t -> int
 val handle : t -> Blink.t
 (** The underlying planner handle (trees, rates, fabric). *)
+
+val telemetry : t -> Blink_telemetry.Telemetry.t
+(** The communicator's telemetry sink ({!Blink.telemetry}). *)
 
 val plan_cache_stats : t -> Blink.cache_stats
 (** Hit/miss counters of the communicator's compiled-plan cache. *)

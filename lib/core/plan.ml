@@ -3,6 +3,9 @@ module Scatter = Blink_collectives.Scatter
 module Fabric = Blink_topology.Fabric
 module Engine = Blink_sim.Engine
 module Sem = Blink_sim.Semantics
+module Trace = Blink_sim.Trace
+module Telemetry = Blink_telemetry.Telemetry
+module Json = Blink_telemetry.Json
 
 type collective =
   | All_reduce
@@ -30,9 +33,13 @@ type t = {
   layout : Codegen.layout;
   trees : Blink_collectives.Tree.weighted list;
   resources : Engine.resource array;
+  telemetry : Telemetry.t;
 }
 
 let build collective ~spec ~root ~elems ~trees =
+  let telemetry = spec.Codegen.telemetry in
+  let name = collective_name collective in
+  let span_start = Telemetry.now_s telemetry in
   let program, layout =
     match collective with
     | All_reduce -> Codegen.all_reduce spec ~elems ~trees
@@ -42,6 +49,10 @@ let build collective ~spec ~root ~elems ~trees =
     | All_gather -> Codegen.all_gather spec ~root ~elems ~trees
     | Reduce_scatter -> Scatter.reduce_scatter spec ~elems ~trees
   in
+  Telemetry.incr telemetry ~labels:[ ("collective", name) ] "plan.builds";
+  Telemetry.span telemetry ~cat:"plan" ~start:span_start
+    ~args:[ ("collective", Json.str name); ("elems", Json.int elems) ]
+    "plan.build";
   {
     collective;
     elems;
@@ -52,12 +63,16 @@ let build collective ~spec ~root ~elems ~trees =
     layout;
     trees;
     resources = Fabric.resources spec.Codegen.fabric;
+    telemetry;
   }
 
 type execution = { timing : Engine.result; memory : Sem.memory option }
 
-let execute ?policy ?(data = true) ?load t =
-  let timing = Engine.run ?policy ~resources:t.resources t.program in
+let execute ?policy ?telemetry ?(data = true) ?load t =
+  let telemetry = Option.value telemetry ~default:t.telemetry in
+  let name = collective_name t.collective in
+  let span_start = Telemetry.now_s telemetry in
+  let timing = Engine.run ?policy ~telemetry ~resources:t.resources t.program in
   let memory =
     if not data then None
     else begin
@@ -67,6 +82,35 @@ let execute ?policy ?(data = true) ?load t =
       Some mem
     end
   in
+  (* Fold the engine's post-mortem view into the registry: makespan
+     distribution plus per-resource busy time / utilization gauges from
+     [Trace.utilizations] — the paper's link-utilization lens, always on
+     when metrics are. Disabled telemetry takes none of these branches. *)
+  if Telemetry.enabled telemetry then begin
+    Telemetry.incr telemetry ~labels:[ ("collective", name) ] "plan.executes";
+    Telemetry.observe telemetry "plan.execute.makespan_s"
+      timing.Engine.makespan;
+    List.iter
+      (fun u ->
+        let labels = [ ("resource", string_of_int u.Trace.resource) ] in
+        Telemetry.set_gauge telemetry ~labels "engine.resource.busy_s"
+          u.Trace.busy;
+        Telemetry.set_gauge telemetry ~labels "engine.resource.utilization"
+          u.Trace.fraction)
+      (Trace.utilizations ~resources:t.resources timing);
+    (match Trace.bottleneck ~resources:t.resources timing with
+    | Some r -> Telemetry.set_gauge telemetry "engine.bottleneck_resource"
+                  (Float.of_int r)
+    | None -> ());
+    Telemetry.span telemetry ~cat:"plan" ~start:span_start
+      ~args:
+        [
+          ("collective", Json.str name);
+          ("data_pass", Json.Bool data);
+          ("makespan_s", Json.float timing.Engine.makespan);
+        ]
+      "plan.execute"
+  end;
   { timing; memory }
 
 let seconds e = e.timing.Engine.makespan

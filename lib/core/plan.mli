@@ -35,6 +35,9 @@ type t = {
   layout : Blink_collectives.Codegen.layout;
   trees : Blink_collectives.Tree.weighted list;
   resources : Blink_sim.Engine.resource array;
+  telemetry : Blink_telemetry.Telemetry.t;
+      (** the spec's handle, captured at build time so {!execute} reports
+          into the same registry without re-threading it *)
 }
 
 val build :
@@ -57,6 +60,7 @@ type execution = {
 
 val execute :
   ?policy:Blink_sim.Engine.policy ->
+  ?telemetry:Blink_telemetry.Telemetry.t ->
   ?data:bool ->
   ?load:(Blink_sim.Semantics.memory -> Blink_collectives.Codegen.layout -> unit) ->
   t ->
@@ -64,7 +68,13 @@ val execute :
 (** Run the plan's single program instance through both passes: the
     event-driven timing engine, and the dataflow replay over fresh
     buffers ([load] fills them first). [~data:false] skips the replay —
-    the fast path for timing-only users; [load] is then ignored. *)
+    the fast path for timing-only users; [load] is then ignored.
+
+    Reports into [telemetry] (default: the plan's own handle): execute
+    counters, the makespan histogram and per-resource busy/utilization
+    gauges folded in from {!Blink_sim.Trace.utilizations}; when tracing,
+    a ["plan.execute"] span plus the engine's per-op slices. With a
+    disabled handle the only cost over the bare engine run is a match. *)
 
 val seconds : execution -> float
 (** The simulated makespan of the execution. *)

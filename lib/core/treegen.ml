@@ -4,6 +4,8 @@ module Arborescence = Blink_graph.Arborescence
 module Dsu = Blink_graph.Dsu
 module Simplex = Blink_lp.Simplex
 module Ilp = Blink_lp.Ilp
+module Telemetry = Blink_telemetry.Telemetry
+module Json = Blink_telemetry.Json
 
 let log_src = Logs.Src.create "blink.treegen" ~doc:"Blink tree planning"
 
@@ -29,7 +31,7 @@ let optimal_rate g ~root =
    links). The oracle returns a minimum-price spanning structure as an
    item list, or None when none exists. *)
 
-let garg_konemann ~epsilon ~caps ~oracle =
+let garg_konemann ?(round = fun () -> ()) ~epsilon ~caps ~oracle () =
   let m = Array.length caps in
   let delta =
     (1. +. epsilon) *. (((1. +. epsilon) *. Float.of_int m) ** (-1. /. epsilon))
@@ -42,6 +44,7 @@ let garg_konemann ~epsilon ~caps ~oracle =
   let iters = ref 0 in
   while !continue && !iters < max_iters do
     incr iters;
+    round ();
     match oracle price with
     | None -> continue := false
     | Some items ->
@@ -111,10 +114,35 @@ let candidate_lp ~caps ~candidates =
 (* ------------------------------------------------------------------ *)
 (* Directed packing: items are directed edge ids, oracle Chu-Liu/Edmonds. *)
 
-let pack ?(epsilon = 0.1) g ~root =
+(* MWU instrumentation shared by both packing modes: a round counter fed
+   from inside the Garg-Konemann loop, then a span + summary gauges. *)
+let mwu_telemetry telemetry ~mode =
+  let labels = [ ("mode", mode) ] in
+  let round () = Telemetry.incr telemetry ~labels "treegen.mwu.rounds" in
+  let finish ~start packing =
+    if Telemetry.enabled telemetry then begin
+      Telemetry.set_gauge telemetry ~labels "treegen.mwu.trees"
+        (Float.of_int (List.length packing.trees));
+      Telemetry.span telemetry ~cat:"treegen" ~start
+        ~args:
+          [
+            ("mode", Json.str mode);
+            ("trees", Json.int (List.length packing.trees));
+            ("rate_gbps", Json.float packing.rate);
+            ("optimal_gbps", Json.float packing.optimal);
+          ]
+        "treegen.pack"
+    end;
+    packing
+  in
+  (round, finish)
+
+let pack ?(epsilon = 0.1) ?(telemetry = Telemetry.disabled) g ~root =
+  let round, finish = mwu_telemetry telemetry ~mode:"directed" in
+  let start = Telemetry.now_s telemetry in
   let n = Digraph.n_vertices g in
   if n <= 1 || not (Digraph.is_connected_from g ~root) then
-    { root; trees = []; rate = 0.; optimal = 0.; undirected = false }
+    finish ~start { root; trees = []; rate = 0.; optimal = 0.; undirected = false }
   else begin
     let optimal = optimal_rate g ~root in
     let caps =
@@ -125,14 +153,14 @@ let pack ?(epsilon = 0.1) g ~root =
           price.(e.Digraph.id))
     in
     let trees =
-      garg_konemann ~epsilon ~caps ~oracle
+      garg_konemann ~round ~epsilon ~caps ~oracle ()
       |> List.map (fun (edges, weight) -> { edges; weight })
     in
     let rate = List.fold_left (fun acc t -> acc +. t.weight) 0. trees in
     Log.debug (fun m ->
         m "MWU (directed): %d trees, rate %.2f of optimal %.2f"
           (List.length trees) rate optimal);
-    { root; trees; rate; optimal; undirected = false }
+    finish ~start { root; trees; rate; optimal; undirected = false }
   end
 
 (* ------------------------------------------------------------------ *)
@@ -228,15 +256,17 @@ let orient g links ~root link_ids =
   done;
   List.rev !edges
 
-let pack_undirected ?(epsilon = 0.1) g ~root =
+let pack_undirected ?(epsilon = 0.1) ?(telemetry = Telemetry.disabled) g ~root =
+  let round, finish = mwu_telemetry telemetry ~mode:"undirected" in
+  let start = Telemetry.now_s telemetry in
   let n = Digraph.n_vertices g in
   if n <= 1 || not (Digraph.is_connected_from g ~root) then
-    { root; trees = []; rate = 0.; optimal = 0.; undirected = true }
+    finish ~start { root; trees = []; rate = 0.; optimal = 0.; undirected = true }
   else begin
     let links = undirected_links g in
     let caps = Array.map (fun l -> l.lcap) links in
     let oracle price = kruskal ~n g links price in
-    let raw = garg_konemann ~epsilon ~caps ~oracle in
+    let raw = garg_konemann ~round ~epsilon ~caps ~oracle () in
     let optimal, _ =
       if raw = [] then (0., [||])
       else candidate_lp ~caps ~candidates:(Array.of_list (List.map fst raw))
@@ -248,7 +278,7 @@ let pack_undirected ?(epsilon = 0.1) g ~root =
         raw
     in
     let rate = List.fold_left (fun acc t -> acc +. t.weight) 0. trees in
-    { root; trees; rate; optimal; undirected = true }
+    finish ~start { root; trees; rate; optimal; undirected = true }
   end
 
 (* ------------------------------------------------------------------ *)
@@ -509,11 +539,38 @@ let minimize ?(threshold = 0.05) g packing =
             { packing with trees; rate })
   end
 
-let plan ?epsilon ?threshold g ~root =
-  minimize ?threshold g (pack ?epsilon g ~root)
+(* Non-recursive rebinding: wrap the ILP step in telemetry (span, removed
+   tree count, final rate/tree gauges) without touching its internals. *)
+let minimize ?threshold ?(telemetry = Telemetry.disabled) g packing =
+  let start = Telemetry.now_s telemetry in
+  let result = minimize ?threshold g packing in
+  if Telemetry.enabled telemetry then begin
+    let mode = if packing.undirected then "undirected" else "directed" in
+    let labels = [ ("mode", mode) ] in
+    let before = List.length packing.trees in
+    let after = List.length result.trees in
+    Telemetry.incr telemetry ~labels
+      ~by:(max 0 (before - after))
+      "treegen.ilp.trees_removed";
+    Telemetry.set_gauge telemetry ~labels "treegen.trees" (Float.of_int after);
+    Telemetry.set_gauge telemetry ~labels "treegen.rate_gbps" result.rate;
+    Telemetry.span telemetry ~cat:"treegen" ~start
+      ~args:
+        [
+          ("mode", Json.str mode);
+          ("trees_in", Json.int before);
+          ("trees_out", Json.int after);
+          ("rate_gbps", Json.float result.rate);
+        ]
+      "treegen.ilp"
+  end;
+  result
 
-let plan_undirected ?epsilon ?threshold g ~root =
-  minimize ?threshold g (pack_undirected ?epsilon g ~root)
+let plan ?epsilon ?threshold ?telemetry g ~root =
+  minimize ?threshold ?telemetry g (pack ?epsilon ?telemetry g ~root)
+
+let plan_undirected ?epsilon ?threshold ?telemetry g ~root =
+  minimize ?threshold ?telemetry g (pack_undirected ?epsilon ?telemetry g ~root)
 
 let best_root g =
   let n = Digraph.n_vertices g in

@@ -35,15 +35,27 @@ type packing = {
   undirected : bool;  (** which capacity model the packing satisfies *)
 }
 
-val pack : ?epsilon:float -> Blink_graph.Digraph.t -> root:int -> packing
+val pack :
+  ?epsilon:float ->
+  ?telemetry:Blink_telemetry.Telemetry.t ->
+  Blink_graph.Digraph.t ->
+  root:int ->
+  packing
 (** Directed MWU packing; [epsilon] (default [0.1]) trades tree count and
     run time for approximation quality: the returned rate is at least
     [(1 - 2 * epsilon) * optimal] and always capacity-feasible. Trees with
     identical edge sets are merged. Returns an empty packing (rate 0) when
-    some vertex is unreachable from the root. *)
+    some vertex is unreachable from the root.
+
+    [telemetry] counts MWU rounds (["treegen.mwu.rounds"], labelled by
+    packing mode) and, when tracing, records a ["treegen.pack"] span. *)
 
 val pack_undirected :
-  ?epsilon:float -> Blink_graph.Digraph.t -> root:int -> packing
+  ?epsilon:float ->
+  ?telemetry:Blink_telemetry.Telemetry.t ->
+  Blink_graph.Digraph.t ->
+  root:int ->
+  packing
 (** Undirected MWU packing. The graph must be symmetric (every physical
     link present as two opposite directed edges of equal capacity, as
     {!Blink_topology.Server.nvlink_digraph} builds); raises
@@ -51,19 +63,32 @@ val pack_undirected :
     candidate trees (a certified achievable rate). *)
 
 val minimize :
-  ?threshold:float -> Blink_graph.Digraph.t -> packing -> packing
+  ?threshold:float ->
+  ?telemetry:Blink_telemetry.Telemetry.t ->
+  Blink_graph.Digraph.t ->
+  packing ->
+  packing
 (** ILP tree minimization (default [threshold] = [0.05], the paper's 5%).
     Honors the packing's capacity model. The result never uses more trees
     than the input and never loses more than [threshold] of the
-    candidate-set optimum. *)
+    candidate-set optimum. [telemetry] records the tree-count reduction
+    (["treegen.ilp.trees_removed"]) and final rate/tree gauges. *)
 
 val plan :
-  ?epsilon:float -> ?threshold:float -> Blink_graph.Digraph.t -> root:int ->
+  ?epsilon:float ->
+  ?threshold:float ->
+  ?telemetry:Blink_telemetry.Telemetry.t ->
+  Blink_graph.Digraph.t ->
+  root:int ->
   packing
 (** [pack] followed by [minimize]. *)
 
 val plan_undirected :
-  ?epsilon:float -> ?threshold:float -> Blink_graph.Digraph.t -> root:int ->
+  ?epsilon:float ->
+  ?threshold:float ->
+  ?telemetry:Blink_telemetry.Telemetry.t ->
+  Blink_graph.Digraph.t ->
+  root:int ->
   packing
 (** [pack_undirected] followed by [minimize]. *)
 

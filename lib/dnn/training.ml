@@ -1,5 +1,6 @@
 module Blink = Blink_core.Blink
 module Plan = Blink_core.Plan
+module Telemetry = Blink_telemetry.Telemetry
 
 type backend = { label : string; all_reduce_seconds : float -> float }
 
@@ -75,6 +76,7 @@ let memoized_backend ~label cost =
   { label; all_reduce_seconds }
 
 let plan_backend ?(label = "blink") ?chunk_elems handle =
+  let telemetry = Blink.telemetry handle in
   let all_reduce_seconds bytes =
     let elems = max 64 (int_of_float (bytes /. bytes_per_elem)) in
     let chunk_elems =
@@ -82,6 +84,11 @@ let plan_backend ?(label = "blink") ?chunk_elems handle =
       | Some c -> c
       | None -> Blink.heuristic_chunk ~elems
     in
+    (* Every gradient-bucket AllReduce the training model issues lands in
+       the handle's registry: request count and bucket-size distribution
+       sit next to the plan-cache hit/miss counters they exercise. *)
+    Telemetry.incr telemetry "training.allreduce.requests";
+    Telemetry.observe telemetry "training.allreduce.bytes" bytes;
     let plan = Blink.plan ~chunk_elems handle Plan.All_reduce ~elems in
     Plan.seconds (Plan.execute ~data:false plan)
   in

@@ -56,4 +56,8 @@ val plan_backend :
     cache ({!Blink_core.Blink.plan}): each distinct bucket size compiles
     once; every later iteration replays the cached plan through the
     timing-only fast path. [chunk_elems] defaults to
-    {!Blink_core.Blink.heuristic_chunk} for the bucket size. *)
+    {!Blink_core.Blink.heuristic_chunk} for the bucket size.
+
+    Each bucket AllReduce is also reported to the handle's telemetry
+    ({!Blink_core.Blink.telemetry}): ["training.allreduce.requests"]
+    counter and a ["training.allreduce.bytes"] size distribution. *)

@@ -1,3 +1,5 @@
+module Telemetry = Blink_telemetry.Telemetry
+
 type resource = { bandwidth : float; latency : float; lanes : int; gap : float }
 type policy = [ `Fair | `Stream_priority ]
 
@@ -31,7 +33,29 @@ let data_time resources (o : Program.op) =
 let pipeline_latency resources (o : Program.op) =
   match resource_of_op o with None -> 0. | Some r -> resources.(r).latency
 
-let run ?(policy = `Fair) ~resources prog =
+(* Fold the timed ops into the telemetry handle as simulated-time slices,
+   one track per resource — the merged-timeline half of the Chrome
+   exporter. Only reached when tracing is on. *)
+let record_slices telemetry prog ~start ~finish =
+  Program.iter_ops
+    (fun o ->
+      let id = o.Program.id in
+      let track = match resource_of_op o with Some r -> r | None -> -1 in
+      let name =
+        match o.Program.kind with
+        | Program.Transfer { bytes; _ } -> Printf.sprintf "xfer#%d %.0fB" id bytes
+        | Program.Compute { bytes; _ } -> Printf.sprintf "comp#%d %.0fB" id bytes
+        | Program.Delay { seconds } ->
+            Printf.sprintf "delay#%d %.0fus" id (seconds *. 1e6)
+      in
+      Telemetry.slice telemetry ~track ~name ~start:start.(id)
+        ~dur:(finish.(id) -. start.(id))
+        ~args:[ ("stream", Blink_telemetry.Json.int o.Program.stream) ]
+        ())
+    prog
+
+let run ?(policy = `Fair) ?(telemetry = Telemetry.disabled) ~resources prog =
+  let t_span = Telemetry.now_s telemetry in
   Array.iteri
     (fun i r ->
       if r.lanes <= 0 || r.latency < 0. || r.bandwidth <= 0. || r.gap < 0. then
@@ -147,6 +171,21 @@ let run ?(policy = `Fair) ~resources prog =
       if Float.is_nan f then
         invalid_arg (Printf.sprintf "Engine.run: op %d never became ready" i))
     finish;
+  if Telemetry.enabled telemetry then begin
+    Telemetry.incr telemetry "engine.runs";
+    Telemetry.incr telemetry ~by:n "engine.ops_executed";
+    Telemetry.observe telemetry "engine.makespan_s" !makespan;
+    if Telemetry.tracing telemetry then begin
+      record_slices telemetry prog ~start ~finish;
+      Telemetry.span telemetry ~cat:"engine" ~start:t_span
+        ~args:
+          [
+            ("ops", Blink_telemetry.Json.int n);
+            ("makespan_s", Blink_telemetry.Json.float !makespan);
+          ]
+        "engine.run"
+    end
+  end;
   { makespan = !makespan; finish; start; busy }
 
 let throughput ~bytes result =

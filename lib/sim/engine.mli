@@ -35,9 +35,20 @@ type result = {
   busy : float array;  (** per-resource total busy time (lane-seconds) *)
 }
 
-val run : ?policy:policy -> resources:resource array -> Program.t -> result
+val run :
+  ?policy:policy ->
+  ?telemetry:Blink_telemetry.Telemetry.t ->
+  resources:resource array ->
+  Program.t ->
+  result
 (** Raises [Invalid_argument] if an op names an unknown resource or a
-    resource spec is invalid (non-positive lanes, negative latency). *)
+    resource spec is invalid (non-positive lanes, negative latency).
+
+    [telemetry] (default {!Blink_telemetry.Telemetry.disabled} — a no-op
+    fast path that costs one match) counts runs/ops and observes the
+    makespan; when tracing it additionally records a wall-clock
+    ["engine.run"] span and one simulated-time slice per op, which the
+    Chrome exporter merges with the planning spans. *)
 
 val throughput : bytes:float -> result -> float
 (** [bytes /. makespan], in GB/s when [bytes] is in bytes and times in

@@ -15,8 +15,8 @@ let utilizations ~resources (r : Engine.result) =
 
 let bottleneck ~resources result =
   match utilizations ~resources result with
-  | top :: _ -> top.resource
-  | [] -> invalid_arg "Trace.bottleneck: no resources"
+  | top :: _ -> Some top.resource
+  | [] -> None
 
 type span = {
   op : int;

@@ -18,9 +18,10 @@ val utilizations :
   resources:Engine.resource array -> Engine.result -> utilization list
 (** Per-resource utilization, busiest first. *)
 
-val bottleneck : resources:Engine.resource array -> Engine.result -> int
-(** Resource with the highest utilization fraction. Raises
-    [Invalid_argument] when there are no resources. *)
+val bottleneck : resources:Engine.resource array -> Engine.result -> int option
+(** Resource with the highest utilization fraction; [None] when there are
+    no resources (trivial topologies), so telemetry snapshots never
+    crash on them. *)
 
 type span = {
   op : int;

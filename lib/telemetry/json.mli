@@ -1,0 +1,37 @@
+(** Minimal JSON values: enough to emit the telemetry exporters and parse
+    them back in tests, without pulling a JSON dependency into the tree.
+
+    The printer always produces valid JSON (non-finite floats become
+    [null]); the parser accepts standard JSON with the usual escapes. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val int : int -> t
+val float : float -> t
+val str : string -> t
+
+val to_string : t -> string
+(** Compact (single-line) rendering. *)
+
+val parse : string -> (t, string) Result.t
+(** Whole-string parse; trailing garbage is an error. *)
+
+val parse_exn : string -> t
+(** Like {!parse}, raising [Failure] with the parse error. *)
+
+(** {2 Accessors} — all total, for digging through parsed documents. *)
+
+val member : string -> t -> t option
+(** Field of an [Obj] ([None] on missing field or non-object). *)
+
+val to_list : t -> t list
+(** Elements of a [List] ([[]] otherwise). *)
+
+val to_float : t -> float option
+val to_str : t -> string option

@@ -1,0 +1,168 @@
+type labels = (string * string) list
+
+type histogram = {
+  mutable count : int;
+  mutable sum : float;
+  mutable min : float;
+  mutable max : float;
+  bounds : float array;
+  bucket_counts : int array;  (* length = Array.length bounds + 1 (overflow) *)
+}
+
+type metric =
+  | Counter of int ref
+  | Gauge of float ref
+  | Histogram of histogram
+
+type t = { series : (string * labels, metric) Hashtbl.t }
+
+let create () = { series = Hashtbl.create 64 }
+
+let default_bounds =
+  [| 1e-6; 1e-5; 1e-4; 1e-3; 1e-2; 1e-1; 1.; 10.; 100.; 1e3 |]
+
+let key name labels =
+  (name, List.sort (fun (a, _) (b, _) -> compare a b) labels)
+
+let kind_name = function
+  | Counter _ -> "counter"
+  | Gauge _ -> "gauge"
+  | Histogram _ -> "histogram"
+
+let fetch t name labels make =
+  let k = key name labels in
+  match Hashtbl.find_opt t.series k with
+  | Some m -> m
+  | None ->
+      let m = make () in
+      Hashtbl.replace t.series k m;
+      m
+
+let kind_error name m expected =
+  invalid_arg
+    (Printf.sprintf "Metrics: %s is a %s, not a %s" name (kind_name m) expected)
+
+let incr t ?(labels = []) ?(by = 1) name =
+  if by < 0 then invalid_arg "Metrics.incr: by < 0";
+  match fetch t name labels (fun () -> Counter (ref 0)) with
+  | Counter r -> r := !r + by
+  | m -> kind_error name m "counter"
+
+let set t ?(labels = []) name v =
+  match fetch t name labels (fun () -> Gauge (ref v)) with
+  | Gauge r -> r := v
+  | m -> kind_error name m "gauge"
+
+let fresh_histogram () =
+  Histogram
+    {
+      count = 0;
+      sum = 0.;
+      min = infinity;
+      max = neg_infinity;
+      bounds = default_bounds;
+      bucket_counts = Array.make (Array.length default_bounds + 1) 0;
+    }
+
+let observe t ?(labels = []) name v =
+  match fetch t name labels fresh_histogram with
+  | Histogram h ->
+      h.count <- h.count + 1;
+      h.sum <- h.sum +. v;
+      if v < h.min then h.min <- v;
+      if v > h.max then h.max <- v;
+      let rec bucket i =
+        if i >= Array.length h.bounds || v <= h.bounds.(i) then i
+        else bucket (i + 1)
+      in
+      let b = bucket 0 in
+      h.bucket_counts.(b) <- h.bucket_counts.(b) + 1
+  | m -> kind_error name m "histogram"
+
+let counter_value t ?(labels = []) name =
+  match Hashtbl.find_opt t.series (key name labels) with
+  | Some (Counter r) -> !r
+  | Some m -> kind_error name m "counter"
+  | None -> 0
+
+let gauge_value t ?(labels = []) name =
+  match Hashtbl.find_opt t.series (key name labels) with
+  | Some (Gauge r) -> Some !r
+  | Some m -> kind_error name m "gauge"
+  | None -> None
+
+type histogram_snapshot = {
+  count : int;
+  sum : float;
+  min : float;
+  max : float;
+  buckets : (float * int) list;
+}
+
+let snapshot_of h =
+  let cumulative = ref 0 in
+  let buckets =
+    List.init (Array.length h.bounds) (fun i ->
+        cumulative := !cumulative + h.bucket_counts.(i);
+        (h.bounds.(i), !cumulative))
+  in
+  { count = h.count; sum = h.sum; min = h.min; max = h.max; buckets }
+
+let histogram_snapshot t ?(labels = []) name =
+  match Hashtbl.find_opt t.series (key name labels) with
+  | Some (Histogram h) -> Some (snapshot_of h)
+  | Some m -> kind_error name m "histogram"
+  | None -> None
+
+(* ------------------------------------------------------------------ *)
+(* JSON snapshot *)
+
+let labels_json labels = Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) labels)
+
+let series_json name labels fields =
+  Json.Obj (("name", Json.Str name) :: ("labels", labels_json labels) :: fields)
+
+let to_json t =
+  let all =
+    Hashtbl.fold (fun k m acc -> (k, m) :: acc) t.series []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  let pick f = List.filter_map f all in
+  let counters =
+    pick (function
+      | (name, labels), Counter r ->
+          Some (series_json name labels [ ("value", Json.int !r) ])
+      | _ -> None)
+  in
+  let gauges =
+    pick (function
+      | (name, labels), Gauge r ->
+          Some (series_json name labels [ ("value", Json.float !r) ])
+      | _ -> None)
+  in
+  let histograms =
+    pick (function
+      | (name, labels), Histogram h ->
+          let s = snapshot_of h in
+          Some
+            (series_json name labels
+               [
+                 ("count", Json.int s.count);
+                 ("sum", Json.float s.sum);
+                 ("min", Json.float (if s.count = 0 then 0. else s.min));
+                 ("max", Json.float (if s.count = 0 then 0. else s.max));
+                 ( "buckets",
+                   Json.List
+                     (List.map
+                        (fun (le, c) ->
+                          Json.Obj [ ("le", Json.float le); ("count", Json.int c) ])
+                        s.buckets) );
+               ])
+      | _ -> None)
+  in
+  Json.Obj
+    [
+      ("counters", Json.List counters);
+      ("gauges", Json.List gauges);
+      ("histograms", Json.List histograms);
+    ]

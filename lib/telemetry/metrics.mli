@@ -1,0 +1,46 @@
+(** Labelled metrics registry: counters, gauges and histograms, keyed by
+    [(name, labels)]. Everything is in-process and single-threaded, like
+    the simulator it instruments; reads are O(1) hashtable lookups so the
+    registry can sit on hot-ish paths (plan compilation, cache lookups)
+    without a measurable cost.
+
+    A name must keep one kind for the lifetime of the registry: observing
+    a histogram under a name already used by a counter raises
+    [Invalid_argument] — mixed kinds are always an instrumentation bug. *)
+
+type t
+
+type labels = (string * string) list
+(** Label pairs; order is irrelevant (keys are normalized by sorting). *)
+
+val create : unit -> t
+
+val incr : t -> ?labels:labels -> ?by:int -> string -> unit
+(** Add [by] (default 1, must be >= 0) to a counter. *)
+
+val set : t -> ?labels:labels -> string -> float -> unit
+(** Set a gauge to the given value. *)
+
+val observe : t -> ?labels:labels -> string -> float -> unit
+(** Record one observation into a histogram (exponential buckets from 1e-6
+    to 1e3, suiting both seconds and counts). *)
+
+val counter_value : t -> ?labels:labels -> string -> int
+(** Current counter value; 0 when the series does not exist. *)
+
+val gauge_value : t -> ?labels:labels -> string -> float option
+
+type histogram_snapshot = {
+  count : int;
+  sum : float;
+  min : float;  (** meaningless when [count = 0] *)
+  max : float;
+  buckets : (float * int) list;  (** (upper bound, cumulative count) *)
+}
+
+val histogram_snapshot : t -> ?labels:labels -> string -> histogram_snapshot option
+
+val to_json : t -> Json.t
+(** Deterministic snapshot (series sorted by name then labels):
+    [{"counters": [{"name", "labels", "value"}...],
+      "gauges": [...], "histograms": [...]}]. *)

@@ -1,0 +1,182 @@
+module Json = Json
+module Metrics = Metrics
+
+type span = {
+  name : string;
+  cat : string;
+  start : float;
+  finish : float;
+  args : (string * Json.t) list;
+}
+
+type slice = {
+  s_name : string;
+  track : int;
+  s_start : float;
+  dur : float;
+  s_args : (string * Json.t) list;
+}
+
+type live = {
+  metrics : Metrics.t;
+  trace : bool;
+  clock : unit -> float;
+  t0 : float;
+  mutable spans : span list;  (* reversed *)
+  mutable slices : slice list;  (* reversed *)
+}
+
+type t = Disabled | Live of live
+
+let disabled = Disabled
+
+let create ?(trace = false) ?clock () =
+  let clock = Option.value clock ~default:Unix.gettimeofday in
+  Live { metrics = Metrics.create (); trace; clock; t0 = clock (); spans = []; slices = [] }
+
+let enabled = function Disabled -> false | Live _ -> true
+let tracing = function Disabled -> false | Live l -> l.trace
+
+let incr t ?labels ?by name =
+  match t with Disabled -> () | Live l -> Metrics.incr l.metrics ?labels ?by name
+
+let set_gauge t ?labels name v =
+  match t with Disabled -> () | Live l -> Metrics.set l.metrics ?labels name v
+
+let observe t ?labels name v =
+  match t with Disabled -> () | Live l -> Metrics.observe l.metrics ?labels name v
+
+let counter_value t ?labels name =
+  match t with
+  | Disabled -> 0
+  | Live l -> Metrics.counter_value l.metrics ?labels name
+
+let gauge_value t ?labels name =
+  match t with
+  | Disabled -> None
+  | Live l -> Metrics.gauge_value l.metrics ?labels name
+
+let now_s = function
+  | Live l when l.trace -> l.clock () -. l.t0
+  | Disabled | Live _ -> 0.
+
+let span t ?(cat = "blink") ?(args = []) ~start name =
+  match t with
+  | Live l when l.trace ->
+      l.spans <- { name; cat; start; finish = l.clock () -. l.t0; args } :: l.spans
+  | Disabled | Live _ -> ()
+
+let with_span t ?cat ?args name f =
+  match t with
+  | Live l when l.trace -> (
+      let start = l.clock () -. l.t0 in
+      match f () with
+      | v ->
+          span t ?cat ?args ~start name;
+          v
+      | exception e ->
+          span t ?cat ?args ~start name;
+          raise e)
+  | Disabled | Live _ -> f ()
+
+let slice t ?(args = []) ~track ~name ~start ~dur () =
+  match t with
+  | Live l when l.trace ->
+      l.slices <- { s_name = name; track; s_start = start; dur; s_args = args } :: l.slices
+  | Disabled | Live _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Exporters *)
+
+let metrics_json = function
+  | Disabled ->
+      Json.Obj
+        [ ("counters", Json.List []); ("gauges", Json.List []);
+          ("histograms", Json.List []) ]
+  | Live l -> Metrics.to_json l.metrics
+
+let metrics_json_string t = Json.to_string (metrics_json t)
+
+let planning_pid = 0
+let engine_pid = 1
+
+let metadata_event ~pid ~tid ~meta ~value =
+  Json.Obj
+    [
+      ("name", Json.Str meta);
+      ("ph", Json.Str "M");
+      ("pid", Json.int pid);
+      ("tid", Json.int tid);
+      ("args", Json.Obj [ ("name", Json.Str value) ]);
+    ]
+
+let complete_event ~name ~cat ~pid ~tid ~ts ~dur ~args =
+  Json.Obj
+    [
+      ("name", Json.Str name);
+      ("cat", Json.Str cat);
+      ("ph", Json.Str "X");
+      ("ts", Json.float ts);
+      ("dur", Json.float dur);
+      ("pid", Json.int pid);
+      ("tid", Json.int tid);
+      ("args", Json.Obj args);
+    ]
+
+let chrome_json t =
+  match t with
+  | Disabled -> "[]"
+  | Live l ->
+      (* One planning thread per span category, in order of first use. *)
+      let cats = ref [] in
+      let cat_tid c =
+        match List.assoc_opt c !cats with
+        | Some tid -> tid
+        | None ->
+            let tid = List.length !cats in
+            cats := !cats @ [ (c, tid) ];
+            tid
+      in
+      let spans =
+        List.rev_map
+          (fun s ->
+            ( s.start,
+              complete_event ~name:s.name ~cat:s.cat ~pid:planning_pid
+                ~tid:(cat_tid s.cat) ~ts:(s.start *. 1e6)
+                ~dur:((s.finish -. s.start) *. 1e6)
+                ~args:s.args ))
+          l.spans
+      in
+      let slices =
+        List.rev_map
+          (fun s ->
+            ( s.s_start,
+              complete_event ~name:s.s_name ~cat:"engine" ~pid:engine_pid
+                ~tid:s.track ~ts:(s.s_start *. 1e6) ~dur:(s.dur *. 1e6)
+                ~args:s.s_args ))
+          l.slices
+      in
+      let events =
+        List.stable_sort (fun (a, _) (b, _) -> compare a b) (spans @ slices)
+        |> List.map snd
+      in
+      let tracks = Hashtbl.create 16 in
+      List.iter
+        (fun s -> Hashtbl.replace tracks s.track ())
+        l.slices;
+      let metadata =
+        metadata_event ~pid:planning_pid ~tid:0 ~meta:"process_name"
+          ~value:"planning (wall clock)"
+        :: metadata_event ~pid:engine_pid ~tid:0 ~meta:"process_name"
+             ~value:"engine (simulated time)"
+        :: List.map
+             (fun (c, tid) ->
+               metadata_event ~pid:planning_pid ~tid ~meta:"thread_name" ~value:c)
+             !cats
+        @ (Hashtbl.fold (fun track () acc -> track :: acc) tracks []
+          |> List.sort compare
+          |> List.map (fun track ->
+                 metadata_event ~pid:engine_pid ~tid:track ~meta:"thread_name"
+                   ~value:(Printf.sprintf "resource %d" track)))
+      in
+      Json.to_string (Json.List (metadata @ events))

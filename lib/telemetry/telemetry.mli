@@ -1,0 +1,96 @@
+(** Pipeline-wide telemetry: one handle threaded from TreeGen through
+    CodeGen, MIAD tuning, the plan cache and the timing engine.
+
+    A handle is one of three effective modes:
+
+    - {!disabled} — every call is a constant-time no-op (a single variant
+      match); safe on the hottest paths.
+    - [create ()] — the metrics registry is live (counters, gauges,
+      histograms) but spans and slices are dropped: the default for
+      {!Blink_core.Blink.create}, cheap enough to leave on everywhere.
+    - [create ~trace:true ()] — additionally records wall-clock spans of
+      every planning phase and simulated-time slices of engine ops, for
+      the Chrome/Perfetto exporter.
+
+    Wall-clock span timestamps are seconds since handle creation;
+    engine slices live in simulated time. {!chrome_json} exports both on
+    one timeline as separate process tracks (pid 0 = planning wall clock,
+    pid 1 = simulated engine). *)
+
+module Json = Json
+module Metrics = Metrics
+
+type t
+
+val disabled : t
+(** Records nothing; all operations are no-ops. *)
+
+val create : ?trace:bool -> ?clock:(unit -> float) -> unit -> t
+(** Fresh handle with a live metrics registry. [trace] (default [false])
+    additionally records spans and slices. [clock] (default
+    [Unix.gettimeofday]) is injectable for deterministic tests. *)
+
+val enabled : t -> bool
+(** [false] exactly for {!disabled}: guards any instrumentation whose
+    inputs are themselves costly to compute. *)
+
+val tracing : t -> bool
+(** Whether spans/slices are being recorded. *)
+
+(** {2 Metrics} — no-ops on {!disabled}. *)
+
+val incr : t -> ?labels:Metrics.labels -> ?by:int -> string -> unit
+val set_gauge : t -> ?labels:Metrics.labels -> string -> float -> unit
+val observe : t -> ?labels:Metrics.labels -> string -> float -> unit
+
+val counter_value : t -> ?labels:Metrics.labels -> string -> int
+(** 0 on {!disabled} or unknown series. *)
+
+val gauge_value : t -> ?labels:Metrics.labels -> string -> float option
+
+(** {2 Spans and slices} — recorded only when {!tracing}. *)
+
+val now_s : t -> float
+(** Seconds since handle creation (0. when not tracing): capture before a
+    phase, pass to {!span} after it. *)
+
+val span :
+  t ->
+  ?cat:string ->
+  ?args:(string * Json.t) list ->
+  start:float ->
+  string ->
+  unit
+(** Record a completed wall-clock span from [start] (a {!now_s} capture)
+    to now. [cat] (default ["blink"]) selects the exporter track. *)
+
+val with_span :
+  t -> ?cat:string -> ?args:(string * Json.t) list -> string -> (unit -> 'a) -> 'a
+(** Run the thunk inside a span (recorded even if the thunk raises). When
+    not tracing this is exactly the thunk call. *)
+
+val slice :
+  t ->
+  ?args:(string * Json.t) list ->
+  track:int ->
+  name:string ->
+  start:float ->
+  dur:float ->
+  unit ->
+  unit
+(** Record a simulated-time slice (engine op) on the given resource
+    track. *)
+
+(** {2 Exporters} *)
+
+val metrics_json : t -> Json.t
+(** Registry snapshot ({!Metrics.to_json}); the empty shape on
+    {!disabled}. *)
+
+val metrics_json_string : t -> string
+
+val chrome_json : t -> string
+(** Chrome trace-event JSON merging planning spans (pid 0, one thread per
+    category, microsecond wall-clock) and engine op slices (pid 1, one
+    thread per resource, microsecond simulated time) onto one timeline —
+    load in Perfetto / chrome://tracing. Events are sorted by timestamp. *)
