@@ -18,7 +18,14 @@ module Hierarchical = Blink_baselines.Hierarchical
 module Models = Blink_dnn.Models
 module Training = Blink_dnn.Training
 module Scheduler = Blink_cluster.Scheduler
+module Pool = Blink_parallel.Pool
 module E = Blink_sim.Engine
+
+(* Config sweeps measure each allocation independently (fresh handle,
+   pure simulation), so they fan out over the shared domain pool;
+   [parallel_map] returns rows in submission order, so the printed
+   output is identical to the sequential sweep. *)
+let pool_map f xs = Pool.parallel_map (Pool.default ()) f xs
 
 (* ------------------------------------------------------------------ *)
 
@@ -142,47 +149,64 @@ let fig26 () =
 let gather_sweep () =
   heading
     "Gather (all-to-one), unique DGX-1V configs, 100 MB per GPU (GB/s into root)";
-  let speedups = ref [] in
+  let results =
+    pool_map
+      (fun cfg ->
+        let gpus = Array.of_list cfg in
+        let k = Array.length gpus in
+        let handle = Blink.create Server.dgx1v ~gpus in
+        let fabric = Blink.fabric handle in
+        let elems = elems_of_mb 100. in
+        let chunk = chunk_for elems in
+        let total_bytes = 4. *. Float.of_int ((k - 1) * elems) in
+        let bp, _ = Blink.gather ~chunk_elems:chunk handle ~elems in
+        let blink = total_bytes /. (Blink.time handle bp).E.makespan /. 1e9 in
+        let channels = Ring.nccl_channels Server.dgx1v ~gpus in
+        let spec = Codegen.spec ~chunk_elems:chunk fabric in
+        let np, _ = Ring.gather spec ~root:(Blink.root handle) ~elems ~channels in
+        let nccl = total_bytes /. (time_fabric fabric np).E.makespan /. 1e9 in
+        (config_label gpus, nccl, blink))
+      (Alloc.unique_configs Server.dgx1v ~sizes:[ 3; 4; 5; 6 ])
+  in
   List.iter
-    (fun cfg ->
-      let gpus = Array.of_list cfg in
-      let k = Array.length gpus in
-      let handle = Blink.create Server.dgx1v ~gpus in
-      let fabric = Blink.fabric handle in
-      let elems = elems_of_mb 100. in
-      let chunk = chunk_for elems in
-      let total_bytes = 4. *. Float.of_int ((k - 1) * elems) in
-      let bp, _ = Blink.gather ~chunk_elems:chunk handle ~elems in
-      let blink = total_bytes /. (Blink.time handle bp).E.makespan /. 1e9 in
-      let channels = Ring.nccl_channels Server.dgx1v ~gpus in
-      let spec = Codegen.spec ~chunk_elems:chunk fabric in
-      let np, _ = Ring.gather spec ~root:(Blink.root handle) ~elems ~channels in
-      let nccl = total_bytes /. (time_fabric fabric np).E.makespan /. 1e9 in
-      speedups := (blink /. nccl) :: !speedups;
-      row "  %-16s NCCL %6.1f   Blink %6.1f   (%.2fx)\n" (config_label gpus)
-        nccl blink (blink /. nccl))
-    (Alloc.unique_configs Server.dgx1v ~sizes:[ 3; 4; 5; 6 ]);
-  row "  geometric-mean speedup: %.2fx   max: %.2fx\n" (geomean !speedups)
-    (List.fold_left Float.max 0. !speedups)
+    (fun (label, nccl, blink) ->
+      row "  %-16s NCCL %6.1f   Blink %6.1f   (%.2fx)\n" label nccl blink
+        (blink /. nccl))
+    results;
+  let speedups = List.map (fun (_, nccl, blink) -> blink /. nccl) results in
+  row "  geometric-mean speedup: %.2fx   max: %.2fx\n" (geomean speedups)
+    (List.fold_left Float.max 0. speedups)
 
 let size_sweep () =
   heading "Size sweep (figs 15/17 error bars): 50 MB - 1000 MB on two configs";
+  let per_config =
+    pool_map
+      (fun gpus ->
+        let handle = Blink.create Server.dgx1v ~gpus in
+        let fabric = Blink.fabric handle in
+        let rows =
+          List.map
+            (fun mbytes ->
+              ( mbytes,
+                blink_broadcast ~mbytes handle,
+                nccl_broadcast ~mbytes Server.dgx1v ~gpus fabric,
+                blink_all_reduce ~mbytes handle,
+                nccl_all_reduce ~mbytes Server.dgx1v ~gpus fabric ))
+            [ 50.; 100.; 250.; 500.; 1000. ]
+        in
+        (config_label gpus, rows))
+      [ [| 1; 4; 5; 6 |]; [| 0; 1; 2; 3; 4; 5; 6; 7 |] ]
+  in
   List.iter
-    (fun gpus ->
-      let handle = Blink.create Server.dgx1v ~gpus in
-      let fabric = Blink.fabric handle in
-      row "--- gpus %s ---\n" (config_label gpus);
+    (fun (label, rows) ->
+      row "--- gpus %s ---\n" label;
       row "%10s %16s %16s %16s %16s\n" "size" "bcast blink" "bcast nccl"
         "allred blink" "allred nccl";
       List.iter
-        (fun mbytes ->
-          row "%8.0fMB %16.1f %16.1f %16.1f %16.1f\n" mbytes
-            (blink_broadcast ~mbytes handle)
-            (nccl_broadcast ~mbytes Server.dgx1v ~gpus fabric)
-            (blink_all_reduce ~mbytes handle)
-            (nccl_all_reduce ~mbytes Server.dgx1v ~gpus fabric))
-        [ 50.; 100.; 250.; 500.; 1000. ])
-    [ [| 1; 4; 5; 6 |]; [| 0; 1; 2; 3; 4; 5; 6; 7 |] ]
+        (fun (mbytes, bb, bn, ab, an) ->
+          row "%8.0fMB %16.1f %16.1f %16.1f %16.1f\n" mbytes bb bn ab an)
+        rows)
+    per_config
 
 let fig12 () =
   heading "Figure 12: MIAD chunk-size selection (broadcast over 4 GPUs)";
@@ -241,25 +265,30 @@ let fig14 () =
 let broadcast_or_allreduce_sweep ~collective server label =
   heading "%s" label;
   let mbytes = 500. in
-  let speedups = ref [] in
+  let results =
+    pool_map
+      (fun cfg ->
+        let gpus = Array.of_list cfg in
+        let handle = Blink.create server ~gpus in
+        let fabric = Blink.fabric handle in
+        let blink, nccl =
+          match collective with
+          | `Broadcast ->
+              (blink_broadcast ~mbytes handle, nccl_broadcast ~mbytes server ~gpus fabric)
+          | `All_reduce ->
+              (blink_all_reduce ~mbytes handle, nccl_all_reduce ~mbytes server ~gpus fabric)
+        in
+        (config_label gpus, nccl, blink))
+      (Alloc.unique_configs server ~sizes:[ 3; 4; 5; 6; 7; 8 ])
+  in
   List.iter
-    (fun cfg ->
-      let gpus = Array.of_list cfg in
-      let handle = Blink.create server ~gpus in
-      let fabric = Blink.fabric handle in
-      let blink, nccl =
-        match collective with
-        | `Broadcast ->
-            (blink_broadcast ~mbytes handle, nccl_broadcast ~mbytes server ~gpus fabric)
-        | `All_reduce ->
-            (blink_all_reduce ~mbytes handle, nccl_all_reduce ~mbytes server ~gpus fabric)
-      in
-      speedups := (blink /. nccl) :: !speedups;
-      row "  %-16s NCCL %6.1f   Blink %6.1f   (%.2fx)\n" (config_label gpus)
-        nccl blink (blink /. nccl))
-    (Alloc.unique_configs server ~sizes:[ 3; 4; 5; 6; 7; 8 ]);
-  row "  geometric-mean speedup: %.2fx   max: %.2fx\n" (geomean !speedups)
-    (List.fold_left Float.max 0. !speedups)
+    (fun (label, nccl, blink) ->
+      row "  %-16s NCCL %6.1f   Blink %6.1f   (%.2fx)\n" label nccl blink
+        (blink /. nccl))
+    results;
+  let speedups = List.map (fun (_, nccl, blink) -> blink /. nccl) results in
+  row "  geometric-mean speedup: %.2fx   max: %.2fx\n" (geomean speedups)
+    (List.fold_left Float.max 0. speedups)
 
 let fig15 () =
   broadcast_or_allreduce_sweep ~collective:`Broadcast Server.dgx1v

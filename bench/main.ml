@@ -117,12 +117,109 @@ let plan_cache_suite () =
   Util.row "  telemetry snapshot written to %s\n" out
 
 (* ------------------------------------------------------------------ *)
+(* Parallel-plan mode: the same planning sweep driven by a 1-domain pool
+   (sequential by construction) and a multi-domain pool, with wall-clock
+   and speedup dumped as a machine-readable artifact. The planning work —
+   per-server MWU + ILP packing in Multiserver.create, MIAD tuning and
+   codegen in Blink.prewarm — is what the domain pool fans out. *)
+
+module Pool = Blink_parallel.Pool
+module Multiserver = Blink_core.Multiserver
+module Json = Blink_telemetry.Json
+
+let parallel_plan_suite () =
+  Util.heading
+    "Parallel planning: multi-server packing + plan prewarm, 1 vs N domains";
+  let cluster n = List.init n (fun _ -> (Server.dgx1v, Array.init 8 Fun.id)) in
+  let prewarm_keys =
+    List.concat_map
+      (fun elems -> [ (Plan.All_reduce, elems); (Plan.Broadcast, elems) ])
+      [ 262_144; 1_048_576; 4_194_304; 16_777_216 ]
+  in
+  let jobs =
+    [
+      ( "multiserver-2x8",
+        fun pool -> ignore (Multiserver.create ~pool (cluster 2)) );
+      ( "multiserver-4x8",
+        fun pool -> ignore (Multiserver.create ~pool (cluster 4)) );
+      ( "prewarm-8keys",
+        fun pool ->
+          let handle =
+            Blink.create Server.dgx1v ~gpus:(Array.init 8 Fun.id)
+          in
+          ignore (Blink.prewarm ~pool handle prewarm_keys) );
+    ]
+  in
+  let wall f =
+    let t0 = Unix.gettimeofday () in
+    f ();
+    Unix.gettimeofday () -. t0
+  in
+  (* Warm-up pass so allocator effects don't favour either side. *)
+  Pool.with_pool ~domains:1 (fun pool ->
+      List.iter (fun (_, job) -> job pool) jobs);
+  let time_all pool = List.map (fun (name, job) -> (name, wall (fun () -> job pool))) jobs in
+  let seq = Pool.with_pool ~domains:1 time_all in
+  let requested = max 4 (Pool.default_domains ()) in
+  let par_domains, par =
+    Pool.with_pool ~domains:requested (fun pool ->
+        (Pool.domains pool, time_all pool))
+  in
+  let total xs = List.fold_left (fun acc (_, t) -> acc +. t) 0. xs in
+  let t_seq = total seq and t_par = total par in
+  let speedup = if t_par > 0. then t_seq /. t_par else 0. in
+  Util.row "  %-18s %12s %12s %9s\n" "job" "1 domain"
+    (Printf.sprintf "%d domains" par_domains)
+    "speedup";
+  List.iter2
+    (fun (name, ts) (_, tp) ->
+      Util.row "  %-18s %10.1f ms %10.1f ms %8.2fx\n" name (ts *. 1e3)
+        (tp *. 1e3)
+        (if tp > 0. then ts /. tp else 0.))
+    seq par;
+  Util.row "  %-18s %10.1f ms %10.1f ms %8.2fx\n" "total" (t_seq *. 1e3)
+    (t_par *. 1e3) speedup;
+  Util.row
+    "  (recommended domains on this machine: %d; speedup needs real cores)\n"
+    (Pool.default_domains ());
+  let out = "BENCH_parallel_plan.json" in
+  let oc = open_out out in
+  let job_objs =
+    List.map2
+      (fun (name, ts) (_, tp) ->
+        Json.Obj
+          [
+            ("job", Json.str name);
+            ("seq_s", Json.float ts);
+            ("par_s", Json.float tp);
+            ("speedup", Json.float (if tp > 0. then ts /. tp else 0.));
+          ])
+      seq par
+  in
+  output_string oc
+    (Json.to_string
+       (Json.Obj
+          [
+            ("suite", Json.str "parallel_plan");
+            ("recommended_domains", Json.int (Pool.default_domains ()));
+            ("par_domains", Json.int par_domains);
+            ("seq_total_s", Json.float t_seq);
+            ("par_total_s", Json.float t_par);
+            ("speedup", Json.float speedup);
+            ("jobs", Json.List job_objs);
+          ]));
+  output_char oc '\n';
+  close_out oc;
+  Util.row "  results written to %s\n" out
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   match Array.to_list Sys.argv with
   | _ :: [] ->
       Figures.all_figures ();
       plan_cache_suite ();
+      parallel_plan_suite ();
       bechamel_suite ();
       print_newline ()
   | _ :: args ->
@@ -132,12 +229,15 @@ let () =
           | "list" ->
               List.iter (fun (name, _) -> print_endline name) Figures.registry;
               print_endline "plan-cache";
+              print_endline "parallel-plan";
               print_endline "bechamel"
           | "all" ->
               Figures.all_figures ();
               plan_cache_suite ();
+              parallel_plan_suite ();
               bechamel_suite ()
           | "plan-cache" -> plan_cache_suite ()
+          | "parallel-plan" -> parallel_plan_suite ()
           | "bechamel" -> bechamel_suite ()
           | name -> (
               match List.assoc_opt name Figures.registry with

@@ -6,6 +6,7 @@
    $ blink train   --server dgx1v --gpus 1,4,5,6 --model resnet50
    $ blink trace   all_reduce --server dgx1v --gpus 1,4,5,6
    $ blink metrics --server dgx1v --gpus 1,4,5,6 --runs 3
+   $ blink prewarm --server dgx1v --gpus 0,1,2,3 --domains 4 --sizes 1,16,64
    $ blink cluster --jobs 40000 --servers 64 *)
 
 open Cmdliner
@@ -315,6 +316,59 @@ let metrics_cmd =
                  & info [ "out" ] ~docv:"FILE"
                      ~doc:"Write the JSON here instead of stdout."))
 
+(* ------------------------------ prewarm ------------------------------ *)
+
+module Pool = Blink_parallel.Pool
+
+(* Batch-compile the plan cache across domains, then show the pool gauges
+   and cache counters the run produced — the CLI face of [Blink.prewarm]. *)
+let prewarm server gpus domains mbytes_list =
+  let telemetry = Telemetry.create () in
+  let handle = Blink.create ~telemetry server ~gpus in
+  let keys =
+    List.concat_map
+      (fun mb ->
+        let elems = int_of_float (mb *. 1e6 /. Blink.bytes_per_elem) in
+        [ (Plan.All_reduce, elems); (Plan.Broadcast, elems) ])
+      mbytes_list
+  in
+  let pool = Pool.create ?domains ~telemetry () in
+  let t0 = Unix.gettimeofday () in
+  let built = Blink.prewarm ~pool handle keys in
+  let dt = Unix.gettimeofday () -. t0 in
+  Format.printf "prewarmed %d plans (%d keys) in %.1f ms on %d domain(s)@."
+    built (List.length keys) (dt *. 1e3) (Pool.domains pool);
+  Format.printf "pool: %d tasks, busy peak %d@." (Pool.tasks_run pool)
+    (Pool.busy_peak pool);
+  Pool.shutdown pool;
+  let stats = Blink.plan_cache_stats handle in
+  Format.printf "plan cache now: %d hits / %d misses@." stats.Blink.hits
+    stats.Blink.misses;
+  (* Prove the point: every prewarmed key is now a cache hit. *)
+  List.iter (fun (c, elems) -> ignore (Blink.plan handle c ~elems)) keys;
+  let stats' = Blink.plan_cache_stats handle in
+  Format.printf "after re-requesting all keys: %d hits / %d misses@."
+    stats'.Blink.hits stats'.Blink.misses
+
+let mbytes_list_arg =
+  Arg.(value
+       & opt (list float) [ 1.; 4.; 16.; 64. ]
+       & info [ "sizes" ] ~docv:"MB,MB,..."
+           ~doc:"Buffer sizes in MB to prewarm (AllReduce and Broadcast each).")
+
+let domains_arg =
+  Arg.(value
+       & opt (some int) None
+       & info [ "domains" ] ~docv:"N"
+           ~doc:"Pool size (default: BLINK_DOMAINS or the recommended \
+                 domain count).")
+
+let prewarm_cmd =
+  Cmd.v
+    (Cmd.info "prewarm"
+       ~doc:"Batch-compile the plan cache across domains (Blink.prewarm)")
+    Term.(const prewarm $ server_arg $ gpus_arg $ domains_arg $ mbytes_list_arg)
+
 (* ------------------------------ cluster ------------------------------ *)
 
 let cluster jobs servers =
@@ -347,4 +401,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ topo_cmd; plan_cmd; bench_cmd; train_cmd; trace_cmd; metrics_cmd;
-            cluster_cmd ]))
+            prewarm_cmd; cluster_cmd ]))

@@ -20,7 +20,7 @@ let validate plans =
         plan.trees)
     plans
 
-let all_reduce spec ~n_partitions ~plans ~elems =
+let all_reduce ?pool spec ~n_partitions ~plans ~elems =
   validate plans;
   if n_partitions <= 0 then invalid_arg "Threephase: n_partitions <= 0";
   let n_servers = Array.length plans in
@@ -37,6 +37,19 @@ let all_reduce spec ~n_partitions ~plans ~elems =
     let ranks = Array.of_list plan.ranks in
     Subtree.reroot tree ~root:ranks.(p mod Array.length ranks)
   in
+  (* Re-rooting every server's tree for every partition is pure, so the
+     per-partition batches fan out across the pool when one is supplied
+     (results come back in partition order, so the emitted program is
+     identical to the sequential build). Emission below stays sequential:
+     ops must enter the shared context in program order. *)
+  let partition_trees =
+    let build p = Array.init n_servers (fun s -> local_tree s p) in
+    let ps = List.init n_partitions Fun.id in
+    Array.of_list
+      (match pool with
+      | Some pool -> Blink_parallel.Pool.parallel_map pool build ps
+      | None -> List.map build ps)
+  in
   let no_deps _ _ = [] in
   for p = 0 to n_partitions - 1 do
     let off = boundary p in
@@ -45,7 +58,7 @@ let all_reduce spec ~n_partitions ~plans ~elems =
       let chunks = Codegen.split_chunks ~chunk:spec.Codegen.chunk_elems ~off ~len in
       let chunks_arr = Array.of_list chunks in
       let hub = p mod n_servers in
-      let trees = Array.init n_servers (fun s -> local_tree s p) in
+      let trees = partition_trees.(p) in
       let roots = Array.map (fun (t : Subtree.t) -> t.Subtree.root) trees in
       let local_spec s = { spec with Codegen.cls = plans.(s).cls } in
       (* Phase 1: local reductions. *)

@@ -25,6 +25,7 @@ type plan = {
 }
 
 val all_reduce :
+  ?pool:Blink_parallel.Pool.t ->
   Codegen.spec ->
   n_partitions:int ->
   plans:plan array ->
@@ -35,4 +36,8 @@ val all_reduce :
     Partition hubs rotate over servers; local roots rotate over each
     server's ranks. Requires at least one plan and one tree per plan, and
     every plan's trees spanning exactly that plan's ranks. Every rank's
-    data buffer ends up holding the global sum. *)
+    data buffer ends up holding the global sum.
+
+    [pool] parallelizes the per-partition tree re-rooting (a pure
+    precomputation); op emission itself is sequential either way, so the
+    returned program is bit-identical with or without a pool. *)

@@ -210,12 +210,12 @@ let tune_chunk ?(elems = 67_108_864) t =
   in
   Chunking.tune ~telemetry:t.telemetry ~measure ()
 
+let size_class ~elems =
+  let rec log2 n acc = if n <= 1 then acc else log2 (n lsr 1) (acc + 1) in
+  log2 (max 1 elems) 0
+
 let tuned_chunk t ~elems =
-  let size_class =
-    let rec log2 n acc = if n <= 1 then acc else log2 (n lsr 1) (acc + 1) in
-    log2 (max 1 elems) 0
-  in
-  match Hashtbl.find_opt t.chunk_cache size_class with
+  match Hashtbl.find_opt t.chunk_cache (size_class ~elems) with
   | Some chunk -> chunk
   | None ->
       (* Probe at a representative size of the class, starting from a
@@ -226,7 +226,7 @@ let tuned_chunk t ~elems =
         algbw_gbps ~elems (time_quiet t prog)
       in
       let result = Chunking.tune ~init ~telemetry:t.telemetry ~measure () in
-      Hashtbl.replace t.chunk_cache size_class result.Chunking.chosen;
+      Hashtbl.replace t.chunk_cache (size_class ~elems) result.Chunking.chosen;
       result.Chunking.chosen
 
 (* ------------------------------------------------------------------ *)
@@ -281,3 +281,86 @@ let plan_cache_stats t =
     hits = Telemetry.counter_value t.telemetry "plan.cache.hits";
     misses = Telemetry.counter_value t.telemetry "plan.cache.misses";
   }
+
+(* ------------------------------------------------------------------ *)
+(* Prewarm: batch-populate the plan cache across domains. Only the pure,
+   expensive stages (MIAD tuning probes, Plan.build codegen) run on pool
+   workers; every handle mutation — the tree memos, the chunk cache, the
+   plan table and its FIFO — happens in the calling domain, so a prewarmed
+   handle is bit-identical to one warmed by sequential [plan] calls. *)
+
+let map_pool pool f xs =
+  match pool with
+  | Some pool -> Blink_parallel.Pool.parallel_map pool f xs
+  | None -> List.map f xs
+
+let prewarm ?pool t keys =
+  (* Force the tree memos here: workers then only read
+     [t.bcast_trees]/[t.ar_trees] and never race on filling them. *)
+  ignore (broadcast_trees t);
+  ignore (all_reduce_trees t);
+  let dedup keep xs =
+    let seen = Hashtbl.create 16 in
+    List.filter_map
+      (fun x ->
+        match keep x with
+        | Some k when not (Hashtbl.mem seen k) ->
+            Hashtbl.add seen k ();
+            Some (k, x)
+        | Some _ | None -> None)
+      xs
+  in
+  let keys = List.map snd (dedup (fun k -> Some k) keys) in
+  (* Stage 1: MIAD-tune every size class not already cached. Each class
+     tunes independently and deterministically, so the probes fan out;
+     the cache inserts stay here. *)
+  let missing_classes =
+    dedup
+      (fun (_, elems) ->
+        let cls = size_class ~elems in
+        if Hashtbl.mem t.chunk_cache cls then None else Some cls)
+      keys
+  in
+  let tuned =
+    map_pool pool
+      (fun (cls, (_, elems)) ->
+        let init = heuristic_chunk ~elems in
+        let measure ~chunk_elems =
+          let prog, _ = all_reduce ~chunk_elems t ~elems in
+          algbw_gbps ~elems (time_quiet t prog)
+        in
+        let result = Chunking.tune ~init ~telemetry:t.telemetry ~measure () in
+        (cls, result.Chunking.chosen))
+      missing_classes
+  in
+  List.iter (fun (cls, chunk) -> Hashtbl.replace t.chunk_cache cls chunk) tuned;
+  (* Stage 2: compile the missing plans in parallel (Plan.build is pure
+     given the spec and trees), then insert in key order so eviction order
+     and the miss counters match the sequential path. *)
+  let missing =
+    dedup
+      (fun (collective, elems) ->
+        let chunk = Hashtbl.find t.chunk_cache (size_class ~elems) in
+        let key = (collective, elems, chunk) in
+        if Hashtbl.mem t.plans key then None else Some key)
+      keys
+  in
+  let built =
+    map_pool pool
+      (fun (((collective, elems, chunk) : Plan.collective * int * int), _) ->
+        let spec =
+          Codegen.spec ~chunk_elems:chunk ~telemetry:t.telemetry t.fabric
+        in
+        ( (collective, elems, chunk),
+          Plan.build collective ~spec ~root:t.root ~elems
+            ~trees:(trees_for t collective) ))
+      missing
+  in
+  List.iter
+    (fun (key, plan) ->
+      Telemetry.incr t.telemetry "plan.cache.misses";
+      evict_if_full t;
+      Hashtbl.replace t.plans key plan;
+      Queue.push key t.plan_order)
+    built;
+  List.length built

@@ -119,6 +119,21 @@ val plan : ?chunk_elems:int -> t -> Plan.collective -> elems:int -> Plan.t
     on the first miss for that class. The returned plan is shared: two
     calls with the same key return the same instance. *)
 
+val prewarm :
+  ?pool:Blink_parallel.Pool.t -> t -> (Plan.collective * int) list -> int
+(** Batch-populate the plan cache for the given [(collective, elems)]
+    keys, returning how many plans were newly compiled (duplicates and
+    already-cached keys are skipped). Chunk sizes come from the MIAD
+    tuner exactly as in {!plan}.
+
+    [pool] fans the expensive pure stages — tuning probes for uncached
+    size classes, then [Plan.build] codegen — across domains; all handle
+    mutation (tree memos, chunk cache, plan table, eviction FIFO, miss
+    counters) happens in the calling domain. A prewarmed handle is
+    therefore bit-identical to one warmed by sequential {!plan} calls,
+    with any pool size. After [prewarm], {!plan} calls for these keys are
+    cache hits. *)
+
 type cache_stats = { hits : int; misses : int }
 
 val plan_cache_stats : t -> cache_stats

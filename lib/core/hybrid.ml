@@ -32,14 +32,24 @@ let pcie_chain_tree handle =
   in
   Tree.of_edges ~n_ranks:k ~root edges
 
-let broadcast ?chunk_elems ?stream_reuse ?t_dpa handle ~elems =
+let broadcast ?pool ?chunk_elems ?stream_reuse ?t_dpa handle ~elems =
   let fabric = Blink.fabric handle in
   let k = Blink.n_ranks handle in
   let t_dpa = Option.value t_dpa ~default:(dpa_latency ~n_ranks:k) in
   let bw_nvl = Blink.rate handle *. 1e9 in
-  let chain = pcie_chain_tree handle in
-  let bw_pcie =
-    Fabric.pcie_bandwidth fabric ~ranks:(List.init k Fun.id)
+  (* The PCIe side (chain tree + measured bandwidth) and the NVLink side
+     (tree extraction from the packing, memoized on the handle) are
+     independent: build both concurrently when a pool is supplied. Only
+     the NVLink thunk touches the handle's memo, so there is no race. *)
+  let (chain, bw_pcie), nvl_trees =
+    let pcie () =
+      ( pcie_chain_tree handle,
+        Fabric.pcie_bandwidth fabric ~ranks:(List.init k Fun.id) )
+    in
+    let nvl () = Blink.broadcast_trees handle in
+    match pool with
+    | Some pool -> Blink_parallel.Pool.both pool pcie nvl
+    | None -> (pcie (), nvl ())
   in
   let total_bytes = 4. *. Float.of_int elems in
   (* Fold the PCIe pipeline-fill time (chunks store-and-forward through
@@ -90,7 +100,7 @@ let broadcast ?chunk_elems ?stream_reuse ?t_dpa handle ~elems =
              ~source
              ~dst_buf:(fun r -> data.(r)))
       end)
-    (Codegen.regions ~elems:nvl_elems (Blink.broadcast_trees handle));
+    (Codegen.regions ~elems:nvl_elems nvl_trees);
   (* PCIe chain covers [nvl_elems, elems) after the peer-access switch. *)
   if pcie_elems > 0 then begin
     let switch = Emit.delay ctx ~seconds:t_dpa ~deps:[] in

@@ -25,6 +25,7 @@ val pcie_chain_tree : Blink.t -> Blink_collectives.Tree.t
     once per direction). *)
 
 val broadcast :
+  ?pool:Blink_parallel.Pool.t ->
   ?chunk_elems:int ->
   ?stream_reuse:bool ->
   ?t_dpa:float ->
@@ -34,4 +35,8 @@ val broadcast :
 (** Hybrid broadcast: NVLink trees carry [d_nvl], the PCIe chain carries
     [d_pcie] behind a [T_dpa] delay. With [t_dpa] too large for the buffer
     the PCIe share clamps to zero and this degenerates to the NVLink-only
-    broadcast. *)
+    broadcast.
+
+    [pool] builds the PCIe side (chain tree + bandwidth probe) and the
+    NVLink tree set concurrently; both are pure, so the emitted program is
+    bit-identical with or without a pool. *)

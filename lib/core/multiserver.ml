@@ -4,11 +4,13 @@ module Fabric = Blink_topology.Fabric
 module Subtree = Blink_collectives.Subtree
 module Threephase = Blink_collectives.Threephase
 module Codegen = Blink_collectives.Codegen
+module Pool = Blink_parallel.Pool
 
 type t = {
   fabric : Fabric.t;
   plans : Threephase.plan array;
   n_partitions : int;
+  pool : Pool.t option;
 }
 
 (* Local spanning trees of one server's allocation, as subset trees over
@@ -49,20 +51,36 @@ let plan_server ?epsilon ?threshold server ~gpus ~rank_offset =
     { Threephase.trees; ranks; cls = Fabric.Nv }
   end
 
-let create ?net_bw ?epsilon ?threshold servers =
+let create ?net_bw ?epsilon ?threshold ?pool servers =
   if servers = [] then invalid_arg "Multiserver.create: no servers";
   let fabric =
     Fabric.of_cluster ?net_bw (List.map fst servers)
       ~allocs:(List.map snd servers)
   in
-  let _, plans =
-    List.fold_left
-      (fun (offset, acc) (server, gpus) ->
-        let plan = plan_server ?epsilon ?threshold server ~gpus ~rank_offset:offset in
-        (offset + Array.length gpus, plan :: acc))
-      (0, []) servers
+  (* Rank offsets are a prefix sum over the allocation sizes, so each
+     server's packing is independent once they are known — fan the MWU +
+     ILP runs across the pool when one is supplied. [parallel_map]
+     preserves submission order, and [plan_server] is pure, so the plan
+     array (and everything downstream) is identical to the sequential
+     fold. *)
+  let jobs =
+    let _, rev =
+      List.fold_left
+        (fun (offset, acc) (server, gpus) ->
+          (offset + Array.length gpus, (server, gpus, offset) :: acc))
+        (0, []) servers
+    in
+    List.rev rev
   in
-  let plans = Array.of_list (List.rev plans) in
+  let plan_one (server, gpus, rank_offset) =
+    plan_server ?epsilon ?threshold server ~gpus ~rank_offset
+  in
+  let plans =
+    match pool with
+    | Some pool -> Pool.parallel_map pool plan_one jobs
+    | None -> List.map plan_one jobs
+  in
+  let plans = Array.of_list plans in
   let max_trees =
     Array.fold_left
       (fun acc plan -> max acc (List.length plan.Threephase.trees))
@@ -71,7 +89,7 @@ let create ?net_bw ?epsilon ?threshold servers =
   (* Enough partitions that every server's trees all carry data and hubs
      rotate over all servers. *)
   let n_partitions = max_trees * Array.length plans in
-  { fabric; plans; n_partitions }
+  { fabric; plans; n_partitions; pool }
 
 let fabric t = t.fabric
 let n_partitions t = t.n_partitions
@@ -79,7 +97,8 @@ let plans t = t.plans
 
 let all_reduce ?chunk_elems ?stream_reuse t ~elems =
   let spec = Codegen.spec ?chunk_elems ?stream_reuse t.fabric in
-  Threephase.all_reduce spec ~n_partitions:t.n_partitions ~plans:t.plans ~elems
+  Threephase.all_reduce ?pool:t.pool spec ~n_partitions:t.n_partitions
+    ~plans:t.plans ~elems
 
 let time ?policy t prog =
   Blink_sim.Engine.run ?policy ~resources:(Fabric.resources t.fabric) prog

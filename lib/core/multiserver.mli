@@ -9,13 +9,19 @@ val create :
   ?net_bw:float ->
   ?epsilon:float ->
   ?threshold:float ->
+  ?pool:Blink_parallel.Pool.t ->
   (Blink_topology.Server.t * int array) list ->
   t
 (** Plan a job spanning several servers with the given per-server GPU
     allocations. [net_bw] is the per-server NIC bandwidth in GB/s
     (default 5 = 40 Gbps, the paper's commodity cloud setting). Each
     server's local allocation must have a connected NVLink graph, or be a
-    single GPU. *)
+    single GPU.
+
+    [pool] runs the per-server tree packings (MWU + ILP) in parallel and
+    is reused by {!all_reduce} for per-partition tree re-rooting. Packing
+    is pure and results return in server order, so the handle is
+    bit-identical to the sequential build. *)
 
 val fabric : t -> Blink_topology.Fabric.t
 val n_partitions : t -> int

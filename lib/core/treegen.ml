@@ -38,6 +38,18 @@ let garg_konemann ?(round = fun () -> ()) ~epsilon ~caps ~oracle () =
   in
   let price = Array.map (fun c -> delta /. c) caps in
   let purchases : (int list, float) Hashtbl.t = Hashtbl.create 64 in
+  (* The oracle returns the same item list (in the same order) for most
+     consecutive iterations — prices move slowly — so memoize its sorted
+     canonical form instead of re-sorting on every purchase. *)
+  let canon : (int list, int list) Hashtbl.t = Hashtbl.create 64 in
+  let canonical items =
+    match Hashtbl.find_opt canon items with
+    | Some key -> key
+    | None ->
+        let key = List.sort compare items in
+        Hashtbl.add canon items key;
+        key
+  in
   let continue = ref true in
   (* Terminates in O(m ln m / eps^2) purchases; the guard is a safety net. *)
   let max_iters = 1_000_000 in
@@ -56,7 +68,7 @@ let garg_konemann ?(round = fun () -> ()) ~epsilon ~caps ~oracle () =
           let cmin =
             List.fold_left (fun acc i -> Float.min acc caps.(i)) infinity items
           in
-          let key = List.sort compare items in
+          let key = canonical items in
           let prev = Option.value (Hashtbl.find_opt purchases key) ~default:0. in
           Hashtbl.replace purchases key (prev +. cmin);
           List.iter
@@ -86,23 +98,33 @@ let garg_konemann ?(round = fun () -> ()) ~epsilon ~caps ~oracle () =
     purchases []
   |> List.sort compare
 
+(* Capacity-constraint rows (one per item used by any candidate), built
+   from an inverted item -> candidate-indices table: near-linear in the
+   total item count, instead of the O(rows * k * |items|) List.mem scan a
+   per-cell membership test would cost. *)
+let capacity_rows ~cap_of ~cand_items =
+  let k = Array.length cand_items in
+  let users : (int, int list) Hashtbl.t = Hashtbl.create 64 in
+  Array.iteri
+    (fun ci items ->
+      List.iter
+        (fun item ->
+          let prev = Option.value (Hashtbl.find_opt users item) ~default:[] in
+          Hashtbl.replace users item (ci :: prev))
+        items)
+    cand_items;
+  Hashtbl.fold
+    (fun item cis acc ->
+      let row = Array.make k 0. in
+      List.iter (fun ci -> row.(ci) <- 1.) cis;
+      (row, cap_of item) :: acc)
+    users []
+
 (* LP re-optimization over a candidate set: maximize total weight subject
    to per-item capacities. Returns (lp_opt, weights). *)
 let candidate_lp ~caps ~candidates =
   let k = Array.length candidates in
-  let used = Hashtbl.create 64 in
-  Array.iter (fun items -> List.iter (fun i -> Hashtbl.replace used i ()) items)
-    candidates;
-  let rows =
-    Hashtbl.fold
-      (fun item () acc ->
-        let row = Array.make k 0. in
-        Array.iteri
-          (fun ci items -> if List.mem item items then row.(ci) <- 1.)
-          candidates;
-        (row, caps.(item)) :: acc)
-      used []
-  in
+  let rows = capacity_rows ~cap_of:(fun item -> caps.(item)) ~cand_items:candidates in
   let a = Array.of_list (List.map fst rows) in
   let b = Array.of_list (List.map snd rows) in
   match Simplex.maximize ~c:(Array.make k 1.) ~a ~b with
@@ -447,19 +469,8 @@ let minimize ?(threshold = 0.05) g packing =
     let cand_items = Array.map items_of_tree candidates in
     let k = Array.length candidates in
     (* Constraint rows per used item, capacities in units. *)
-    let used = Hashtbl.create 64 in
-    Array.iter
-      (fun items -> List.iter (fun i -> Hashtbl.replace used i ()) items)
-      cand_items;
     let rows =
-      Hashtbl.fold
-        (fun item () acc ->
-          let row = Array.make k 0. in
-          Array.iteri
-            (fun ci items -> if List.mem item items then row.(ci) <- 1.)
-            cand_items;
-          (row, item_caps.(item) /. unit) :: acc)
-        used []
+      capacity_rows ~cap_of:(fun item -> item_caps.(item) /. unit) ~cand_items
       |> List.sort compare
     in
     let a = Array.of_list (List.map fst rows) in

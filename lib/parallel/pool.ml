@@ -1,0 +1,181 @@
+module Telemetry = Blink_telemetry.Telemetry
+
+(* Workers mark their domain so nested parallel_map calls fall back to
+   sequential execution instead of deadlocking on their own pool. *)
+let in_worker_key = Domain.DLS.new_key (fun () -> false)
+let in_worker () = Domain.DLS.get in_worker_key
+
+let clamp_domains n = max 1 (min 512 n)
+
+let env_domains () =
+  match Sys.getenv_opt "BLINK_DOMAINS" with
+  | None -> None
+  | Some s -> Option.map clamp_domains (int_of_string_opt s)
+
+let default_domains () =
+  match env_domains () with
+  | Some n -> n
+  | None -> clamp_domains (Domain.recommended_domain_count ())
+
+type t = {
+  size : int;
+  mutex : Mutex.t;
+  has_work : Condition.t;  (* queue non-empty or shutting down *)
+  finished : Condition.t;  (* broadcast after every task completion *)
+  queue : (unit -> unit) Queue.t;
+  mutable shutting_down : bool;
+  mutable busy : int;
+  mutable busy_peak : int;
+  mutable tasks_run : int;
+  mutable workers : unit Domain.t list;
+  telemetry : Telemetry.t;
+}
+
+let domains t = t.size
+let tasks_run t = t.tasks_run
+let busy_peak t = t.busy_peak
+
+let rec worker_loop t =
+  Mutex.lock t.mutex;
+  while Queue.is_empty t.queue && not t.shutting_down do
+    Condition.wait t.has_work t.mutex
+  done;
+  if Queue.is_empty t.queue then Mutex.unlock t.mutex (* shutting down *)
+  else begin
+    let task = Queue.pop t.queue in
+    t.busy <- t.busy + 1;
+    if t.busy > t.busy_peak then t.busy_peak <- t.busy;
+    Mutex.unlock t.mutex;
+    task ();  (* never raises: batches wrap their tasks *)
+    Mutex.lock t.mutex;
+    t.busy <- t.busy - 1;
+    t.tasks_run <- t.tasks_run + 1;
+    Condition.broadcast t.finished;
+    Mutex.unlock t.mutex;
+    worker_loop t
+  end
+
+let create ?domains ?(telemetry = Telemetry.disabled) () =
+  let size =
+    match domains with
+    | None -> default_domains ()
+    | Some d ->
+        if d <= 0 then invalid_arg "Pool.create: domains <= 0";
+        let d = clamp_domains d in
+        (match env_domains () with Some cap -> min d cap | None -> d)
+  in
+  let t =
+    {
+      size;
+      mutex = Mutex.create ();
+      has_work = Condition.create ();
+      finished = Condition.create ();
+      queue = Queue.create ();
+      shutting_down = false;
+      busy = 0;
+      busy_peak = 0;
+      tasks_run = 0;
+      workers = [];
+      telemetry;
+    }
+  in
+  if size > 1 then
+    t.workers <-
+      List.init size (fun _ ->
+          Domain.spawn (fun () ->
+              Domain.DLS.set in_worker_key true;
+              worker_loop t));
+  Telemetry.set_gauge telemetry "pool.domains" (Float.of_int size);
+  t
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  let workers = t.workers in
+  t.shutting_down <- true;
+  t.workers <- [];
+  Condition.broadcast t.has_work;
+  Mutex.unlock t.mutex;
+  List.iter Domain.join workers
+
+(* Publish the pool gauges after a batch; reads are synchronized because
+   the batch waiter held the mutex when it observed completion. *)
+let publish t =
+  if Telemetry.enabled t.telemetry then begin
+    Mutex.lock t.mutex;
+    let tasks = t.tasks_run and peak = t.busy_peak in
+    Mutex.unlock t.mutex;
+    Telemetry.set_gauge t.telemetry "pool.domains" (Float.of_int t.size);
+    Telemetry.set_gauge t.telemetry "pool.tasks" (Float.of_int tasks);
+    Telemetry.set_gauge t.telemetry "pool.busy_peak" (Float.of_int peak)
+  end
+
+let sequential_map t f xs =
+  let results = List.map f xs in
+  Mutex.lock t.mutex;
+  t.tasks_run <- t.tasks_run + List.length xs;
+  if t.busy_peak < 1 && xs <> [] then t.busy_peak <- 1;
+  Mutex.unlock t.mutex;
+  publish t;
+  results
+
+let parallel_map t f xs =
+  if t.shutting_down then invalid_arg "Pool.parallel_map: pool is shut down";
+  match xs with
+  | [] -> []
+  | [ _ ] -> sequential_map t f xs
+  | _ when t.size <= 1 || in_worker () -> sequential_map t f xs
+  | _ ->
+      let items = Array.of_list xs in
+      let n = Array.length items in
+      let results = Array.make n None in
+      let remaining = ref n in
+      Mutex.lock t.mutex;
+      Array.iteri
+        (fun i x ->
+          Queue.add
+            (fun () ->
+              let r = try Ok (f x) with e -> Error e in
+              (* Distinct slots; publication to the waiter is ordered by
+                 the mutex release below. *)
+              results.(i) <- Some r;
+              Mutex.lock t.mutex;
+              decr remaining;
+              Mutex.unlock t.mutex)
+            t.queue)
+        items;
+      Condition.broadcast t.has_work;
+      while !remaining > 0 do
+        Condition.wait t.finished t.mutex
+      done;
+      Mutex.unlock t.mutex;
+      publish t;
+      (* Re-raise the earliest failure in submission order. *)
+      Array.to_list
+        (Array.map
+           (function
+             | Some (Ok v) -> v
+             | Some (Error e) -> raise e
+             | None -> assert false)
+           results)
+
+let parallel_iter t f xs = ignore (parallel_map t f xs)
+
+let both t f g =
+  match parallel_map t (fun thunk -> thunk ()) [ (fun () -> `A (f ())); (fun () -> `B (g ())) ] with
+  | [ `A a; `B b ] -> (a, b)
+  | _ -> assert false
+
+let with_pool ?domains ?telemetry f =
+  let t = create ?domains ?telemetry () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+let default_pool = ref None
+
+let default () =
+  match !default_pool with
+  | Some t -> t
+  | None ->
+      let t = create () in
+      default_pool := Some t;
+      at_exit (fun () -> shutdown t);
+      t

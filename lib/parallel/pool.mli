@@ -1,0 +1,70 @@
+(** Fixed-size domain pool for the planning layers.
+
+    Blink generates plans once per allocation and amortizes them over
+    training iterations, so planning latency is the user-visible cost of
+    every (re)allocation. The work is embarrassingly parallel across
+    roots, servers and fabrics; this pool spreads it over OCaml 5 domains
+    with zero dependencies beyond the stdlib.
+
+    Determinism contract: {!parallel_map} returns results in submission
+    order, and a pool of one domain degenerates to plain sequential
+    execution in the calling domain — so for pure task functions the
+    output of an [n]-domain pool is bit-identical to the sequential run.
+    Calls made from inside a worker (nested parallelism) also run
+    sequentially rather than deadlocking the pool.
+
+    Sizing: [?domains] defaults to [Domain.recommended_domain_count ()].
+    The [BLINK_DOMAINS] environment variable overrides that default and
+    clamps explicit requests, so [BLINK_DOMAINS=1] forces every pool in
+    the process to sequential execution (CI uses this to prove
+    parallel/sequential equivalence). *)
+
+type t
+
+val default_domains : unit -> int
+(** [BLINK_DOMAINS] when set (clamped to [1..512]), else
+    [Domain.recommended_domain_count ()]. *)
+
+val create : ?domains:int -> ?telemetry:Blink_telemetry.Telemetry.t -> unit -> t
+(** Spawn a pool of [domains] (default {!default_domains}; explicit
+    values are still clamped by [BLINK_DOMAINS]) worker domains. A
+    1-domain pool spawns no workers at all. [telemetry] (default
+    {!Blink_telemetry.Telemetry.disabled}) receives the pool gauges
+    [pool.domains], [pool.tasks] and [pool.busy_peak] after every batch.
+    Raises [Invalid_argument] on [domains <= 0]. *)
+
+val domains : t -> int
+(** Effective pool width (1 = sequential). *)
+
+val parallel_map : t -> ('a -> 'b) -> 'a list -> 'b list
+(** Run [f] over every element, returning results in submission order.
+    Blocks until the whole batch finishes. If any task raised, the
+    exception of the earliest-submitted failing task is re-raised in the
+    caller (after the batch has drained). *)
+
+val parallel_iter : t -> ('a -> unit) -> 'a list -> unit
+
+val both : t -> (unit -> 'a) -> (unit -> 'b) -> 'a * 'b
+(** Run two heterogeneous thunks concurrently. *)
+
+val tasks_run : t -> int
+(** Total tasks completed over the pool's lifetime. *)
+
+val busy_peak : t -> int
+(** Peak number of simultaneously running tasks observed. *)
+
+val shutdown : t -> unit
+(** Join all worker domains. Idempotent; the pool must not be used
+    afterwards. *)
+
+val with_pool :
+  ?domains:int ->
+  ?telemetry:Blink_telemetry.Telemetry.t ->
+  (t -> 'a) ->
+  'a
+(** [create], run, and [shutdown] (also on exceptions). *)
+
+val default : unit -> t
+(** A lazily-created process-wide pool of {!default_domains} workers,
+    shut down via [at_exit]. This is what the planning layers use when no
+    explicit pool is passed. *)

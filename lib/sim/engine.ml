@@ -12,6 +12,22 @@ type result = {
 
 type event = Ready of int | Lane_free of int  (* op id | resource id *)
 
+(* Monomorphic heaps for the event loop: the simulator spends most of its
+   time pushing/popping these, and the specialized comparators avoid the
+   polymorphic-compare C call per sift step. *)
+module Events = Pqueue.Float_key
+
+module Waitq = Pqueue.Make (struct
+  type t = float * int * int  (* ready time (0 under Stream_priority), stream, op id *)
+
+  let compare (ta, sa, ia) (tb, sb, ib) =
+    let c = Float.compare ta tb in
+    if c <> 0 then c
+    else
+      let c = Int.compare sa sb in
+      if c <> 0 then c else Int.compare ia ib
+end)
+
 (* Delays occupy no resource; [None] below means "start immediately". *)
 let resource_of_op (o : Program.op) =
   match o.kind with
@@ -102,16 +118,14 @@ let run ?(policy = `Fair) ?(telemetry = Telemetry.disabled) ~resources prog =
     in
     chain (Program.stream_ops prog s)
   done;
-  let events : (float, event) Pqueue.t = Pqueue.create () in
+  let events : event Events.t = Events.create () in
   (* Per-resource waiting sets keyed by the scheduling policy. *)
   let wait_key t (o : Program.op) =
     match policy with
     | `Fair -> (t, o.Program.stream, o.Program.id)
     | `Stream_priority -> (0., o.Program.stream, o.Program.id)
   in
-  let waiting =
-    Array.init n_res (fun _ -> (Pqueue.create () : (float * int * int, int) Pqueue.t))
-  in
+  let waiting = Array.init n_res (fun _ -> (Waitq.create () : int Waitq.t)) in
   let free_lanes = Array.map (fun r -> r.lanes) resources in
   let makespan = ref 0. in
   let start_op t id =
@@ -124,7 +138,7 @@ let run ?(policy = `Fair) ?(telemetry = Telemetry.disabled) ~resources prog =
         let occupancy = Float.max dur resources.(r).gap in
         busy.(r) <- busy.(r) +. occupancy;
         free_lanes.(r) <- free_lanes.(r) - 1;
-        Pqueue.add events (t +. occupancy) (Lane_free r)
+        Events.add events (t +. occupancy) (Lane_free r)
     | None -> ());
     if finish.(id) > !makespan then makespan := finish.(id);
     List.iter
@@ -136,16 +150,16 @@ let run ?(policy = `Fair) ?(telemetry = Telemetry.disabled) ~resources prog =
         in
         if candidate > ready_time.(dep) then ready_time.(dep) <- candidate;
         pending.(dep) <- pending.(dep) - 1;
-        if pending.(dep) = 0 then Pqueue.add events ready_time.(dep) (Ready dep))
+        if pending.(dep) = 0 then Events.add events ready_time.(dep) (Ready dep))
       dependents.(id)
   in
   Program.iter_ops
     (fun o ->
       if pending.(o.Program.id) = 0 then
-        Pqueue.add events ready_time.(o.Program.id) (Ready o.Program.id))
+        Events.add events ready_time.(o.Program.id) (Ready o.Program.id))
     prog;
   let rec drain () =
-    match Pqueue.pop events with
+    match Events.pop events with
     | None -> ()
     | Some (t, ev) ->
         (match ev with
@@ -155,10 +169,10 @@ let run ?(policy = `Fair) ?(telemetry = Telemetry.disabled) ~resources prog =
             | None -> start_op t id
             | Some r ->
                 if free_lanes.(r) > 0 then start_op t id
-                else Pqueue.add waiting.(r) (wait_key t o) id)
+                else Waitq.add waiting.(r) (wait_key t o) id)
         | Lane_free r ->
             free_lanes.(r) <- free_lanes.(r) + 1;
-            (match Pqueue.pop waiting.(r) with
+            (match Waitq.pop waiting.(r) with
             | Some (_, id) -> start_op t id
             | None -> ()));
         drain ()

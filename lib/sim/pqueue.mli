@@ -1,7 +1,44 @@
-(** Minimal binary min-heap priority queue.
+(** Minimal binary min-heap priority queues.
 
-    Keys are compared with polymorphic compare; insertion order breaks ties
-    (earlier insertions pop first), which keeps the simulator deterministic. *)
+    Keys compare ascending; insertion order breaks ties (earlier
+    insertions pop first), which keeps the simulator deterministic.
+
+    The polymorphic flavour compares keys structurally and suits tests
+    and cold paths. {!Make} builds a heap over a monomorphic comparator —
+    [less] becomes a direct call instead of the polymorphic-compare
+    C call — and is what {!Engine.run}'s hot loop uses; {!Float_key} is
+    the pre-built instance for float keys (event times). Both flavours
+    order identical non-NaN keys identically. *)
+
+module type ORDERED = sig
+  type t
+
+  val compare : t -> t -> int
+end
+
+module Make (K : ORDERED) : sig
+  type 'v t
+
+  val create : unit -> 'v t
+  val add : 'v t -> K.t -> 'v -> unit
+  val pop : 'v t -> (K.t * 'v) option
+  val peek : 'v t -> (K.t * 'v) option
+  val is_empty : 'v t -> bool
+  val length : 'v t -> int
+end
+
+module Float_key : sig
+  type 'v t
+
+  val create : unit -> 'v t
+  val add : 'v t -> float -> 'v -> unit
+  val pop : 'v t -> (float * 'v) option
+  val peek : 'v t -> (float * 'v) option
+  val is_empty : 'v t -> bool
+  val length : 'v t -> int
+end
+
+(** {2 Polymorphic heap} *)
 
 type ('k, 'v) t
 

@@ -14,9 +14,17 @@ type metric =
   | Gauge of float ref
   | Histogram of histogram
 
-type t = { series : (string * labels, metric) Hashtbl.t }
+(* The registry is shared across worker domains when planning runs on a
+   pool, so every access to the series table (and to the mutable cells it
+   holds) happens under [lock]. Contention is negligible: metrics are
+   recorded on planning paths, not per simulated op. *)
+type t = { series : (string * labels, metric) Hashtbl.t; lock : Mutex.t }
 
-let create () = { series = Hashtbl.create 64 }
+let create () = { series = Hashtbl.create 64; lock = Mutex.create () }
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
 
 let default_bounds =
   [| 1e-6; 1e-5; 1e-4; 1e-3; 1e-2; 1e-1; 1.; 10.; 100.; 1e3 |]
@@ -44,14 +52,16 @@ let kind_error name m expected =
 
 let incr t ?(labels = []) ?(by = 1) name =
   if by < 0 then invalid_arg "Metrics.incr: by < 0";
-  match fetch t name labels (fun () -> Counter (ref 0)) with
-  | Counter r -> r := !r + by
-  | m -> kind_error name m "counter"
+  with_lock t (fun () ->
+      match fetch t name labels (fun () -> Counter (ref 0)) with
+      | Counter r -> r := !r + by
+      | m -> kind_error name m "counter")
 
 let set t ?(labels = []) name v =
-  match fetch t name labels (fun () -> Gauge (ref v)) with
-  | Gauge r -> r := v
-  | m -> kind_error name m "gauge"
+  with_lock t (fun () ->
+      match fetch t name labels (fun () -> Gauge (ref v)) with
+      | Gauge r -> r := v
+      | m -> kind_error name m "gauge")
 
 let fresh_histogram () =
   Histogram
@@ -65,31 +75,34 @@ let fresh_histogram () =
     }
 
 let observe t ?(labels = []) name v =
-  match fetch t name labels fresh_histogram with
-  | Histogram h ->
-      h.count <- h.count + 1;
-      h.sum <- h.sum +. v;
-      if v < h.min then h.min <- v;
-      if v > h.max then h.max <- v;
-      let rec bucket i =
-        if i >= Array.length h.bounds || v <= h.bounds.(i) then i
-        else bucket (i + 1)
-      in
-      let b = bucket 0 in
-      h.bucket_counts.(b) <- h.bucket_counts.(b) + 1
-  | m -> kind_error name m "histogram"
+  with_lock t (fun () ->
+      match fetch t name labels fresh_histogram with
+      | Histogram h ->
+          h.count <- h.count + 1;
+          h.sum <- h.sum +. v;
+          if v < h.min then h.min <- v;
+          if v > h.max then h.max <- v;
+          let rec bucket i =
+            if i >= Array.length h.bounds || v <= h.bounds.(i) then i
+            else bucket (i + 1)
+          in
+          let b = bucket 0 in
+          h.bucket_counts.(b) <- h.bucket_counts.(b) + 1
+      | m -> kind_error name m "histogram")
 
 let counter_value t ?(labels = []) name =
-  match Hashtbl.find_opt t.series (key name labels) with
-  | Some (Counter r) -> !r
-  | Some m -> kind_error name m "counter"
-  | None -> 0
+  with_lock t (fun () ->
+      match Hashtbl.find_opt t.series (key name labels) with
+      | Some (Counter r) -> !r
+      | Some m -> kind_error name m "counter"
+      | None -> 0)
 
 let gauge_value t ?(labels = []) name =
-  match Hashtbl.find_opt t.series (key name labels) with
-  | Some (Gauge r) -> Some !r
-  | Some m -> kind_error name m "gauge"
-  | None -> None
+  with_lock t (fun () ->
+      match Hashtbl.find_opt t.series (key name labels) with
+      | Some (Gauge r) -> Some !r
+      | Some m -> kind_error name m "gauge"
+      | None -> None)
 
 type histogram_snapshot = {
   count : int;
@@ -109,10 +122,11 @@ let snapshot_of h =
   { count = h.count; sum = h.sum; min = h.min; max = h.max; buckets }
 
 let histogram_snapshot t ?(labels = []) name =
-  match Hashtbl.find_opt t.series (key name labels) with
-  | Some (Histogram h) -> Some (snapshot_of h)
-  | Some m -> kind_error name m "histogram"
-  | None -> None
+  with_lock t (fun () ->
+      match Hashtbl.find_opt t.series (key name labels) with
+      | Some (Histogram h) -> Some (snapshot_of h)
+      | Some m -> kind_error name m "histogram"
+      | None -> None)
 
 (* ------------------------------------------------------------------ *)
 (* JSON snapshot *)
@@ -122,28 +136,44 @@ let labels_json labels = Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) labe
 let series_json name labels fields =
   Json.Obj (("name", Json.Str name) :: ("labels", labels_json labels) :: fields)
 
+(* Snapshot values under the lock so a concurrent writer can't be seen
+   mid-update; the JSON itself is assembled lock-free from the copies. *)
+type metric_snapshot =
+  | Counter_v of int
+  | Gauge_v of float
+  | Histogram_v of histogram_snapshot
+
 let to_json t =
   let all =
-    Hashtbl.fold (fun k m acc -> (k, m) :: acc) t.series []
+    with_lock t (fun () ->
+        Hashtbl.fold
+          (fun k m acc ->
+            let v =
+              match m with
+              | Counter r -> Counter_v !r
+              | Gauge r -> Gauge_v !r
+              | Histogram h -> Histogram_v (snapshot_of h)
+            in
+            (k, v) :: acc)
+          t.series [])
     |> List.sort (fun (a, _) (b, _) -> compare a b)
   in
   let pick f = List.filter_map f all in
   let counters =
     pick (function
-      | (name, labels), Counter r ->
-          Some (series_json name labels [ ("value", Json.int !r) ])
+      | (name, labels), Counter_v v ->
+          Some (series_json name labels [ ("value", Json.int v) ])
       | _ -> None)
   in
   let gauges =
     pick (function
-      | (name, labels), Gauge r ->
-          Some (series_json name labels [ ("value", Json.float !r) ])
+      | (name, labels), Gauge_v v ->
+          Some (series_json name labels [ ("value", Json.float v) ])
       | _ -> None)
   in
   let histograms =
     pick (function
-      | (name, labels), Histogram h ->
-          let s = snapshot_of h in
+      | (name, labels), Histogram_v s ->
           Some
             (series_json name labels
                [

@@ -22,6 +22,9 @@ type live = {
   trace : bool;
   clock : unit -> float;
   t0 : float;
+  (* The tracer, like the registry, may be written from pool worker
+     domains; [lock] guards the two event lists. *)
+  lock : Mutex.t;
   mutable spans : span list;  (* reversed *)
   mutable slices : slice list;  (* reversed *)
 }
@@ -32,7 +35,9 @@ let disabled = Disabled
 
 let create ?(trace = false) ?clock () =
   let clock = Option.value clock ~default:Unix.gettimeofday in
-  Live { metrics = Metrics.create (); trace; clock; t0 = clock (); spans = []; slices = [] }
+  Live
+    { metrics = Metrics.create (); trace; clock; t0 = clock ();
+      lock = Mutex.create (); spans = []; slices = [] }
 
 let enabled = function Disabled -> false | Live _ -> true
 let tracing = function Disabled -> false | Live l -> l.trace
@@ -63,7 +68,10 @@ let now_s = function
 let span t ?(cat = "blink") ?(args = []) ~start name =
   match t with
   | Live l when l.trace ->
-      l.spans <- { name; cat; start; finish = l.clock () -. l.t0; args } :: l.spans
+      let s = { name; cat; start; finish = l.clock () -. l.t0; args } in
+      Mutex.lock l.lock;
+      l.spans <- s :: l.spans;
+      Mutex.unlock l.lock
   | Disabled | Live _ -> ()
 
 let with_span t ?cat ?args name f =
@@ -82,7 +90,10 @@ let with_span t ?cat ?args name f =
 let slice t ?(args = []) ~track ~name ~start ~dur () =
   match t with
   | Live l when l.trace ->
-      l.slices <- { s_name = name; track; s_start = start; dur; s_args = args } :: l.slices
+      let s = { s_name = name; track; s_start = start; dur; s_args = args } in
+      Mutex.lock l.lock;
+      l.slices <- s :: l.slices;
+      Mutex.unlock l.lock
   | Disabled | Live _ -> ()
 
 (* ------------------------------------------------------------------ *)
@@ -127,6 +138,12 @@ let chrome_json t =
   match t with
   | Disabled -> "[]"
   | Live l ->
+      let l =
+        Mutex.lock l.lock;
+        let snap = { l with spans = l.spans; slices = l.slices } in
+        Mutex.unlock l.lock;
+        snap
+      in
       (* One planning thread per span category, in order of first use. *)
       let cats = ref [] in
       let cat_tid c =

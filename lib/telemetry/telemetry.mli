@@ -15,7 +15,14 @@
     Wall-clock span timestamps are seconds since handle creation;
     engine slices live in simulated time. {!chrome_json} exports both on
     one timeline as separate process tracks (pid 0 = planning wall clock,
-    pid 1 = simulated engine). *)
+    pid 1 = simulated engine).
+
+    Domain safety: a handle may be shared across domains — the metrics
+    registry and the span/slice tracer are guarded by mutexes, so worker
+    domains of a {!Blink_parallel.Pool} can record freely while the main
+    domain snapshots or exports. Counter increments are atomic with
+    respect to each other; exporters see a consistent point-in-time
+    snapshot. *)
 
 module Json = Json
 module Metrics = Metrics

@@ -1,0 +1,231 @@
+(* The domain pool and the determinism contract of parallel planning:
+   results come back in submission order, exceptions propagate from the
+   earliest failing task, a 1-domain pool degenerates to plain sequential
+   execution, and every parallelized planning layer (Multiserver, Hybrid,
+   prewarm) produces bit-identical output with any pool size. *)
+
+module Pool = Blink_parallel.Pool
+module Telemetry = Blink_telemetry.Telemetry
+module Server = Blink_topology.Server
+module Program = Blink_sim.Program
+module Blink = Blink_core.Blink
+module Plan = Blink_core.Plan
+module Hybrid = Blink_core.Hybrid
+module Multiserver = Blink_core.Multiserver
+module Threephase = Blink_collectives.Threephase
+module Subtree = Blink_collectives.Subtree
+module E = Blink_sim.Engine
+
+(* ------------------------------------------------------------------ *)
+(* Pool mechanics *)
+
+let test_map_order () =
+  Pool.with_pool ~domains:4 (fun pool ->
+      let xs = List.init 100 Fun.id in
+      let got = Pool.parallel_map pool (fun i -> i * i) xs in
+      Alcotest.(check (list int)) "submission order" (List.map (fun i -> i * i) xs) got;
+      Alcotest.(check (list int)) "empty list" [] (Pool.parallel_map pool Fun.id []))
+
+let test_iter_runs_all () =
+  Pool.with_pool ~domains:3 (fun pool ->
+      let hits = Array.make 50 0 in
+      (* Each slot is written by exactly one task, so no two domains race
+         on the same cell. *)
+      Pool.parallel_iter pool (fun i -> hits.(i) <- hits.(i) + 1)
+        (List.init 50 Fun.id);
+      Alcotest.(check bool) "every task ran once" true
+        (Array.for_all (fun h -> h = 1) hits))
+
+exception Boom of int
+
+let test_exception_propagation () =
+  Pool.with_pool ~domains:4 (fun pool ->
+      let raised =
+        try
+          ignore
+            (Pool.parallel_map pool
+               (fun i -> if i = 3 || i = 7 then raise (Boom i) else i)
+               (List.init 10 Fun.id));
+          None
+        with Boom i -> Some i
+      in
+      (* Submission order decides which failure surfaces, not domain
+         scheduling. *)
+      Alcotest.(check (option int)) "earliest failing task wins" (Some 3) raised;
+      (* The pool survives a failed batch. *)
+      Alcotest.(check (list int)) "pool still works" [ 0; 1; 2 ]
+        (Pool.parallel_map pool Fun.id [ 0; 1; 2 ]))
+
+let test_nested_calls_fall_back () =
+  Pool.with_pool ~domains:2 (fun pool ->
+      (* A task that itself calls parallel_map must not deadlock: nested
+         calls from worker domains run sequentially in that worker. *)
+      let got =
+        Pool.parallel_map pool
+          (fun i -> Pool.parallel_map pool (fun j -> (10 * i) + j) [ 0; 1; 2 ])
+          [ 0; 1; 2; 3 ]
+      in
+      let want = List.init 4 (fun i -> List.init 3 (fun j -> (10 * i) + j)) in
+      Alcotest.(check (list (list int))) "nested map" want got)
+
+let test_one_domain_is_sequential () =
+  Pool.with_pool ~domains:1 (fun pool ->
+      Alcotest.(check int) "one domain" 1 (Pool.domains pool);
+      let self = Domain.self () in
+      let domains_seen =
+        Pool.parallel_map pool (fun _ -> Domain.self ()) [ 0; 1; 2 ]
+      in
+      Alcotest.(check bool) "tasks run in the calling domain" true
+        (List.for_all (fun d -> d = self) domains_seen))
+
+let test_both () =
+  Pool.with_pool ~domains:2 (fun pool ->
+      let a, b = Pool.both pool (fun () -> 1 + 1) (fun () -> "x" ^ "y") in
+      Alcotest.(check int) "left" 2 a;
+      Alcotest.(check string) "right" "xy" b)
+
+let test_env_clamps () =
+  Unix.putenv "BLINK_DOMAINS" "1";
+  Fun.protect
+    ~finally:(fun () -> Unix.putenv "BLINK_DOMAINS" "")
+    (fun () ->
+      Alcotest.(check int) "default respects BLINK_DOMAINS" 1
+        (Pool.default_domains ());
+      Pool.with_pool ~domains:8 (fun pool ->
+          Alcotest.(check int) "explicit request is clamped" 1
+            (Pool.domains pool)))
+
+let test_pool_gauges () =
+  let telemetry = Telemetry.create () in
+  Pool.with_pool ~domains:2 ~telemetry (fun pool ->
+      ignore (Pool.parallel_map pool (fun i -> i) (List.init 7 Fun.id));
+      Alcotest.(check (option (float 0.))) "pool.domains gauge"
+        (Some (Float.of_int (Pool.domains pool)))
+        (Telemetry.gauge_value telemetry "pool.domains");
+      Alcotest.(check (option (float 0.))) "pool.tasks gauge"
+        (Some (Float.of_int (Pool.tasks_run pool)))
+        (Telemetry.gauge_value telemetry "pool.tasks");
+      Alcotest.(check bool) "pool.busy_peak gauge present" true
+        (Telemetry.gauge_value telemetry "pool.busy_peak" <> None);
+      Alcotest.(check bool) "tasks counted" true (Pool.tasks_run pool >= 7))
+
+(* ------------------------------------------------------------------ *)
+(* Determinism: parallel planning output is bit-identical to sequential *)
+
+let ops_of prog =
+  let acc = ref [] in
+  Program.iter_ops
+    (fun o ->
+      acc := (o.Program.id, o.Program.kind, o.Program.stream, o.Program.deps) :: !acc)
+    prog;
+  List.rev !acc
+
+let check_same_program label (pa, _) (pb, _) =
+  Alcotest.(check int) (label ^ ": op count") (Program.n_ops pa) (Program.n_ops pb);
+  Alcotest.(check bool) (label ^ ": identical ops") true (ops_of pa = ops_of pb)
+
+let subtree_sig (t : Subtree.t) =
+  ( t.Subtree.root,
+    Subtree.members t,
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.Subtree.parent []
+    |> List.sort compare )
+
+let servers =
+  [ (Server.dgx1v, [| 0; 1; 2 |]); (Server.dgx1v, [| 0; 1; 2; 3; 4 |]) ]
+
+let test_multiserver_deterministic () =
+  let seq = Multiserver.create servers in
+  Pool.with_pool ~domains:4 (fun pool ->
+      let par = Multiserver.create ~pool servers in
+      Alcotest.(check int) "n_partitions" (Multiserver.n_partitions seq)
+        (Multiserver.n_partitions par);
+      Array.iter2
+        (fun (a : Threephase.plan) (b : Threephase.plan) ->
+          Alcotest.(check (list int)) "plan ranks" a.Threephase.ranks b.Threephase.ranks;
+          Alcotest.(check bool) "plan trees" true
+            (List.map subtree_sig a.Threephase.trees
+            = List.map subtree_sig b.Threephase.trees))
+        (Multiserver.plans seq) (Multiserver.plans par);
+      let elems = 100_000 in
+      let ps = Multiserver.all_reduce ~chunk_elems:4_096 seq ~elems in
+      let pp = Multiserver.all_reduce ~chunk_elems:4_096 par ~elems in
+      check_same_program "multiserver all_reduce" ps pp;
+      Alcotest.(check (float 0.)) "identical makespan"
+        (Multiserver.time seq (fst ps)).E.makespan
+        (Multiserver.time par (fst pp)).E.makespan)
+
+let test_hybrid_deterministic () =
+  let handle = Blink.create Server.dgx1v ~gpus:(Array.init 8 Fun.id) in
+  let elems = 1_000_000 in
+  let seq = Hybrid.broadcast ~chunk_elems:8_192 handle ~elems in
+  Pool.with_pool ~domains:4 (fun pool ->
+      let par = Hybrid.broadcast ~pool ~chunk_elems:8_192 handle ~elems in
+      check_same_program "hybrid broadcast" seq par;
+      Alcotest.(check (float 0.)) "identical makespan"
+        (Blink.time handle (fst seq)).E.makespan
+        (Blink.time handle (fst par)).E.makespan)
+
+let keys =
+  [ (Plan.All_reduce, 4_096); (Plan.Broadcast, 4_096);
+    (Plan.All_reduce, 100_000); (Plan.Gather, 100_000) ]
+
+let test_prewarm_deterministic () =
+  let gpus = [| 1; 4; 5; 6 |] in
+  (* Handle A: prewarmed through a multi-domain pool. Handle B: warmed by
+     sequential plan calls. Every compiled plan must match exactly. *)
+  let a = Blink.create Server.dgx1v ~gpus in
+  let b = Blink.create Server.dgx1v ~gpus in
+  let built =
+    Pool.with_pool ~domains:4 (fun pool -> Blink.prewarm ~pool a keys)
+  in
+  Alcotest.(check int) "all keys compiled" (List.length keys) built;
+  List.iter (fun (c, elems) -> ignore (Blink.plan b c ~elems)) keys;
+  List.iter
+    (fun (c, elems) ->
+      let pa = Blink.plan a c ~elems in
+      let pb = Blink.plan b c ~elems in
+      let label = Plan.collective_name c ^ string_of_int elems in
+      Alcotest.(check int) (label ^ ": same tuned chunk") pb.Plan.chunk_elems
+        pa.Plan.chunk_elems;
+      Alcotest.(check int) (label ^ ": op count") (Program.n_ops pb.Plan.program)
+        (Program.n_ops pa.Plan.program);
+      Alcotest.(check bool) (label ^ ": identical ops") true
+        (ops_of pa.Plan.program = ops_of pb.Plan.program);
+      Alcotest.(check (float 0.)) (label ^ ": identical makespan")
+        (Plan.execute ~data:false pb).Plan.timing.E.makespan
+        (Plan.execute ~data:false pa).Plan.timing.E.makespan)
+    keys;
+  (* Every prewarmed key was a cache hit just now, and re-prewarming is a
+     no-op. *)
+  let { Blink.hits; misses } = Blink.plan_cache_stats a in
+  Alcotest.(check int) "prewarm misses once per key" (List.length keys) misses;
+  Alcotest.(check int) "plan calls all hit" (List.length keys) hits;
+  Alcotest.(check int) "re-prewarm builds nothing" 0 (Blink.prewarm a keys)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "parallel"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "map preserves submission order" `Quick test_map_order;
+          Alcotest.test_case "iter runs every task once" `Quick test_iter_runs_all;
+          Alcotest.test_case "earliest exception propagates" `Quick
+            test_exception_propagation;
+          Alcotest.test_case "nested calls fall back" `Quick
+            test_nested_calls_fall_back;
+          Alcotest.test_case "1-domain pool is sequential" `Quick
+            test_one_domain_is_sequential;
+          Alcotest.test_case "both" `Quick test_both;
+          Alcotest.test_case "BLINK_DOMAINS clamps" `Quick test_env_clamps;
+          Alcotest.test_case "pool gauges" `Quick test_pool_gauges;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "multiserver packing" `Quick
+            test_multiserver_deterministic;
+          Alcotest.test_case "hybrid broadcast" `Quick test_hybrid_deterministic;
+          Alcotest.test_case "prewarm" `Quick test_prewarm_deterministic;
+        ] );
+    ]
