@@ -160,14 +160,19 @@ let parallel_plan_suite () =
       List.iter (fun (_, job) -> job pool) jobs);
   let time_all pool = List.map (fun (name, job) -> (name, wall (fun () -> job pool))) jobs in
   let seq = Pool.with_pool ~domains:1 time_all in
-  let requested = max 4 (Pool.default_domains ()) in
+  (* Ask for 4 domains but never exceed what this host can actually run
+     in parallel: oversubscribing cores makes the "parallel" run slower
+     than sequential and the artifact misleading. *)
+  let requested = 4 in
+  let effective = min requested (max 1 (Pool.default_domains ())) in
   let par_domains, par =
-    Pool.with_pool ~domains:requested (fun pool ->
+    Pool.with_pool ~domains:effective (fun pool ->
         (Pool.domains pool, time_all pool))
   in
   let total xs = List.fold_left (fun acc (_, t) -> acc +. t) 0. xs in
   let t_seq = total seq and t_par = total par in
   let speedup = if t_par > 0. then t_seq /. t_par else 0. in
+  let expected_on_this_host = speedup < 1.0 && par_domains < requested in
   Util.row "  %-18s %12s %12s %9s\n" "job" "1 domain"
     (Printf.sprintf "%d domains" par_domains)
     "speedup";
@@ -180,8 +185,11 @@ let parallel_plan_suite () =
   Util.row "  %-18s %10.1f ms %10.1f ms %8.2fx\n" "total" (t_seq *. 1e3)
     (t_par *. 1e3) speedup;
   Util.row
-    "  (recommended domains on this machine: %d; speedup needs real cores)\n"
-    (Pool.default_domains ());
+    "  (requested %d domains, ran %d; recommended on this machine: %d)\n"
+    requested par_domains (Pool.default_domains ());
+  if expected_on_this_host then
+    Util.row
+    "  (sub-1.0 speedup is expected on this host: too few real cores)\n";
   let out = "BENCH_parallel_plan.json" in
   let oc = open_out out in
   let job_objs =
@@ -202,7 +210,9 @@ let parallel_plan_suite () =
           [
             ("suite", Json.str "parallel_plan");
             ("recommended_domains", Json.int (Pool.default_domains ()));
+            ("requested_domains", Json.int requested);
             ("par_domains", Json.int par_domains);
+            ("expected_on_this_host", Json.Bool expected_on_this_host);
             ("seq_total_s", Json.float t_seq);
             ("par_total_s", Json.float t_par);
             ("speedup", Json.float speedup);
@@ -213,6 +223,171 @@ let parallel_plan_suite () =
   Util.row "  results written to %s\n" out
 
 (* ------------------------------------------------------------------ *)
+(* Replay mode: steady-state cost of re-executing a compiled plan.
+
+   Seed path (what every execute cost before the prepare/run split): a
+   full Engine.run — validation, schedule lowering, event-queue and
+   result allocation — plus a fresh float-array reference memory for the
+   data replay. Prepared path: Plan.execute replays the cached schedule
+   against the plan's arena and pooled Bigarray memory, so the steady
+   state allocates (almost) nothing. The suite measures per-execute wall
+   clock and minor-heap words for both across all six collectives and
+   enforces the allocation budget on the timing-only fast path. *)
+
+module E = Blink_sim.Engine
+module Sem = Blink_sim.Semantics
+module Codegen = Blink_collectives.Codegen
+
+(* Minor words a steady-state timing-only Plan.execute may allocate per
+   run. The arena makes the engine itself allocation-free; the budget
+   covers the execution record, telemetry bookkeeping and Gc sampling.
+   Exceeding it means someone reintroduced a per-run allocation that
+   scales with the program (events list, result arrays, dependents). *)
+let alloc_guard_minor_words = 2048.
+
+let replay_suite () =
+  let iters = 100 in
+  let elems = 1_000_000 in
+  Util.heading
+    "Replay: %dx per-collective re-execution of %d elems on gpus {1,4,5,6}"
+    iters elems;
+  let handle = Blink.create Server.dgx1v ~gpus:[| 1; 4; 5; 6 |] in
+  let inputs =
+    Array.init 4 (fun r ->
+        Array.init elems (fun i -> Float.of_int (((i * 3) + (r * 7)) mod 11)))
+  in
+  let wall_and_words f =
+    let t0 = Unix.gettimeofday () in
+    let w0 = Gc.minor_words () in
+    for _ = 1 to iters do
+      f ()
+    done;
+    let dw = Gc.minor_words () -. w0 in
+    let dt = Unix.gettimeofday () -. t0 in
+    (dt /. Float.of_int iters, dw /. Float.of_int iters)
+  in
+  let collectives =
+    [
+      Plan.All_reduce;
+      Plan.Broadcast;
+      Plan.Reduce;
+      Plan.Gather;
+      Plan.All_gather;
+      Plan.Reduce_scatter;
+    ]
+  in
+  Util.row "  %-15s %13s %13s %6s %14s %14s %8s\n" "collective" "seed/exec"
+    "prepared/exec" "wall" "seed minor/ex" "prep minor/ex" "alloc";
+  let guard_worst = ref 0. in
+  let rows, headline =
+    List.fold_left
+      (fun (rows, headline) collective ->
+        let plan = Blink.plan handle collective ~elems in
+        let prog = plan.Plan.program and resources = plan.Plan.resources in
+        let layout = plan.Plan.layout in
+        let load mem (l : Codegen.layout) =
+          Array.iteri
+            (fun r buf -> Sem.write mem ~node:r ~buf:l.Codegen.data.(r) buf)
+            inputs
+        in
+        let load_ref rmem =
+          Array.iteri
+            (fun r buf ->
+              Sem.Ref.write rmem ~node:r ~buf:layout.Codegen.data.(r) buf)
+            inputs
+        in
+        let seed_exec () =
+          ignore (E.run ~resources prog);
+          let rmem = Sem.Ref.memory_of_program prog in
+          load_ref rmem;
+          Sem.Ref.run prog rmem
+        in
+        let prep_exec () = ignore (Plan.execute ~load plan) in
+        let seed_timing () = ignore (E.run ~resources prog) in
+        let prep_timing () = ignore (Plan.execute ~data:false plan) in
+        (* One warm round each so first-touch costs (kernel compilation,
+           pool sizing, page faults) don't land in either measurement. *)
+        seed_exec ();
+        prep_exec ();
+        prep_timing ();
+        let seed_s, seed_w = wall_and_words seed_exec in
+        let prep_s, prep_w = wall_and_words prep_exec in
+        let seed_t_s, seed_t_w = wall_and_words seed_timing in
+        let prep_t_s, prep_t_w = wall_and_words prep_timing in
+        guard_worst := Float.max !guard_worst prep_t_w;
+        let speedup = if prep_s > 0. then seed_s /. prep_s else 0. in
+        let alloc_ratio = if prep_w > 0. then seed_w /. prep_w else infinity in
+        let name = Plan.collective_name collective in
+        Util.row "  %-15s %10.2f ms %10.2f ms %5.1fx %12.0f w %12.0f w %7.0fx\n"
+          name (seed_s *. 1e3) (prep_s *. 1e3) speedup seed_w prep_w
+          alloc_ratio;
+        let row =
+          Json.Obj
+            [
+              ("collective", Json.str name);
+              ("seed_wall_s", Json.float seed_s);
+              ("prepared_wall_s", Json.float prep_s);
+              ("wall_speedup", Json.float speedup);
+              ("seed_minor_words", Json.float seed_w);
+              ("prepared_minor_words", Json.float prep_w);
+              ("alloc_ratio", Json.float alloc_ratio);
+              ("seed_timing_wall_s", Json.float seed_t_s);
+              ("prepared_timing_wall_s", Json.float prep_t_s);
+              ("seed_timing_minor_words", Json.float seed_t_w);
+              ("prepared_timing_minor_words", Json.float prep_t_w);
+            ]
+        in
+        let headline =
+          if collective = Plan.All_reduce then Some (speedup, alloc_ratio)
+          else headline
+        in
+        (row :: rows, headline))
+      ([], None) collectives
+  in
+  let rows = List.rev rows in
+  let hl_speedup, hl_alloc =
+    match headline with Some h -> h | None -> (0., 0.)
+  in
+  Util.row "  headline (all_reduce): %.1fx wall, %.0fx fewer minor words\n"
+    hl_speedup hl_alloc;
+  let guard_ok = !guard_worst <= alloc_guard_minor_words in
+  Util.row "  alloc guard: worst timing-only execute %.0f minor words/run \
+            (budget %.0f) — %s\n"
+    !guard_worst alloc_guard_minor_words
+    (if guard_ok then "OK" else "FAIL");
+  let tel = Blink.telemetry handle in
+  let counter name = Blink_telemetry.Telemetry.counter_value tel name in
+  Util.row "  engine.prepares %d vs engine.runs %d (schedules are \
+            lowered once, replayed thereafter)\n"
+    (counter "engine.prepares") (counter "engine.runs");
+  let out = "BENCH_replay.json" in
+  let oc = open_out out in
+  output_string oc
+    (Json.to_string
+       (Json.Obj
+          [
+            ("suite", Json.str "replay");
+            ("iters", Json.int iters);
+            ("elems", Json.int elems);
+            ("headline_wall_speedup", Json.float hl_speedup);
+            ("headline_alloc_ratio", Json.float hl_alloc);
+            ("alloc_guard_minor_words", Json.float alloc_guard_minor_words);
+            ("alloc_guard_worst", Json.float !guard_worst);
+            ("alloc_guard_ok", Json.Bool guard_ok);
+            ("engine_prepares", Json.int (counter "engine.prepares"));
+            ("engine_runs", Json.int (counter "engine.runs"));
+            ("collectives", Json.List rows);
+          ]));
+  output_char oc '\n';
+  close_out oc;
+  Util.row "  results written to %s\n" out;
+  if not guard_ok then (
+    Printf.eprintf
+      "replay: allocation guard failed (%.0f > %.0f minor words/run)\n"
+      !guard_worst alloc_guard_minor_words;
+    exit 1)
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   match Array.to_list Sys.argv with
@@ -220,6 +395,7 @@ let () =
       Figures.all_figures ();
       plan_cache_suite ();
       parallel_plan_suite ();
+      replay_suite ();
       bechamel_suite ();
       print_newline ()
   | _ :: args ->
@@ -230,14 +406,17 @@ let () =
               List.iter (fun (name, _) -> print_endline name) Figures.registry;
               print_endline "plan-cache";
               print_endline "parallel-plan";
+              print_endline "replay";
               print_endline "bechamel"
           | "all" ->
               Figures.all_figures ();
               plan_cache_suite ();
               parallel_plan_suite ();
+              replay_suite ();
               bechamel_suite ()
           | "plan-cache" -> plan_cache_suite ()
           | "parallel-plan" -> parallel_plan_suite ()
+          | "replay" -> replay_suite ()
           | "bechamel" -> bechamel_suite ()
           | name -> (
               match List.assoc_opt name Figures.registry with

@@ -6,6 +6,7 @@
    $ blink train   --server dgx1v --gpus 1,4,5,6 --model resnet50
    $ blink trace   all_reduce --server dgx1v --gpus 1,4,5,6
    $ blink metrics --server dgx1v --gpus 1,4,5,6 --runs 3
+   $ blink replay  all_reduce --server dgx1v --gpus 1,4,5,6 --runs 100
    $ blink prewarm --server dgx1v --gpus 0,1,2,3 --domains 4 --sizes 1,16,64
    $ blink cluster --jobs 40000 --servers 64 *)
 
@@ -316,6 +317,71 @@ let metrics_cmd =
                  & info [ "out" ] ~docv:"FILE"
                      ~doc:"Write the JSON here instead of stdout."))
 
+(* ------------------------------ replay ------------------------------- *)
+
+(* Steady-state cost of re-executing one compiled plan: per-execute wall
+   clock and minor-heap words over N pooled replays, plus the prepares/
+   runs counters showing the schedule was lowered once. *)
+let replay collective server gpus mbytes runs data =
+  let telemetry = Telemetry.create () in
+  let handle = Blink.create ~telemetry server ~gpus in
+  let elems = int_of_float (mbytes *. 1e6 /. Blink.bytes_per_elem) in
+  let plan = Blink.plan handle collective ~elems in
+  let inputs =
+    Array.init plan.Plan.n_ranks (fun r ->
+        Array.init elems (fun i -> Float.of_int (((i * 3) + (r * 7)) mod 11)))
+  in
+  (* Reload every rank's input each iteration, as a training loop would:
+     this is the steady state the pooled memory is built for. *)
+  let load mem (layout : Codegen.layout) =
+    Array.iteri
+      (fun r values ->
+        Blink_sim.Semantics.write mem ~node:r ~buf:layout.Codegen.data.(r)
+          values)
+      inputs
+  in
+  let exec () =
+    if data then ignore (Plan.execute ~load plan)
+    else ignore (Plan.execute ~data:false plan)
+  in
+  exec ();
+  (* warm: sizes the pool, compiles the data kernels *)
+  let runs = max 1 runs in
+  let t0 = Unix.gettimeofday () in
+  let w0 = Gc.minor_words () in
+  for _ = 1 to runs do
+    exec ()
+  done;
+  let words = (Gc.minor_words () -. w0) /. Float.of_int runs in
+  let wall = (Unix.gettimeofday () -. t0) /. Float.of_int runs in
+  Format.printf "%s of %.0f MB, %d steady-state executes (%s pass)@."
+    (Plan.collective_name collective) mbytes runs
+    (if data then "timing+data" else "timing-only");
+  Format.printf "  per execute: %.3f ms wall, %.0f minor words@."
+    (wall *. 1e3) words;
+  Format.printf "  simulated makespan %.3f ms, chunk %d elems@."
+    ((Plan.execute ~data:false plan).Plan.timing.Blink_sim.Engine.makespan
+    *. 1e3)
+    plan.Plan.chunk_elems;
+  Format.printf
+    "  engine.prepares %d vs engine.runs %d (schedule lowered once, \
+     replayed thereafter)@."
+    (Telemetry.counter_value telemetry "engine.prepares")
+    (Telemetry.counter_value telemetry "engine.runs")
+
+let replay_cmd =
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:"Measure steady-state plan re-execution cost (wall + allocation)")
+    Term.(const replay $ trace_collective_arg $ server_arg $ gpus_arg
+          $ small_mbytes_arg
+          $ Arg.(value & opt int 100 & info [ "runs" ] ~docv:"N"
+                 ~doc:"Steady-state executes to average over.")
+          $ Arg.(value & opt bool true
+                 & info [ "data" ] ~docv:"BOOL"
+                     ~doc:"Include the data-replay pass (false = timing \
+                           only, the allocation-free fast path)."))
+
 (* ------------------------------ prewarm ------------------------------ *)
 
 module Pool = Blink_parallel.Pool
@@ -401,4 +467,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ topo_cmd; plan_cmd; bench_cmd; train_cmd; trace_cmd; metrics_cmd;
-            prewarm_cmd; cluster_cmd ]))
+            replay_cmd; prewarm_cmd; cluster_cmd ]))

@@ -192,9 +192,18 @@ let time ?policy t prog =
    simulates the same interval of virtual time, so recording their op
    slices would stack dozens of overlapping runs onto the engine tracks
    of the Chrome export. The probes are still visible through the
-   [miad.*] metrics and span that [Chunking.tune] records. *)
+   [miad.*] metrics and span that [Chunking.tune] records. Runs on the
+   domain-local scratch arena (probes may fan out across pool domains),
+   so successive probes on one domain reuse the same working set. *)
 let time_quiet t prog =
-  Engine.run ~resources:(Fabric.resources t.fabric) prog
+  Engine.run_prepared
+    (Engine.prepare ~resources:(Fabric.resources t.fabric) prog)
+
+(* Probe-time safety net for all tuning driven by this facade: one MIAD
+   probe of a pathological class (tiny chunks × many GPUs) can cost
+   seconds of simulation; half a second of processor time is far above
+   any healthy probe and bounds the bad ones. *)
+let default_probe_cap_s = 0.5
 
 let bytes_per_elem = 4.
 
@@ -203,12 +212,13 @@ let algbw_gbps ?(bytes_per_elem = bytes_per_elem) ~elems result =
 
 let heuristic_chunk ~elems = max 256 (min 262_144 (elems / 16))
 
-let tune_chunk ?(elems = 67_108_864) t =
+let tune_chunk ?(elems = 67_108_864) ?(max_probe_seconds = default_probe_cap_s)
+    t =
   let measure ~chunk_elems =
     let prog, _ = all_reduce ~chunk_elems t ~elems in
     algbw_gbps ~elems (time_quiet t prog)
   in
-  Chunking.tune ~telemetry:t.telemetry ~measure ()
+  Chunking.tune ~max_probe_seconds ~telemetry:t.telemetry ~measure ()
 
 let size_class ~elems =
   let rec log2 n acc = if n <= 1 then acc else log2 (n lsr 1) (acc + 1) in
@@ -225,7 +235,10 @@ let tuned_chunk t ~elems =
         let prog, _ = all_reduce ~chunk_elems t ~elems in
         algbw_gbps ~elems (time_quiet t prog)
       in
-      let result = Chunking.tune ~init ~telemetry:t.telemetry ~measure () in
+      let result =
+        Chunking.tune ~init ~max_probe_seconds:default_probe_cap_s
+          ~telemetry:t.telemetry ~measure ()
+      in
       Hashtbl.replace t.chunk_cache (size_class ~elems) result.Chunking.chosen;
       result.Chunking.chosen
 
@@ -329,7 +342,10 @@ let prewarm ?pool t keys =
           let prog, _ = all_reduce ~chunk_elems t ~elems in
           algbw_gbps ~elems (time_quiet t prog)
         in
-        let result = Chunking.tune ~init ~telemetry:t.telemetry ~measure () in
+        let result =
+          Chunking.tune ~init ~max_probe_seconds:default_probe_cap_s
+            ~telemetry:t.telemetry ~measure ()
+        in
         (cls, result.Chunking.chosen))
       missing_classes
   in

@@ -11,6 +11,8 @@ type step = { chunk_elems : int; throughput : float }
 type result = {
   chosen : int;  (** steady-state chunk size, in elements *)
   trace : step list;  (** every probe, in order — figure 12's series *)
+  capped : bool;
+      (** a probe overran [max_probe_seconds], ending the search early *)
 }
 
 val tune :
@@ -18,6 +20,7 @@ val tune :
   ?grow:float ->
   ?shrink:int ->
   ?max_iters:int ->
+  ?max_probe_seconds:float ->
   ?telemetry:Blink_telemetry.Telemetry.t ->
   measure:(chunk_elems:int -> float) ->
   unit ->
@@ -26,8 +29,17 @@ val tune :
     GB/s) starting from [init] (default 262144 elements = 1 MiB of fp32),
     multiplying by [grow] (default 2.0) while improving, then stepping
     back by [shrink] elements (default [init/2]) until throughput stops
-    recovering. At most [max_iters] probes (default 16).
+    recovering. Each phase gets its own budget of at most [max_iters]
+    probes (default 16): the increase phase counts the initial probe
+    against its budget; the decrease phase starts from a fresh count, so
+    an exhaustive up-sweep can no longer starve back-off.
 
-    [telemetry] counts tuning iterations (["miad.iterations"]), observes
-    each probe's throughput and, when tracing, records a ["miad.tune"]
-    span. *)
+    [max_probe_seconds], when given, caps a single probe's processor
+    time: the first probe to overrun it ends the search (its measurement
+    still enters the trace and may be chosen), bounding the pathological
+    small-chunk classes whose simulated op counts explode. Raises
+    [Invalid_argument] when non-positive.
+
+    [telemetry] counts tuning iterations (["miad.iterations"]) and capped
+    probes (["miad.probe_time_capped"]), observes each probe's throughput
+    and, when tracing, records a ["miad.tune"] span. *)

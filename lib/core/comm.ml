@@ -96,9 +96,11 @@ let reduce_scatter t inputs =
   execute t ~elems
     ~load:(load_all inputs)
     ~extract:(fun mem layout ->
+      (* Rank r owns only its segment; slice it out of the slab directly
+         instead of materializing the full buffer first. *)
       Array.init k (fun r ->
-          let full = read_data mem layout r in
           let off = r * elems / k in
           let stop = (r + 1) * elems / k in
-          Array.sub full off (stop - off)))
+          Sem.read_slice mem ~node:r ~buf:layout.Codegen.data.(r) ~off
+            ~len:(stop - off)))
     Plan.Reduce_scatter

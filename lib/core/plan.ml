@@ -34,6 +34,20 @@ type t = {
   trees : Blink_collectives.Tree.weighted list;
   resources : Engine.resource array;
   telemetry : Telemetry.t;
+  prepared : Engine.prepared;
+  arena : Engine.arena;
+  mutable pool_mem : Sem.memory option;
+  mutable gauge_cells : gauge_cells option;
+}
+
+(* Pre-resolved per-resource gauge handles for the plan's own telemetry
+   registry: resolved on the first instrumented execute, so steady-state
+   executes update busy/utilization/bottleneck gauges without rebuilding
+   label lists and hashtable keys every run. *)
+and gauge_cells = {
+  busy_cells : Telemetry.Metrics.gauge_cell array;
+  util_cells : Telemetry.Metrics.gauge_cell array;
+  bottleneck_cell : Telemetry.Metrics.gauge_cell;
 }
 
 let build collective ~spec ~root ~elems ~trees =
@@ -49,6 +63,10 @@ let build collective ~spec ~root ~elems ~trees =
     | All_gather -> Codegen.all_gather spec ~root ~elems ~trees
     | Reduce_scatter -> Scatter.reduce_scatter spec ~elems ~trees
   in
+  let resources = Fabric.resources spec.Codegen.fabric in
+  (* Lower the program into the engine's immutable schedule here, once:
+     every [execute] replays it against the plan's own arena. *)
+  let prepared = Engine.prepare ~telemetry ~resources program in
   Telemetry.incr telemetry ~labels:[ ("collective", name) ] "plan.builds";
   Telemetry.span telemetry ~cat:"plan" ~start:span_start
     ~args:[ ("collective", Json.str name); ("elems", Json.int elems) ]
@@ -62,22 +80,113 @@ let build collective ~spec ~root ~elems ~trees =
     program;
     layout;
     trees;
-    resources = Fabric.resources spec.Codegen.fabric;
+    resources;
     telemetry;
+    prepared;
+    arena = Engine.arena ();
+    pool_mem = None;
+    gauge_cells = None;
   }
 
 type execution = { timing : Engine.result; memory : Sem.memory option }
 
-let execute ?policy ?telemetry ?(data = true) ?load t =
+let resolve_gauge_cells t telemetry =
+  match t.gauge_cells with
+  | Some cells -> cells
+  | None ->
+      let cell ?labels name =
+        Option.get (Telemetry.gauge_cell telemetry ?labels name)
+      in
+      let per_resource name r =
+        cell ~labels:[ ("resource", string_of_int r) ] name
+      in
+      let n_res = Array.length t.resources in
+      let cells =
+        {
+          busy_cells = Array.init n_res (per_resource "engine.resource.busy_s");
+          util_cells =
+            Array.init n_res (per_resource "engine.resource.utilization");
+          bottleneck_cell = cell "engine.bottleneck_resource";
+        }
+      in
+      t.gauge_cells <- Some cells;
+      cells
+
+(* The per-resource busy/utilization gauge fold, allocation-light: the
+   same series [Trace.utilizations] + [Trace.bottleneck] would produce,
+   but computed inline over the result arrays through the plan's
+   pre-resolved cells (no record list, no sort). [Trace.utilizations]
+   sorts descending by fraction with a stable sort, so its bottleneck is
+   the lowest-indexed resource with the maximal fraction — matched here
+   by the strict [>] update. *)
+let fold_utilizations t telemetry (timing : Engine.result) =
+  if telemetry == t.telemetry then begin
+    let cells = resolve_gauge_cells t telemetry in
+    let mk = timing.Engine.makespan in
+    let n_res = Array.length t.resources in
+    let best = ref (-1) and best_frac = ref neg_infinity in
+    for r = 0 to n_res - 1 do
+      let busy = timing.Engine.busy.(r) in
+      let lanes = Float.of_int t.resources.(r).Engine.lanes in
+      let fraction = if mk <= 0. then 0. else busy /. (lanes *. mk) in
+      Telemetry.Metrics.set_cell cells.busy_cells.(r) busy;
+      Telemetry.Metrics.set_cell cells.util_cells.(r) fraction;
+      if fraction > !best_frac then begin
+        best := r;
+        best_frac := fraction
+      end
+    done;
+    if !best >= 0 then
+      Telemetry.Metrics.set_cell cells.bottleneck_cell (Float.of_int !best)
+  end
+  else begin
+    (* Caller-supplied registry: the cached cells belong to the plan's
+       own telemetry, so take the keyed (slower) path. *)
+    List.iter
+      (fun u ->
+        let labels = [ ("resource", string_of_int u.Trace.resource) ] in
+        Telemetry.set_gauge telemetry ~labels "engine.resource.busy_s"
+          u.Trace.busy;
+        Telemetry.set_gauge telemetry ~labels "engine.resource.utilization"
+          u.Trace.fraction)
+      (Trace.utilizations ~resources:t.resources timing);
+    match Trace.bottleneck ~resources:t.resources timing with
+    | Some r ->
+        Telemetry.set_gauge telemetry "engine.bottleneck_resource"
+          (Float.of_int r)
+    | None -> ()
+  end
+
+let execute ?policy ?telemetry ?(data = true) ?(reuse_memory = true) ?load t =
   let telemetry = Option.value telemetry ~default:t.telemetry in
   let name = collective_name t.collective in
   let span_start = Telemetry.now_s telemetry in
-  let timing = Engine.run ?policy ~telemetry ~resources:t.resources t.program in
+  let minor0 = Gc.minor_words () in
+  let timing =
+    Engine.run_prepared ?policy ~telemetry ~arena:t.arena t.prepared
+  in
   let memory =
     if not data then None
     else begin
-      let mem = Sem.memory_of_program t.program in
+      let mem, reused =
+        if reuse_memory then (
+          match t.pool_mem with
+          | Some mem -> (mem, true)
+          | None ->
+              let mem = Sem.memory_of_program t.program in
+              t.pool_mem <- Some mem;
+              (mem, false))
+        else (Sem.memory_of_program t.program, false)
+      in
+      (* A reused pooled memory holds the previous replay's data. The
+         begin/commit protocol zeroes only the buffers whose stale
+         contents could leak into this replay and that [load] didn't
+         just rewrite — for the steady state (every input reloaded each
+         iteration) that is no zeroing at all. Fresh memories are
+         already zeroed. *)
+      if reused then Sem.begin_replay mem t.program;
       (match load with Some f -> f mem t.layout | None -> ());
+      if reused then Sem.commit_replay mem;
       Sem.run t.program mem;
       Some mem
     end
@@ -90,26 +199,20 @@ let execute ?policy ?telemetry ?(data = true) ?load t =
     Telemetry.incr telemetry ~labels:[ ("collective", name) ] "plan.executes";
     Telemetry.observe telemetry "plan.execute.makespan_s"
       timing.Engine.makespan;
-    List.iter
-      (fun u ->
-        let labels = [ ("resource", string_of_int u.Trace.resource) ] in
-        Telemetry.set_gauge telemetry ~labels "engine.resource.busy_s"
-          u.Trace.busy;
-        Telemetry.set_gauge telemetry ~labels "engine.resource.utilization"
-          u.Trace.fraction)
-      (Trace.utilizations ~resources:t.resources timing);
-    (match Trace.bottleneck ~resources:t.resources timing with
-    | Some r -> Telemetry.set_gauge telemetry "engine.bottleneck_resource"
-                  (Float.of_int r)
-    | None -> ());
-    Telemetry.span telemetry ~cat:"plan" ~start:span_start
-      ~args:
-        [
-          ("collective", Json.str name);
-          ("data_pass", Json.Bool data);
-          ("makespan_s", Json.float timing.Engine.makespan);
-        ]
-      "plan.execute"
+    (* Steady-state allocation telemetry: minor words spent by this
+       execute (engine replay + data pass + the registry's own cost). *)
+    Telemetry.observe telemetry "plan.execute.minor_words"
+      (Gc.minor_words () -. minor0);
+    fold_utilizations t telemetry timing;
+    if Telemetry.tracing telemetry then
+      Telemetry.span telemetry ~cat:"plan" ~start:span_start
+        ~args:
+          [
+            ("collective", Json.str name);
+            ("data_pass", Json.Bool data);
+            ("makespan_s", Json.float timing.Engine.makespan);
+          ]
+        "plan.execute"
   end;
   { timing; memory }
 

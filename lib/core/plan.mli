@@ -38,6 +38,24 @@ type t = {
   telemetry : Blink_telemetry.Telemetry.t;
       (** the spec's handle, captured at build time so {!execute} reports
           into the same registry without re-threading it *)
+  prepared : Blink_sim.Engine.prepared;
+      (** the program lowered once into the engine's immutable schedule
+          (CSR dependents, per-op resources/durations/latencies) *)
+  arena : Blink_sim.Engine.arena;
+      (** the plan's reusable engine working set — {!execute} replays the
+          schedule against it, so steady-state runs allocate nothing *)
+  mutable pool_mem : Blink_sim.Semantics.memory option;
+      (** pooled replay buffers, reset and reused by data-pass executes *)
+  mutable gauge_cells : gauge_cells option;
+      (** pre-resolved per-resource gauge handles for the plan's own
+          registry, so steady-state executes fold busy/utilization
+          gauges without rebuilding label keys *)
+}
+
+and gauge_cells = {
+  busy_cells : Blink_telemetry.Telemetry.Metrics.gauge_cell array;
+  util_cells : Blink_telemetry.Telemetry.Metrics.gauge_cell array;
+  bottleneck_cell : Blink_telemetry.Telemetry.Metrics.gauge_cell;
 }
 
 val build :
@@ -62,19 +80,31 @@ val execute :
   ?policy:Blink_sim.Engine.policy ->
   ?telemetry:Blink_telemetry.Telemetry.t ->
   ?data:bool ->
+  ?reuse_memory:bool ->
   ?load:(Blink_sim.Semantics.memory -> Blink_collectives.Codegen.layout -> unit) ->
   t ->
   execution
 (** Run the plan's single program instance through both passes: the
-    event-driven timing engine, and the dataflow replay over fresh
-    buffers ([load] fills them first). [~data:false] skips the replay —
-    the fast path for timing-only users; [load] is then ignored.
+    event-driven timing engine (replaying the plan's {!field-prepared}
+    schedule against its {!field-arena}, so steady-state executes
+    allocate nothing), and the dataflow replay ([load] fills the buffers
+    first). [~data:false] skips the replay — the fast path for
+    timing-only users; [load] is then ignored.
+
+    [reuse_memory] (default [true]) serves the data pass from the plan's
+    pooled {!field-pool_mem}, zeroed in place per call; pass [false] for
+    an independent memory instance. Because the timing arrays alias the
+    arena and the pooled memory is shared, an execution's results are
+    valid until the plan's next [execute] — copy out what must survive,
+    and don't execute one plan from two domains concurrently.
 
     Reports into [telemetry] (default: the plan's own handle): execute
-    counters, the makespan histogram and per-resource busy/utilization
-    gauges folded in from {!Blink_sim.Trace.utilizations}; when tracing,
-    a ["plan.execute"] span plus the engine's per-op slices. With a
-    disabled handle the only cost over the bare engine run is a match. *)
+    counters, the makespan histogram, the per-execute
+    ["plan.execute.minor_words"] allocation histogram and per-resource
+    busy/utilization gauges folded in from
+    {!Blink_sim.Trace.utilizations}; when tracing, a ["plan.execute"]
+    span plus the engine's per-op slices. With a disabled handle the only
+    cost over the bare engine run is a match. *)
 
 val seconds : execution -> float
 (** The simulated makespan of the execution. *)

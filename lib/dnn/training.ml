@@ -77,19 +77,31 @@ let memoized_backend ~label cost =
 
 let plan_backend ?(label = "blink") ?chunk_elems handle =
   let telemetry = Blink.telemetry handle in
+  (* Per-backend plan memo: repeated buckets of one size skip even the
+     handle's cache-key hashing, going straight to the prepared-schedule
+     replay — the steady-state training loop allocates nothing per
+     AllReduce beyond the engine arena reset. *)
+  let plans : (int, Plan.t) Hashtbl.t = Hashtbl.create 16 in
   let all_reduce_seconds bytes =
     let elems = max 64 (int_of_float (bytes /. bytes_per_elem)) in
-    let chunk_elems =
-      match chunk_elems with
-      | Some c -> c
-      | None -> Blink.heuristic_chunk ~elems
-    in
     (* Every gradient-bucket AllReduce the training model issues lands in
        the handle's registry: request count and bucket-size distribution
        sit next to the plan-cache hit/miss counters they exercise. *)
     Telemetry.incr telemetry "training.allreduce.requests";
     Telemetry.observe telemetry "training.allreduce.bytes" bytes;
-    let plan = Blink.plan ~chunk_elems handle Plan.All_reduce ~elems in
+    let plan =
+      match Hashtbl.find_opt plans elems with
+      | Some plan -> plan
+      | None ->
+          let chunk_elems =
+            match chunk_elems with
+            | Some c -> c
+            | None -> Blink.heuristic_chunk ~elems
+          in
+          let plan = Blink.plan ~chunk_elems handle Plan.All_reduce ~elems in
+          Hashtbl.replace plans elems plan;
+          plan
+    in
     Plan.seconds (Plan.execute ~data:false plan)
   in
   { label; all_reduce_seconds }

@@ -55,7 +55,9 @@ val plan_backend :
 (** A Blink AllReduce cost function backed by the handle's compiled-plan
     cache ({!Blink_core.Blink.plan}): each distinct bucket size compiles
     once; every later iteration replays the cached plan through the
-    timing-only fast path. [chunk_elems] defaults to
+    timing-only fast path (the backend additionally memoizes the plan per
+    bucket size, so steady-state requests go straight to the prepared
+    schedule). [chunk_elems] defaults to
     {!Blink_core.Blink.heuristic_chunk} for the bucket size.
 
     Each bucket AllReduce is also reported to the handle's telemetry

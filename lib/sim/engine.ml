@@ -10,23 +10,11 @@ type result = {
   busy : float array;
 }
 
-type event = Ready of int | Lane_free of int  (* op id | resource id *)
-
-(* Monomorphic heaps for the event loop: the simulator spends most of its
-   time pushing/popping these, and the specialized comparators avoid the
-   polymorphic-compare C call per sift step. *)
-module Events = Pqueue.Float_key
-
-module Waitq = Pqueue.Make (struct
-  type t = float * int * int  (* ready time (0 under Stream_priority), stream, op id *)
-
-  let compare (ta, sa, ia) (tb, sb, ib) =
-    let c = Float.compare ta tb in
-    if c <> 0 then c
-    else
-      let c = Int.compare sa sb in
-      if c <> 0 then c else Int.compare ia ib
-end)
+(* Monomorphic arena heaps for the event loop: the simulator spends most
+   of its time pushing/popping these, and the staged add/pop protocol
+   (see Pqueue) keeps steady-state event processing allocation-free. *)
+module Events = Pqueue.Float_int
+module Waitq = Pqueue.Float_int_int
 
 (* Delays occupy no resource; [None] below means "start immediately". *)
 let resource_of_op (o : Program.op) =
@@ -45,9 +33,6 @@ let data_time resources (o : Program.op) =
       let r = resources.(engine) in
       bytes /. r.bandwidth
   | Program.Delay { seconds } -> seconds
-
-let pipeline_latency resources (o : Program.op) =
-  match resource_of_op o with None -> 0. | Some r -> resources.(r).latency
 
 (* Fold the timed ops into the telemetry handle as simulated-time slices,
    one track per resource — the merged-timeline half of the Chrome
@@ -70,8 +55,34 @@ let record_slices telemetry prog ~start ~finish =
         ())
     prog
 
-let run ?(policy = `Fair) ?(telemetry = Telemetry.disabled) ~resources prog =
-  let t_span = Telemetry.now_s telemetry in
+(* ------------------------------------------------------------------ *)
+(* Prepared schedules: everything [run] used to derive from the program
+   on every call — validation, per-op resource ids, base durations and
+   occupancies, pipeline latencies, pending-dependency counts and the
+   dependents adjacency — lowered once into flat immutable arrays. The
+   dependents lists become a CSR adjacency whose edges pack the
+   destination op and the stream-edge flag into one int
+   ([(dst lsl 1) lor is_stream]), preserving the exact per-op edge order
+   the list-based engine produced so replay is bit-identical. *)
+
+type prepared = {
+  p_prog : Program.t;
+  p_resources : resource array;
+  p_n : int;
+  p_n_res : int;
+  p_res_of : int array;  (* resource id, or -1 for delays *)
+  p_dur : float array;  (* base duration (data_time) *)
+  p_occ : float array;  (* lane occupancy: max dur gap *)
+  p_lat : float array;  (* pipeline latency of the op's resource *)
+  p_stream : int array;
+  p_lanes : int array;  (* per-resource lane count *)
+  p_pending0 : int array;  (* initial pending-dependency counts *)
+  p_dep_off : int array;  (* CSR row offsets, length n+1 *)
+  p_dep : int array;  (* packed edges: (dst lsl 1) lor is_stream *)
+  p_sources : int array;  (* ops with no dependencies, ascending id *)
+}
+
+let prepare ?(telemetry = Telemetry.disabled) ~resources prog =
   Array.iteri
     (fun i r ->
       if r.lanes <= 0 || r.latency < 0. || r.bandwidth <= 0. || r.gap < 0. then
@@ -88,119 +99,249 @@ let run ?(policy = `Fair) ?(telemetry = Telemetry.disabled) ~resources prog =
                o.Program.id r)
       | Some _ | None -> ())
     prog;
-  let finish = Array.make n nan in
-  let start = Array.make n nan in
-  let busy = Array.make n_res 0. in
+  let res_of = Array.make n (-1) in
+  let dur = Array.make n 0. in
+  let occ = Array.make n 0. in
+  let lat = Array.make n 0. in
+  let stream = Array.make n 0 in
   (* Pending-dependency counts: explicit deps plus one for a stream
      predecessor. Data dependencies pay the resource's pipeline latency;
      stream order does not (back-to-back chunks on one lane issue from the
      queue without a fresh launch round-trip). *)
   let pending = Array.make n 0 in
-  let ready_time = Array.make n 0. in
   let dependents = Array.make n [] in  (* (dependent, is_stream_edge) *)
   Program.iter_ops
     (fun o ->
       let id = o.Program.id in
-      ready_time.(id) <- pipeline_latency resources o;
+      let d = data_time resources o in
+      dur.(id) <- d;
+      stream.(id) <- o.Program.stream;
+      (match resource_of_op o with
+      | Some r ->
+          res_of.(id) <- r;
+          occ.(id) <- Float.max d resources.(r).gap;
+          lat.(id) <- resources.(r).latency
+      | None -> ());
       List.iter
-        (fun d ->
+        (fun dep ->
           pending.(id) <- pending.(id) + 1;
-          dependents.(d) <- (id, false) :: dependents.(d))
+          dependents.(dep) <- (id, false) :: dependents.(dep))
         o.Program.deps)
     prog;
-  for s = 0 to Program.n_streams prog - 1 do
-    let rec chain = function
-      | a :: (b :: _ as rest) ->
-          pending.(b) <- pending.(b) + 1;
-          dependents.(a) <- (b, true) :: dependents.(a);
-          chain rest
-      | [ _ ] | [] -> ()
-    in
-    chain (Program.stream_ops prog s)
-  done;
-  let events : event Events.t = Events.create () in
-  (* Per-resource waiting sets keyed by the scheduling policy. *)
-  let wait_key t (o : Program.op) =
-    match policy with
-    | `Fair -> (t, o.Program.stream, o.Program.id)
-    | `Stream_priority -> (0., o.Program.stream, o.Program.id)
-  in
-  let waiting = Array.init n_res (fun _ -> (Waitq.create () : int Waitq.t)) in
-  let free_lanes = Array.map (fun r -> r.lanes) resources in
-  let makespan = ref 0. in
-  let start_op t id =
-    let o = Program.op prog id in
-    let dur = data_time resources o in
-    start.(id) <- t;
-    finish.(id) <- t +. dur;
-    (match resource_of_op o with
-    | Some r ->
-        let occupancy = Float.max dur resources.(r).gap in
-        busy.(r) <- busy.(r) +. occupancy;
-        free_lanes.(r) <- free_lanes.(r) - 1;
-        Events.add events (t +. occupancy) (Lane_free r)
-    | None -> ());
-    if finish.(id) > !makespan then makespan := finish.(id);
-    List.iter
-      (fun (dep, is_stream) ->
-        let d = Program.op prog dep in
-        let candidate =
-          if is_stream then finish.(id)
-          else finish.(id) +. pipeline_latency resources d
-        in
-        if candidate > ready_time.(dep) then ready_time.(dep) <- candidate;
-        pending.(dep) <- pending.(dep) - 1;
-        if pending.(dep) = 0 then Events.add events ready_time.(dep) (Ready dep))
-      dependents.(id)
-  in
-  Program.iter_ops
-    (fun o ->
-      if pending.(o.Program.id) = 0 then
-        Events.add events ready_time.(o.Program.id) (Ready o.Program.id))
+  Program.iter_stream_edges
+    (fun ~pred ~succ ->
+      pending.(succ) <- pending.(succ) + 1;
+      dependents.(pred) <- (succ, true) :: dependents.(pred))
     prog;
+  let n_edges = Array.fold_left (fun acc l -> acc + List.length l) 0 dependents in
+  let dep_off = Array.make (n + 1) 0 in
+  let dep = Array.make n_edges 0 in
+  let pos = ref 0 in
+  for id = 0 to n - 1 do
+    dep_off.(id) <- !pos;
+    List.iter
+      (fun (dst, is_stream) ->
+        dep.(!pos) <- (dst lsl 1) lor (if is_stream then 1 else 0);
+        incr pos)
+      dependents.(id)
+  done;
+  dep_off.(n) <- !pos;
+  let sources = ref [] in
+  for id = n - 1 downto 0 do
+    if pending.(id) = 0 then sources := id :: !sources
+  done;
+  if Telemetry.enabled telemetry then Telemetry.incr telemetry "engine.prepares";
+  {
+    p_prog = prog;
+    p_resources = resources;
+    p_n = n;
+    p_n_res = n_res;
+    p_res_of = res_of;
+    p_dur = dur;
+    p_occ = occ;
+    p_lat = lat;
+    p_stream = stream;
+    p_lanes = Array.map (fun r -> r.lanes) resources;
+    p_pending0 = pending;
+    p_dep_off = dep_off;
+    p_dep = dep;
+    p_sources = Array.of_list !sources;
+  }
+
+let prepared_program p = p.p_prog
+let prepared_ops p = p.p_n
+
+(* ------------------------------------------------------------------ *)
+(* Arenas: the engine's mutable working set, reset in place per run.
+   Arrays are kept at exactly (n ops, n resources) — [result] aliases
+   them directly, and consumers like [Trace.utilizations] iterate the
+   whole [busy] array — and reallocated only when the prepared schedule's
+   shape differs from the previous run. *)
+
+type arena = {
+  mutable a_start : float array;
+  mutable a_finish : float array;
+  mutable a_ready : float array;
+  mutable a_pending : int array;
+  mutable a_busy : float array;
+  mutable a_lanes : int array;
+  a_mk : float array;  (* 1 slot: running makespan, unboxed *)
+  a_events : Events.t;
+  mutable a_wait : Waitq.t array;
+}
+
+let arena () =
+  {
+    a_start = [||];
+    a_finish = [||];
+    a_ready = [||];
+    a_pending = [||];
+    a_busy = [||];
+    a_lanes = [||];
+    a_mk = Array.make 1 0.;
+    a_events = Events.create ();
+    a_wait = [||];
+  }
+
+(* Per-domain scratch arena: the default when callers don't pass one.
+   Domain-local so concurrent planners (e.g. tuning probes fanned across
+   a Pool) never share mutable engine state. *)
+let scratch_key = Domain.DLS.new_key arena
+let scratch_arena () = Domain.DLS.get scratch_key
+
+let reset_arena a p =
+  let n = p.p_n and n_res = p.p_n_res in
+  if Array.length a.a_start <> n then begin
+    a.a_start <- Array.make n nan;
+    a.a_finish <- Array.make n nan;
+    a.a_ready <- Array.make n 0.;
+    a.a_pending <- Array.make n 0
+  end;
+  if Array.length a.a_busy <> n_res then begin
+    a.a_busy <- Array.make n_res 0.;
+    a.a_lanes <- Array.make n_res 0
+  end;
+  if Array.length a.a_wait <> n_res then
+    a.a_wait <- Array.init n_res (fun _ -> Waitq.create ())
+  else Array.iter Waitq.clear a.a_wait;
+  Array.fill a.a_start 0 n nan;
+  Array.fill a.a_finish 0 n nan;
+  (* Initial ready time of every op is its resource's pipeline latency. *)
+  Array.blit p.p_lat 0 a.a_ready 0 n;
+  Array.blit p.p_pending0 0 a.a_pending 0 n;
+  Array.fill a.a_busy 0 n_res 0.;
+  Array.blit p.p_lanes 0 a.a_lanes 0 n_res;
+  a.a_mk.(0) <- 0.;
+  Events.clear a.a_events
+
+let run_prepared ?(policy = `Fair) ?(telemetry = Telemetry.disabled) ?arena:a p =
+  let t_span = Telemetry.now_s telemetry in
+  let a = match a with Some a -> a | None -> scratch_arena () in
+  reset_arena a p;
+  let n = p.p_n in
+  let events = a.a_events in
+  let estaged = Events.staged events in
+  let fair = match policy with `Fair -> true | `Stream_priority -> false in
+  (* [start_op] takes its start time through the staged slot rather than
+     as a float argument: closure calls box float arguments, and this is
+     the per-op hot path. Callers leave the time in [estaged.(0)] (where
+     [pop_staged] already put it); it is read once on entry, before the
+     slot is reused for pushes. *)
+  let start_op id =
+    let t = estaged.(0) in
+    let dur = p.p_dur.(id) in
+    a.a_start.(id) <- t;
+    let fin = t +. dur in
+    a.a_finish.(id) <- fin;
+    let r = p.p_res_of.(id) in
+    if r >= 0 then begin
+      let occupancy = p.p_occ.(id) in
+      a.a_busy.(r) <- a.a_busy.(r) +. occupancy;
+      a.a_lanes.(r) <- a.a_lanes.(r) - 1;
+      (* Lane_free events are encoded as negative values (-1 - r). *)
+      estaged.(0) <- t +. occupancy;
+      Events.add_staged events (-1 - r)
+    end;
+    if fin > a.a_mk.(0) then a.a_mk.(0) <- fin;
+    for e = p.p_dep_off.(id) to p.p_dep_off.(id + 1) - 1 do
+      let packed = p.p_dep.(e) in
+      let dep = packed lsr 1 in
+      let candidate =
+        if packed land 1 = 1 then fin else fin +. p.p_lat.(dep)
+      in
+      if candidate > a.a_ready.(dep) then a.a_ready.(dep) <- candidate;
+      let pend = a.a_pending.(dep) - 1 in
+      a.a_pending.(dep) <- pend;
+      if pend = 0 then begin
+        estaged.(0) <- a.a_ready.(dep);
+        Events.add_staged events dep
+      end
+    done
+  in
+  let srcs = p.p_sources in
+  for i = 0 to Array.length srcs - 1 do
+    let id = srcs.(i) in
+    estaged.(0) <- a.a_ready.(id);
+    Events.add_staged events id
+  done;
   let rec drain () =
-    match Events.pop events with
-    | None -> ()
-    | Some (t, ev) ->
-        (match ev with
-        | Ready id -> (
-            let o = Program.op prog id in
-            match resource_of_op o with
-            | None -> start_op t id
-            | Some r ->
-                if free_lanes.(r) > 0 then start_op t id
-                else Waitq.add waiting.(r) (wait_key t o) id)
-        | Lane_free r ->
-            free_lanes.(r) <- free_lanes.(r) + 1;
-            (match Waitq.pop waiting.(r) with
-            | Some (_, id) -> start_op t id
-            | None -> ()));
-        drain ()
+    if not (Events.is_empty events) then begin
+      let v = Events.pop_staged events in
+      if v >= 0 then begin
+        (* Ready op. *)
+        let id = v in
+        let r = p.p_res_of.(id) in
+        if r < 0 then start_op id
+        else if a.a_lanes.(r) > 0 then start_op id
+        else begin
+          (* Per-resource waiting sets keyed by the scheduling policy. *)
+          let w = a.a_wait.(r) in
+          (Waitq.staged w).(0) <- (if fair then estaged.(0) else 0.);
+          Waitq.add_staged w p.p_stream.(id) id
+        end
+      end
+      else begin
+        (* Lane freed on resource (-1 - v). *)
+        let r = -1 - v in
+        a.a_lanes.(r) <- a.a_lanes.(r) + 1;
+        let w = a.a_wait.(r) in
+        (* [pop_staged] on the waitq leaves [estaged.(0)] untouched, so
+           the event time is still in place for [start_op]. *)
+        if not (Waitq.is_empty w) then start_op (Waitq.pop_staged w)
+      end;
+      drain ()
+    end
   in
   drain ();
   (* Every op must have run; a cycle would leave NaNs (impossible by
      construction, but guard against programmer error). *)
-  Array.iteri
-    (fun i f ->
-      if Float.is_nan f then
-        invalid_arg (Printf.sprintf "Engine.run: op %d never became ready" i))
-    finish;
+  for i = 0 to n - 1 do
+    if Float.is_nan a.a_finish.(i) then
+      invalid_arg (Printf.sprintf "Engine.run: op %d never became ready" i)
+  done;
+  let makespan = a.a_mk.(0) in
   if Telemetry.enabled telemetry then begin
     Telemetry.incr telemetry "engine.runs";
     Telemetry.incr telemetry ~by:n "engine.ops_executed";
-    Telemetry.observe telemetry "engine.makespan_s" !makespan;
+    Telemetry.observe telemetry "engine.makespan_s" makespan;
     if Telemetry.tracing telemetry then begin
-      record_slices telemetry prog ~start ~finish;
+      record_slices telemetry p.p_prog ~start:a.a_start ~finish:a.a_finish;
       Telemetry.span telemetry ~cat:"engine" ~start:t_span
         ~args:
           [
             ("ops", Blink_telemetry.Json.int n);
-            ("makespan_s", Blink_telemetry.Json.float !makespan);
+            ("makespan_s", Blink_telemetry.Json.float makespan);
           ]
         "engine.run"
     end
   end;
-  { makespan = !makespan; finish; start; busy }
+  { makespan; finish = a.a_finish; start = a.a_start; busy = a.a_busy }
+
+let run ?policy ?(telemetry = Telemetry.disabled) ~resources prog =
+  let p = prepare ~telemetry ~resources prog in
+  (* A fresh arena per call: [run]'s result arrays must stay independent
+     across calls (callers compare results of separate runs). *)
+  run_prepared ?policy ~telemetry ~arena:(arena ()) p
 
 let throughput ~bytes result =
   if result.makespan <= 0. then 0. else bytes /. result.makespan

@@ -35,14 +35,68 @@ type result = {
   busy : float array;  (** per-resource total busy time (lane-seconds) *)
 }
 
+(** {2 Prepared schedules}
+
+    The replay split: {!prepare} lowers a program once into an immutable
+    schedule (flat per-op resource/duration/latency arrays, CSR
+    dependents adjacency, initial pending counts), and {!run_prepared}
+    executes it against a reusable {!arena} whose working arrays and
+    heaps are reset in place — the steady-state path allocates (almost)
+    nothing per run. {!run} is the thin prepare-then-run wrapper and
+    produces bit-identical results. *)
+
+type prepared
+(** An immutable lowered schedule: safe to share across domains and to
+    replay any number of times. *)
+
+val prepare :
+  ?telemetry:Blink_telemetry.Telemetry.t ->
+  resources:resource array ->
+  Program.t ->
+  prepared
+(** Validate and lower the program. Raises [Invalid_argument] if an op
+    names an unknown resource or a resource spec is invalid
+    (non-positive lanes, negative latency) — the same errors {!run}
+    raised at the same point. Counts ["engine.prepares"] when telemetry
+    is enabled. *)
+
+val prepared_program : prepared -> Program.t
+val prepared_ops : prepared -> int
+
+type arena
+(** The engine's mutable working set (start/finish/busy/pending/ready
+    arrays, event and waiting heaps), reset in place by each
+    {!run_prepared}. Not safe to share across concurrent runs. *)
+
+val arena : unit -> arena
+(** A fresh empty arena; its arrays are sized lazily to the first
+    schedule it runs and resized only when the schedule shape changes. *)
+
+val run_prepared :
+  ?policy:policy ->
+  ?telemetry:Blink_telemetry.Telemetry.t ->
+  ?arena:arena ->
+  prepared ->
+  result
+(** Execute a prepared schedule. The result's [start]/[finish]/[busy]
+    arrays {e alias the arena}: they are valid until the arena's next
+    run. Copy them out to keep results across runs, or use a dedicated
+    arena per result. When [arena] is omitted a domain-local scratch
+    arena is used (each domain has its own, so concurrent planners don't
+    race; successive runs on one domain overwrite each other's results).
+
+    Telemetry matches {!run}: counts ["engine.runs"]/["engine.ops_executed"],
+    observes ["engine.makespan_s"], and when tracing records the
+    ["engine.run"] span plus one simulated-time slice per op. *)
+
 val run :
   ?policy:policy ->
   ?telemetry:Blink_telemetry.Telemetry.t ->
   resources:resource array ->
   Program.t ->
   result
-(** Raises [Invalid_argument] if an op names an unknown resource or a
-    resource spec is invalid (non-positive lanes, negative latency).
+(** [prepare] + [run_prepared] on a fresh arena: results are independent
+    across calls. Raises [Invalid_argument] as {!prepare} does.
 
     [telemetry] (default {!Blink_telemetry.Telemetry.disabled} — a no-op
     fast path that costs one match) counts runs/ops and observes the

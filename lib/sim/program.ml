@@ -112,6 +112,23 @@ let iter_ops f t =
     f t.ops.(i)
   done
 
+(* Streams store op ids in reverse submission order, so folding from the
+   head visits each (pred, succ) pair tail-to-head without allocating a
+   reversed list. Every op has at most one stream successor, so callers
+   that accumulate per-predecessor state see each op at most once. *)
+let iter_stream_edges f t =
+  for s = 0 to t.n_streams - 1 do
+    match t.streams.(s) with
+    | [] -> ()
+    | last :: rest ->
+        ignore
+          (List.fold_left
+             (fun succ pred ->
+               f ~pred ~succ;
+               pred)
+             last rest)
+  done
+
 (* Ops are appended with backward-only deps and stream order follows
    submission order, so ascending op id is already a topological order. *)
 let topological_order t = List.init t.n Fun.id

@@ -78,6 +78,13 @@ val stream_ops : t -> int -> int list
 
 val iter_ops : (op -> unit) -> t -> unit
 
+val iter_stream_edges : (pred:int -> succ:int -> unit) -> t -> unit
+(** Visit every implicit stream-order edge: [f ~pred ~succ] for each pair
+    of consecutive ops in a stream, streams in ascending order, pairs
+    within a stream from tail to head. Each op has at most one stream
+    successor and at most one stream predecessor. Shared by the engine's
+    schedule preparation and {!Trace.stream_predecessors}. *)
+
 val topological_order : t -> int list
 (** Ops ordered consistently with both dependencies and stream order.
     Programs are acyclic by construction (deps point backwards). *)

@@ -1,0 +1,36 @@
+/* Float32 data-path kernels for Semantics.
+
+   The replay hot loops — the fused in-place reduce and the float64 ->
+   float32 boundary conversion of writes — are conversion-bound when
+   written against Bigarray accessors in OCaml (every element pays a
+   cvtss2sd/cvtsd2ss round trip through double). These C loops let the
+   compiler keep the work in single precision and vectorize it.
+
+   Both are [@@noalloc]: they touch no OCaml heap values beyond reading
+   the already-pinned bigarray payloads and an unboxed float array. */
+
+#include <caml/mlvalues.h>
+#include <caml/bigarray.h>
+
+/* dst[doff..doff+len) += src[soff..soff+len), in program order (forward),
+   so overlapping ranges behave exactly like the OCaml reference loop. */
+CAMLprim value blink_f32_reduce(value vdst, value vdoff, value vsrc,
+                                value vsoff, value vlen)
+{
+  float *dst = (float *)Caml_ba_data_val(vdst) + Long_val(vdoff);
+  const float *src = (const float *)Caml_ba_data_val(vsrc) + Long_val(vsoff);
+  long n = Long_val(vlen);
+  for (long i = 0; i < n; i++) dst[i] += src[i];
+  return Val_unit;
+}
+
+/* dst[doff..doff+len) = (float)src[0..len): src is an OCaml float array
+   (a flat double payload). */
+CAMLprim value blink_f32_of_f64(value vdst, value vdoff, value vsrc,
+                                value vlen)
+{
+  float *dst = (float *)Caml_ba_data_val(vdst) + Long_val(vdoff);
+  long n = Long_val(vlen);
+  for (long i = 0; i < n; i++) dst[i] = (float)Double_flat_field(vsrc, i);
+  return Val_unit;
+}

@@ -28,15 +28,7 @@ type span = {
 let stream_predecessors prog =
   let n = Program.n_ops prog in
   let pred = Array.make n (-1) in
-  for s = 0 to Program.n_streams prog - 1 do
-    let rec chain = function
-      | a :: (b :: _ as rest) ->
-          pred.(b) <- a;
-          chain rest
-      | [ _ ] | [] -> ()
-    in
-    chain (Program.stream_ops prog s)
-  done;
+  Program.iter_stream_edges (fun ~pred:a ~succ:b -> pred.(b) <- a) prog;
   pred
 
 let critical_path prog (r : Engine.result) =

@@ -63,6 +63,23 @@ let set t ?(labels = []) name v =
       | Gauge r -> r := v
       | m -> kind_error name m "gauge")
 
+(* Pre-resolved gauge handles: hot paths that set the same labelled
+   series every run (e.g. per-resource utilization after each plan
+   execute) pay the key construction and table lookup once, then each
+   [set_cell] is a locked store. *)
+type gauge_cell = { owner : t; cell : float ref }
+
+let gauge_cell t ?(labels = []) name =
+  with_lock t (fun () ->
+      match fetch t name labels (fun () -> Gauge (ref 0.)) with
+      | Gauge r -> { owner = t; cell = r }
+      | m -> kind_error name m "gauge")
+
+let set_cell g v =
+  Mutex.lock g.owner.lock;
+  g.cell := v;
+  Mutex.unlock g.owner.lock
+
 let fresh_histogram () =
   Histogram
     {

@@ -21,6 +21,20 @@ val incr : t -> ?labels:labels -> ?by:int -> string -> unit
 val set : t -> ?labels:labels -> string -> float -> unit
 (** Set a gauge to the given value. *)
 
+type gauge_cell
+(** A pre-resolved gauge series: the key normalization and table lookup
+    paid once, so a per-run hot path (e.g. per-resource utilization after
+    every plan execute) updates it with a locked store and no per-call
+    allocation beyond the boxed float. *)
+
+val gauge_cell : t -> ?labels:labels -> string -> gauge_cell
+(** Resolve (creating if absent, initial value 0) the gauge series for
+    [(name, labels)]. Raises [Invalid_argument] if the name is already a
+    counter or histogram. *)
+
+val set_cell : gauge_cell -> float -> unit
+(** Set the pre-resolved gauge; equivalent to {!set} on its series. *)
+
 val observe : t -> ?labels:labels -> string -> float -> unit
 (** Record one observation into a histogram (exponential buckets from 1e-6
     to 1e3, suiting both seconds and counts). *)

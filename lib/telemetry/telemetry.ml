@@ -48,6 +48,11 @@ let incr t ?labels ?by name =
 let set_gauge t ?labels name v =
   match t with Disabled -> () | Live l -> Metrics.set l.metrics ?labels name v
 
+let gauge_cell t ?labels name =
+  match t with
+  | Disabled -> None
+  | Live l -> Some (Metrics.gauge_cell l.metrics ?labels name)
+
 let observe t ?labels name v =
   match t with Disabled -> () | Live l -> Metrics.observe l.metrics ?labels name v
 

@@ -50,6 +50,10 @@ val incr : t -> ?labels:Metrics.labels -> ?by:int -> string -> unit
 val set_gauge : t -> ?labels:Metrics.labels -> string -> float -> unit
 val observe : t -> ?labels:Metrics.labels -> string -> float -> unit
 
+val gauge_cell : t -> ?labels:Metrics.labels -> string -> Metrics.gauge_cell option
+(** Pre-resolve a gauge series for repeated allocation-light updates via
+    {!Metrics.set_cell}; [None] on {!disabled}. *)
+
 val counter_value : t -> ?labels:Metrics.labels -> string -> int
 (** 0 on {!disabled} or unknown series. *)
 

@@ -213,6 +213,51 @@ let test_facade_tuner_runs () =
   Alcotest.(check bool) "positive chunk" true (r.Chunking.chosen > 0);
   Alcotest.(check bool) "probed several sizes" true (List.length r.Chunking.trace >= 3)
 
+let test_miad_decrease_has_own_budget () =
+  (* Unimodal with a peak just past the up-sweep's reach: the up phase
+     exhausts its whole budget, so under the seed accounting (decrease
+     seeded with the probe count) back-off would never probe at all. *)
+  let peak = 3_500_000. in
+  let measure ~chunk_elems =
+    let x = Float.of_int chunk_elems in
+    1. /. ((x /. peak) +. (peak /. x))
+  in
+  let max_iters = 5 in
+  let r = Chunking.tune ~init:65_536 ~max_iters ~measure () in
+  let sizes = List.map (fun s -> s.Chunking.chunk_elems) r.Chunking.trace in
+  (* Up phase: init + (max_iters - 1) growth probes, all improving. *)
+  let up_probes = List.filteri (fun i _ -> i < max_iters) sizes in
+  Alcotest.(check bool) "up phase used its full budget" true
+    (List.length sizes > max_iters);
+  let last_up = List.nth up_probes (max_iters - 1) in
+  Alcotest.(check bool) "decrease probed below the up endpoint" true
+    (List.exists (fun c -> c < last_up) (List.filteri (fun i _ -> i >= max_iters) sizes));
+  Alcotest.(check bool) "not capped" false r.Chunking.capped
+
+let test_miad_probe_time_cap () =
+  (* A probe that burns well past the cap must end the search: exactly
+     one more probe lands in the trace after the slow one. *)
+  let calls = ref 0 in
+  let measure ~chunk_elems =
+    incr calls;
+    let t0 = Sys.time () in
+    while Sys.time () -. t0 < 0.03 do () done;
+    Float.of_int chunk_elems
+  in
+  let r = Chunking.tune ~init:1024 ~max_probe_seconds:0.01 ~measure () in
+  Alcotest.(check bool) "capped flagged" true r.Chunking.capped;
+  Alcotest.(check int) "stopped after the first slow probe" 1 !calls;
+  Alcotest.(check int) "trace matches probe count" 1
+    (List.length r.Chunking.trace);
+  Alcotest.(check bool) "cap validation" true
+    (try
+       ignore
+         (Chunking.tune ~max_probe_seconds:0.
+            ~measure:(fun ~chunk_elems:_ -> 0.)
+            ());
+       false
+     with Invalid_argument _ -> true)
+
 (* ------------------------------------------------------------------ *)
 (* Hybrid *)
 
@@ -351,6 +396,9 @@ let () =
           Alcotest.test_case "trace phases" `Quick test_miad_trace_phases;
           Alcotest.test_case "validation" `Quick test_miad_validation;
           Alcotest.test_case "facade tuner" `Quick test_facade_tuner_runs;
+          Alcotest.test_case "decrease budget" `Quick
+            test_miad_decrease_has_own_budget;
+          Alcotest.test_case "probe time cap" `Quick test_miad_probe_time_cap;
         ] );
       ( "hybrid",
         [

@@ -1,0 +1,184 @@
+(* Replay equivalence: the zero-allocation steady-state paths must be
+   indistinguishable from the seed paths they replaced.
+
+   - Data: the Bigarray float32 slab semantics produce element-identical
+     buffers to the seed float-array reference (Semantics.Ref) for all
+     six collectives (inputs are small integers, exact in float32).
+   - Timing: a plan's prepared-schedule replay (Engine.run_prepared on
+     the plan's arena) returns the same makespan/start/finish/busy as a
+     from-scratch Engine.run, under both queueing policies, including
+     repeated runs on one arena.
+   - Pooling: Plan.execute's pooled memory resets cleanly, so repeated
+     executes yield identical replay buffers. *)
+
+module Server = Blink_topology.Server
+module Blink = Blink_core.Blink
+module Plan = Blink_core.Plan
+module Codegen = Blink_collectives.Codegen
+module P = Blink_sim.Program
+module E = Blink_sim.Engine
+module Sem = Blink_sim.Semantics
+
+let collectives =
+  [
+    Plan.All_reduce;
+    Plan.Broadcast;
+    Plan.Reduce;
+    Plan.Gather;
+    Plan.All_gather;
+    Plan.Reduce_scatter;
+  ]
+
+let handle = lazy (Blink.create Server.dgx1v ~gpus:[| 1; 4; 5; 6 |])
+
+let elems = 3_000
+let chunk_elems = 512
+
+let plan_for collective = Blink.plan ~chunk_elems (Lazy.force handle) collective ~elems
+
+let inputs k =
+  Array.init k (fun r ->
+      Array.init elems (fun i -> Float.of_int (((i * 3) + (r * 7)) mod 11)))
+
+(* Fill every rank's data buffer in both memories; rooted collectives
+   read only some of them, identically in both implementations. *)
+let load_both prog (layout : Codegen.layout) =
+  let k = Array.length layout.Codegen.data in
+  let ins = inputs k in
+  let mem = Sem.memory_of_program prog in
+  let rmem = Sem.Ref.memory_of_program prog in
+  Array.iteri
+    (fun r values ->
+      Sem.write mem ~node:r ~buf:layout.Codegen.data.(r) values;
+      Sem.Ref.write rmem ~node:r ~buf:layout.Codegen.data.(r) values)
+    ins;
+  (mem, rmem)
+
+let test_data_equivalence collective () =
+  let plan = plan_for collective in
+  let prog = plan.Plan.program in
+  let mem, rmem = load_both prog plan.Plan.layout in
+  Sem.run prog mem;
+  Sem.Ref.run prog rmem;
+  (* Compare every declared buffer, not just the data ones: rooted
+     collectives also produce scratch/output buffers. *)
+  List.iter
+    (fun (node, buf, _len) ->
+      Alcotest.(check (array (float 0.)))
+        (Printf.sprintf "%s node=%d buf=%d"
+           (Plan.collective_name collective)
+           node buf)
+        (Sem.Ref.read rmem ~node ~buf)
+        (Sem.read mem ~node ~buf))
+    (P.buffers prog)
+
+let check_results_equal label (a : E.result) (b : E.result) =
+  Alcotest.(check (float 0.)) (label ^ ": makespan") a.E.makespan b.E.makespan;
+  Alcotest.(check (array (float 0.))) (label ^ ": start") a.E.start b.E.start;
+  Alcotest.(check (array (float 0.))) (label ^ ": finish") a.E.finish b.E.finish;
+  Alcotest.(check (array (float 0.))) (label ^ ": busy") a.E.busy b.E.busy
+
+let test_timing_equivalence collective () =
+  let plan = plan_for collective in
+  let name = Plan.collective_name collective in
+  List.iter
+    (fun (pname, policy) ->
+      let baseline =
+        E.run ~policy ~resources:plan.Plan.resources plan.Plan.program
+      in
+      (* Three replays on the plan's own arena: first sizes it, the rest
+         prove resets leak nothing. *)
+      for round = 1 to 3 do
+        let replay =
+          E.run_prepared ~policy ~arena:plan.Plan.arena plan.Plan.prepared
+        in
+        check_results_equal
+          (Printf.sprintf "%s %s round %d" name pname round)
+          baseline replay
+      done)
+    [ ("fair", `Fair); ("priority", `Stream_priority) ]
+
+let test_pooled_execute () =
+  let plan = plan_for Plan.All_reduce in
+  let k = plan.Plan.n_ranks in
+  let ins = inputs k in
+  let load mem (layout : Codegen.layout) =
+    Array.iteri
+      (fun r buf -> Sem.write mem ~node:r ~buf:layout.Codegen.data.(r) buf)
+      ins
+  in
+  let read exec =
+    let mem = Option.get exec.Plan.memory in
+    Array.init k (fun r ->
+        Sem.read mem ~node:r ~buf:plan.Plan.layout.Codegen.data.(r))
+  in
+  let e1 = Plan.execute ~load plan in
+  let out1 = read e1 in
+  let e2 = Plan.execute ~load plan in
+  let out2 = read e2 in
+  Alcotest.(check bool) "pooled memory is reused" true
+    (Option.get e1.Plan.memory == Option.get e2.Plan.memory);
+  Array.iteri
+    (fun r a ->
+      Alcotest.(check (array (float 0.)))
+        (Printf.sprintf "identical replay, rank %d" r)
+        a out2.(r))
+    out1;
+  let e3 = Plan.execute ~reuse_memory:false ~load plan in
+  Alcotest.(check bool) "fresh memory on request" true
+    (Option.get e3.Plan.memory != Option.get e2.Plan.memory);
+  Alcotest.(check (float 0.)) "same timing" (Plan.seconds e1) (Plan.seconds e3)
+
+(* The pooled path zeroes lazily (only buffers a replay could observe,
+   and only when the load didn't rewrite them). Executing with no load
+   after a loaded execute is the adversarial case: every input buffer
+   holds stale data and must come back as if the memory were fresh. *)
+let test_pooled_no_load collective () =
+  let plan = plan_for collective in
+  let prog = plan.Plan.program in
+  let k = plan.Plan.n_ranks in
+  let ins = inputs k in
+  let load mem (layout : Codegen.layout) =
+    Array.iteri
+      (fun r buf -> Sem.write mem ~node:r ~buf:layout.Codegen.data.(r) buf)
+      ins
+  in
+  ignore (Plan.execute ~load plan);
+  let e = Plan.execute plan in
+  let mem = Option.get e.Plan.memory in
+  let fresh = Sem.memory_of_program prog in
+  Sem.run prog fresh;
+  List.iter
+    (fun (node, buf, _len) ->
+      Alcotest.(check (array (float 0.)))
+        (Printf.sprintf "%s node=%d buf=%d"
+           (Plan.collective_name collective)
+           node buf)
+        (Sem.read fresh ~node ~buf)
+        (Sem.read mem ~node ~buf))
+    (P.buffers prog)
+
+let () =
+  Alcotest.run "replay"
+    [
+      ( "data equivalence",
+        List.map
+          (fun c ->
+            Alcotest.test_case (Plan.collective_name c) `Quick
+              (test_data_equivalence c))
+          collectives );
+      ( "timing equivalence",
+        List.map
+          (fun c ->
+            Alcotest.test_case (Plan.collective_name c) `Quick
+              (test_timing_equivalence c))
+          collectives );
+      ( "pooled execute",
+        [ Alcotest.test_case "reset + reuse" `Quick test_pooled_execute ] );
+      ( "lazy reset",
+        List.map
+          (fun c ->
+            Alcotest.test_case (Plan.collective_name c) `Quick
+              (test_pooled_no_load c))
+          collectives );
+    ]

@@ -279,6 +279,223 @@ let test_semantics_write_mismatch () =
     (Invalid_argument "Semantics.write: length mismatch") (fun () ->
       Sem.write mem ~node:0 ~buf:0 [| 1. |])
 
+(* ------------------------------------------------------------------ *)
+(* Arena heaps *)
+
+let test_arena_heap_order_and_ties () =
+  let q = Pq.Float_int.create () in
+  List.iteri (fun i k -> Pq.Float_int.add q k i) [ 5.; 1.; 4.; 1.; 3. ];
+  Alcotest.(check int) "length" 5 (Pq.Float_int.length q);
+  let drained = List.init 5 (fun _ -> Option.get (Pq.Float_int.pop q)) in
+  (* Equal keys pop in insertion order: the 1. inserted as value 1 before
+     the 1. inserted as value 3. *)
+  Alcotest.(check (list (pair (float 0.) int)))
+    "sorted, ties by insertion"
+    [ (1., 1); (1., 3); (3., 4); (4., 2); (5., 0) ]
+    drained;
+  Alcotest.(check bool) "empty" true (Pq.Float_int.is_empty q);
+  Alcotest.(check int) "pop on empty" min_int (Pq.Float_int.pop_staged q)
+
+let test_arena_heap_clear_reuse () =
+  let q = Pq.Float_int.create ~capacity:2 () in
+  for round = 1 to 3 do
+    for i = 9 downto 0 do
+      (Pq.Float_int.staged q).(0) <- Float.of_int i;
+      Pq.Float_int.add_staged q (round * i)
+    done;
+    let drained = List.init 10 (fun _ -> Pq.Float_int.pop_staged q) in
+    Alcotest.(check (list int))
+      "drains sorted after clear+refill"
+      (List.init 10 (fun i -> round * i))
+      drained;
+    Pq.Float_int.clear q
+  done
+
+let test_arena_waitq_order () =
+  let q = Pq.Float_int_int.create () in
+  (* Lexicographic (time, stream, id): time dominates, then stream, then
+     id; insertion order breaks full ties. *)
+  Pq.Float_int_int.add q 2. 0 7;
+  Pq.Float_int_int.add q 1. 9 8;
+  Pq.Float_int_int.add q 1. 2 9;
+  Pq.Float_int_int.add q 1. 2 3;
+  let drained = List.init 4 (fun _ -> Pq.Float_int_int.pop_staged q) in
+  Alcotest.(check (list int)) "lexicographic" [ 3; 9; 8; 7 ] drained;
+  Alcotest.(check int) "empty" min_int (Pq.Float_int_int.pop_staged q)
+
+let prop_arena_heap_matches_float_key =
+  QCheck.Test.make ~name:"arena heap drains like Float_key" ~count:200
+    QCheck.(list (pair (int_bound 50) small_nat))
+    (fun pairs ->
+      let a = Pq.Float_int.create () in
+      let b = Pq.Float_key.create () in
+      List.iteri
+        (fun i (k, _) ->
+          let key = Float.of_int k /. 7. in
+          Pq.Float_int.add a key i;
+          Pq.Float_key.add b key i)
+        pairs;
+      let rec drain acc =
+        match (Pq.Float_int.pop a, Pq.Float_key.pop b) with
+        | None, None -> true
+        | Some x, Some y -> x = y && drain acc
+        | _ -> false
+      in
+      drain ())
+
+(* ------------------------------------------------------------------ *)
+(* Prepared schedules / arenas *)
+
+(* A program that exercises every engine feature at once: multiple
+   resources with distinct latencies/gaps/lanes, cross-stream data deps,
+   stream chains, delays and contended waiting queues. *)
+let build_mixed_program () =
+  let resources =
+    [|
+      { E.bandwidth = 1e9; latency = 0.01; lanes = 1; gap = 0.02 };
+      { E.bandwidth = 5e8; latency = 0.; lanes = 2; gap = 0. };
+      { E.bandwidth = 2e9; latency = 0.005; lanes = 1; gap = 0.001 };
+    |]
+  in
+  let p = P.create () in
+  let streams = Array.init 4 (fun _ -> P.fresh_stream p) in
+  let last = Array.make 4 (-1) in
+  for round = 0 to 5 do
+    for s = 0 to 3 do
+      let link = (round + s) mod 3 in
+      let deps =
+        (if s > 0 && last.(s - 1) >= 0 then [ last.(s - 1) ] else [])
+        @ if round > 1 && s = 2 then [ last.(3) ] else []
+      in
+      last.(s) <-
+        P.add p ~deps ~stream:streams.(s)
+          (transfer ~bytes:(1e8 *. Float.of_int (1 + ((round + s) mod 4))) link)
+    done;
+    if round = 2 then
+      last.(0) <-
+        P.add p ~deps:[ last.(0) ] ~stream:streams.(0)
+          (P.Delay { seconds = 0.003 })
+  done;
+  (resources, p)
+
+let check_results_equal label (a : E.result) (b : E.result) =
+  Alcotest.(check (float 0.)) (label ^ ": makespan") a.E.makespan b.E.makespan;
+  Alcotest.(check (array (float 0.))) (label ^ ": start") a.E.start b.E.start;
+  Alcotest.(check (array (float 0.))) (label ^ ": finish") a.E.finish b.E.finish;
+  Alcotest.(check (array (float 0.))) (label ^ ": busy") a.E.busy b.E.busy
+
+let test_prepared_matches_run () =
+  let resources, p = build_mixed_program () in
+  let prepared = E.prepare ~resources p in
+  List.iter
+    (fun (name, policy) ->
+      let baseline = E.run ~policy ~resources p in
+      let arena = E.arena () in
+      let replay = E.run_prepared ~policy ~arena prepared in
+      check_results_equal name baseline replay;
+      (* Repeated runs on the same arena must be bit-identical too. *)
+      let again = E.run_prepared ~policy ~arena prepared in
+      check_results_equal (name ^ " rerun") baseline again)
+    [ ("fair", `Fair); ("priority", `Stream_priority) ]
+
+let test_prepared_arena_reuse_across_shapes () =
+  (* One arena serving schedules of different shapes must resize cleanly
+     and keep producing exact results. *)
+  let arena = E.arena () in
+  let run_both (resources, p) =
+    let baseline = E.run ~resources p in
+    let replay = E.run_prepared ~arena (E.prepare ~resources p) in
+    check_results_equal "shape change" baseline replay
+  in
+  run_both (build_mixed_program ());
+  let small = P.create () in
+  let s = P.fresh_stream small in
+  ignore (P.add small ~stream:s (transfer ~bytes:5e8 0));
+  run_both (one_link (), small);
+  run_both (build_mixed_program ())
+
+let test_prepared_validation () =
+  let p = P.create () in
+  let s = P.fresh_stream p in
+  ignore (P.add p ~stream:s (transfer 3));
+  Alcotest.(check bool) "unknown resource rejected at prepare" true
+    (try
+       ignore (E.prepare ~resources:(one_link ()) p);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "bad resource rejected at prepare" true
+    (try
+       ignore
+         (E.prepare
+            ~resources:[| { E.bandwidth = 1e9; latency = 0.; lanes = 0; gap = 0. } |]
+            (P.create ()));
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Bigarray semantics vs the float-array reference *)
+
+let build_copy_reduce_program () =
+  let p = P.create () in
+  let s = P.fresh_stream p in
+  let src = P.declare_buffer p ~node:0 ~len:4 in
+  let dst = P.declare_buffer p ~node:1 ~len:4 in
+  let mref node buf off len = { P.node; buf; off; len } in
+  let a =
+    P.add p ~stream:s
+      (P.Transfer
+         { bytes = 16.; link = 0; bw_scale = 1.;
+           action = Some (P.Copy { src = mref 0 src 0 4; dst = mref 1 dst 0 4 }) })
+  in
+  ignore
+    (P.add p ~deps:[ a ] ~stream:s
+       (P.Transfer
+          { bytes = 8.; link = 0; bw_scale = 1.;
+            action = Some (P.Reduce { src = mref 0 src 0 2; dst = mref 1 dst 2 2 }) }));
+  (p, src, dst)
+
+let test_semantics_matches_ref () =
+  let p, src, dst = build_copy_reduce_program () in
+  let input = [| 1.; 2.; 3.; 4. |] in
+  let mem = Sem.memory_of_program p in
+  Sem.write mem ~node:0 ~buf:src input;
+  Sem.run p mem;
+  let rmem = Sem.Ref.memory_of_program p in
+  Sem.Ref.write rmem ~node:0 ~buf:src input;
+  Sem.Ref.run p rmem;
+  Alcotest.(check (array (float 0.))) "identical to reference"
+    (Sem.Ref.read rmem ~node:1 ~buf:dst)
+    (Sem.read mem ~node:1 ~buf:dst)
+
+let test_semantics_reset_replay () =
+  let p, src, dst = build_copy_reduce_program () in
+  let mem = Sem.memory_of_program p in
+  Sem.write mem ~node:0 ~buf:src [| 1.; 2.; 3.; 4. |];
+  Sem.run p mem;
+  let first = Sem.read mem ~node:1 ~buf:dst in
+  (* Reset zeroes in place; an identical replay must reproduce the same
+     output (no state leaks across runs). *)
+  Sem.reset mem;
+  Alcotest.(check (array (float 0.))) "reset zeroes" [| 0.; 0.; 0.; 0. |]
+    (Sem.read mem ~node:0 ~buf:src);
+  Sem.write mem ~node:0 ~buf:src [| 1.; 2.; 3.; 4. |];
+  Sem.run p mem;
+  Alcotest.(check (array (float 0.))) "replay identical" first
+    (Sem.read mem ~node:1 ~buf:dst)
+
+let test_semantics_read_slice () =
+  let p, src, dst = build_copy_reduce_program () in
+  let mem = Sem.memory_of_program p in
+  Sem.write mem ~node:0 ~buf:src [| 1.; 2.; 3.; 4. |];
+  Sem.run p mem;
+  Alcotest.(check (array (float 0.))) "middle slice" [| 2.; 4. |]
+    (Sem.read_slice mem ~node:1 ~buf:dst ~off:1 ~len:2);
+  Alcotest.(check bool) "oob slice rejected" true
+    (try
+       ignore (Sem.read_slice mem ~node:1 ~buf:dst ~off:3 ~len:2);
+       false
+     with Invalid_argument _ -> true)
+
 let () =
   Alcotest.run "sim"
     [
@@ -287,6 +504,13 @@ let () =
           Alcotest.test_case "ordering" `Quick test_pqueue_order;
           Alcotest.test_case "fifo ties" `Quick test_pqueue_fifo_ties;
           QCheck_alcotest.to_alcotest prop_pqueue_sorts;
+          Alcotest.test_case "arena heap order/ties" `Quick
+            test_arena_heap_order_and_ties;
+          Alcotest.test_case "arena heap clear+reuse" `Quick
+            test_arena_heap_clear_reuse;
+          Alcotest.test_case "arena waitq lexicographic" `Quick
+            test_arena_waitq_order;
+          QCheck_alcotest.to_alcotest prop_arena_heap_matches_float_key;
         ] );
       ( "program",
         [
@@ -308,10 +532,23 @@ let () =
             test_engine_stream_priority_beats_arrival_order;
           Alcotest.test_case "validation" `Quick test_engine_validation;
         ] );
+      ( "prepared",
+        [
+          Alcotest.test_case "run_prepared matches run" `Quick
+            test_prepared_matches_run;
+          Alcotest.test_case "arena reuse across shapes" `Quick
+            test_prepared_arena_reuse_across_shapes;
+          Alcotest.test_case "validation at prepare" `Quick
+            test_prepared_validation;
+        ] );
       ( "semantics",
         [
           Alcotest.test_case "copy/reduce" `Quick test_semantics_copy_reduce;
           Alcotest.test_case "bounds" `Quick test_semantics_bounds;
           Alcotest.test_case "write mismatch" `Quick test_semantics_write_mismatch;
+          Alcotest.test_case "matches float-array reference" `Quick
+            test_semantics_matches_ref;
+          Alcotest.test_case "reset + replay" `Quick test_semantics_reset_replay;
+          Alcotest.test_case "read_slice" `Quick test_semantics_read_slice;
         ] );
     ]
