@@ -388,6 +388,182 @@ let replay_suite () =
     exit 1)
 
 (* ------------------------------------------------------------------ *)
+(* Failover mode: fault injection and degraded-topology replanning.
+
+   Healthy-handle baseline, then a link loss and a link degradation
+   reported mid-life: wall-clock replan latency around each mutation,
+   cache-invalidation counters, degraded packing rate versus a fresh
+   handle created directly on the degraded fabric (must match exactly),
+   a mid-run flaky-link simulation through Fault.run, and the typed
+   partition error on an allocation whose cut link is a bridge. *)
+
+module Tree = Blink_collectives.Tree
+module Program = Blink_sim.Program
+module Fault = Blink_sim.Fault
+
+let used_pairs (p : Plan.t) ~gpus =
+  List.concat_map
+    (fun { Tree.tree; _ } ->
+      Array.to_list (Array.mapi (fun r pr -> (r, pr)) tree.Tree.parent))
+    p.Plan.trees
+  |> List.filter_map (fun (r, pr) ->
+         if pr >= 0 then
+           Some (min gpus.(r) gpus.(pr), max gpus.(r) gpus.(pr))
+         else None)
+  |> List.sort_uniq compare
+
+let failover_suite () =
+  let gpus = Array.init 8 Fun.id in
+  let elems = 1_000_000 in
+  Util.heading
+    "Failover: link fault injection + replanning, %d elems on dgx1v 8 gpus"
+    elems;
+  let wall f =
+    let t0 = Unix.gettimeofday () in
+    let x = f () in
+    (Unix.gettimeofday () -. t0, x)
+  in
+  let handle = Blink.create Server.dgx1v ~gpus in
+  let healthy_rate = Blink.all_reduce_rate handle in
+  let plan0 = Blink.plan handle Plan.All_reduce ~elems in
+  let healthy_s = Plan.seconds (Plan.execute ~data:false plan0) in
+  Util.row "  healthy: %.1f GB/s packing rate, %.3f ms simulated all_reduce\n"
+    healthy_rate (healthy_s *. 1e3);
+  (* Fail an NVLink the cached plan routes over; the mutation replans the
+     fabric and invalidates exactly the touching cache keys. *)
+  let u, v = List.hd (used_pairs plan0 ~gpus) in
+  let t_fail, () = wall (fun () -> Blink.fail_link handle ~u ~v) in
+  let t_replan, plan1 =
+    wall (fun () -> Blink.plan handle Plan.All_reduce ~elems)
+  in
+  let degraded_rate = Blink.all_reduce_rate handle in
+  let degraded_s = Plan.seconds (Plan.execute ~data:false plan1) in
+  Util.row "  fail_link %d-%d: topology replan %.1f ms, key re-plan %.1f ms\n"
+    u v (t_fail *. 1e3) (t_replan *. 1e3);
+  Util.row "  degraded: %.1f GB/s packing rate, %.3f ms simulated all_reduce \
+            (%.1f%% of healthy)\n"
+    degraded_rate (degraded_s *. 1e3)
+    (100. *. healthy_s /. degraded_s);
+  (* A fresh handle created directly on the degraded fabric must agree
+     bit-for-bit — the replanned handle holds no stale state. *)
+  let fresh =
+    Blink.create ~link_faults:[ ((u, v), Server.Down) ] Server.dgx1v ~gpus
+  in
+  let fresh_s =
+    Plan.seconds
+      (Plan.execute ~data:false (Blink.plan fresh Plan.All_reduce ~elems))
+  in
+  let fresh_matches =
+    Blink.all_reduce_rate fresh = degraded_rate && fresh_s = degraded_s
+  in
+  Util.row "  fresh handle on degraded fabric: %.1f GB/s, %.3f ms — %s\n"
+    (Blink.all_reduce_rate fresh)
+    (fresh_s *. 1e3)
+    (if fresh_matches then "matches replanned handle exactly"
+     else "MISMATCH vs replanned handle");
+  (* Degrade a second link to half rate on top of the loss. *)
+  let u2, v2 = List.hd (used_pairs plan1 ~gpus) in
+  let t_degrade, () =
+    wall (fun () -> Blink.degrade_link handle ~u:u2 ~v:v2 ~factor:0.5)
+  in
+  let twice_rate = Blink.all_reduce_rate handle in
+  Util.row "  degrade_link %d-%d to 50%%: replan %.1f ms, %.1f GB/s\n" u2 v2
+    (t_degrade *. 1e3) twice_rate;
+  let tel = Blink.telemetry handle in
+  let counter name = Blink_telemetry.Telemetry.counter_value tel name in
+  Util.row "  counters: fault.injected %d, plan.cache.invalidations %d\n"
+    (counter "fault.injected")
+    (counter "plan.cache.invalidations");
+  (* Mid-run fault model: replay the healthy compiled plan with a flaky
+     window on its first transfer link — ops retry with backoff and the
+     run completes late instead of wedging. *)
+  let link = ref (-1) in
+  Program.iter_ops
+    (fun o ->
+      match o.Program.kind with
+      | Program.Transfer { link = l; _ } when !link < 0 -> link := l
+      | _ -> ())
+    plan0.Plan.program;
+  let clean = Fault.run ~resources:plan0.Plan.resources plan0.Plan.program in
+  let clean_s = clean.Fault.timing.E.makespan in
+  let flaky =
+    Fault.run ~resources:plan0.Plan.resources
+      ~events:[ Fault.Flaky { res = !link; from_s = 0.; until_s = clean_s /. 2. } ]
+      plan0.Plan.program
+  in
+  Util.row "  mid-run flaky link %d: %d retries over %d faulted ops, %.3f ms \
+            -> %.3f ms\n"
+    !link flaky.Fault.retries flaky.Fault.faulted_ops (clean_s *. 1e3)
+    (flaky.Fault.timing.E.makespan *. 1e3);
+  (* Partition detection: within {1,4,5,6} the (1,5) NVLink is gpu 1's
+     only edge, so failing it must raise the typed error, not replan. *)
+  let island = Blink.create ~root:2 Server.dgx1v ~gpus:[| 1; 4; 5; 6 |] in
+  let partition =
+    match Blink.fail_link island ~u:1 ~v:5 with
+    | () -> None
+    | exception Blink.Partitioned { alive; unreachable } ->
+        Util.row
+          "  partition on {1,4,5,6} - link 1-5: alive {%s}, unreachable {%s}\n"
+          (String.concat "," (List.map string_of_int alive))
+          (String.concat "," (List.map string_of_int unreachable));
+        Some (alive, unreachable)
+  in
+  if partition = None then
+    Util.row "  partition on {1,4,5,6} - link 1-5: NOT DETECTED (bug)\n";
+  let out = "BENCH_failover.json" in
+  let oc = open_out out in
+  output_string oc
+    (Json.to_string
+       (Json.Obj
+          [
+            ("suite", Json.str "failover");
+            ("elems", Json.int elems);
+            ("healthy_rate_gbps", Json.float healthy_rate);
+            ("healthy_all_reduce_s", Json.float healthy_s);
+            ("failed_link", Json.List [ Json.int u; Json.int v ]);
+            ("topology_replan_s", Json.float t_fail);
+            ("key_replan_s", Json.float t_replan);
+            ("degraded_rate_gbps", Json.float degraded_rate);
+            ("degraded_all_reduce_s", Json.float degraded_s);
+            ("fresh_handle_rate_gbps", Json.float (Blink.all_reduce_rate fresh));
+            ("fresh_handle_all_reduce_s", Json.float fresh_s);
+            ("fresh_matches_replanned", Json.Bool fresh_matches);
+            ("degraded_link", Json.List [ Json.int u2; Json.int v2 ]);
+            ("degrade_replan_s", Json.float t_degrade);
+            ("double_fault_rate_gbps", Json.float twice_rate);
+            ("faults_injected", Json.int (counter "fault.injected"));
+            ( "plan_cache_invalidations",
+              Json.int (counter "plan.cache.invalidations") );
+            ("midrun_retries", Json.int flaky.Fault.retries);
+            ("midrun_faulted_ops", Json.int flaky.Fault.faulted_ops);
+            ("midrun_clean_s", Json.float clean_s);
+            ("midrun_flaky_s", Json.float flaky.Fault.timing.E.makespan);
+            ( "partition_detected",
+              Json.Bool (Option.is_some partition) );
+            ( "partition_alive",
+              Json.List
+                (match partition with
+                | Some (alive, _) -> List.map Json.int alive
+                | None -> []) );
+            ( "partition_unreachable",
+              Json.List
+                (match partition with
+                | Some (_, unreachable) -> List.map Json.int unreachable
+                | None -> []) );
+          ]));
+  output_char oc '\n';
+  close_out oc;
+  Util.row "  results written to %s\n" out;
+  if not fresh_matches then (
+    Printf.eprintf
+      "failover: replanned handle diverges from a fresh handle on the \
+       degraded fabric\n";
+    exit 1);
+  if partition = None then (
+    Printf.eprintf "failover: partition was not detected\n";
+    exit 1)
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   match Array.to_list Sys.argv with
@@ -396,6 +572,7 @@ let () =
       plan_cache_suite ();
       parallel_plan_suite ();
       replay_suite ();
+      failover_suite ();
       bechamel_suite ();
       print_newline ()
   | _ :: args ->
@@ -407,16 +584,19 @@ let () =
               print_endline "plan-cache";
               print_endline "parallel-plan";
               print_endline "replay";
+              print_endline "failover";
               print_endline "bechamel"
           | "all" ->
               Figures.all_figures ();
               plan_cache_suite ();
               parallel_plan_suite ();
               replay_suite ();
+              failover_suite ();
               bechamel_suite ()
           | "plan-cache" -> plan_cache_suite ()
           | "parallel-plan" -> parallel_plan_suite ()
           | "replay" -> replay_suite ()
+          | "failover" -> failover_suite ()
           | "bechamel" -> bechamel_suite ()
           | name -> (
               match List.assoc_opt name Figures.registry with

@@ -8,6 +8,7 @@
    $ blink metrics --server dgx1v --gpus 1,4,5,6 --runs 3
    $ blink replay  all_reduce --server dgx1v --gpus 1,4,5,6 --runs 100
    $ blink prewarm --server dgx1v --gpus 0,1,2,3 --domains 4 --sizes 1,16,64
+   $ blink failover --server dgx1v --fail-link 5,6 --degrade 0,3,0.5
    $ blink cluster --jobs 40000 --servers 64 *)
 
 open Cmdliner
@@ -435,6 +436,108 @@ let prewarm_cmd =
        ~doc:"Batch-compile the plan cache across domains (Blink.prewarm)")
     Term.(const prewarm $ server_arg $ gpus_arg $ domains_arg $ mbytes_list_arg)
 
+(* ------------------------------ failover ----------------------------- *)
+
+let link_pair_conv =
+  let parse s =
+    match String.split_on_char ',' s |> List.map int_of_string with
+    | [ u; v ] -> Ok (u, v)
+    | _ | (exception _) ->
+        Error (`Msg "expected a GPU pair, e.g. --fail-link 5,6")
+  in
+  Arg.conv (parse, fun ppf (u, v) -> Format.fprintf ppf "%d,%d" u v)
+
+let degrade_conv =
+  let parse s =
+    match String.split_on_char ',' s with
+    | [ u; v; f ] -> (
+        try Ok (int_of_string u, int_of_string v, float_of_string f)
+        with _ -> Error (`Msg "expected GPU,GPU,FACTOR, e.g. --degrade 0,3,0.5"))
+    | _ -> Error (`Msg "expected GPU,GPU,FACTOR, e.g. --degrade 0,3,0.5")
+  in
+  Arg.conv (parse, fun ppf (u, v, f) -> Format.fprintf ppf "%d,%d,%g" u v f)
+
+(* Report faults to a live handle one at a time, printing the replan cost
+   and the surviving packing rate after each, then prove the end state
+   matches a fresh handle built directly on the degraded fabric. A fault
+   that partitions the allocation exits with the typed error's report. *)
+let failover server gpus mbytes fail_links degrades fail_gpus =
+  let telemetry = Telemetry.create () in
+  let handle = Blink.create ~telemetry server ~gpus in
+  let elems = int_of_float (mbytes *. 1e6 /. Blink.bytes_per_elem) in
+  let sim_ms h =
+    let plan = Blink.plan h Plan.All_reduce ~elems in
+    (Plan.execute ~data:false plan).Plan.timing.Blink_sim.Engine.makespan
+    *. 1e3
+  in
+  Format.printf "healthy: %.1f GB/s packing rate, %.3f ms all_reduce of %.0f MB@."
+    (Blink.all_reduce_rate handle) (sim_ms handle) mbytes;
+  let mutations =
+    List.map (fun (u, v) -> (Printf.sprintf "fail-link %d-%d" u v,
+                             fun () -> Blink.fail_link handle ~u ~v))
+      fail_links
+    @ List.map (fun (u, v, f) -> (Printf.sprintf "degrade %d-%d to %g" u v f,
+                                  fun () -> Blink.degrade_link handle ~u ~v ~factor:f))
+        degrades
+    @ List.map (fun g -> (Printf.sprintf "fail-gpu %d" g,
+                          fun () -> Blink.fail_gpu handle ~gpu:g))
+        fail_gpus
+  in
+  if mutations = [] then
+    Format.printf "(no faults requested: pass --fail-link, --degrade or \
+                   --fail-gpu)@."
+  else begin
+    try
+      List.iter
+        (fun (label, apply) ->
+          let t0 = Unix.gettimeofday () in
+          apply ();
+          let dt = Unix.gettimeofday () -. t0 in
+          Format.printf "%-22s replanned in %6.1f ms: %.1f GB/s, %.3f ms \
+                         all_reduce@."
+            label (dt *. 1e3) (Blink.all_reduce_rate handle) (sim_ms handle))
+        mutations;
+      Format.printf "counters: fault.injected %d, plan.cache.invalidations %d@."
+        (Telemetry.counter_value telemetry "fault.injected")
+        (Telemetry.counter_value telemetry "plan.cache.invalidations");
+      (* Cross-check: a handle born on the degraded fabric agrees. *)
+      let fresh =
+        Blink.create ~link_faults:(Blink.link_faults handle) server
+          ~gpus:(Blink.gpus handle)
+      in
+      let agree =
+        Blink.all_reduce_rate fresh = Blink.all_reduce_rate handle
+        && sim_ms fresh = sim_ms handle
+      in
+      Format.printf "fresh handle on the degraded fabric %s@."
+        (if agree then "matches exactly" else "DIVERGES (bug)");
+      if not agree then exit 1
+    with Blink.Partitioned { alive; unreachable } ->
+      Format.printf
+        "fabric partitioned: gpus {%s} can no longer reach {%s}; \
+         shrink the allocation (e.g. --gpus %s) or repair the link@."
+        (String.concat "," (List.map string_of_int alive))
+        (String.concat "," (List.map string_of_int unreachable))
+        (String.concat "," (List.map string_of_int alive));
+      exit 2
+  end
+
+let failover_cmd =
+  Cmd.v
+    (Cmd.info "failover"
+       ~doc:"Inject link/GPU faults into a live handle and watch it replan")
+    Term.(const failover $ server_arg $ gpus_arg $ small_mbytes_arg
+          $ Arg.(value & opt_all link_pair_conv []
+                 & info [ "fail-link" ] ~docv:"U,V"
+                     ~doc:"Mark the U-V NVLink pair down (repeatable).")
+          $ Arg.(value & opt_all degrade_conv []
+                 & info [ "degrade" ] ~docv:"U,V,F"
+                     ~doc:"Degrade the U-V pair to fraction F of its \
+                           bandwidth (repeatable).")
+          $ Arg.(value & opt_all int []
+                 & info [ "fail-gpu" ] ~docv:"G"
+                     ~doc:"Drop GPU G from the allocation (repeatable)."))
+
 (* ------------------------------ cluster ------------------------------ *)
 
 let cluster jobs servers =
@@ -467,4 +570,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ topo_cmd; plan_cmd; bench_cmd; train_cmd; trace_cmd; metrics_cmd;
-            replay_cmd; prewarm_cmd; cluster_cmd ]))
+            replay_cmd; prewarm_cmd; failover_cmd; cluster_cmd ]))

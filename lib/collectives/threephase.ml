@@ -7,6 +7,18 @@ type plan = {
   cls : Fabric.link_class;
 }
 
+exception No_surviving_root of { server : int }
+
+let () =
+  Printexc.register_printer (function
+    | No_surviving_root { server } ->
+        Some
+          (Printf.sprintf
+             "Threephase.No_surviving_root { server = %d } (every rank of \
+              the server is excluded by avoid_roots)"
+             server)
+    | _ -> None)
+
 let validate plans =
   if Array.length plans = 0 then invalid_arg "Threephase: no plans";
   Array.iter
@@ -20,10 +32,23 @@ let validate plans =
         plan.trees)
     plans
 
-let all_reduce ?pool spec ~n_partitions ~plans ~elems =
+let all_reduce ?pool ?(avoid_roots = []) spec ~n_partitions ~plans ~elems =
   validate plans;
   if n_partitions <= 0 then invalid_arg "Threephase: n_partitions <= 0";
   let n_servers = Array.length plans in
+  (* Per-server root rotation, restricted to ranks whose network attach
+     still works: a rank in [avoid_roots] can relay local-phase traffic
+     but must not serve as a partition's cross-server endpoint. With no
+     exclusions this is exactly the plan's rank list, so the emitted
+     program is unchanged. *)
+  let eligible_roots =
+    Array.mapi
+      (fun s plan ->
+        let ok = List.filter (fun r -> not (List.mem r avoid_roots)) plan.ranks in
+        if ok = [] then raise (No_surviving_root { server = s });
+        Array.of_list ok)
+      plans
+  in
   let ctx =
     Emit.create ~fabric:spec.Codegen.fabric ~elem_bytes:spec.Codegen.elem_bytes
       ~staging_elems:elems ()
@@ -34,8 +59,8 @@ let all_reduce ?pool spec ~n_partitions ~plans ~elems =
   let local_tree s p =
     let plan = plans.(s) in
     let tree = List.nth plan.trees (p mod List.length plan.trees) in
-    let ranks = Array.of_list plan.ranks in
-    Subtree.reroot tree ~root:ranks.(p mod Array.length ranks)
+    let roots = eligible_roots.(s) in
+    Subtree.reroot tree ~root:roots.(p mod Array.length roots)
   in
   (* Re-rooting every server's tree for every partition is pure, so the
      per-partition batches fan out across the pool when one is supplied

@@ -24,8 +24,15 @@ type plan = {
           ring baseline fell back) *)
 }
 
+exception No_surviving_root of { server : int }
+(** Every rank of the server was excluded by [avoid_roots]: it has no
+    usable cross-server endpoint left, so no three-phase schedule
+    exists — the caller must drop the server or restore a network
+    attach. *)
+
 val all_reduce :
   ?pool:Blink_parallel.Pool.t ->
+  ?avoid_roots:int list ->
   Codegen.spec ->
   n_partitions:int ->
   plans:plan array ->
@@ -37,6 +44,13 @@ val all_reduce :
     server's ranks. Requires at least one plan and one tree per plan, and
     every plan's trees spanning exactly that plan's ranks. Every rank's
     data buffer ends up holding the global sum.
+
+    [avoid_roots] (global rank ids, default none) excludes ranks from
+    root duty — the failure model for a rank whose NIC/staging path died:
+    it still relays local-phase traffic, but partitions rotate their
+    local roots over the surviving ranks only. Raises
+    {!No_surviving_root} when a server has no rank left to serve.
+    An empty list emits a bit-identical program to before.
 
     [pool] parallelizes the per-partition tree re-rooting (a pure
     precomputation); op emission itself is sequential either way, so the

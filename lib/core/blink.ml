@@ -10,27 +10,60 @@ let log_src = Logs.Src.create "blink" ~doc:"Blink planner facade"
 
 module Log = (val Logs.src_log log_src : Logs.LOG)
 
+exception Partitioned of { alive : int list; unreachable : int list }
+
+let () =
+  Printexc.register_printer (function
+    | Partitioned { alive; unreachable } ->
+        let ids l = String.concat "," (List.map string_of_int l) in
+        Some
+          (Printf.sprintf
+             "Blink.Partitioned { alive = [%s]; unreachable = [%s] }"
+             (ids alive) (ids unreachable))
+    | _ -> None)
+
 type plan_kind =
   | Packed of { directed : Treegen.packing; undirected : Treegen.packing }
   | One_hop of float  (* aggregate rate, GB/s *)
 
 type cache_stats = { hits : int; misses : int }
 
+type plan_key = Plan.collective * int * int
+
 type t = {
   server : Server.t;
-  fabric : Fabric.t;
-  graph : Digraph.t;
-  kind : plan_kind;
-  root : int;
+  (* The effective topology view: mutated in place by {!degrade_link} /
+     {!fail_link} / {!fail_gpu}, then replanned. All four fields always
+     describe the same surviving graph. *)
+  mutable gpus : int array;
+  mutable fabric : Fabric.t;
+  mutable graph : Digraph.t;
+  mutable kind : plan_kind;
+  mutable root : int;
+  explicit_root : int option;  (* gpu id pinned by [create ?root] *)
+  epsilon : float option;
+  threshold : float option;
   telemetry : Telemetry.t;
+  faults : (int * int, Server.link_state) Hashtbl.t;  (* gpu pair, u < v *)
+  (* Once a mutation partitions the NVLink graph the handle is dead: the
+     sets are kept so every later call re-raises the same typed error. *)
+  mutable partition : (int list * int list) option;
   chunk_cache : (int, int) Hashtbl.t;  (* log2 size class -> MIAD chunk *)
   (* Compiled-plan cache: one entry per (collective, elems, chunk) key, so
      repeated collectives at the same size skip tree extraction, codegen
      and tuning — the paper's generate-once / run-every-iteration split.
-     Hit/miss/eviction counters live in the telemetry registry so the
-     exporters and {!plan_cache_stats} read the same numbers. *)
-  plans : (Plan.collective * int * int, Plan.t) Hashtbl.t;
-  plan_order : (Plan.collective * int * int) Queue.t;  (* FIFO for eviction *)
+     Hit/miss/eviction/invalidation counters live in the telemetry
+     registry so the exporters and {!plan_cache_stats} read the same
+     numbers. *)
+  plans : (plan_key, Plan.t) Hashtbl.t;
+  (* FIFO eviction order. Entries carry the insertion epoch: topology
+     mutations invalidate table entries without draining the queue, and a
+     key can be re-planned after eviction, so the queue may hold stale
+     entries — eviction pops until it finds a (key, epoch) that still
+     matches [plan_epoch], and only those count as evictions. *)
+  plan_order : (plan_key * int) Queue.t;
+  plan_epoch : (plan_key, int) Hashtbl.t;
+  mutable next_epoch : int;
   max_plans : int option;
   (* Tree extraction from the packings is pure; memoize it per handle. *)
   mutable bcast_trees : Tree.weighted list option;
@@ -65,40 +98,57 @@ let one_hop_trees ~n_ranks =
   List.init n_ranks (fun root ->
       { Tree.tree = one_hop_tree ~n_ranks ~root; share })
 
-let create ?root ?epsilon ?threshold ?telemetry ?max_cached_plans server
-    ~gpus =
-  let telemetry =
-    match telemetry with Some t -> t | None -> Telemetry.create ()
-  in
-  (match max_cached_plans with
-  | Some n when n <= 0 ->
-      invalid_arg "Blink.create: max_cached_plans must be positive"
-  | _ -> ());
-  let fabric = Fabric.of_server server ~gpus in
-  let graph = Server.nvlink_digraph server ~gpus in
+(* ------------------------------------------------------------------ *)
+(* Topology planning, shared by [create] and the fault-driven replans. *)
+
+let rank_of_gpu gpus g =
+  let found = ref (-1) in
+  Array.iteri (fun i x -> if x = g then found := i) gpus;
+  !found
+
+(* Plan the NVLink topology restricted to the surviving [gpus] under the
+   accumulated link [faults]. [on_disconnected] picks the error shape:
+   [create] keeps its historical [Invalid_argument] for a born-broken
+   allocation, while the mutation path raises the typed {!Partitioned}
+   with the reachable/unreachable GPU sets. *)
+let plan_topology ?epsilon ?threshold ~telemetry ~on_disconnected server ~gpus
+    ~faults ~root_gpu =
+  let fabric = Fabric.of_server ~faults server ~gpus in
+  let graph = Server.nvlink_digraph ~faults server ~gpus in
   let k = Array.length gpus in
-  let fresh kind root =
-    { server; fabric; graph; kind; root; telemetry;
-      chunk_cache = Hashtbl.create 8;
-      plans = Hashtbl.create 16;
-      plan_order = Queue.create ();
-      max_plans = max_cached_plans;
-      bcast_trees = None; ar_trees = None }
+  let rank_of g =
+    match rank_of_gpu gpus g with
+    | -1 ->
+        invalid_arg
+          (Printf.sprintf "Blink: root gpu %d is not in the allocation" g)
+    | r -> r
   in
   match server.Server.nvswitch with
   | Some kind ->
       let rate = 6. *. Blink_topology.Link.bandwidth kind in
-      let root = Option.value root ~default:0 in
-      fresh (One_hop rate) root
+      let root = match root_gpu with Some g -> rank_of g | None -> 0 in
+      (fabric, graph, One_hop rate, root)
   | None ->
       let root =
-        match root with Some r -> r | None -> Treegen.best_root graph
+        match root_gpu with Some g -> rank_of g | None -> Treegen.best_root graph
       in
+      if k > 1 && not (Digraph.is_connected_from graph ~root) then begin
+        match on_disconnected with
+        | `Invalid_arg ->
+            invalid_arg
+              "Blink.create: allocation has no NVLink spanning structure \
+               from the root (disconnected NVLink graph); use hybrid/PCIe \
+               transfers"
+        | `Partitioned ->
+            let reach = Digraph.reachable graph ~from:root in
+            let alive = ref [] and unreachable = ref [] in
+            for i = k - 1 downto 0 do
+              if reach.(i) then alive := gpus.(i) :: !alive
+              else unreachable := gpus.(i) :: !unreachable
+            done;
+            raise (Partitioned { alive = !alive; unreachable = !unreachable })
+      end;
       let directed = Treegen.plan ?epsilon ?threshold ~telemetry graph ~root in
-      if directed.Treegen.trees = [] && k > 1 then
-        invalid_arg
-          "Blink.create: allocation has no NVLink spanning structure from \
-           the root (disconnected NVLink graph); use hybrid/PCIe transfers";
       let undirected =
         Treegen.plan_undirected ?epsilon ?threshold ~telemetry graph ~root
       in
@@ -111,13 +161,83 @@ let create ?root ?epsilon ?threshold ?telemetry ?max_cached_plans server
             (List.length directed.Treegen.trees)
             undirected.Treegen.rate
             (List.length undirected.Treegen.trees));
-      fresh (Packed { directed; undirected }) root
+      (fabric, graph, Packed { directed; undirected }, root)
+
+let create ?root ?epsilon ?threshold ?telemetry ?max_cached_plans ?link_faults
+    server ~gpus =
+  let telemetry =
+    match telemetry with Some t -> t | None -> Telemetry.create ()
+  in
+  (match max_cached_plans with
+  | Some n when n <= 0 ->
+      invalid_arg "Blink.create: max_cached_plans must be positive"
+  | _ -> ());
+  let explicit_root =
+    match root with
+    | None -> None
+    | Some r ->
+        if r < 0 || r >= Array.length gpus then
+          invalid_arg "Blink.create: root rank out of range";
+        Some gpus.(r)
+  in
+  let faults =
+    match link_faults with
+    | None -> []
+    | Some fs -> Server.normalize_faults fs
+  in
+  (* A handle created directly on a degraded fabric reports partition
+     through the typed error — it is exactly the replanned state a
+     mutated handle converges to. *)
+  let on_disconnected =
+    match link_faults with None -> `Invalid_arg | Some _ -> `Partitioned
+  in
+  let fabric, graph, kind, root =
+    plan_topology ?epsilon ?threshold ~telemetry ~on_disconnected server ~gpus
+      ~faults ~root_gpu:explicit_root
+  in
+  let fault_table = Hashtbl.create 8 in
+  List.iter (fun (key, state) -> Hashtbl.replace fault_table key state) faults;
+  {
+    server;
+    gpus = Array.copy gpus;
+    fabric;
+    graph;
+    kind;
+    root;
+    explicit_root;
+    epsilon;
+    threshold;
+    telemetry;
+    faults = fault_table;
+    partition = None;
+    chunk_cache = Hashtbl.create 8;
+    plans = Hashtbl.create 16;
+    plan_order = Queue.create ();
+    plan_epoch = Hashtbl.create 16;
+    next_epoch = 0;
+    max_plans = max_cached_plans;
+    bcast_trees = None;
+    ar_trees = None;
+  }
+
+(* Every planning/execution entry point funnels through this: a
+   partitioned handle keeps raising the same actionable error instead of
+   silently executing plans for a graph that no longer exists. *)
+let check_usable t =
+  match t.partition with
+  | Some (alive, unreachable) -> raise (Partitioned { alive; unreachable })
+  | None -> ()
 
 let fabric t = t.fabric
 let server t = t.server
 let root t = t.root
 let telemetry t = t.telemetry
 let n_ranks t = Fabric.n_ranks t.fabric
+let gpus t = Array.copy t.gpus
+
+let link_faults t =
+  Hashtbl.fold (fun key state acc -> (key, state) :: acc) t.faults []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
 
 let packing t =
   match t.kind with Packed p -> Some p.directed | One_hop _ -> None
@@ -132,6 +252,7 @@ let all_reduce_rate t =
   match t.kind with Packed p -> p.undirected.Treegen.rate | One_hop r -> r
 
 let broadcast_trees t =
+  check_usable t;
   match t.bcast_trees with
   | Some trees -> trees
   | None ->
@@ -146,6 +267,7 @@ let broadcast_trees t =
       trees
 
 let all_reduce_trees t =
+  check_usable t;
   match t.ar_trees with
   | Some trees -> trees
   | None ->
@@ -252,18 +374,35 @@ let trees_for t (c : Plan.collective) =
       broadcast_trees t
 
 (* Bound the cache with FIFO eviction when [max_cached_plans] was given.
-   Keys are unique in [plan_order] because we only enqueue on a miss. *)
+   Queue entries whose epoch no longer matches [plan_epoch] are stale —
+   the key was invalidated by a topology mutation, or evicted and later
+   re-planned under a fresh epoch — and are skipped without touching the
+   table or the eviction counter. Every live key has exactly one matching
+   queue entry, so the loop can always make progress while the table is
+   over capacity. *)
 let evict_if_full t =
   match t.max_plans with
   | None -> ()
   | Some cap ->
       while Hashtbl.length t.plans >= cap do
-        let oldest = Queue.pop t.plan_order in
-        Hashtbl.remove t.plans oldest;
-        Telemetry.incr t.telemetry "plan.cache.evictions"
+        let key, epoch = Queue.pop t.plan_order in
+        match Hashtbl.find_opt t.plan_epoch key with
+        | Some e when e = epoch ->
+            Hashtbl.remove t.plans key;
+            Hashtbl.remove t.plan_epoch key;
+            Telemetry.incr t.telemetry "plan.cache.evictions"
+        | Some _ | None -> ()
       done
 
+let remember t key plan =
+  let epoch = t.next_epoch in
+  t.next_epoch <- epoch + 1;
+  Hashtbl.replace t.plans key plan;
+  Hashtbl.replace t.plan_epoch key epoch;
+  Queue.push (key, epoch) t.plan_order
+
 let plan ?chunk_elems t collective ~elems =
+  check_usable t;
   let chunk =
     match chunk_elems with Some c -> c | None -> tuned_chunk t ~elems
   in
@@ -282,8 +421,7 @@ let plan ?chunk_elems t collective ~elems =
         Plan.build collective ~spec ~root:t.root ~elems
           ~trees:(trees_for t collective)
       in
-      Hashtbl.replace t.plans key plan;
-      Queue.push key t.plan_order;
+      remember t key plan;
       plan
 
 (* Kept as a thin wrapper: the counters now live in the telemetry
@@ -294,6 +432,126 @@ let plan_cache_stats t =
     hits = Telemetry.counter_value t.telemetry "plan.cache.hits";
     misses = Telemetry.counter_value t.telemetry "plan.cache.misses";
   }
+
+let plan_cache_invalidations t =
+  Telemetry.counter_value t.telemetry "plan.cache.invalidations"
+
+(* ------------------------------------------------------------------ *)
+(* Fault-driven topology mutation: update the fabric view, selectively
+   invalidate the plan-cache entries whose trees route over the affected
+   edges, and replan on the surviving graph. *)
+
+(* Does any of the plan's trees carry data directly between the two
+   ranks? Tree parent arrays are in rank space, so an affected gpu pair
+   maps to one parent-pointer test per tree. *)
+let plan_touches_pair (plan : Plan.t) (ru, rv) =
+  List.exists
+    (fun { Tree.tree; _ } ->
+      tree.Tree.parent.(ru) = rv || tree.Tree.parent.(rv) = ru)
+    plan.Plan.trees
+
+let invalidate_plans t ~affected =
+  let hit plan =
+    match affected with
+    | `All -> true
+    | `Pairs pairs -> List.exists (plan_touches_pair plan) pairs
+  in
+  let doomed =
+    Hashtbl.fold
+      (fun key plan acc -> if hit plan then key :: acc else acc)
+      t.plans []
+  in
+  List.iter
+    (fun key ->
+      Hashtbl.remove t.plans key;
+      Hashtbl.remove t.plan_epoch key;
+      Telemetry.incr t.telemetry "plan.cache.invalidations")
+    doomed;
+  List.length doomed
+
+let apply_mutation t ~affected =
+  Telemetry.incr t.telemetry "fault.injected";
+  let old_root_gpu = if Array.length t.gpus = 0 then -1 else t.gpus.(t.root) in
+  (* Keyed invalidation first, against the old rank numbering: only plans
+     whose trees route over the affected edges are dropped. *)
+  let dropped = invalidate_plans t ~affected in
+  (* The memoized trees and tuned chunks describe the old fabric; both
+     re-derive cheaply and must match a fresh handle on the degraded
+     graph bit for bit. *)
+  t.bcast_trees <- None;
+  t.ar_trees <- None;
+  Hashtbl.reset t.chunk_cache;
+  let t0 = Unix.gettimeofday () in
+  let fabric, graph, kind, root =
+    try
+      plan_topology ?epsilon:t.epsilon ?threshold:t.threshold
+        ~telemetry:t.telemetry ~on_disconnected:`Partitioned t.server
+        ~gpus:t.gpus ~faults:(link_faults t) ~root_gpu:t.explicit_root
+    with Partitioned { alive; unreachable } as e ->
+      t.partition <- Some (alive, unreachable);
+      raise e
+  in
+  Telemetry.observe t.telemetry "plan.replan_s" (Unix.gettimeofday () -. t0);
+  t.fabric <- fabric;
+  t.graph <- graph;
+  t.kind <- kind;
+  t.root <- root;
+  (* If replanning moved the root, every surviving one-to-many plan bakes
+     the wrong root: flush the remainder (still counted as
+     invalidations). *)
+  if Array.length t.gpus > 0 && t.gpus.(root) <> old_root_gpu then
+    ignore (invalidate_plans t ~affected:`All);
+  Log.info (fun m ->
+      m "%s: topology mutation dropped %d cached plan(s); new root gpu %d"
+        t.server.Server.name dropped t.gpus.(root))
+
+let rank_of_alive t g = rank_of_gpu t.gpus g
+
+let set_link_fault t ~u ~v state =
+  check_usable t;
+  if t.server.Server.nvswitch <> None then
+    invalid_arg "Blink: link faults are unsupported on NVSwitch machines";
+  if u = v then invalid_arg "Blink: link fault on a self pair";
+  let ru = rank_of_alive t u and rv = rank_of_alive t v in
+  if ru < 0 || rv < 0 then
+    invalid_arg "Blink: link fault on a gpu outside the live allocation";
+  if Server.pair_links t.server u v = None then
+    invalid_arg
+      (Printf.sprintf "Blink: no NVLink between gpus %d and %d" u v);
+  Hashtbl.replace t.faults (min u v, max u v) state;
+  apply_mutation t ~affected:(`Pairs [ (ru, rv) ])
+
+let degrade_link t ~u ~v ~factor =
+  if factor <= 0. || factor > 1. then
+    invalid_arg "Blink.degrade_link: factor must be in (0, 1]";
+  set_link_fault t ~u ~v (Server.Degraded factor)
+
+let fail_link t ~u ~v = set_link_fault t ~u ~v Server.Down
+
+let fail_gpu t ~gpu =
+  check_usable t;
+  if rank_of_alive t gpu < 0 then
+    invalid_arg "Blink.fail_gpu: gpu is not in the live allocation";
+  if Array.length t.gpus <= 1 then
+    invalid_arg "Blink.fail_gpu: cannot drop the last gpu";
+  (match t.explicit_root with
+  | Some g when g = gpu ->
+      invalid_arg "Blink.fail_gpu: cannot drop the pinned root gpu"
+  | _ -> ());
+  t.gpus <-
+    Array.of_list (List.filter (( <> ) gpu) (Array.to_list t.gpus));
+  (* Link faults on a dead gpu's pairs are moot; drop them so a later
+     replan doesn't validate against ghosts. *)
+  let ghost =
+    Hashtbl.fold
+      (fun ((a, b) as key) _ acc ->
+        if a = gpu || b = gpu then key :: acc else acc)
+      t.faults []
+  in
+  List.iter (Hashtbl.remove t.faults) ghost;
+  (* Rank renumbering invalidates every cached plan: buffers, trees and
+     programs are all in rank space. *)
+  apply_mutation t ~affected:`All
 
 (* ------------------------------------------------------------------ *)
 (* Prewarm: batch-populate the plan cache across domains. Only the pure,
@@ -308,6 +566,7 @@ let map_pool pool f xs =
   | None -> List.map f xs
 
 let prewarm ?pool t keys =
+  check_usable t;
   (* Force the tree memos here: workers then only read
      [t.bcast_trees]/[t.ar_trees] and never race on filling them. *)
   ignore (broadcast_trees t);
@@ -363,7 +622,7 @@ let prewarm ?pool t keys =
   in
   let built =
     map_pool pool
-      (fun (((collective, elems, chunk) : Plan.collective * int * int), _) ->
+      (fun (((collective, elems, chunk) : plan_key), _) ->
         let spec =
           Codegen.spec ~chunk_elems:chunk ~telemetry:t.telemetry t.fabric
         in
@@ -376,7 +635,6 @@ let prewarm ?pool t keys =
     (fun (key, plan) ->
       Telemetry.incr t.telemetry "plan.cache.misses";
       evict_if_full t;
-      Hashtbl.replace t.plans key plan;
-      Queue.push key t.plan_order)
+      remember t key plan)
     built;
   List.length built

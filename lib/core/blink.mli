@@ -12,12 +12,20 @@
 
 type t
 
+exception Partitioned of { alive : int list; unreachable : int list }
+(** Raised when the surviving NVLink graph no longer spans the allocation:
+    [alive] are the GPU ids still reachable from the root, [unreachable]
+    the ones cut off. Raised by the mutation that caused the partition
+    and, from then on, by every planning/execution entry point of the
+    handle — a partitioned handle never executes a stale plan. *)
+
 val create :
   ?root:int ->
   ?epsilon:float ->
   ?threshold:float ->
   ?telemetry:Blink_telemetry.Telemetry.t ->
   ?max_cached_plans:int ->
+  ?link_faults:Blink_topology.Server.faults ->
   Blink_topology.Server.t ->
   gpus:int array ->
   t
@@ -37,12 +45,26 @@ val create :
 
     [max_cached_plans] bounds the compiled-plan cache; when full, the
     oldest entry is evicted FIFO (counted as ["plan.cache.evictions"]).
-    Unbounded by default. Raises [Invalid_argument] if non-positive. *)
+    Unbounded by default. Raises [Invalid_argument] if non-positive.
+
+    [link_faults] (default none) creates the handle directly on a
+    degraded fabric — the state a healthy handle converges to after the
+    same {!degrade_link}/{!fail_link} calls, useful to cross-check
+    replanned handles. With [link_faults] present a disconnected graph
+    raises {!Partitioned} instead of [Invalid_argument]. *)
 
 val fabric : t -> Blink_topology.Fabric.t
 val server : t -> Blink_topology.Server.t
 val root : t -> int
 val n_ranks : t -> int
+
+val gpus : t -> int array
+(** The surviving allocation, in rank order (a copy). Shrinks when
+    {!fail_gpu} drops a GPU. *)
+
+val link_faults : t -> Blink_topology.Server.faults
+(** Accumulated link faults, as canonical sorted [(u, v), state] pairs
+    with [u < v]. *)
 
 val telemetry : t -> Blink_telemetry.Telemetry.t
 (** The handle's telemetry sink — read it to export metrics
@@ -134,6 +156,43 @@ val prewarm :
     with any pool size. After [prewarm], {!plan} calls for these keys are
     cache hits. *)
 
+(** {2 Fault tolerance}
+
+    The failure model of the degraded-topology pipeline: report a link or
+    GPU fault on a live handle and it updates its fabric view, selectively
+    invalidates only the cached plans whose trees route over the affected
+    edges (counted as ["plan.cache.invalidations"]), and replans trees on
+    the surviving graph (replan wall-clock recorded in the
+    ["plan.replan_s"] histogram). The next {!plan} call on an affected key
+    misses and compiles against the degraded fabric; unaffected keys keep
+    their cached plans. Results after a mutation are bit-identical to a
+    fresh handle created with the same accumulated faults via
+    [create ?link_faults].
+
+    Faults are rejected with [Invalid_argument] on NVSwitch machines
+    (the switch fabric is modeled as a single attach per GPU). *)
+
+val degrade_link : t -> u:int -> v:int -> factor:float -> unit
+(** The duplex NVLink pair between gpus [u] and [v] drops to [factor] of
+    nominal bandwidth ([0 < factor <= 1]; re-declaring a pair replaces its
+    state, it does not compound). Raises [Invalid_argument] on a bad
+    factor, an unknown pair, or dead endpoints; raises {!Partitioned} if
+    the graph falls apart (factor > 0 never partitions, but the handle
+    may already be partitioned). *)
+
+val fail_link : t -> u:int -> v:int -> unit
+(** The duplex NVLink pair between gpus [u] and [v] goes down entirely:
+    it disappears from both the planning graph and the timing fabric.
+    Raises {!Partitioned} when the surviving graph no longer spans the
+    allocation — the handle is then permanently unusable. *)
+
+val fail_gpu : t -> gpu:int -> unit
+(** Drop a GPU from the allocation. The survivors are renumbered to ranks
+    [0 .. k-2], so every cached plan is invalidated (rank-space buffers
+    and trees). Raises [Invalid_argument] when dropping the last GPU or a
+    root pinned by [create ?root]; raises {!Partitioned} when the
+    survivors are disconnected. *)
+
 type cache_stats = { hits : int; misses : int }
 
 val plan_cache_stats : t -> cache_stats
@@ -143,6 +202,11 @@ val plan_cache_stats : t -> cache_stats
     ["plan.cache.hits"] / ["plan.cache.misses"]), so this accessor and
     the JSON exporters always agree; a handle created with
     [~telemetry:Telemetry.disabled] reports zeros. *)
+
+val plan_cache_invalidations : t -> int
+(** Lifetime count of cached plans dropped by topology mutations (series
+    ["plan.cache.invalidations"]); FIFO evictions are counted separately
+    as ["plan.cache.evictions"]. *)
 
 (** {2 Timing} *)
 

@@ -3,13 +3,20 @@ module Sem = Blink_sim.Semantics
 
 type t = { blink : Blink.t }
 
-let init ?root ?telemetry ?max_cached_plans server ~gpus =
-  { blink = Blink.create ?root ?telemetry ?max_cached_plans server ~gpus }
+let init ?root ?telemetry ?max_cached_plans ?link_faults server ~gpus =
+  { blink = Blink.create ?root ?telemetry ?max_cached_plans ?link_faults server ~gpus }
 
 let n_ranks t = Blink.n_ranks t.blink
 let handle t = t.blink
 let telemetry t = Blink.telemetry t.blink
 let plan_cache_stats t = Blink.plan_cache_stats t.blink
+
+(* Fault reports pass straight through to the planner handle: the next
+   collective on an affected key replans automatically (its cached plan
+   was invalidated), unaffected keys keep hitting. *)
+let degrade_link t ~u ~v ~factor = Blink.degrade_link t.blink ~u ~v ~factor
+let fail_link t ~u ~v = Blink.fail_link t.blink ~u ~v
+let fail_gpu t ~gpu = Blink.fail_gpu t.blink ~gpu
 
 type 'a result = { value : 'a; seconds : float }
 

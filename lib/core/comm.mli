@@ -20,11 +20,13 @@ val init :
   ?root:int ->
   ?telemetry:Blink_telemetry.Telemetry.t ->
   ?max_cached_plans:int ->
+  ?link_faults:Blink_topology.Server.faults ->
   Blink_topology.Server.t ->
   gpus:int array ->
   t
 (** Create a communicator over the allocation ([gpus.(i)] is rank [i]).
-    [telemetry] and [max_cached_plans] are passed to {!Blink.create}. *)
+    [telemetry], [max_cached_plans] and [link_faults] are passed to
+    {!Blink.create}. *)
 
 val n_ranks : t -> int
 val handle : t -> Blink.t
@@ -35,6 +37,19 @@ val telemetry : t -> Blink_telemetry.Telemetry.t
 
 val plan_cache_stats : t -> Blink.cache_stats
 (** Hit/miss counters of the communicator's compiled-plan cache. *)
+
+(** {2 Fault reports}
+
+    Thin passthroughs to the planner handle's mutation API (see
+    {!Blink.degrade_link} and friends): the topology view updates,
+    affected cached plans are invalidated, and the next collective call
+    replans on the surviving graph. After {!fail_gpu} the communicator
+    has one rank fewer — callers pass one buffer per {e surviving}
+    rank. *)
+
+val degrade_link : t -> u:int -> v:int -> factor:float -> unit
+val fail_link : t -> u:int -> v:int -> unit
+val fail_gpu : t -> gpu:int -> unit
 
 type 'a result = { value : 'a; seconds : float }
 (** A collective's output plus its simulated execution time. *)

@@ -95,10 +95,10 @@ let fabric t = t.fabric
 let n_partitions t = t.n_partitions
 let plans t = t.plans
 
-let all_reduce ?chunk_elems ?stream_reuse t ~elems =
+let all_reduce ?chunk_elems ?stream_reuse ?avoid_roots t ~elems =
   let spec = Codegen.spec ?chunk_elems ?stream_reuse t.fabric in
-  Threephase.all_reduce ?pool:t.pool spec ~n_partitions:t.n_partitions
-    ~plans:t.plans ~elems
+  Threephase.all_reduce ?pool:t.pool ?avoid_roots spec
+    ~n_partitions:t.n_partitions ~plans:t.plans ~elems
 
 let time ?policy t prog =
   Blink_sim.Engine.run ?policy ~resources:(Fabric.resources t.fabric) prog

@@ -30,8 +30,13 @@ val plans : t -> Blink_collectives.Threephase.plan array
 (** The per-server local trees fed to the three-phase emitter. *)
 
 val all_reduce :
-  ?chunk_elems:int -> ?stream_reuse:bool -> t -> elems:int ->
+  ?chunk_elems:int -> ?stream_reuse:bool -> ?avoid_roots:int list -> t ->
+  elems:int ->
   Blink_sim.Program.t * Blink_collectives.Codegen.layout
+(** [avoid_roots] (global rank ids) excludes ranks whose network attach
+    is lost from cross-server root duty; see
+    {!Blink_collectives.Threephase.all_reduce}. Raises
+    [Threephase.No_surviving_root] when a whole server is excluded. *)
 
 val time :
   ?policy:Blink_sim.Engine.policy -> t -> Blink_sim.Program.t ->

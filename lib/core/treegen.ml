@@ -82,10 +82,14 @@ let garg_konemann ?(round = fun () -> ()) ~epsilon ~caps ~oracle () =
      rescaling by the worst measured overload restores feasibility while
      keeping the (1 - O(eps)) guarantee. *)
   let load = Array.make m 0. in
-  Hashtbl.iter
-    (fun items bought ->
-      List.iter (fun i -> load.(i) <- load.(i) +. (bought /. scale)) items)
-    purchases;
+  (* Accumulate in canonical key order, not hash-bucket order: float
+     addition is not associative, so the measured overload — and with it
+     every emitted weight — must not depend on the table's internal
+     layout. *)
+  Hashtbl.fold (fun items bought acc -> (items, bought) :: acc) purchases []
+  |> List.sort compare
+  |> List.iter (fun (items, bought) ->
+         List.iter (fun i -> load.(i) <- load.(i) +. (bought /. scale)) items);
   let overload = ref 1. in
   for i = 0 to m - 1 do
     let ratio = load.(i) /. caps.(i) in
@@ -101,7 +105,9 @@ let garg_konemann ?(round = fun () -> ()) ~epsilon ~caps ~oracle () =
 (* Capacity-constraint rows (one per item used by any candidate), built
    from an inverted item -> candidate-indices table: near-linear in the
    total item count, instead of the O(rows * k * |items|) List.mem scan a
-   per-cell membership test would cost. *)
+   per-cell membership test would cost. Rows come back sorted by item id:
+   both LP solvers downstream pivot in row order, so hash-bucket order
+   here would leak into which optimal vertex they land on. *)
 let capacity_rows ~cap_of ~cand_items =
   let k = Array.length cand_items in
   let users : (int, int list) Hashtbl.t = Hashtbl.create 64 in
@@ -113,12 +119,12 @@ let capacity_rows ~cap_of ~cand_items =
           Hashtbl.replace users item (ci :: prev))
         items)
     cand_items;
-  Hashtbl.fold
-    (fun item cis acc ->
-      let row = Array.make k 0. in
-      List.iter (fun ci -> row.(ci) <- 1.) cis;
-      (row, cap_of item) :: acc)
-    users []
+  Hashtbl.fold (fun item cis acc -> (item, cis) :: acc) users []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+  |> List.map (fun (item, cis) ->
+         let row = Array.make k 0. in
+         List.iter (fun ci -> row.(ci) <- 1.) cis;
+         (row, cap_of item))
 
 (* LP re-optimization over a candidate set: maximize total weight subject
    to per-item capacities. Returns (lp_opt, weights). *)
@@ -469,6 +475,9 @@ let minimize ?(threshold = 0.05) g packing =
     let cand_items = Array.map items_of_tree candidates in
     let k = Array.length candidates in
     (* Constraint rows per used item, capacities in units. *)
+    (* Re-sorted by row content (not item id): the ILP's branching order
+       follows row order, and this is the ordering its tuning and the
+       timing-sensitive tests were validated against. *)
     let rows =
       capacity_rows ~cap_of:(fun item -> item_caps.(item) /. unit) ~cand_items
       |> List.sort compare

@@ -7,10 +7,33 @@ let in_worker () = Domain.DLS.get in_worker_key
 
 let clamp_domains n = max 1 (min 512 n)
 
+(* Pure parser for the BLINK_DOMAINS override, separated out so tests can
+   drive it without touching the process environment. Malformed values
+   must not be silently coerced: a typo'd "BLINK_DOMAINS=al1" falling
+   back to 64 recommended domains, or "0" quietly meaning 1, makes CI
+   parallel/sequential equivalence runs lie. *)
+let parse_domains s =
+  match int_of_string_opt (String.trim s) with
+  | None ->
+      Error
+        (Printf.sprintf
+           "BLINK_DOMAINS=%S is not an integer; ignoring the override" s)
+  | Some n when n <= 0 ->
+      Error
+        (Printf.sprintf
+           "BLINK_DOMAINS=%S must be positive; ignoring the override" s)
+  | Some n when n > 512 -> Ok (clamp_domains n)
+  | Some n -> Ok n
+
 let env_domains () =
   match Sys.getenv_opt "BLINK_DOMAINS" with
   | None -> None
-  | Some s -> Option.map clamp_domains (int_of_string_opt s)
+  | Some s -> (
+      match parse_domains s with
+      | Ok n -> Some n
+      | Error msg ->
+          Printf.eprintf "blink: warning: %s\n%!" msg;
+          None)
 
 let default_domains () =
   match env_domains () with

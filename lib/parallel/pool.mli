@@ -21,8 +21,16 @@
 
 type t
 
+val parse_domains : string -> (int, string) result
+(** Parse a [BLINK_DOMAINS] value. [Ok n] for a positive integer (values
+    above 512 clamp to 512); [Error message] for non-numeric, zero or
+    negative input — malformed overrides are rejected with a warning on
+    stderr rather than silently coerced, so a typo'd variable cannot
+    masquerade as a deliberate width. *)
+
 val default_domains : unit -> int
-(** [BLINK_DOMAINS] when set (clamped to [1..512]), else
+(** [BLINK_DOMAINS] when set to a valid positive integer (clamped to
+    [1..512]; invalid values warn on stderr and are ignored), else
     [Domain.recommended_domain_count ()]. *)
 
 val create : ?domains:int -> ?telemetry:Blink_telemetry.Telemetry.t -> unit -> t

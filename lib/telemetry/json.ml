@@ -73,7 +73,7 @@ let to_string v =
 
 exception Error of string
 
-let parse_exn s =
+let parse_internal s =
   let n = String.length s in
   let pos = ref 0 in
   let fail msg = raise (Error (Printf.sprintf "%s at offset %d" msg !pos)) in
@@ -225,13 +225,19 @@ let parse_exn s =
   if !pos <> n then fail "trailing input";
   v
 
-let parse_exn s =
-  try parse_exn s with Error msg -> failwith ("Json.parse: " ^ msg)
-
-let parse s =
-  match parse_exn s with
+(* The result interface is primary: it catches exactly the parser's own
+   [Error], so a [Failure] escaping some future accessor can never be
+   misread as a parse diagnostic. The raising form is a documented
+   wrapper over it, for call sites that treat malformed input as a bug. *)
+let parse_result s =
+  match parse_internal s with
   | v -> Ok v
-  | exception Failure msg -> Result.Error msg
+  | exception Error msg -> Result.Error ("Json.parse: " ^ msg)
+
+let parse = parse_result
+
+let parse_exn s =
+  match parse_result s with Ok v -> v | Error msg -> failwith msg
 
 (* ------------------------------------------------------------------ *)
 (* Accessors *)

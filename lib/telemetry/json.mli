@@ -19,11 +19,20 @@ val str : string -> t
 val to_string : t -> string
 (** Compact (single-line) rendering. *)
 
+val parse_result : string -> (t, string) Result.t
+(** Whole-string parse; trailing garbage is an error. The primary parsing
+    interface: the exporters' round-trip tests and any consumer of
+    externally-produced documents should match on the result rather than
+    catch exceptions. *)
+
 val parse : string -> (t, string) Result.t
-(** Whole-string parse; trailing garbage is an error. *)
+(** Alias of {!parse_result}. *)
 
 val parse_exn : string -> t
-(** Like {!parse}, raising [Failure] with the parse error. *)
+(** Like {!parse_result}, raising [Failure] with the parse error — a
+    documented convenience wrapper for call sites where malformed input
+    is a programming error (e.g. re-reading a document this module just
+    printed). *)
 
 (** {2 Accessors} — all total, for digging through parsed documents. *)
 

@@ -45,9 +45,9 @@ let add_duplex b u v ~cls spec =
 (* Engine bandwidths are in bytes/second; Link declares GB/s. *)
 let gb = 1e9
 
-let spec_of_kind ?(lanes = 1) kind =
+let spec_of_kind ?(lanes = 1) ?(bw_scale = 1.) kind =
   {
-    Blink_sim.Engine.bandwidth = Link.bandwidth kind *. gb;
+    Blink_sim.Engine.bandwidth = Link.bandwidth kind *. gb *. bw_scale;
     latency = Link.op_latency kind;
     lanes;
     gap = Link.issue_gap kind;
@@ -63,10 +63,18 @@ let compute_spec =
     gap = 4.0e-6;
   }
 
-let build ?(net_bw = Link.bandwidth Link.Nic) (servers : Server.t array)
-    (allocs : int array array) =
+let build ?(net_bw = Link.bandwidth Link.Nic) ?link_faults
+    (servers : Server.t array) (allocs : int array array) =
   if Array.length servers <> Array.length allocs then
     invalid_arg "Fabric: servers/allocs length mismatch";
+  let link_faults =
+    match link_faults with
+    | None -> Array.make (Array.length servers) []
+    | Some per_server ->
+        if Array.length per_server <> Array.length servers then
+          invalid_arg "Fabric: servers/link_faults length mismatch";
+        Array.map Server.normalize_faults per_server
+  in
   let ranks =
     Array.to_list allocs
     |> List.mapi (fun s gpus -> Array.to_list gpus |> List.map (fun g -> (s, g)))
@@ -99,6 +107,8 @@ let build ?(net_bw = Link.bandwidth Link.Nic) (servers : Server.t array)
               ignore (add_duplex b r switch ~cls:Nv (spec_of_kind ~lanes:6 kind)))
             local_ranks
       | None ->
+          if link_faults.(s) <> [] && server.Server.nvswitch <> None then
+            invalid_arg "Fabric: link faults unsupported on NVSwitch";
           let seen_pairs = Hashtbl.create 16 in
           List.iter
             (fun (u, v, _) ->
@@ -106,17 +116,30 @@ let build ?(net_bw = Link.bandwidth Link.Nic) (servers : Server.t array)
               if not (Hashtbl.mem seen_pairs key) then begin
                 Hashtbl.replace seen_pairs key ();
                 match (rank_of u, rank_of v) with
-                | Some ru, Some rv ->
+                | Some ru, Some rv -> (
                     let kind, mult =
                       match Server.pair_links server u v with
                       | Some info -> info
                       | None -> assert false
                     in
-                    let fwd, bwd =
-                      add_duplex b ru rv ~cls:Nv (spec_of_kind ~lanes:mult kind)
-                    in
-                    Hashtbl.replace nv_table (ru, rv) fwd;
-                    Hashtbl.replace nv_table (rv, ru) bwd
+                    (* Faults hit the whole duplex pair: a [Down] pair
+                       contributes no resources at all (codegen can no
+                       longer route over it), a degraded one keeps its
+                       lanes at scaled per-lane bandwidth. *)
+                    match Server.fault_state link_faults.(s) u v with
+                    | Some Server.Down -> ()
+                    | (Some (Server.Degraded _) | None) as fault ->
+                        let bw_scale =
+                          match fault with
+                          | Some (Server.Degraded f) -> f
+                          | _ -> 1.
+                        in
+                        let fwd, bwd =
+                          add_duplex b ru rv ~cls:Nv
+                            (spec_of_kind ~lanes:mult ~bw_scale kind)
+                        in
+                        Hashtbl.replace nv_table (ru, rv) fwd;
+                        Hashtbl.replace nv_table (rv, ru) bwd)
                 | _ -> ()
               end)
             server.Server.nvlinks);
@@ -166,7 +189,9 @@ let build ?(net_bw = Link.bandwidth Link.Nic) (servers : Server.t array)
   let bandwidths = Array.map (fun r -> r.Blink_sim.Engine.bandwidth) resources in
   { servers; ranks; n_nodes; resources; engines; nv_table; adjacency; bandwidths }
 
-let of_server server ~gpus = build [| server |] [| gpus |]
+let of_server ?faults server ~gpus =
+  build ?link_faults:(Option.map (fun f -> [| f |]) faults) [| server |]
+    [| gpus |]
 
 let of_cluster ?net_bw servers ~allocs =
   build ?net_bw (Array.of_list servers) (Array.of_list allocs)

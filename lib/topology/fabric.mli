@@ -16,8 +16,13 @@ type link_class = Nv | Pcie | Net
 
 type t
 
-val of_server : Server.t -> gpus:int array -> t
-(** Single-machine fabric over the allocated GPUs (rank [i] = [gpus.(i)]). *)
+val of_server : ?faults:Server.faults -> Server.t -> gpus:int array -> t
+(** Single-machine fabric over the allocated GPUs (rank [i] = [gpus.(i)]).
+    [faults] (default none) mirrors {!Server.nvlink_digraph}: a [Down]
+    NVLink pair contributes no link resources at all, a [Degraded f] pair
+    keeps its lanes at [f] of nominal per-lane bandwidth — so the timing
+    model matches the degraded planning graph. Raises [Invalid_argument]
+    on bad fault factors or faults on an NVSwitch server. *)
 
 val of_cluster : ?net_bw:float -> Server.t list -> allocs:int array list -> t
 (** Multi-server fabric; ranks are numbered server by server.

@@ -7,6 +7,25 @@ type t = {
   switches_per_cpu : int;
 }
 
+type link_state = Degraded of float | Down
+
+type faults = ((int * int) * link_state) list
+
+(* Normalize fault keys to (min, max) and validate factors; later entries
+   for the same pair win, so callers can overwrite a degradation. *)
+let normalize_faults faults =
+  List.fold_left
+    (fun acc ((u, v), state) ->
+      if u = v then invalid_arg "Server: link fault on a self pair";
+      (match state with
+      | Degraded f when f <= 0. || f > 1. ->
+          invalid_arg "Server: degradation factor must be in (0, 1]"
+      | Degraded _ | Down -> ());
+      ((min u v, max u v), state) :: List.remove_assoc (min u v, max u v) acc)
+    [] faults
+
+let fault_state faults u v = List.assoc_opt (min u v, max u v) faults
+
 (* The 16 NVLink pairs of the DGX-1 hybrid cube-mesh: two complete quads
    plus the quad-to-quad matching. *)
 let cube_mesh_pairs =
@@ -129,8 +148,11 @@ let check_alloc t gpus =
       seen.(g) <- true)
     gpus
 
-let nvlink_digraph t ~gpus =
+let nvlink_digraph ?(faults = []) t ~gpus =
   check_alloc t gpus;
+  let faults = normalize_faults faults in
+  if faults <> [] && t.nvswitch <> None then
+    invalid_arg "Server.nvlink_digraph: link faults unsupported on NVSwitch";
   let k = Array.length gpus in
   let index = Hashtbl.create 8 in
   Array.iteri (fun i g -> Hashtbl.replace index g i) gpus;
@@ -156,10 +178,20 @@ let nvlink_digraph t ~gpus =
       List.iter
         (fun (u, v, kind) ->
           match (Hashtbl.find_opt index u, Hashtbl.find_opt index v) with
-          | Some i, Some j ->
-              ignore
-                (Blink_graph.Digraph.add_bidi ~tag:(Link.tag kind) g i j
-                   ~cap:(Link.bandwidth kind))
+          | Some i, Some j -> (
+              (* A fault applies to the whole duplex pair — both directions
+                 together, keeping the graph symmetric for the undirected
+                 packing. *)
+              match fault_state faults u v with
+              | Some Down -> ()
+              | Some (Degraded factor) ->
+                  ignore
+                    (Blink_graph.Digraph.add_bidi ~tag:(Link.tag kind) g i j
+                       ~cap:(Link.bandwidth kind *. factor))
+              | None ->
+                  ignore
+                    (Blink_graph.Digraph.add_bidi ~tag:(Link.tag kind) g i j
+                       ~cap:(Link.bandwidth kind)))
           | _ -> ())
         t.nvlinks);
   g

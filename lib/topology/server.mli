@@ -20,6 +20,25 @@ type t = private {
   switches_per_cpu : int;  (** leading switches attach to CPU0, rest CPU1 *)
 }
 
+type link_state = Degraded of float | Down
+    (** Effective state of one NVLink {e pair} (all physical links between
+        the two GPUs together): [Degraded f] scales the pair's bandwidth
+        to [f] of nominal ([0 < f <= 1], relative to healthy — repeated
+        declarations replace, they do not compound); [Down] removes the
+        pair entirely. *)
+
+type faults = ((int * int) * link_state) list
+(** Link faults keyed by GPU pair (order-insensitive; the last entry for
+    a pair wins). *)
+
+val normalize_faults : faults -> faults
+(** Canonicalize keys to [(min, max)], drop superseded duplicates and
+    validate factors. Raises [Invalid_argument] on a self pair or a
+    degradation factor outside [(0, 1]]. *)
+
+val fault_state : faults -> int -> int -> link_state option
+(** Lookup on a normalized fault list, order-insensitive. *)
+
 val dgx1p : t
 val dgx1v : t
 val dgx2 : t
@@ -56,14 +75,17 @@ val pair_weight : t -> int -> int -> float
 (** Total NVLink GB/s between a pair; the edge weight used for
     automorphism computations. *)
 
-val nvlink_digraph : t -> gpus:int array -> Blink_graph.Digraph.t
+val nvlink_digraph : ?faults:faults -> t -> gpus:int array -> Blink_graph.Digraph.t
 (** Directed capacitated graph over the allocated GPUs only: vertex [i]
     stands for [gpus.(i)]; every physical NVLink contributes one edge in
     each direction with its per-direction bandwidth, tagged with its
     {!Link.kind}. On an NVSwitch server each ordered pair gets a single
     edge of capacity [6 * link / (k - 1)] — the per-peer share of the
-    GPU's switch attach bandwidth. Raises [Invalid_argument] on bad GPU
-    ids or duplicates. *)
+    GPU's switch attach bandwidth. [faults] (default none) degrades or
+    removes whole NVLink pairs, both directions symmetrically, so the
+    graph stays valid for the undirected packing. Raises
+    [Invalid_argument] on bad GPU ids, duplicates, bad fault factors, or
+    faults on an NVSwitch server. *)
 
 val switch_of_gpu : t -> int -> int
 (** Index of the PCIe switch a GPU hangs off. *)

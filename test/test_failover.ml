@@ -1,0 +1,334 @@
+(* Degraded-topology replanning: after a link/GPU fault report the handle
+   must behave exactly like a fresh handle created on the already-degraded
+   fabric — same trees, same tuned chunks, same programs, same timing,
+   same data — and a partitioned fabric must fail with the typed error,
+   never execute a stale plan. *)
+
+module Server = Blink_topology.Server
+module Blink = Blink_core.Blink
+module Plan = Blink_core.Plan
+module Comm = Blink_core.Comm
+module Tree = Blink_collectives.Tree
+module Telemetry = Blink_telemetry.Telemetry
+module Fault = Blink_sim.Fault
+module Program = Blink_sim.Program
+module E = Blink_sim.Engine
+
+let full = Array.init 8 Fun.id
+
+let ops_of prog =
+  let acc = ref [] in
+  Program.iter_ops
+    (fun o ->
+      acc :=
+        (o.Program.id, o.Program.kind, o.Program.stream, o.Program.deps) :: !acc)
+    prog;
+  List.rev !acc
+
+(* Bit-for-bit plan equality: identical op stream, chunk, and timing. *)
+let check_same_plan label (a : Plan.t) (b : Plan.t) =
+  Alcotest.(check int) (label ^ ": chunk") a.Plan.chunk_elems b.Plan.chunk_elems;
+  Alcotest.(check int)
+    (label ^ ": op count")
+    (Program.n_ops a.Plan.program)
+    (Program.n_ops b.Plan.program);
+  Alcotest.(check bool)
+    (label ^ ": identical ops")
+    true
+    (ops_of a.Plan.program = ops_of b.Plan.program);
+  Alcotest.(check (float 0.))
+    (label ^ ": identical makespan")
+    (Plan.seconds (Plan.execute ~data:false a))
+    (Plan.seconds (Plan.execute ~data:false b))
+
+(* GPU pairs some tree of the plan routes over (canonical u < v order). *)
+let used_pairs (p : Plan.t) ~gpus =
+  List.concat_map
+    (fun { Tree.tree; _ } ->
+      Array.to_list (Array.mapi (fun r pr -> (r, pr)) tree.Tree.parent))
+    p.Plan.trees
+  |> List.filter_map (fun (r, pr) ->
+         if pr >= 0 then
+           Some (min gpus.(r) gpus.(pr), max gpus.(r) gpus.(pr))
+         else None)
+  |> List.sort_uniq compare
+
+let test_fail_link_matches_fresh_handle () =
+  let h = Blink.create Server.dgx1v ~gpus:full in
+  let before = Blink.plan h Plan.All_reduce ~elems:100_000 in
+  (* Fail an edge the cached plan actually routes over, so the key is
+     guaranteed affected. Any single NVLink loss keeps the 4-regular
+     DGX-1V cube mesh connected. *)
+  let u, v = List.hd (used_pairs before ~gpus:full) in
+  Blink.fail_link h ~u ~v;
+  Alcotest.(check int) "cached plan invalidated" 1
+    (Blink.plan_cache_invalidations h);
+  Alcotest.(check int) "fault counted" 1
+    (Telemetry.counter_value (Blink.telemetry h) "fault.injected");
+  Alcotest.(check (list (pair (pair int int) bool)))
+    "fault recorded"
+    [ ((u, v), true) ]
+    (List.map
+       (fun (p, s) -> (p, s = Server.Down))
+       (Blink.link_faults h));
+  (* The next call on the affected key replans automatically. *)
+  let { Blink.misses; _ } = Blink.plan_cache_stats h in
+  let after = Blink.plan h Plan.All_reduce ~elems:100_000 in
+  let { Blink.misses = misses'; _ } = Blink.plan_cache_stats h in
+  Alcotest.(check int) "replan is a cache miss" (misses + 1) misses';
+  Alcotest.(check bool) "no stale plan executes" true (before != after);
+  (* And the replanned state is exactly a fresh handle on the degraded
+     fabric: trees, tuned chunk, program and timing. *)
+  let fresh =
+    Blink.create ~link_faults:[ ((u, v), Server.Down) ] Server.dgx1v ~gpus:full
+  in
+  Alcotest.(check (float 0.)) "same degraded packing rate"
+    (Blink.all_reduce_rate fresh) (Blink.all_reduce_rate h);
+  Alcotest.(check int) "same root" (Blink.root fresh) (Blink.root h);
+  check_same_plan "all_reduce after fail_link" after
+    (Blink.plan fresh Plan.All_reduce ~elems:100_000);
+  (* The loss costs bandwidth (or at best nothing). *)
+  let healthy = Blink.create Server.dgx1v ~gpus:full in
+  Alcotest.(check bool) "degraded rate not better" true
+    (Blink.all_reduce_rate h <= Blink.all_reduce_rate healthy +. 1e-9)
+
+let test_two_links_removed_matches_fresh_handle () =
+  let h = Blink.create Server.dgx1v ~gpus:full in
+  let p0 = Blink.plan h Plan.All_reduce ~elems:65_536 in
+  let pairs = used_pairs p0 ~gpus:full in
+  let u1, v1 = List.nth pairs 0 in
+  let u2, v2 = List.nth pairs (List.length pairs - 1) in
+  Blink.fail_link h ~u:u1 ~v:v1;
+  Blink.fail_link h ~u:u2 ~v:v2;
+  let faults = [ ((u1, v1), Server.Down); ((u2, v2), Server.Down) ] in
+  let fresh = Blink.create ~link_faults:faults Server.dgx1v ~gpus:full in
+  Alcotest.(check (float 0.)) "same doubly-degraded rate"
+    (Blink.all_reduce_rate fresh) (Blink.all_reduce_rate h);
+  check_same_plan "all_reduce after two fail_links"
+    (Blink.plan h Plan.All_reduce ~elems:65_536)
+    (Blink.plan fresh Plan.All_reduce ~elems:65_536);
+  check_same_plan "broadcast after two fail_links"
+    (Blink.plan h Plan.Broadcast ~elems:65_536)
+    (Blink.plan fresh Plan.Broadcast ~elems:65_536)
+
+let test_degrade_link_matches_fresh_handle () =
+  let h = Blink.create Server.dgx1v ~gpus:full in
+  let p0 = Blink.plan h Plan.All_reduce ~elems:65_536 in
+  let t0 = Plan.seconds (Plan.execute ~data:false p0) in
+  let u, v = List.hd (used_pairs p0 ~gpus:full) in
+  Blink.degrade_link h ~u ~v ~factor:0.25;
+  let p1 = Blink.plan h Plan.All_reduce ~elems:65_536 in
+  let t1 = Plan.seconds (Plan.execute ~data:false p1) in
+  Alcotest.(check bool) "a slower link never speeds the collective up" true
+    (t1 >= t0 -. 1e-12);
+  let fresh =
+    Blink.create
+      ~link_faults:[ ((u, v), Server.Degraded 0.25) ]
+      Server.dgx1v ~gpus:full
+  in
+  check_same_plan "all_reduce after degrade" p1
+    (Blink.plan fresh Plan.All_reduce ~elems:65_536);
+  (* Re-declaring the pair replaces its state: restoring factor 1.0 is a
+     full-rate link again (the graph is the healthy one). *)
+  Blink.degrade_link h ~u ~v ~factor:1.0;
+  let healthy = Blink.create Server.dgx1v ~gpus:full in
+  Alcotest.(check (float 0.)) "factor 1.0 restores the healthy rate"
+    (Blink.all_reduce_rate healthy) (Blink.all_reduce_rate h)
+
+let test_fail_gpu_matches_fresh_handle () =
+  let h = Blink.create Server.dgx1v ~gpus:full in
+  ignore (Blink.plan h Plan.All_reduce ~elems:65_536);
+  Blink.fail_gpu h ~gpu:7;
+  Alcotest.(check int) "rank renumbering drops every plan" 1
+    (Blink.plan_cache_invalidations h);
+  Alcotest.(check (array int)) "allocation shrank" (Array.init 7 Fun.id)
+    (Blink.gpus h);
+  let fresh = Blink.create Server.dgx1v ~gpus:(Array.init 7 Fun.id) in
+  Alcotest.(check int) "same ranks" (Blink.n_ranks fresh) (Blink.n_ranks h);
+  check_same_plan "all_reduce after fail_gpu"
+    (Blink.plan h Plan.All_reduce ~elems:65_536)
+    (Blink.plan fresh Plan.All_reduce ~elems:65_536)
+
+let test_keyed_invalidation_spares_unaffected_plans () =
+  (* Root pinned so the replan cannot move it (a root change legitimately
+     flushes everything). *)
+  let h = Blink.create ~root:0 Server.dgx1v ~gpus:full in
+  let ar = Blink.plan ~chunk_elems:512 h Plan.All_reduce ~elems:4_000 in
+  let bc = Blink.plan ~chunk_elems:512 h Plan.Broadcast ~elems:4_000 in
+  let ar_pairs = used_pairs ar ~gpus:full in
+  let bc_pairs = used_pairs bc ~gpus:full in
+  match List.filter (fun p -> not (List.mem p bc_pairs)) ar_pairs with
+  | (u, v) :: _ ->
+      Blink.fail_link h ~u ~v;
+      Alcotest.(check int) "only the touching plan dropped" 1
+        (Blink.plan_cache_invalidations h);
+      (* The broadcast plan's trees avoid the dead edge: still cached,
+         same instance — selective invalidation, not a full flush. *)
+      let bc' = Blink.plan ~chunk_elems:512 h Plan.Broadcast ~elems:4_000 in
+      Alcotest.(check bool) "unaffected key keeps its plan" true (bc == bc');
+      let ar' = Blink.plan ~chunk_elems:512 h Plan.All_reduce ~elems:4_000 in
+      Alcotest.(check bool) "affected key replanned" true (ar != ar')
+  | [] ->
+      (* Every all-reduce edge is also a broadcast edge on this packing:
+         failing one must then drop both plans. *)
+      let u, v = List.hd ar_pairs in
+      Blink.fail_link h ~u ~v;
+      Alcotest.(check int) "both touching plans dropped" 2
+        (Blink.plan_cache_invalidations h)
+
+let test_partition_raises_typed_error () =
+  (* Within allocation {1,4,5,6} GPU 1's only NVLink is the (1,5) pair:
+     failing it partitions the graph. Root pinned at gpu 5 (rank 2) so
+     the reachable side is deterministic. *)
+  let gpus = [| 1; 4; 5; 6 |] in
+  let h = Blink.create ~root:2 Server.dgx1v ~gpus in
+  ignore (Blink.plan ~chunk_elems:256 h Plan.All_reduce ~elems:2_000);
+  let expect = Blink.Partitioned { alive = [ 4; 5; 6 ]; unreachable = [ 1 ] } in
+  Alcotest.check_raises "partition detected" expect (fun () ->
+      Blink.fail_link h ~u:1 ~v:5);
+  (* The handle is permanently dead: planning, execution and further
+     mutations all re-raise the same actionable error — a stale plan can
+     never run on the partitioned fabric. *)
+  Alcotest.check_raises "plan refuses" expect (fun () ->
+      ignore (Blink.plan ~chunk_elems:256 h Plan.All_reduce ~elems:2_000));
+  Alcotest.check_raises "tree accessors refuse" expect (fun () ->
+      ignore (Blink.all_reduce_trees h));
+  Alcotest.check_raises "mutations refuse" expect (fun () ->
+      Blink.fail_gpu h ~gpu:6);
+  (* A fresh create on the same dead fabric reports the same partition. *)
+  Alcotest.check_raises "create on partitioned faults" expect (fun () ->
+      ignore
+        (Blink.create ~root:2
+           ~link_faults:[ ((1, 5), Server.Down) ]
+           Server.dgx1v ~gpus))
+
+let test_comm_failover_data_path () =
+  (* End to end through the NCCL-shaped surface: data results after a
+     mid-life fault report equal a fresh communicator on the degraded
+     fabric, element for element. *)
+  let elems = 2_048 in
+  let inputs k =
+    Array.init k (fun r ->
+        Array.init elems (fun i -> Float.of_int (((i * 3) + (r * 7)) mod 11)))
+  in
+  let c = Comm.init Server.dgx1v ~gpus:full in
+  let healthy = Comm.all_reduce c (inputs 8) in
+  Comm.fail_link c ~u:5 ~v:6;
+  let degraded = Comm.all_reduce c (inputs 8) in
+  (* Same sums as before the fault (the collective is still correct)... *)
+  Alcotest.(check bool) "sums survive the fault" true
+    (healthy.Comm.value = degraded.Comm.value);
+  (* ...at exactly the rate a fresh communicator on the degraded fabric
+     achieves. *)
+  let fresh =
+    Comm.init ~link_faults:[ ((5, 6), Server.Down) ] Server.dgx1v ~gpus:full
+  in
+  let want = Comm.all_reduce fresh (inputs 8) in
+  Alcotest.(check (float 0.)) "identical degraded time" want.Comm.seconds
+    degraded.Comm.seconds;
+  Alcotest.(check bool) "identical data" true
+    (want.Comm.value = degraded.Comm.value)
+
+let test_midrun_fault_on_compiled_plan () =
+  (* The engine-level fault model over a real compiled collective: a
+     flaky window on a link the plan uses forces retries; the run still
+     completes, later than the clean run. *)
+  let h = Blink.create Server.dgx1v ~gpus:full in
+  let plan = Blink.plan ~chunk_elems:4_096 h Plan.All_reduce ~elems:65_536 in
+  let link = ref (-1) in
+  Program.iter_ops
+    (fun o ->
+      match o.Program.kind with
+      | Program.Transfer { link = l; _ } when !link < 0 -> link := l
+      | _ -> ())
+    plan.Plan.program;
+  Alcotest.(check bool) "plan has a transfer" true (!link >= 0);
+  let clean = Fault.run ~resources:plan.Plan.resources plan.Plan.program in
+  Alcotest.(check int) "clean run has no retries" 0 clean.Fault.retries;
+  let out =
+    Fault.run ~resources:plan.Plan.resources
+      ~events:
+        [
+          Fault.Flaky
+            {
+              res = !link;
+              from_s = 0.;
+              until_s = clean.Fault.timing.E.makespan /. 2.;
+            };
+        ]
+      plan.Plan.program
+  in
+  Alcotest.(check bool) "flaky window forces retries" true
+    (out.Fault.retries > 0);
+  Alcotest.(check bool) "retries cost time" true
+    (out.Fault.timing.E.makespan > clean.Fault.timing.E.makespan)
+
+let test_mutation_validation () =
+  let h = Blink.create Server.dgx1v ~gpus:full in
+  let raises msg f = Alcotest.check_raises msg (Invalid_argument msg) f in
+  raises "Blink.degrade_link: factor must be in (0, 1]" (fun () ->
+      Blink.degrade_link h ~u:0 ~v:1 ~factor:0.);
+  raises "Blink.degrade_link: factor must be in (0, 1]" (fun () ->
+      Blink.degrade_link h ~u:0 ~v:1 ~factor:1.5);
+  raises "Blink: link fault on a self pair" (fun () -> Blink.fail_link h ~u:3 ~v:3);
+  raises "Blink: no NVLink between gpus 1 and 4" (fun () ->
+      Blink.fail_link h ~u:1 ~v:4);
+  raises "Blink: link fault on a gpu outside the live allocation" (fun () ->
+      Blink.fail_link h ~u:0 ~v:9);
+  raises "Blink.fail_gpu: gpu is not in the live allocation" (fun () ->
+      Blink.fail_gpu h ~gpu:12);
+  let pinned = Blink.create ~root:0 Server.dgx1v ~gpus:full in
+  raises "Blink.fail_gpu: cannot drop the pinned root gpu" (fun () ->
+      Blink.fail_gpu pinned ~gpu:0);
+  let dgx2 = Blink.create Server.dgx2 ~gpus:(Array.init 4 Fun.id) in
+  raises "Blink: link faults are unsupported on NVSwitch machines" (fun () ->
+      Blink.fail_link dgx2 ~u:0 ~v:1)
+
+let test_replan_telemetry () =
+  let h = Blink.create Server.dgx1v ~gpus:full in
+  ignore (Blink.plan ~chunk_elems:512 h Plan.All_reduce ~elems:4_000);
+  Blink.fail_link h ~u:5 ~v:6;
+  Blink.degrade_link h ~u:0 ~v:3 ~factor:0.5;
+  let t = Blink.telemetry h in
+  Alcotest.(check int) "every mutation counted" 2
+    (Telemetry.counter_value t "fault.injected");
+  (* The replan-latency histogram recorded one observation per replan. *)
+  let doc = Telemetry.metrics_json_string t in
+  Alcotest.(check bool) "replan histogram exported" true
+    (match Str.search_forward (Str.regexp_string "plan.replan_s") doc 0 with
+    | _ -> true
+    | exception Not_found -> false)
+
+let () =
+  Alcotest.run "failover"
+    [
+      ( "replanning",
+        [
+          Alcotest.test_case "fail_link matches fresh handle" `Quick
+            test_fail_link_matches_fresh_handle;
+          Alcotest.test_case "two links removed" `Quick
+            test_two_links_removed_matches_fresh_handle;
+          Alcotest.test_case "degrade_link matches fresh handle" `Quick
+            test_degrade_link_matches_fresh_handle;
+          Alcotest.test_case "fail_gpu matches fresh handle" `Quick
+            test_fail_gpu_matches_fresh_handle;
+          Alcotest.test_case "keyed invalidation spares unaffected" `Quick
+            test_keyed_invalidation_spares_unaffected_plans;
+        ] );
+      ( "partition",
+        [
+          Alcotest.test_case "typed error, no stale execution" `Quick
+            test_partition_raises_typed_error;
+        ] );
+      ( "end-to-end",
+        [
+          Alcotest.test_case "comm data path" `Quick test_comm_failover_data_path;
+          Alcotest.test_case "mid-run fault on compiled plan" `Quick
+            test_midrun_fault_on_compiled_plan;
+        ] );
+      ( "validation",
+        [
+          Alcotest.test_case "mutation arguments" `Quick test_mutation_validation;
+          Alcotest.test_case "telemetry counters" `Quick test_replan_telemetry;
+        ] );
+    ]

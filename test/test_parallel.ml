@@ -95,6 +95,30 @@ let test_env_clamps () =
           Alcotest.(check int) "explicit request is clamped" 1
             (Pool.domains pool)))
 
+let test_parse_domains () =
+  let ok s = match Pool.parse_domains s with Ok n -> Some n | Error _ -> None in
+  Alcotest.(check (option int)) "plain integer" (Some 4) (ok "4");
+  Alcotest.(check (option int)) "whitespace tolerated" (Some 4) (ok " 4 ");
+  Alcotest.(check (option int)) "above cap clamps to 512" (Some 512) (ok "4096");
+  Alcotest.(check (option int)) "non-numeric rejected" None (ok "al1");
+  Alcotest.(check (option int)) "empty rejected" None (ok "");
+  Alcotest.(check (option int)) "zero rejected, not coerced" None (ok "0");
+  Alcotest.(check (option int)) "negative rejected, not coerced" None (ok "-3");
+  (match Pool.parse_domains "banana" with
+  | Error msg ->
+      Alcotest.(check bool) "error names the variable" true
+        (String.length msg > 0
+        && Str.string_match (Str.regexp ".*BLINK_DOMAINS.*") msg 0)
+  | Ok _ -> Alcotest.fail "banana parsed");
+  (* A malformed override must fall back to the recommended default, not
+     be silently coerced to some width. *)
+  Unix.putenv "BLINK_DOMAINS" "not-a-number";
+  Fun.protect
+    ~finally:(fun () -> Unix.putenv "BLINK_DOMAINS" "")
+    (fun () ->
+      Alcotest.(check bool) "malformed env ignored" true
+        (Pool.default_domains () >= 1))
+
 let test_pool_gauges () =
   let telemetry = Telemetry.create () in
   Pool.with_pool ~domains:2 ~telemetry (fun pool ->
@@ -202,6 +226,28 @@ let test_prewarm_deterministic () =
   Alcotest.(check int) "plan calls all hit" (List.length keys) hits;
   Alcotest.(check int) "re-prewarm builds nothing" 0 (Blink.prewarm a keys)
 
+(* Same graph, two independent planning runs: the MWU purchase table and
+   the LP constraint rows live in hashtables, so any hash-order leak into
+   weight accumulation or solver pivoting shows up as run-to-run drift
+   here — the emitted plans must be byte-identical. *)
+let test_treegen_repack_deterministic () =
+  let gpus = Array.init 8 Fun.id in
+  let runs =
+    List.init 2 (fun _ ->
+        let h = Blink.create Server.dgx1v ~gpus in
+        let packing = Option.get (Blink.undirected_packing h) in
+        let prog, _ = Blink.all_reduce ~chunk_elems:4_096 h ~elems:100_000 in
+        (packing, prog, (Blink.time h prog).E.makespan))
+  in
+  match runs with
+  | [ (pack_a, prog_a, mk_a); (pack_b, prog_b, mk_b) ] ->
+      Alcotest.(check bool) "identical packings" true (pack_a = pack_b);
+      Alcotest.(check int) "op count" (Program.n_ops prog_a)
+        (Program.n_ops prog_b);
+      Alcotest.(check bool) "identical ops" true (ops_of prog_a = ops_of prog_b);
+      Alcotest.(check (float 0.)) "identical makespan" mk_a mk_b
+  | _ -> assert false
+
 (* ------------------------------------------------------------------ *)
 
 let () =
@@ -219,6 +265,7 @@ let () =
             test_one_domain_is_sequential;
           Alcotest.test_case "both" `Quick test_both;
           Alcotest.test_case "BLINK_DOMAINS clamps" `Quick test_env_clamps;
+          Alcotest.test_case "BLINK_DOMAINS parsing" `Quick test_parse_domains;
           Alcotest.test_case "pool gauges" `Quick test_pool_gauges;
         ] );
       ( "determinism",
@@ -227,5 +274,7 @@ let () =
             test_multiserver_deterministic;
           Alcotest.test_case "hybrid broadcast" `Quick test_hybrid_deterministic;
           Alcotest.test_case "prewarm" `Quick test_prewarm_deterministic;
+          Alcotest.test_case "treegen repack" `Quick
+            test_treegen_repack_deterministic;
         ] );
     ]

@@ -91,6 +91,59 @@ let test_fresh_handle_fresh_cache () =
   let { Blink.misses; _ } = Blink.plan_cache_stats h2 in
   Alcotest.(check int) "recompiles on the new handle" 1 misses
 
+let test_eviction_churn () =
+  (* Bounded cache under evict -> re-plan -> evict churn: a key can leave
+     and re-enter the cache repeatedly; every round must evict exactly
+     the FIFO-oldest live key, never a re-planned one. *)
+  let h = Blink.create ~max_cached_plans:2 Server.dgx1v ~gpus in
+  let evictions () =
+    Blink_telemetry.Telemetry.counter_value (Blink.telemetry h)
+      "plan.cache.evictions"
+  in
+  let plan e = ignore (Blink.plan ~chunk_elems:256 h Plan.All_reduce ~elems:e) in
+  List.iter plan [ 1_000; 2_000; 3_000 ];
+  Alcotest.(check int) "first overflow evicts once" 1 (evictions ());
+  (* Second round: every key was either evicted or is about to be — three
+     misses, three more evictions, cache ends at the cap. *)
+  List.iter plan [ 1_000; 2_000; 3_000 ];
+  Alcotest.(check int) "churn evicts one per miss" 4 (evictions ());
+  let { Blink.hits; misses } = Blink.plan_cache_stats h in
+  Alcotest.(check int) "all six calls missed" 6 misses;
+  Alcotest.(check int) "no hits during churn" 0 hits;
+  (* The two FIFO-survivors are live and hit. *)
+  plan 2_000;
+  plan 3_000;
+  let { Blink.hits; _ } = Blink.plan_cache_stats h in
+  Alcotest.(check int) "survivors hit" 2 hits;
+  Alcotest.(check int) "hits evict nothing" 4 (evictions ())
+
+let test_eviction_skips_stale_queue_entries () =
+  (* Topology mutations remove table entries without draining the FIFO
+     queue; a later overflow walks over those stale entries. The eviction
+     loop must skip them (not count them, not crash) and still evict a
+     live key. *)
+  let h = Blink.create ~max_cached_plans:2 Server.dgx1v ~gpus in
+  let plan e = ignore (Blink.plan ~chunk_elems:256 h Plan.All_reduce ~elems:e) in
+  plan 1_000;
+  plan 2_000;
+  (* Dropping a GPU renumbers ranks: every cached plan is invalidated,
+     leaving two stale FIFO entries behind. *)
+  Blink.fail_gpu h ~gpu:1;
+  Alcotest.(check int) "both plans invalidated" 2
+    (Blink.plan_cache_invalidations h);
+  plan 1_000;
+  plan 2_000;
+  plan 3_000;
+  (* The overflow at the third miss popped the two stale entries, then
+     evicted the one live FIFO-oldest key. *)
+  Alcotest.(check int) "one live eviction, stale entries skipped" 1
+    (Blink_telemetry.Telemetry.counter_value (Blink.telemetry h)
+       "plan.cache.evictions");
+  plan 2_000;
+  plan 3_000;
+  let { Blink.hits; _ } = Blink.plan_cache_stats h in
+  Alcotest.(check int) "survivors hit after the churn" 2 hits
+
 let test_timing_only_fast_path () =
   let h = Blink.create Server.dgx1v ~gpus in
   let plan = Blink.plan ~chunk_elems:512 h Plan.All_reduce ~elems:2_000 in
@@ -168,6 +221,9 @@ let () =
             test_fresh_handle_fresh_cache;
           Alcotest.test_case "tuning stays out of cache" `Quick
             test_tuned_chunk_does_not_pollute_cache;
+          Alcotest.test_case "eviction churn" `Quick test_eviction_churn;
+          Alcotest.test_case "eviction skips stale entries" `Quick
+            test_eviction_skips_stale_queue_entries;
         ] );
       ( "execute",
         [

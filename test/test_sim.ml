@@ -2,6 +2,7 @@ module Pq = Blink_sim.Pqueue
 module P = Blink_sim.Program
 module E = Blink_sim.Engine
 module Sem = Blink_sim.Semantics
+module Fault = Blink_sim.Fault
 
 let check_float = Alcotest.(check (float 1e-9))
 let check_time = Alcotest.(check (float 1e-7))
@@ -496,6 +497,118 @@ let test_semantics_read_slice () =
        false
      with Invalid_argument _ -> true)
 
+(* ------------------------------------------------------------------ *)
+(* Fault injection *)
+
+(* A program with enough structure to exercise the event loop's corners:
+   a contended 1-lane link (waitq tie-breaking), cross-stream deps
+   (stream vs data edge latency), gaps and a second resource. *)
+let fault_fixture () =
+  let p = P.create () in
+  let s0 = P.fresh_stream p and s1 = P.fresh_stream p and s2 = P.fresh_stream p in
+  let a = P.add p ~stream:s0 (transfer ~bytes:2e8 0) in
+  let b = P.add p ~stream:s1 (transfer ~bytes:3e8 0) in
+  let c = P.add p ~stream:s2 (transfer ~bytes:1e8 1) in
+  let d = P.add p ~deps:[ a; c ] ~stream:s0 (transfer ~bytes:2e8 1) in
+  let e = P.add p ~deps:[ b ] ~stream:s1 (transfer ~bytes:1e8 0) in
+  ignore (P.add p ~deps:[ d; e ] ~stream:s2 (P.Delay { seconds = 1e-4 }));
+  let resources =
+    [|
+      { E.bandwidth = 1e9; latency = 2e-6; lanes = 1; gap = 1e-6 };
+      { E.bandwidth = 2e9; latency = 5e-6; lanes = 2; gap = 0. };
+    |]
+  in
+  (p, resources)
+
+let test_fault_no_events_matches_engine () =
+  let p, resources = fault_fixture () in
+  List.iter
+    (fun policy ->
+      let want = E.run ~policy ~resources p in
+      let got = (Fault.run ~policy ~resources p).Fault.timing in
+      (* Bit-for-bit: same event ordering and float arithmetic, so exact
+         equality, not tolerance. *)
+      Alcotest.(check (float 0.)) "makespan" want.E.makespan got.E.makespan;
+      Alcotest.(check (array (float 0.))) "finish" want.E.finish got.E.finish;
+      Alcotest.(check (array (float 0.))) "start" want.E.start got.E.start;
+      Alcotest.(check (array (float 0.))) "busy" want.E.busy got.E.busy)
+    [ `Fair; `Stream_priority ]
+
+let test_fault_degrade_slows () =
+  (* 1 GB at 1 GB/s; at t=0.5 the link drops to half rate: the remaining
+     0.5 GB takes 1 s, finishing at 1.5 s exactly. *)
+  let p = P.create () in
+  let s = P.fresh_stream p in
+  ignore (P.add p ~stream:s (transfer ~bytes:1e9 0));
+  let resources = one_link () in
+  let out =
+    Fault.run ~resources
+      ~events:[ Fault.Degrade { res = 0; at = 0.5; factor = 0.5 } ]
+      p
+  in
+  check_float "degraded finish" 1.5 out.Fault.timing.E.makespan;
+  Alcotest.(check int) "no retries" 0 out.Fault.retries;
+  Alcotest.(check int) "no faulted ops" 0 out.Fault.faulted_ops
+
+let test_fault_flaky_retries () =
+  let p = P.create () in
+  let s = P.fresh_stream p in
+  ignore (P.add p ~stream:s (transfer ~bytes:1e9 0));
+  let resources = one_link () in
+  let retry = { Fault.timeout_s = 0.05; backoff_s = 0.1; max_attempts = 3 } in
+  let telemetry = Blink_telemetry.Telemetry.create () in
+  let out =
+    Fault.run ~telemetry ~retry ~resources
+      ~events:[ Fault.Flaky { res = 0; from_s = 0.; until_s = 0.1 } ]
+      p
+  in
+  (* Attempt 1 starts at 0 inside the window: detected at 0.05, backoff
+     0.1, attempt 2 at 0.15 (window closed) runs the full second. *)
+  check_float "retried finish" 1.15 out.Fault.timing.E.makespan;
+  Alcotest.(check int) "one retry" 1 out.Fault.retries;
+  Alcotest.(check int) "one faulted op" 1 out.Fault.faulted_ops;
+  (* Lane held for the stalled 0.05 s, then the clean 1 s service. *)
+  check_float "busy counts failed attempt" 1.05 out.Fault.timing.E.busy.(0);
+  Alcotest.(check int) "retries counted" 1
+    (Blink_telemetry.Telemetry.counter_value telemetry "engine.retries");
+  Alcotest.(check int) "events counted" 1
+    (Blink_telemetry.Telemetry.counter_value telemetry "fault.injected")
+
+let test_fault_dead_link_unrecoverable () =
+  let p = P.create () in
+  let s = P.fresh_stream p in
+  ignore (P.add p ~stream:s (transfer ~bytes:1e9 0));
+  let resources = one_link () in
+  let retry = { Fault.timeout_s = 0.01; backoff_s = 0.01; max_attempts = 2 } in
+  match
+    Fault.run ~retry ~resources ~events:[ Fault.Fail { res = 0; at = 0.4 } ] p
+  with
+  | _ -> Alcotest.fail "dead link should exhaust retries"
+  | exception Fault.Unrecoverable { op; resource; attempts } ->
+      Alcotest.(check int) "op" 0 op;
+      Alcotest.(check int) "resource" 0 resource;
+      Alcotest.(check int) "attempts" 2 attempts
+
+let test_fault_validation () =
+  let p = P.create () in
+  let s = P.fresh_stream p in
+  ignore (P.add p ~stream:s (transfer ~bytes:1e9 0));
+  let resources = one_link () in
+  let bad events msg =
+    Alcotest.check_raises msg (Invalid_argument msg) (fun () ->
+        ignore (Fault.run ~resources ~events p))
+  in
+  bad
+    [ Fault.Degrade { res = 9; at = 0.; factor = 0.5 } ]
+    "Fault.run: event on unknown resource 9";
+  bad
+    [ Fault.Degrade { res = 0; at = 0.; factor = 1.5 } ]
+    "Fault.run: degradation factor must be in (0, 1]";
+  bad [ Fault.Fail { res = 0; at = -1. } ] "Fault.run: negative event time";
+  bad
+    [ Fault.Flaky { res = 0; from_s = 0.3; until_s = 0.3 } ]
+    "Fault.run: empty flaky window"
+
 let () =
   Alcotest.run "sim"
     [
@@ -540,6 +653,18 @@ let () =
             test_prepared_arena_reuse_across_shapes;
           Alcotest.test_case "validation at prepare" `Quick
             test_prepared_validation;
+        ] );
+      ( "fault",
+        [
+          Alcotest.test_case "no events matches engine" `Quick
+            test_fault_no_events_matches_engine;
+          Alcotest.test_case "degrade slows service" `Quick
+            test_fault_degrade_slows;
+          Alcotest.test_case "flaky link retries" `Quick
+            test_fault_flaky_retries;
+          Alcotest.test_case "dead link unrecoverable" `Quick
+            test_fault_dead_link_unrecoverable;
+          Alcotest.test_case "event validation" `Quick test_fault_validation;
         ] );
       ( "semantics",
         [

@@ -44,6 +44,30 @@ let test_json_roundtrip () =
   Alcotest.(check bool) "nan prints as null" true
     (Json.parse_exn nan_doc = Json.List [ Json.Null ])
 
+let test_json_parse_result () =
+  (* The result-returning parser is the primary API: no exceptions leak
+     out of it, and its error strings are positioned and prefixed. *)
+  (match Json.parse_result "[1, 2, 3]" with
+  | Ok v ->
+      Alcotest.(check bool) "parses" true
+        (v = Json.List [ Json.Num 1.; Json.Num 2.; Json.Num 3. ])
+  | Error msg -> Alcotest.failf "unexpected parse error: %s" msg);
+  (match Json.parse_result "[1, 2," with
+  | Ok _ -> Alcotest.fail "truncated document accepted"
+  | Error msg ->
+      Alcotest.(check bool) "error carries the Json.parse prefix" true
+        (String.length msg > 11 && String.sub msg 0 11 = "Json.parse:"));
+  Alcotest.(check bool) "empty input is an error, not an exception" true
+    (Result.is_error (Json.parse_result ""));
+  (* The raising wrapper fails with the very same message. *)
+  let msg =
+    match Json.parse_result "{\"a\" 1}" with
+    | Error m -> m
+    | Ok _ -> Alcotest.fail "missing colon accepted"
+  in
+  Alcotest.check_raises "parse_exn raises the result's message" (Failure msg)
+    (fun () -> ignore (Json.parse_exn "{\"a\" 1}"))
+
 (* ------------------------------------------------------------------ *)
 (* Registry *)
 
@@ -208,7 +232,10 @@ let () =
   Alcotest.run "telemetry"
     [
       ( "json",
-        [ Alcotest.test_case "roundtrip and errors" `Quick test_json_roundtrip ] );
+        [
+          Alcotest.test_case "roundtrip and errors" `Quick test_json_roundtrip;
+          Alcotest.test_case "parse_result" `Quick test_json_parse_result;
+        ] );
       ( "registry",
         [
           Alcotest.test_case "counters, gauges, histograms" `Quick test_registry;
