@@ -1,0 +1,9 @@
+let () =
+  let open Blink_core in
+  (* Pin the root at the last rank; fail a different gpu. *)
+  let gpus = [| 0; 1; 2; 3 |] in
+  let h = Blink.create ~root:3 Blink_topology.Server.dgx1v ~gpus in
+  (try
+     Blink.fail_gpu h ~gpu:0;
+     print_endline "fail_gpu ok"
+   with e -> Printf.printf "EXCEPTION: %s\n" (Printexc.to_string e))
