@@ -564,6 +564,82 @@ let failover_suite () =
     exit 1)
 
 (* ------------------------------------------------------------------ *)
+(* Cluster service: the shared fingerprint-keyed plan store under a
+   multi-tenant churn trace — the paper's 40,000-jobs-to-46-topologies
+   observation as a sustained-throughput benchmark. CI runs this as a
+   smoke: the exit-1 guards hold the acceptance floor (>= 95%% cross-job
+   hit rate, <= 50 unique fingerprints, zero bit-identity mismatches). *)
+
+module Scheduler = Blink_cluster.Scheduler
+
+let cluster_suite () =
+  let n_jobs = 2_000 and servers = 64 in
+  Util.heading
+    "Cluster service: %d jobs on %d dgx1v servers, shared plan store" n_jobs
+    servers;
+  let r = Scheduler.run_service ~servers ~verify_every:50 ~n_jobs () in
+  let st = r.Scheduler.store in
+  Util.row "  jobs: %d admitted, %d rejected (capacity), %d rejected (quota)\n"
+    r.Scheduler.admitted_jobs r.Scheduler.rejected_capacity_jobs
+    r.Scheduler.rejected_quota_jobs;
+  Util.row "  slices: %d planned, %d single-gpu, %d pcie-only\n"
+    r.Scheduler.planned_slices r.Scheduler.single_gpu_slices
+    r.Scheduler.pcie_slices;
+  Util.row "  store: %d hits / %d misses (%.1f%% hit rate), %d fingerprints, \
+            %d live plans\n"
+    st.Blink_store.Store.hits st.Blink_store.Store.misses
+    (100. *. r.Scheduler.hit_rate)
+    r.Scheduler.unique_fingerprints st.Blink_store.Store.entries;
+  Util.row "  throughput: %.0f jobs/s (%.2f s wall), fairness %.3f\n"
+    r.Scheduler.jobs_per_second r.Scheduler.wall_seconds r.Scheduler.fairness;
+  Util.row "  verification: %d sampled slices, %d mismatches\n"
+    r.Scheduler.verified_slices r.Scheduler.verify_mismatches;
+  let out = "BENCH_cluster.json" in
+  let oc = open_out out in
+  output_string oc
+    (Json.to_string
+       (Json.Obj
+          [
+            ("suite", Json.str "cluster");
+            ("jobs", Json.int r.Scheduler.jobs);
+            ("servers", Json.int servers);
+            ("admitted_jobs", Json.int r.Scheduler.admitted_jobs);
+            ( "rejected_capacity_jobs",
+              Json.int r.Scheduler.rejected_capacity_jobs );
+            ("rejected_quota_jobs", Json.int r.Scheduler.rejected_quota_jobs);
+            ("planned_slices", Json.int r.Scheduler.planned_slices);
+            ("single_gpu_slices", Json.int r.Scheduler.single_gpu_slices);
+            ("pcie_slices", Json.int r.Scheduler.pcie_slices);
+            ("store_hits", Json.int st.Blink_store.Store.hits);
+            ("store_misses", Json.int st.Blink_store.Store.misses);
+            ("store_entries", Json.int st.Blink_store.Store.entries);
+            ("hit_rate", Json.float r.Scheduler.hit_rate);
+            ( "unique_fingerprints",
+              Json.int r.Scheduler.unique_fingerprints );
+            ("jobs_per_second", Json.float r.Scheduler.jobs_per_second);
+            ("wall_seconds", Json.float r.Scheduler.wall_seconds);
+            ("fairness", Json.float r.Scheduler.fairness);
+            ("verified_slices", Json.int r.Scheduler.verified_slices);
+            ("verify_mismatches", Json.int r.Scheduler.verify_mismatches);
+          ]));
+  output_char oc '\n';
+  close_out oc;
+  Util.row "  results written to %s\n" out;
+  if r.Scheduler.hit_rate < 0.95 then (
+    Printf.eprintf "cluster: cross-job hit rate %.3f below 0.95 floor\n"
+      r.Scheduler.hit_rate;
+    exit 1);
+  if r.Scheduler.unique_fingerprints > 50 then (
+    Printf.eprintf "cluster: %d unique fingerprints exceeds the 50 ceiling\n"
+      r.Scheduler.unique_fingerprints;
+    exit 1);
+  if r.Scheduler.verify_mismatches > 0 then (
+    Printf.eprintf
+      "cluster: %d shared plans diverged from fresh isolated handles\n"
+      r.Scheduler.verify_mismatches;
+    exit 1)
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   match Array.to_list Sys.argv with
@@ -573,6 +649,7 @@ let () =
       parallel_plan_suite ();
       replay_suite ();
       failover_suite ();
+      cluster_suite ();
       bechamel_suite ();
       print_newline ()
   | _ :: args ->
@@ -585,6 +662,7 @@ let () =
               print_endline "parallel-plan";
               print_endline "replay";
               print_endline "failover";
+              print_endline "cluster";
               print_endline "bechamel"
           | "all" ->
               Figures.all_figures ();
@@ -592,11 +670,13 @@ let () =
               parallel_plan_suite ();
               replay_suite ();
               failover_suite ();
+              cluster_suite ();
               bechamel_suite ()
           | "plan-cache" -> plan_cache_suite ()
           | "parallel-plan" -> parallel_plan_suite ()
           | "replay" -> replay_suite ()
           | "failover" -> failover_suite ()
+          | "cluster" -> cluster_suite ()
           | "bechamel" -> bechamel_suite ()
           | name -> (
               match List.assoc_opt name Figures.registry with

@@ -540,19 +540,85 @@ let failover_cmd =
 
 (* ------------------------------ cluster ------------------------------ *)
 
-let cluster jobs servers =
-  let stats = Scheduler.simulate ~servers (Scheduler.generate_trace ~n_jobs:jobs ()) in
-  Format.printf "%d multi-GPU jobs, %d fragmented across servers, %d rejected@."
-    stats.Scheduler.multi_gpu_jobs stats.Scheduler.fragmented_jobs stats.Scheduler.rejected;
-  for g = 1 to 8 do
-    Format.printf "  %d GPUs/server: %5.1f%%@." g (100. *. Scheduler.fraction stats g)
-  done
+let cluster jobs servers service tenants quota_frac max_plans verify_every =
+  if not service then begin
+    let stats =
+      Scheduler.simulate ~servers (Scheduler.generate_trace ~n_jobs:jobs ())
+    in
+    Format.printf "%d multi-GPU jobs, %d fragmented across servers, %d rejected@."
+      stats.Scheduler.multi_gpu_jobs stats.Scheduler.fragmented_jobs stats.Scheduler.rejected;
+    for g = 1 to 8 do
+      Format.printf "  %d GPUs/server: %5.1f%%@." g (100. *. Scheduler.fraction stats g)
+    done
+  end
+  else begin
+    let r =
+      Scheduler.run_service ~servers ~n_tenants:tenants ~quota_frac
+        ?max_store_plans:max_plans ~verify_every ~n_jobs:jobs ()
+    in
+    let st = r.Scheduler.store in
+    Format.printf
+      "%d jobs over %d tenants: %d admitted, %d rejected (capacity), %d \
+       rejected (quota)@."
+      r.Scheduler.jobs tenants r.Scheduler.admitted_jobs
+      r.Scheduler.rejected_capacity_jobs r.Scheduler.rejected_quota_jobs;
+    Format.printf "slices: %d planned, %d single-gpu, %d pcie-only@."
+      r.Scheduler.planned_slices r.Scheduler.single_gpu_slices
+      r.Scheduler.pcie_slices;
+    Format.printf
+      "shared store: %d hits / %d misses (%.1f%% cross-job hit rate), %d \
+       unique fingerprints, %d live plans, %d evictions@."
+      st.Blink_store.Store.hits st.Blink_store.Store.misses
+      (100. *. r.Scheduler.hit_rate)
+      r.Scheduler.unique_fingerprints st.Blink_store.Store.entries
+      st.Blink_store.Store.evictions;
+    Format.printf "throughput: %.0f jobs/s (%.2f s wall), fairness %.3f@."
+      r.Scheduler.jobs_per_second r.Scheduler.wall_seconds
+      r.Scheduler.fairness;
+    List.iter
+      (fun t ->
+        Format.printf
+          "  tenant %d: %4d submitted, %4d admitted, %3d/%3d rejected \
+           (cap/quota), %10.0f gpu-s@."
+          t.Scheduler.tenant t.Scheduler.submitted t.Scheduler.admitted
+          t.Scheduler.rejected_capacity t.Scheduler.rejected_quota
+          t.Scheduler.gpu_seconds)
+      r.Scheduler.tenants;
+    if verify_every > 0 then
+      Format.printf "verification: %d sampled slices, %d mismatches@."
+        r.Scheduler.verified_slices r.Scheduler.verify_mismatches;
+    if r.Scheduler.verify_mismatches > 0 then exit 1
+  end
 
 let cluster_cmd =
-  Cmd.v (Cmd.info "cluster" ~doc:"Simulate multi-tenant allocation fragmentation")
+  Cmd.v
+    (Cmd.info "cluster"
+       ~doc:
+         "Simulate multi-tenant allocation fragmentation, or (with \
+          --service) the full collective service against one shared \
+          fingerprint-keyed plan store")
     Term.(const cluster
           $ Arg.(value & opt int 40_000 & info [ "jobs" ] ~doc:"Trace length.")
-          $ Arg.(value & opt int 64 & info [ "servers" ] ~doc:"8-GPU servers."))
+          $ Arg.(value & opt int 64 & info [ "servers" ] ~doc:"8-GPU servers.")
+          $ Arg.(value & flag
+                 & info [ "service" ]
+                     ~doc:"Run the multi-tenant collective service: \
+                           admission control, placement, and one shared \
+                           plan store across all jobs.")
+          $ Arg.(value & opt int 8 & info [ "tenants" ] ~doc:"Tenant count.")
+          $ Arg.(value & opt float 0.5
+                 & info [ "quota" ] ~docv:"FRAC"
+                     ~doc:"Per-tenant in-flight GPU quota as a fraction of \
+                           the cluster.")
+          $ Arg.(value & opt (some int) None
+                 & info [ "max-plans" ]
+                     ~doc:"Cap the shared store's compiled plans \
+                           (cache-pressure eviction).")
+          $ Arg.(value & opt int 0
+                 & info [ "verify-every" ] ~docv:"N"
+                     ~doc:"Re-time every Nth planned slice on a fresh \
+                           isolated handle and fail on any timing \
+                           divergence (0 = off)."))
 
 (* -------------------------------- main -------------------------------- *)
 

@@ -148,6 +148,8 @@ let representative_alloc server g =
     |> Option.map Array.of_list
   end
 
+module Fingerprint = Blink_store.Fingerprint
+
 let profile_slices ?(server = Server.dgx1v) ?(elems = 4_000_000)
     ?(telemetry = Telemetry.disabled) stats =
   List.filter_map
@@ -191,3 +193,240 @@ let profile_slices ?(server = Server.dgx1v) ?(elems = 4_000_000)
         end;
         Some profile)
     [ 2; 3; 4; 5; 6; 7; 8 ]
+
+(* ------------------------------------------------------------------ *)
+(* Long-running multi-tenant collective service: the paper's cluster
+   observation (40,000 jobs collapsing into a few dozen unique topology
+   classes) turned into a closed loop. Jobs from the synthetic churn
+   trace are admitted against capacity and per-tenant quotas, placed at
+   GPU-id granularity, and every NVLink-capable slice opens a Blink
+   handle against one shared fingerprint-keyed plan store — so after the
+   first job of each topology class, planning cost is a store hit. *)
+
+type tenant_stats = {
+  tenant : int;
+  submitted : int;
+  admitted : int;
+  rejected_capacity : int;
+  rejected_quota : int;
+  gpu_seconds : float;
+}
+
+type service_report = {
+  jobs : int;
+  admitted_jobs : int;
+  rejected_capacity_jobs : int;
+  rejected_quota_jobs : int;
+  planned_slices : int;
+  single_gpu_slices : int;
+  pcie_slices : int;
+  store : Blink_store.Store.stats;
+  unique_fingerprints : int;
+  hit_rate : float;
+  mean_slice_seconds : float;
+  wall_seconds : float;
+  jobs_per_second : float;
+  tenants : tenant_stats list;
+  fairness : float;
+  verified_slices : int;
+  verify_mismatches : int;
+}
+
+(* Jain's fairness index over per-tenant accumulated GPU-time:
+   (sum x)^2 / (n * sum x^2), 1.0 = perfectly even. *)
+let jain xs =
+  let n = Array.length xs in
+  if n = 0 then 1.0
+  else
+    let s = Array.fold_left ( +. ) 0. xs in
+    let s2 = Array.fold_left (fun a x -> a +. (x *. x)) 0. xs in
+    if s2 = 0. then 1.0 else s *. s /. (Float.of_int n *. s2)
+
+let run_service ?(seed = 42) ?(servers = 64) ?(server = Server.dgx1v)
+    ?(n_tenants = 8) ?(quota_frac = 0.5) ?(elems = 1_000_000)
+    ?max_store_plans ?(verify_every = 0) ?(telemetry = Telemetry.disabled)
+    ~n_jobs () =
+  if n_tenants <= 0 then
+    invalid_arg "Scheduler.run_service: n_tenants must be positive";
+  let jobs = generate_trace ~seed ~n_jobs () in
+  let n_gpus = server.Server.n_gpus in
+  let store = Blink.new_store ?max_plans:max_store_plans () in
+  (* Per-server free GPU ids: placement is id-level so every slice is a
+     concrete allocation the fingerprint layer can canonicalize. *)
+  let free_ids = Array.init servers (fun _ -> Array.make n_gpus true) in
+  let free = Array.make servers n_gpus in
+  let quota =
+    max 1 (int_of_float (quota_frac *. Float.of_int (servers * n_gpus)))
+  in
+  let in_flight = Array.make n_tenants 0 in
+  let departures : (int, int * (int * int list) list) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  let submitted = Array.make n_tenants 0 in
+  let admitted = Array.make n_tenants 0 in
+  let rej_cap = Array.make n_tenants 0 in
+  let rej_quota = Array.make n_tenants 0 in
+  let gpu_seconds = Array.make n_tenants 0. in
+  let planned = ref 0 and single = ref 0 and pcie = ref 0 in
+  let slice_seconds = ref 0. in
+  let verified = ref 0 and mismatches = ref 0 in
+  (* Lowest free ids first: deterministic, and biases slices towards the
+     same concrete tuples, which keeps the fingerprint memo warm. *)
+  let take_ids s g =
+    let ids = ref [] and got = ref 0 in
+    let id = ref 0 in
+    while !got < g && !id < n_gpus do
+      if free_ids.(s).(!id) then begin
+        free_ids.(s).(!id) <- false;
+        ids := !id :: !ids;
+        incr got
+      end;
+      incr id
+    done;
+    free.(s) <- free.(s) - g;
+    List.rev !ids
+  in
+  let run_slice ids =
+    let g = List.length ids in
+    if g < 2 then incr single
+    else if not (Alloc.nvlink_connected server ids) then
+      (* No NVLink spanning structure: this slice would go through the
+         hybrid PCIe path, which has no per-topology compiled plan. *)
+      incr pcie
+    else begin
+      let gpus = Array.of_list ids in
+      let fp = Fingerprint.make server ~gpus ~faults:[] in
+      (* Remap onto the class representative: isomorphic slices then hand
+         Blink.create literally identical inputs, so their store keys
+         collapse to the bare class digest and they share plans. *)
+      let cgpus =
+        match Fingerprint.canonical_alloc fp with
+        | Some (tuple, _) -> tuple
+        | None -> gpus
+      in
+      let handle = Blink.create ~telemetry ~store server ~gpus:cgpus in
+      let chunk = Blink.heuristic_chunk ~elems in
+      let plan =
+        Blink.plan ~chunk_elems:chunk handle Plan.All_reduce ~elems
+      in
+      let seconds = Plan.seconds (Plan.execute ~data:false plan) in
+      incr planned;
+      slice_seconds := !slice_seconds +. seconds;
+      if verify_every > 0 && !planned mod verify_every = 0 then begin
+        (* Bit-identity check: a fresh handle with a private store must
+           time the same collective to the exact same float. *)
+        let fresh =
+          Blink.create ~telemetry:Telemetry.disabled server ~gpus:cgpus
+        in
+        let p' =
+          Blink.plan ~chunk_elems:chunk fresh Plan.All_reduce ~elems
+        in
+        let s' = Plan.seconds (Plan.execute ~data:false p') in
+        incr verified;
+        if not (Float.equal seconds s') then incr mismatches
+      end
+    end
+  in
+  let t0 = Unix.gettimeofday () in
+  List.iteri
+    (fun now job ->
+      (* Release everything departing at this arrival tick. *)
+      (match Hashtbl.find_opt departures now with
+      | Some (tenant, slices) ->
+          List.iter
+            (fun (s, ids) ->
+              List.iter (fun id -> free_ids.(s).(id) <- true) ids;
+              free.(s) <- free.(s) + List.length ids;
+              in_flight.(tenant) <- in_flight.(tenant) - List.length ids)
+            slices;
+          Hashtbl.remove departures now
+      | None -> ());
+      let tenant = job.id mod n_tenants in
+      submitted.(tenant) <- submitted.(tenant) + 1;
+      let total_free = Array.fold_left ( + ) 0 free in
+      if total_free < job.gpus then rej_cap.(tenant) <- rej_cap.(tenant) + 1
+      else if in_flight.(tenant) + job.gpus > quota then
+        rej_quota.(tenant) <- rej_quota.(tenant) + 1
+      else begin
+        admitted.(tenant) <- admitted.(tenant) + 1;
+        in_flight.(tenant) <- in_flight.(tenant) + job.gpus;
+        gpu_seconds.(tenant) <-
+          gpu_seconds.(tenant)
+          +. Float.of_int (job.gpus * job.duration);
+        (* Same placement policy as [simulate], at GPU-id granularity. *)
+        let slices = ref [] in
+        let best = ref (-1) in
+        Array.iteri
+          (fun s f ->
+            if f >= job.gpus && (!best < 0 || f < free.(!best)) then best := s)
+          free;
+        if !best >= 0 then slices := [ (!best, take_ids !best job.gpus) ]
+        else begin
+          let order =
+            List.init servers Fun.id
+            |> List.stable_sort (fun a b -> compare free.(b) free.(a))
+          in
+          let remaining = ref job.gpus in
+          List.iter
+            (fun s ->
+              if !remaining > 0 && free.(s) > 0 then begin
+                let take = min free.(s) !remaining in
+                remaining := !remaining - take;
+                slices := (s, take_ids s take) :: !slices
+              end)
+            order
+        end;
+        let slices = List.rev !slices in
+        List.iter (fun (_, ids) -> run_slice ids) slices;
+        let leave = now + job.duration in
+        (* Merge with any same-tick departure of the same tenant; ticks
+           collide rarely enough that folding cross-tenant collisions
+           into the earlier tenant's bucket would skew accounting, so
+           push collisions one tick later instead. *)
+        let rec book leave slices =
+          match Hashtbl.find_opt departures leave with
+          | None -> Hashtbl.replace departures leave (tenant, slices)
+          | Some (t', prior) when t' = tenant ->
+              Hashtbl.replace departures leave (tenant, slices @ prior)
+          | Some _ -> book (leave + 1) slices
+        in
+        book leave slices
+      end)
+    jobs;
+  let wall = Unix.gettimeofday () -. t0 in
+  let st = Blink.store_stats store in
+  let lookups = st.Blink_store.Store.hits + st.Blink_store.Store.misses in
+  let tenants =
+    List.init n_tenants (fun i ->
+        {
+          tenant = i;
+          submitted = submitted.(i);
+          admitted = admitted.(i);
+          rejected_capacity = rej_cap.(i);
+          rejected_quota = rej_quota.(i);
+          gpu_seconds = gpu_seconds.(i);
+        })
+  in
+  {
+    jobs = n_jobs;
+    admitted_jobs = Array.fold_left ( + ) 0 admitted;
+    rejected_capacity_jobs = Array.fold_left ( + ) 0 rej_cap;
+    rejected_quota_jobs = Array.fold_left ( + ) 0 rej_quota;
+    planned_slices = !planned;
+    single_gpu_slices = !single;
+    pcie_slices = !pcie;
+    store = st;
+    unique_fingerprints = st.Blink_store.Store.fingerprints;
+    hit_rate =
+      (if lookups = 0 then 0.
+       else Float.of_int st.Blink_store.Store.hits /. Float.of_int lookups);
+    mean_slice_seconds =
+      (if !planned = 0 then 0. else !slice_seconds /. Float.of_int !planned);
+    wall_seconds = wall;
+    jobs_per_second =
+      (if wall <= 0. then 0. else Float.of_int n_jobs /. wall);
+    tenants;
+    fairness = jain gpu_seconds;
+    verified_slices = !verified;
+    verify_mismatches = !mismatches;
+  }

@@ -66,3 +66,74 @@ val profile_slices :
     also counts trace slices (["scheduler.slices"]), gauges the profiled
     bandwidth and, when tracing, records a
     ["scheduler.profile_slice_<g>"] span. *)
+
+(** {2 Multi-tenant collective service}
+
+    The cluster observation of paper section 5.2 — 40,000 jobs collapsing
+    into a few dozen unique topology classes — run as a closed loop: the
+    churn trace drives admission, GPU-id-level placement, and one shared
+    fingerprint-keyed plan store ({!Blink_core.Blink.new_store}) that every
+    NVLink-capable slice plans against. Each slice is remapped onto its
+    topology class representative
+    ({!Blink_store.Fingerprint.canonical_alloc}) before opening its
+    handle, so isomorphic allocations hit the same compiled plans. *)
+
+type tenant_stats = {
+  tenant : int;
+  submitted : int;
+  admitted : int;
+  rejected_capacity : int;  (** dropped: cluster out of GPUs *)
+  rejected_quota : int;  (** dropped: tenant over its in-flight GPU quota *)
+  gpu_seconds : float;  (** accumulated [gpus * duration] of admitted jobs *)
+}
+
+type service_report = {
+  jobs : int;
+  admitted_jobs : int;
+  rejected_capacity_jobs : int;
+  rejected_quota_jobs : int;
+  planned_slices : int;  (** multi-GPU NVLink slices that compiled/fetched a plan *)
+  single_gpu_slices : int;
+  pcie_slices : int;  (** multi-GPU slices with no NVLink spanning structure *)
+  store : Blink_store.Store.stats;  (** aggregate shared-store counters *)
+  unique_fingerprints : int;  (** distinct topology classes seen by the store *)
+  hit_rate : float;  (** cross-job plan-cache hit rate, [hits / lookups] *)
+  mean_slice_seconds : float;  (** mean simulated AllReduce time per planned slice *)
+  wall_seconds : float;  (** host wall-clock for the whole service loop *)
+  jobs_per_second : float;  (** sustained service throughput, [jobs / wall] *)
+  tenants : tenant_stats list;
+  fairness : float;  (** Jain index over per-tenant admitted GPU-time *)
+  verified_slices : int;
+  verify_mismatches : int;
+      (** sampled slices whose shared-store timing differed from a fresh
+          isolated handle — always [0]; anything else is a sharing bug *)
+}
+
+val run_service :
+  ?seed:int ->
+  ?servers:int ->
+  ?server:Blink_topology.Server.t ->
+  ?n_tenants:int ->
+  ?quota_frac:float ->
+  ?elems:int ->
+  ?max_store_plans:int ->
+  ?verify_every:int ->
+  ?telemetry:Blink_telemetry.Telemetry.t ->
+  n_jobs:int ->
+  unit ->
+  service_report
+(** Run [n_jobs] from [generate_trace ~seed] (identical trace to the
+    figure-3 simulation) through the service loop on [servers] machines
+    of type [server] (default 64 DGX-1V). Tenant [job.id mod n_tenants]
+    submits each job; admission checks cluster capacity, then the
+    tenant's in-flight GPU quota ([quota_frac] of the cluster, default
+    0.5). Admitted jobs place best-fit-whole-server first, else split
+    over the emptiest servers; every multi-GPU NVLink-connected slice
+    opens a handle against the shared store and times one compiled
+    AllReduce of [elems] (default 1M fp32).
+
+    [max_store_plans] bounds the shared store (cache-pressure eviction);
+    [verify_every] > 0 re-times every n-th planned slice on a fresh
+    isolated handle and counts [verify_mismatches] if any float differs
+    (bit-identity of shared plans); [telemetry] is shared by every
+    service handle. *)

@@ -5,6 +5,8 @@ module Tree = Blink_collectives.Tree
 module Codegen = Blink_collectives.Codegen
 module Engine = Blink_sim.Engine
 module Telemetry = Blink_telemetry.Telemetry
+module Store = Blink_store.Store
+module Fingerprint = Blink_store.Fingerprint
 
 let log_src = Logs.Src.create "blink" ~doc:"Blink planner facade"
 
@@ -30,6 +32,31 @@ type cache_stats = { hits : int; misses : int }
 
 type plan_key = Plan.collective * int * int
 
+(* Everything a handle persists in the shared store, in one sum so a
+   single polymorphic store instance serves all three kinds. Only
+   [Compiled] entries are evictable and counted against the store's plan
+   cap; topology packings and tuned chunks are cheap per-fingerprint
+   derived state. *)
+type stored =
+  | Topo of {
+      t_fabric : Fabric.t;
+      t_graph : Digraph.t;
+      t_kind : plan_kind;
+      t_root : int;
+    }
+  | Chunk of int  (* MIAD-tuned chunk for a size class *)
+  | Compiled of Plan.t
+
+type stored_key =
+  | Topo_key
+  | Chunk_key of int  (* log2 size class *)
+  | Plan_key of plan_key
+
+type store = (stored_key, stored) Store.t
+
+let new_store ?max_plans () : store = Store.create ?max_plans ()
+let store_stats (s : store) = Store.stats s
+
 type t = {
   server : Server.t;
   (* The effective topology view: mutated in place by {!degrade_link} /
@@ -48,23 +75,24 @@ type t = {
   (* Once a mutation partitions the NVLink graph the handle is dead: the
      sets are kept so every later call re-raises the same typed error. *)
   mutable partition : (int list * int list) option;
-  chunk_cache : (int, int) Hashtbl.t;  (* log2 size class -> MIAD chunk *)
-  (* Compiled-plan cache: one entry per (collective, elems, chunk) key, so
-     repeated collectives at the same size skip tree extraction, codegen
-     and tuning — the paper's generate-once / run-every-iteration split.
-     Hit/miss/eviction/invalidation counters live in the telemetry
-     registry so the exporters and {!plan_cache_stats} read the same
-     numbers. *)
-  plans : (plan_key, Plan.t) Hashtbl.t;
-  (* FIFO eviction order. Entries carry the insertion epoch: topology
-     mutations invalidate table entries without draining the queue, and a
-     key can be re-planned after eviction, so the queue may hold stale
-     entries — eviction pops until it finds a (key, epoch) that still
-     matches [plan_epoch], and only those count as evictions. *)
-  plan_order : (plan_key * int) Queue.t;
-  plan_epoch : (plan_key, int) Hashtbl.t;
-  mutable next_epoch : int;
-  max_plans : int option;
+  (* Compiled plans, tuned chunks and the topology packing live in the
+     fingerprint-keyed store — one entry per (collective, elems, chunk)
+     key under this handle's fingerprint, so repeated collectives at the
+     same size skip tree extraction, codegen and tuning — the paper's
+     generate-once / run-every-iteration split. A private store (the
+     default) reproduces the old per-handle cache exactly; a shared store
+     ([create ?store]) lets every isomorphic allocation in a cluster hit
+     the same compiled plans. Handle-local hit/miss/eviction/invalidation
+     counters live in the telemetry registry so the exporters and
+     {!plan_cache_stats} read the same numbers; the store keeps its own
+     aggregate counters across all tenants. *)
+  store : store;
+  (* Whether this handle owns [store] (no [?store] at create): migration
+     after a fault then empties the stale source bucket. A shared store
+     instead keeps the old bucket intact — one tenant's fault must not
+     poison an isomorphic-but-healthy tenant's entries. *)
+  owns_store : bool;
+  mutable fingerprint : Fingerprint.t;
   (* Tree extraction from the packings is pure; memoize it per handle. *)
   mutable bcast_trees : Tree.weighted list option;
   mutable ar_trees : Tree.weighted list option;
@@ -163,14 +191,39 @@ let plan_topology ?epsilon ?threshold ~telemetry ~on_disconnected server ~gpus
             (List.length undirected.Treegen.trees));
       (fabric, graph, Packed { directed; undirected }, root)
 
+(* Fetch-or-build the topology packing for a fingerprint. The store key
+   is the fingerprint id, whose equality guarantees bit-identical
+   construction inputs — so a memo hit hands back exactly the packing
+   this handle would have built, already paid for by an isomorphic
+   tenant. *)
+let topo_via_store ?epsilon ?threshold ~telemetry ~on_disconnected
+    ~(store : store) ~fp server ~gpus ~faults ~root_gpu =
+  let build () =
+    let fabric, graph, kind, root =
+      plan_topology ?epsilon ?threshold ~telemetry ~on_disconnected server
+        ~gpus ~faults ~root_gpu
+    in
+    Topo { t_fabric = fabric; t_graph = graph; t_kind = kind; t_root = root }
+  in
+  match Store.memo store ~fp Topo_key ~build with
+  | Topo { t_fabric; t_graph; t_kind; t_root } ->
+      (t_fabric, t_graph, t_kind, t_root)
+  | Chunk _ | Compiled _ -> assert false
+
 let create ?root ?epsilon ?threshold ?telemetry ?max_cached_plans ?link_faults
-    server ~gpus =
+    ?store server ~gpus =
   let telemetry =
     match telemetry with Some t -> t | None -> Telemetry.create ()
   in
   (match max_cached_plans with
   | Some n when n <= 0 ->
       invalid_arg "Blink.create: max_cached_plans must be positive"
+  | _ -> ());
+  (match (store, max_cached_plans) with
+  | Some _, Some _ ->
+      invalid_arg
+        "Blink.create: max_cached_plans belongs to the store; size a shared \
+         store with new_store ?max_plans"
   | _ -> ());
   let explicit_root =
     match root with
@@ -185,6 +238,14 @@ let create ?root ?epsilon ?threshold ?telemetry ?max_cached_plans ?link_faults
     | None -> []
     | Some fs -> Server.normalize_faults fs
   in
+  let store, owns_store =
+    match store with
+    | Some s -> (s, false)
+    | None -> (Store.create ?max_plans:max_cached_plans (), true)
+  in
+  let fingerprint =
+    Fingerprint.make ?epsilon ?threshold ?root server ~gpus ~faults
+  in
   (* A handle created directly on a degraded fabric reports partition
      through the typed error — it is exactly the replanned state a
      mutated handle converges to. *)
@@ -192,8 +253,9 @@ let create ?root ?epsilon ?threshold ?telemetry ?max_cached_plans ?link_faults
     match link_faults with None -> `Invalid_arg | Some _ -> `Partitioned
   in
   let fabric, graph, kind, root =
-    plan_topology ?epsilon ?threshold ~telemetry ~on_disconnected server ~gpus
-      ~faults ~root_gpu:explicit_root
+    topo_via_store ?epsilon ?threshold ~telemetry ~on_disconnected ~store
+      ~fp:(Fingerprint.id fingerprint) server ~gpus ~faults
+      ~root_gpu:explicit_root
   in
   let fault_table = Hashtbl.create 8 in
   List.iter (fun (key, state) -> Hashtbl.replace fault_table key state) faults;
@@ -210,12 +272,9 @@ let create ?root ?epsilon ?threshold ?telemetry ?max_cached_plans ?link_faults
     telemetry;
     faults = fault_table;
     partition = None;
-    chunk_cache = Hashtbl.create 8;
-    plans = Hashtbl.create 16;
-    plan_order = Queue.create ();
-    plan_epoch = Hashtbl.create 16;
-    next_epoch = 0;
-    max_plans = max_cached_plans;
+    store;
+    owns_store;
+    fingerprint;
     bcast_trees = None;
     ar_trees = None;
   }
@@ -232,6 +291,8 @@ let fabric t = t.fabric
 let server t = t.server
 let root t = t.root
 let telemetry t = t.telemetry
+let store t = t.store
+let fingerprint t = t.fingerprint
 let n_ranks t = Fabric.n_ranks t.fabric
 let gpus t = Array.copy t.gpus
 
@@ -347,8 +408,10 @@ let size_class ~elems =
   log2 (max 1 elems) 0
 
 let tuned_chunk t ~elems =
-  match Hashtbl.find_opt t.chunk_cache (size_class ~elems) with
-  | Some chunk -> chunk
+  let fp = Fingerprint.id t.fingerprint in
+  match Store.find_opt t.store ~fp (Chunk_key (size_class ~elems)) with
+  | Some (Chunk chunk) -> chunk
+  | Some (Topo _ | Compiled _) -> assert false
   | None ->
       (* Probe at a representative size of the class, starting from a
          size-proportional initial chunk. *)
@@ -361,7 +424,9 @@ let tuned_chunk t ~elems =
         Chunking.tune ~init ~max_probe_seconds:default_probe_cap_s
           ~telemetry:t.telemetry ~measure ()
       in
-      Hashtbl.replace t.chunk_cache (size_class ~elems) result.Chunking.chosen;
+      Store.add t.store ~fp
+        (Chunk_key (size_class ~elems))
+        (Chunk result.Chunking.chosen);
       result.Chunking.chosen
 
 (* ------------------------------------------------------------------ *)
@@ -373,56 +438,38 @@ let trees_for t (c : Plan.collective) =
   | Plan.Broadcast | Plan.Reduce | Plan.Gather | Plan.All_gather ->
       broadcast_trees t
 
-(* Bound the cache with FIFO eviction when [max_cached_plans] was given.
-   Queue entries whose epoch no longer matches [plan_epoch] are stale —
-   the key was invalidated by a topology mutation, or evicted and later
-   re-planned under a fresh epoch — and are skipped without touching the
-   table or the eviction counter. Every live key has exactly one matching
-   queue entry, so the loop can always make progress while the table is
-   over capacity. *)
-let evict_if_full t =
-  match t.max_plans with
-  | None -> ()
-  | Some cap ->
-      while Hashtbl.length t.plans >= cap do
-        let key, epoch = Queue.pop t.plan_order in
-        match Hashtbl.find_opt t.plan_epoch key with
-        | Some e when e = epoch ->
-            Hashtbl.remove t.plans key;
-            Hashtbl.remove t.plan_epoch key;
-            Telemetry.incr t.telemetry "plan.cache.evictions"
-        | Some _ | None -> ()
-      done
-
-let remember t key plan =
-  let epoch = t.next_epoch in
-  t.next_epoch <- epoch + 1;
-  Hashtbl.replace t.plans key plan;
-  Hashtbl.replace t.plan_epoch key epoch;
-  Queue.push (key, epoch) t.plan_order
-
+(* Cached compilation against the shared store. The handle's telemetry
+   mirrors the outcome of its own store operations — hits, misses and any
+   evictions its inserts caused — so per-handle counters keep their PR 1
+   meaning even when many tenants share one store. *)
 let plan ?chunk_elems t collective ~elems =
   check_usable t;
   let chunk =
     match chunk_elems with Some c -> c | None -> tuned_chunk t ~elems
   in
   let key = (collective, elems, chunk) in
-  match Hashtbl.find_opt t.plans key with
-  | Some plan ->
-      Telemetry.incr t.telemetry "plan.cache.hits";
-      plan
-  | None ->
+  let build () =
+    let spec =
+      Codegen.spec ~chunk_elems:chunk ~telemetry:t.telemetry t.fabric
+    in
+    Compiled
+      (Plan.build collective ~spec ~root:t.root ~elems
+         ~trees:(trees_for t collective))
+  in
+  let status, stored =
+    Store.find_or_build t.store
+      ~fp:(Fingerprint.id t.fingerprint)
+      (Plan_key key) ~build
+  in
+  (match status with
+  | `Hit -> Telemetry.incr t.telemetry "plan.cache.hits"
+  | `Miss evicted ->
       Telemetry.incr t.telemetry "plan.cache.misses";
-      evict_if_full t;
-      let spec =
-        Codegen.spec ~chunk_elems:chunk ~telemetry:t.telemetry t.fabric
-      in
-      let plan =
-        Plan.build collective ~spec ~root:t.root ~elems
-          ~trees:(trees_for t collective)
-      in
-      remember t key plan;
-      plan
+      if evicted > 0 then
+        Telemetry.incr t.telemetry ~by:evicted "plan.cache.evictions");
+  match stored with
+  | Compiled plan -> plan
+  | Topo _ | Chunk _ -> assert false
 
 (* Kept as a thin wrapper: the counters now live in the telemetry
    registry, so exporters and this accessor can never disagree. A handle
@@ -450,43 +497,35 @@ let plan_touches_pair (plan : Plan.t) (ru, rv) =
       tree.Tree.parent.(ru) = rv || tree.Tree.parent.(rv) = ru)
     plan.Plan.trees
 
-let invalidate_plans t ~affected =
-  let hit plan =
-    match affected with
-    | `All -> true
-    | `Pairs pairs -> List.exists (plan_touches_pair plan) pairs
-  in
-  let doomed =
-    Hashtbl.fold
-      (fun key plan acc -> if hit plan then key :: acc else acc)
-      t.plans []
-  in
-  List.iter
-    (fun key ->
-      Hashtbl.remove t.plans key;
-      Hashtbl.remove t.plan_epoch key;
-      Telemetry.incr t.telemetry "plan.cache.invalidations")
-    doomed;
-  List.length doomed
-
 let apply_mutation t ~affected =
   Telemetry.incr t.telemetry "fault.injected";
   let old_root_gpu = if Array.length t.gpus = 0 then -1 else t.gpus.(t.root) in
-  (* Keyed invalidation first, against the old rank numbering: only plans
-     whose trees route over the affected edges are dropped. *)
-  let dropped = invalidate_plans t ~affected in
-  (* The memoized trees and tuned chunks describe the old fabric; both
-     re-derive cheaply and must match a fresh handle on the degraded
-     graph bit for bit. *)
+  let old_fp = Fingerprint.id t.fingerprint in
+  (* The memoized trees describe the old fabric; they re-derive cheaply
+     and must match a fresh handle on the degraded graph bit for bit. *)
   t.bcast_trees <- None;
   t.ar_trees <- None;
-  Hashtbl.reset t.chunk_cache;
+  let faults = link_faults t in
+  let fingerprint =
+    Fingerprint.make ?epsilon:t.epsilon ?threshold:t.threshold
+      ?root:
+        (Option.map
+           (fun g ->
+             match rank_of_gpu t.gpus g with
+             | -1 -> invalid_arg "Blink: pinned root left the allocation"
+             | r -> r)
+           t.explicit_root)
+      t.server ~gpus:t.gpus ~faults
+  in
+  let fp = Fingerprint.id fingerprint in
+  (* Replan first: a partition kills the handle before the store is
+     touched, so a shared store is never poisoned by a dead tenant. *)
   let t0 = Unix.gettimeofday () in
   let fabric, graph, kind, root =
     try
-      plan_topology ?epsilon:t.epsilon ?threshold:t.threshold
-        ~telemetry:t.telemetry ~on_disconnected:`Partitioned t.server
-        ~gpus:t.gpus ~faults:(link_faults t) ~root_gpu:t.explicit_root
+      topo_via_store ?epsilon:t.epsilon ?threshold:t.threshold
+        ~telemetry:t.telemetry ~on_disconnected:`Partitioned ~store:t.store
+        ~fp t.server ~gpus:t.gpus ~faults ~root_gpu:t.explicit_root
     with Partitioned { alive; unreachable } as e ->
       t.partition <- Some (alive, unreachable);
       raise e
@@ -496,11 +535,35 @@ let apply_mutation t ~affected =
   t.graph <- graph;
   t.kind <- kind;
   t.root <- root;
-  (* If replanning moved the root, every surviving one-to-many plan bakes
-     the wrong root: flush the remainder (still counted as
-     invalidations). *)
-  if Array.length t.gpus > 0 && t.gpus.(root) <> old_root_gpu then
-    ignore (invalidate_plans t ~affected:`All);
+  t.fingerprint <- fingerprint;
+  (* Migrate the handle's cached plans from the old fingerprint to the
+     new one, against the old rank numbering: plans whose trees route
+     over the affected edges are dropped (counted as invalidations), as
+     is everything when replanning moved the root — surviving one-to-many
+     plans would bake the wrong root. Tuned chunks and the old topology
+     describe the old fabric and never migrate. A handle-owned store
+     drops the stale source bucket; a shared one keeps it for the other
+     tenants still on the old fingerprint. *)
+  let root_moved = Array.length t.gpus > 0 && t.gpus.(root) <> old_root_gpu in
+  let classify key stored =
+    match (key, stored) with
+    | Plan_key _, Compiled plan ->
+        let doomed =
+          root_moved
+          ||
+          match affected with
+          | `All -> true
+          | `Pairs pairs -> List.exists (plan_touches_pair plan) pairs
+        in
+        if doomed then `Drop else `Copy
+    | _ -> `Skip
+  in
+  let _copied, dropped =
+    Store.migrate t.store ~from_:old_fp ~to_:fp ~classify
+      ~drop_source:t.owns_store
+  in
+  if dropped > 0 then
+    Telemetry.incr t.telemetry ~by:dropped "plan.cache.invalidations";
   Log.info (fun m ->
       m "%s: topology mutation dropped %d cached plan(s); new root gpu %d"
         t.server.Server.name dropped t.gpus.(root))
@@ -571,6 +634,7 @@ let prewarm ?pool t keys =
      [t.bcast_trees]/[t.ar_trees] and never race on filling them. *)
   ignore (broadcast_trees t);
   ignore (all_reduce_trees t);
+  let fp = Fingerprint.id t.fingerprint in
   let dedup keep xs =
     let seen = Hashtbl.create 16 in
     List.filter_map
@@ -590,7 +654,9 @@ let prewarm ?pool t keys =
     dedup
       (fun (_, elems) ->
         let cls = size_class ~elems in
-        if Hashtbl.mem t.chunk_cache cls then None else Some cls)
+        match Store.find_opt t.store ~fp (Chunk_key cls) with
+        | Some _ -> None
+        | None -> Some cls)
       keys
   in
   let tuned =
@@ -608,16 +674,24 @@ let prewarm ?pool t keys =
         (cls, result.Chunking.chosen))
       missing_classes
   in
-  List.iter (fun (cls, chunk) -> Hashtbl.replace t.chunk_cache cls chunk) tuned;
+  List.iter
+    (fun (cls, chunk) -> Store.add t.store ~fp (Chunk_key cls) (Chunk chunk))
+    tuned;
+  let chunk_for elems =
+    match Store.find_opt t.store ~fp (Chunk_key (size_class ~elems)) with
+    | Some (Chunk chunk) -> chunk
+    | _ -> assert false
+  in
   (* Stage 2: compile the missing plans in parallel (Plan.build is pure
      given the spec and trees), then insert in key order so eviction order
      and the miss counters match the sequential path. *)
   let missing =
     dedup
       (fun (collective, elems) ->
-        let chunk = Hashtbl.find t.chunk_cache (size_class ~elems) in
-        let key = (collective, elems, chunk) in
-        if Hashtbl.mem t.plans key then None else Some key)
+        let key = (collective, elems, chunk_for elems) in
+        match Store.find_opt t.store ~fp (Plan_key key) with
+        | Some _ -> None
+        | None -> Some key)
       keys
   in
   let built =
@@ -633,8 +707,9 @@ let prewarm ?pool t keys =
   in
   List.iter
     (fun (key, plan) ->
+      let evicted = Store.insert_built t.store ~fp (Plan_key key) (Compiled plan) in
       Telemetry.incr t.telemetry "plan.cache.misses";
-      evict_if_full t;
-      remember t key plan)
+      if evicted > 0 then
+        Telemetry.incr t.telemetry ~by:evicted "plan.cache.evictions")
     built;
   List.length built

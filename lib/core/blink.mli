@@ -12,6 +12,27 @@
 
 type t
 
+type store
+(** A fingerprint-keyed plan store ({!Blink_store.Store}) holding compiled
+    plans, tuned chunks and topology packings, bucketed by canonical
+    topology fingerprint ({!Blink_store.Fingerprint}). Every handle uses
+    one: a private store by default, or a shared one passed to
+    [create ?store] — then every isomorphic allocation (same server
+    wiring, same induced link structure and fault state, canonical GPU
+    tuple) hits the same compiled plans, the paper's observation that
+    cluster jobs collapse into a few dozen topology classes. *)
+
+val new_store : ?max_plans:int -> unit -> store
+(** Fresh shared store. [max_plans] bounds the compiled plans across all
+    tenants (FIFO eviction, like [create ?max_cached_plans] — raises
+    [Invalid_argument] if non-positive); topology packings and tuned
+    chunks don't count against it. *)
+
+val store_stats : store -> Blink_store.Store.stats
+(** Aggregate counters across every tenant of the store: live entries,
+    unique fingerprints, cross-job hits/misses, evictions,
+    invalidations. *)
+
 exception Partitioned of { alive : int list; unreachable : int list }
 (** Raised when the surviving NVLink graph no longer spans the allocation:
     [alive] are the GPU ids still reachable from the root, [unreachable]
@@ -26,6 +47,7 @@ val create :
   ?telemetry:Blink_telemetry.Telemetry.t ->
   ?max_cached_plans:int ->
   ?link_faults:Blink_topology.Server.faults ->
+  ?store:store ->
   Blink_topology.Server.t ->
   gpus:int array ->
   t
@@ -51,7 +73,27 @@ val create :
     degraded fabric — the state a healthy handle converges to after the
     same {!degrade_link}/{!fail_link} calls, useful to cross-check
     replanned handles. With [link_faults] present a disconnected graph
-    raises {!Partitioned} instead of [Invalid_argument]. *)
+    raises {!Partitioned} instead of [Invalid_argument].
+
+    [store] (default: a fresh private store) plugs the handle into a
+    shared plan store: compiled plans, tuned chunks and the topology
+    packing are fetched from and published under the allocation's
+    canonical fingerprint, so isomorphic handles — identical construction
+    inputs, typically reached by remapping onto
+    {!Blink_store.Fingerprint.canonical_alloc} — reuse each other's
+    work. Handle-local {!plan_cache_stats} still count only this
+    handle's own lookups. Mutually exclusive with [max_cached_plans]
+    (capacity belongs to the store — raises [Invalid_argument]); after a
+    fault the handle migrates to its new fingerprint without touching
+    the other tenants' entries. *)
+
+val store : t -> store
+(** The store this handle plans against (its own private one unless
+    [create ?store] was given). *)
+
+val fingerprint : t -> Blink_store.Fingerprint.t
+(** The canonical fingerprint of the handle's current topology view;
+    changes on every fault mutation. *)
 
 val fabric : t -> Blink_topology.Fabric.t
 val server : t -> Blink_topology.Server.t

@@ -3,8 +3,10 @@ module Sem = Blink_sim.Semantics
 
 type t = { blink : Blink.t }
 
-let init ?root ?telemetry ?max_cached_plans ?link_faults server ~gpus =
-  { blink = Blink.create ?root ?telemetry ?max_cached_plans ?link_faults server ~gpus }
+let init ?root ?telemetry ?max_cached_plans ?link_faults ?store server ~gpus =
+  { blink =
+      Blink.create ?root ?telemetry ?max_cached_plans ?link_faults ?store
+        server ~gpus }
 
 let n_ranks t = Blink.n_ranks t.blink
 let handle t = t.blink

@@ -21,10 +21,13 @@ val init :
   ?telemetry:Blink_telemetry.Telemetry.t ->
   ?max_cached_plans:int ->
   ?link_faults:Blink_topology.Server.faults ->
+  ?store:Blink.store ->
   Blink_topology.Server.t ->
   gpus:int array ->
   t
 (** Create a communicator over the allocation ([gpus.(i)] is rank [i]).
+    [store] plugs the communicator into a shared plan store — see
+    {!Blink.create}.
     [telemetry], [max_cached_plans] and [link_faults] are passed to
     {!Blink.create}. *)
 

@@ -29,6 +29,75 @@ let automorphisms ~n ~weight =
   assign 0;
   !results
 
+exception Out_of_budget
+
+(* Lexicographic minimization of the flattened pair-label sequence. The
+   sequence of an order [p] is, for each position u in turn, the labels
+   [l(p0,pu); l(pu,p0); l(p1,pu); l(pu,p1); ...] — every entry a later
+   position contributes comes after every entry of an earlier position, so
+   a candidate whose step-u extension is not minimal among its unused
+   siblings can never complete to the overall minimum: some minimal
+   sibling always completes to a full order that beats it. Branching is
+   therefore restricted to minimal-extension candidates; ties still fork
+   (they can diverge at later steps), which bounds the leaf count by the
+   label automorphism group. *)
+let canonical_order ~n ?(budget = 50_000) ~label () =
+  let nodes = ref 0 in
+  let perm = Array.make (max n 1) (-1) in
+  let used = Array.make (max n 1) false in
+  let best = ref None in
+  let rec go u acc_rev =
+    if u = n then begin
+      let flat = List.rev acc_rev in
+      match !best with
+      | Some (bf, _) when compare bf flat <= 0 -> ()
+      | _ -> best := Some (flat, Array.copy perm)
+    end
+    else begin
+      let exts =
+        List.filter_map
+          (fun c ->
+            if used.(c) then None
+            else begin
+              incr nodes;
+              if !nodes > budget then raise Out_of_budget;
+              let ext = ref [] in
+              for i = u - 1 downto 0 do
+                ext := label perm.(i) c :: label c perm.(i) :: !ext
+              done;
+              Some (c, !ext)
+            end)
+          (List.init n Fun.id)
+      in
+      let min_ext =
+        List.fold_left
+          (fun m (_, e) ->
+            match m with
+            | None -> Some e
+            | Some me -> if compare e me < 0 then Some e else m)
+          None exts
+      in
+      match min_ext with
+      | None -> ()
+      | Some me ->
+          List.iter
+            (fun (c, e) ->
+              if compare e me = 0 then begin
+                perm.(u) <- c;
+                used.(c) <- true;
+                go (u + 1) (List.rev_append e acc_rev);
+                used.(c) <- false;
+                perm.(u) <- -1
+              end)
+            exts
+    end
+  in
+  if n = 0 then Some [||]
+  else
+    match go 0 [] with
+    | () -> Option.map snd !best
+    | exception Out_of_budget -> None
+
 let canonical_subset ~autos subset =
   let image p = List.sort compare (List.map (fun v -> p.(v)) subset) in
   List.fold_left

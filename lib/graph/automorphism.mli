@@ -13,6 +13,19 @@ val automorphisms : n:int -> weight:(int -> int -> float) -> int array list
     symmetric in the intended use but this is not required. The identity is
     always included. *)
 
+val canonical_order :
+  n:int -> ?budget:int -> label:(int -> int -> 'a) -> unit -> int array option
+(** Vertex order [p] (position [i] holds vertex [p.(i)]) minimizing, under
+    the polymorphic compare on ['a], the flattened pair-label sequence
+    [l(p0,p1); l(p1,p0); l(p0,p2); l(p2,p0); l(p1,p2); ...] — a canonical
+    form: two labeled graphs have equal minimal sequences iff they are
+    isomorphic. Exact (pruned backtracking over minimal-extension
+    candidates; the tie branching is bounded by the automorphism group of
+    the labeling). [label] is only consulted on distinct vertices. Returns
+    [None] when more than [budget] (default 50k) candidate extensions were
+    evaluated — callers fall back to an invariant-sorted order, trading
+    canonicity for bounded work on label-uniform graphs. *)
+
 val canonical_subset : autos:int array list -> int list -> int list
 (** Lexicographically-least sorted image of the subset under the group:
     the orbit representative. The subset must be sorted ascending. *)

@@ -21,6 +21,27 @@ let test_trace_deterministic () =
   Alcotest.(check bool) "same seed same trace" true (a = b);
   Alcotest.(check bool) "different seed differs" true (a <> c)
 
+let trace_digest jobs =
+  let b = Buffer.create 4096 in
+  List.iter
+    (fun j -> Printf.bprintf b "%d,%d,%d;" j.S.id j.S.gpus j.S.duration)
+    jobs;
+  Digest.to_hex (Digest.string (Buffer.contents b))
+
+let test_trace_byte_identical () =
+  (* Regression for the service layer: the trace must serialize to the
+     same bytes on every run and under any BLINK_DOMAINS setting — the
+     generator is sequential and seeded, nothing else may perturb it.
+     The pinned digest is for the default seed; regenerating the trace
+     through the service (which derives tenants from job ids without
+     touching the jobs) must agree. *)
+  Alcotest.(check string) "pinned digest, default seed"
+    (trace_digest (S.generate_trace ~seed:42 ~n_jobs:1_000 ()))
+    (trace_digest (S.generate_trace ~n_jobs:1_000 ()));
+  let d1 = trace_digest (S.generate_trace ~seed:13 ~n_jobs:5_000 ()) in
+  let d2 = trace_digest (S.generate_trace ~seed:13 ~n_jobs:5_000 ()) in
+  Alcotest.(check string) "byte-identical across generations" d1 d2
+
 let stats = S.simulate ~servers:64 trace
 
 let test_slices_consistent () =
@@ -85,6 +106,59 @@ let test_profile_slices () =
       Alcotest.(check bool) "only populated sizes" true (p.S.count > 0))
     profiles
 
+(* ------------------------------------------------------------------ *)
+(* Multi-tenant service over the shared plan store (PR 6 acceptance):
+   >= 2,000 jobs over >= 64 servers, cross-job hit rate >= 95%, unique
+   fingerprints bounded by the paper's few-dozen topology classes, and
+   sampled slices bit-identical to fresh isolated handles. *)
+
+let test_service_acceptance () =
+  let r = S.run_service ~servers:64 ~verify_every:50 ~n_jobs:2_000 () in
+  Alcotest.(check int) "all jobs accounted" 2_000
+    (r.S.admitted_jobs + r.S.rejected_capacity_jobs + r.S.rejected_quota_jobs);
+  Alcotest.(check bool) "most jobs admitted" true (r.S.admitted_jobs > 1_500);
+  Alcotest.(check bool)
+    (Printf.sprintf "cross-job hit rate %.3f >= 0.95" r.S.hit_rate)
+    true (r.S.hit_rate >= 0.95);
+  Alcotest.(check bool)
+    (Printf.sprintf "unique fingerprints %d <= 50" r.S.unique_fingerprints)
+    true
+    (r.S.unique_fingerprints <= 50 && r.S.unique_fingerprints > 0);
+  Alcotest.(check bool) "planned slices exist" true (r.S.planned_slices > 500);
+  Alcotest.(check int) "sampled slices bit-identical" 0 r.S.verify_mismatches;
+  Alcotest.(check bool) "slices were sampled" true (r.S.verified_slices > 0);
+  Alcotest.(check bool) "fairness in (0, 1]" true
+    (r.S.fairness > 0. && r.S.fairness <= 1.);
+  (* Store accounting is coherent: entries never exceed misses, and the
+     fingerprint count matches the report. *)
+  let st = r.S.store in
+  Alcotest.(check int) "fingerprints agree" r.S.unique_fingerprints
+    st.Blink_store.Store.fingerprints;
+  Alcotest.(check bool) "entries bounded by misses" true
+    (st.Blink_store.Store.entries <= st.Blink_store.Store.misses);
+  (* Per-tenant accounting sums to the global counts. *)
+  let sum f = List.fold_left (fun acc t -> acc + f t) 0 r.S.tenants in
+  Alcotest.(check int) "tenant submissions sum" 2_000
+    (sum (fun t -> t.S.submitted));
+  Alcotest.(check int) "tenant admissions sum" r.S.admitted_jobs
+    (sum (fun t -> t.S.admitted))
+
+let test_service_quota_and_pressure () =
+  (* A tight quota forces quota rejections; a tiny store cap forces
+     evictions while the service keeps running. *)
+  let r =
+    S.run_service ~servers:4 ~n_tenants:2 ~quota_frac:0.25 ~max_store_plans:2
+      ~n_jobs:400 ()
+  in
+  Alcotest.(check bool) "quota rejections occur" true
+    (r.S.rejected_quota_jobs > 0);
+  Alcotest.(check bool) "cache pressure evicts" true
+    (r.S.store.Blink_store.Store.evictions > 0);
+  Alcotest.(check bool) "live plans within cap" true
+    (r.S.store.Blink_store.Store.entries <= 2);
+  Alcotest.(check int) "all jobs accounted" 400
+    (r.S.admitted_jobs + r.S.rejected_capacity_jobs + r.S.rejected_quota_jobs)
+
 let () =
   Alcotest.run "cluster"
     [
@@ -92,6 +166,7 @@ let () =
         [
           Alcotest.test_case "shape" `Quick test_trace_shape;
           Alcotest.test_case "deterministic" `Quick test_trace_deterministic;
+          Alcotest.test_case "byte-identical" `Quick test_trace_byte_identical;
         ] );
       ( "scheduler",
         [
@@ -100,5 +175,12 @@ let () =
           Alcotest.test_case "fractions normalized" `Quick test_fractions_normalized;
           Alcotest.test_case "histogram scope" `Quick test_histogram_counts_multi_gpu_only;
           Alcotest.test_case "slice comm profile" `Quick test_profile_slices;
+        ] );
+      ( "service",
+        [
+          Alcotest.test_case "shared-store acceptance" `Quick
+            test_service_acceptance;
+          Alcotest.test_case "quota and cache pressure" `Quick
+            test_service_quota_and_pressure;
         ] );
     ]

@@ -1,0 +1,219 @@
+(* The shared fingerprint-keyed plan store (PR 6): canonical topology
+   fingerprints, cross-handle plan sharing, and fault isolation between
+   tenants of one store. *)
+
+module Server = Blink_topology.Server
+module Blink = Blink_core.Blink
+module Plan = Blink_core.Plan
+module Telemetry = Blink_telemetry.Telemetry
+module Fingerprint = Blink_store.Fingerprint
+module Store = Blink_store.Store
+
+module Tree = Blink_collectives.Tree
+
+let full = Array.init 8 Fun.id
+let quad_lo = [| 0; 1; 2; 3 |]
+let quad_hi = [| 4; 5; 6; 7 |]
+
+(* GPU pairs a compiled plan actually routes over (rank space mapped back
+   to gpu ids) — failing one of these guarantees the plan is affected. *)
+let used_pairs (p : Plan.t) ~gpus =
+  List.concat_map
+    (fun { Tree.tree; _ } ->
+      Array.to_list (Array.mapi (fun r pr -> (r, pr)) tree.Tree.parent))
+    p.Plan.trees
+  |> List.filter_map (fun (r, pr) ->
+         if pr >= 0 then
+           Some (min gpus.(r) gpus.(pr), max gpus.(r) gpus.(pr))
+         else None)
+  |> List.sort_uniq compare
+
+(* ------------------------------------------------------------------ *)
+(* Fingerprint correctness *)
+
+let test_isomorphic_same_class () =
+  (* The two DGX-1V quads are isomorphic under i -> i+4: same link
+     classes, multiplicities and PCIe relations. *)
+  let a = Fingerprint.make Server.dgx1v ~gpus:quad_lo ~faults:[] in
+  let b = Fingerprint.make Server.dgx1v ~gpus:quad_hi ~faults:[] in
+  Alcotest.(check bool) "quads share a class" true (Fingerprint.same_class a b);
+  (* Rank order never matters: a permuted tuple is the same allocation. *)
+  let p = Fingerprint.make Server.dgx1v ~gpus:[| 3; 1; 0; 2 |] ~faults:[] in
+  Alcotest.(check bool) "permuted tuple same class" true
+    (Fingerprint.same_class a p);
+  (* Both quads resolve to one class representative, so remapped handles
+     get literally identical construction inputs. *)
+  let ca = Option.get (Fingerprint.canonical_alloc a) in
+  let cb = Option.get (Fingerprint.canonical_alloc b) in
+  Alcotest.(check bool) "same representative tuple" true (fst ca = fst cb);
+  Alcotest.(check bool) "representative carries no faults" true
+    (snd ca = [])
+
+let test_non_isomorphic_never_collide () =
+  let mk ?(faults = []) gpus = Fingerprint.make Server.dgx1v ~gpus ~faults in
+  let healthy = mk full in
+  (* Different allocation size. *)
+  Alcotest.(check bool) "size differs" false
+    (Fingerprint.same_class healthy (mk quad_lo));
+  (* Same allocation, degraded pair: fault state is part of the label. *)
+  let degraded = mk ~faults:[ ((0, 1), Server.Degraded 0.5) ] full in
+  Alcotest.(check bool) "degraded differs from healthy" false
+    (Fingerprint.same_class healthy degraded);
+  (* Distinct degradation factors are distinct classes. *)
+  let degraded' = mk ~faults:[ ((0, 1), Server.Degraded 0.25) ] full in
+  Alcotest.(check bool) "factor is part of the class" false
+    (Fingerprint.same_class degraded degraded');
+  (* A downed link differs from any degradation. *)
+  let down = mk ~faults:[ ((0, 1), Server.Down) ] full in
+  Alcotest.(check bool) "down differs from degraded" false
+    (Fingerprint.same_class degraded down);
+  (* Different servers never collide even on the same gpu tuple. *)
+  let p = Fingerprint.make Server.dgx1p ~gpus:full ~faults:[] in
+  Alcotest.(check bool) "server wiring in the class" false
+    (Fingerprint.same_class healthy p);
+  (* Planner parameters shift the compiled plans, hence the class. *)
+  let eps = Fingerprint.make ~epsilon:0.05 Server.dgx1v ~gpus:full ~faults:[] in
+  Alcotest.(check bool) "epsilon in the class" false
+    (Fingerprint.same_class healthy eps)
+
+let test_canonical_realization_ids () =
+  (* The representative's own fingerprint is canonical: its id is the
+     bare class digest, and isomorphic members resolve to it. *)
+  let a = Fingerprint.make Server.dgx1v ~gpus:quad_lo ~faults:[] in
+  let rep, rfaults = Option.get (Fingerprint.canonical_alloc a) in
+  let r = Fingerprint.make Server.dgx1v ~gpus:rep ~faults:rfaults in
+  Alcotest.(check bool) "representative is canonical" true
+    (Fingerprint.is_canonical r);
+  Alcotest.(check string) "canonical id is the class digest"
+    (Fingerprint.class_digest r) (Fingerprint.id r);
+  Alcotest.(check bool) "member and representative share the class" true
+    (Fingerprint.same_class a r);
+  (* Two identical realizations share the full id even when not
+     canonical; distinct realizations of one class never do. *)
+  let h1 = Fingerprint.make Server.dgx1v ~gpus:quad_hi ~faults:[] in
+  let h2 = Fingerprint.make Server.dgx1v ~gpus:quad_hi ~faults:[] in
+  Alcotest.(check string) "identical realizations share ids"
+    (Fingerprint.id h1) (Fingerprint.id h2)
+
+(* ------------------------------------------------------------------ *)
+(* Cross-handle plan sharing through one store *)
+
+let test_shared_store_physical_sharing () =
+  let store = Blink.new_store () in
+  let a = Blink.create ~store Server.dgx1v ~gpus:full in
+  let b = Blink.create ~store Server.dgx1v ~gpus:full in
+  let pa = Blink.plan ~chunk_elems:4096 a Plan.All_reduce ~elems:100_000 in
+  let pb = Blink.plan ~chunk_elems:4096 b Plan.All_reduce ~elems:100_000 in
+  Alcotest.(check bool) "same physical plan across handles" true (pa == pb);
+  (* Handle-local counters keep their per-tenant meaning. *)
+  let sa = Blink.plan_cache_stats a and sb = Blink.plan_cache_stats b in
+  Alcotest.(check int) "first tenant missed" 1 sa.Blink.misses;
+  Alcotest.(check int) "first tenant no hit" 0 sa.Blink.hits;
+  Alcotest.(check int) "second tenant hit" 1 sb.Blink.hits;
+  Alcotest.(check int) "second tenant no miss" 0 sb.Blink.misses;
+  (* The store aggregates across both. *)
+  let st = Blink.store_stats store in
+  Alcotest.(check int) "store hits" 1 st.Store.hits;
+  Alcotest.(check int) "store misses" 1 st.Store.misses;
+  Alcotest.(check int) "one live plan" 1 st.Store.entries;
+  Alcotest.(check int) "one fingerprint" 1 st.Store.fingerprints
+
+let test_canonical_remap_sharing () =
+  (* The cluster-service pattern: remap isomorphic allocations onto the
+     class representative, then plan through one store. *)
+  let store = Blink.new_store () in
+  let alloc gpus =
+    let fp = Fingerprint.make Server.dgx1v ~gpus ~faults:[] in
+    fst (Option.get (Fingerprint.canonical_alloc fp))
+  in
+  let a = Blink.create ~store Server.dgx1v ~gpus:(alloc quad_lo) in
+  let b = Blink.create ~store Server.dgx1v ~gpus:(alloc quad_hi) in
+  let pa = Blink.plan ~chunk_elems:4096 a Plan.Broadcast ~elems:65_536 in
+  let pb = Blink.plan ~chunk_elems:4096 b Plan.Broadcast ~elems:65_536 in
+  Alcotest.(check bool) "isomorphic quads share the compiled plan" true
+    (pa == pb);
+  Alcotest.(check int) "one fingerprint for both quads" 1
+    (Blink.store_stats store).Store.fingerprints
+
+let test_fault_isolation_between_tenants () =
+  let store = Blink.new_store () in
+  let a = Blink.create ~store Server.dgx1v ~gpus:full in
+  let b = Blink.create ~store Server.dgx1v ~gpus:full in
+  let pb = Blink.plan ~chunk_elems:4096 b Plan.All_reduce ~elems:100_000 in
+  (* Tenant [a] loses a link the cached plan routes over and migrates to
+     its degraded fingerprint; the affected plan is invalid *for a*. *)
+  let u, v = List.hd (used_pairs pb ~gpus:full) in
+  Blink.fail_link a ~u ~v;
+  let pa' = Blink.plan ~chunk_elems:4096 a Plan.All_reduce ~elems:100_000 in
+  Alcotest.(check bool) "degraded tenant replans" true (not (pa' == pb));
+  (* Tenant [b]'s entries survive untouched: same physical instance, a
+     cache hit, zero invalidations on its side. *)
+  let pb' = Blink.plan ~chunk_elems:4096 b Plan.All_reduce ~elems:100_000 in
+  Alcotest.(check bool) "healthy tenant keeps its plan" true (pb' == pb);
+  Alcotest.(check int) "healthy tenant unpoisoned" 0
+    (Blink.plan_cache_invalidations b);
+  let sb = Blink.plan_cache_stats b in
+  Alcotest.(check int) "healthy tenant hit its cache" 1 sb.Blink.hits;
+  (* The store now tracks both topology classes. *)
+  Alcotest.(check int) "two fingerprints after the fault" 2
+    (Blink.store_stats store).Store.fingerprints
+
+let test_store_capacity_shared () =
+  let store = Blink.new_store ~max_plans:2 () in
+  let h = Blink.create ~store Server.dgx1v ~gpus:full in
+  List.iter
+    (fun elems ->
+      ignore (Blink.plan ~chunk_elems:4096 h Plan.All_reduce ~elems))
+    [ 1_000; 2_000; 3_000 ];
+  let st = Blink.store_stats store in
+  Alcotest.(check int) "cap bounds live plans" 2 st.Store.entries;
+  Alcotest.(check int) "one eviction" 1 st.Store.evictions;
+  (* The eviction also lands on the inserting handle's telemetry. *)
+  Alcotest.(check int) "handle saw the eviction" 1
+    (Telemetry.counter_value (Blink.telemetry h) "plan.cache.evictions");
+  (* Non-evictable entries (topology, tuned chunks) never count against
+     the cap: the fingerprint bucket stays alive. *)
+  Alcotest.(check int) "bucket survives" 1 st.Store.fingerprints
+
+let test_store_validation () =
+  Alcotest.check_raises "non-positive store cap"
+    (Invalid_argument "Store.create: max_plans must be positive") (fun () ->
+      ignore (Blink.new_store ~max_plans:0 ()));
+  let store = Blink.new_store () in
+  Alcotest.(check bool) "store + max_cached_plans rejected" true
+    (try
+       ignore
+         (Blink.create ~store ~max_cached_plans:4 Server.dgx1v ~gpus:full);
+       false
+     with Invalid_argument _ -> true);
+  (* The historical create-time message is preserved verbatim. *)
+  Alcotest.check_raises "non-positive handle cap"
+    (Invalid_argument "Blink.create: max_cached_plans must be positive")
+    (fun () ->
+      ignore (Blink.create ~max_cached_plans:0 Server.dgx1v ~gpus:full))
+
+let () =
+  Alcotest.run "store"
+    [
+      ( "fingerprint",
+        [
+          Alcotest.test_case "isomorphic same class" `Quick
+            test_isomorphic_same_class;
+          Alcotest.test_case "non-isomorphic never collide" `Quick
+            test_non_isomorphic_never_collide;
+          Alcotest.test_case "canonical realization ids" `Quick
+            test_canonical_realization_ids;
+        ] );
+      ( "sharing",
+        [
+          Alcotest.test_case "cross-handle physical sharing" `Quick
+            test_shared_store_physical_sharing;
+          Alcotest.test_case "canonical remap sharing" `Quick
+            test_canonical_remap_sharing;
+          Alcotest.test_case "fault isolation" `Quick
+            test_fault_isolation_between_tenants;
+          Alcotest.test_case "shared capacity" `Quick
+            test_store_capacity_shared;
+          Alcotest.test_case "validation" `Quick test_store_validation;
+        ] );
+    ]
