@@ -7,6 +7,8 @@
 module Server = Blink_topology.Server
 module Blink = Blink_core.Blink
 module Treegen = Blink_core.Treegen
+module Json = Blink_telemetry.Json
+module Telemetry = Blink_telemetry.Telemetry
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: planner and simulator costs. *)
@@ -106,15 +108,24 @@ let plan_cache_suite () =
   Util.row "  per call: plan lookup %.3f ms, timing pass %.1f ms, \
             timing+data passes %.1f ms\n"
     (t_plan_hit *. 1e3) (t_timing *. 1e3) (t_replay *. 1e3);
-  (* Dump the communicator's telemetry registry — the same counters the
-     rows above summarize — as a machine-readable artifact for CI. *)
-  let out = "BENCH_plan_cache.json" in
-  let oc = open_out out in
-  output_string oc
-    (Blink_telemetry.Telemetry.metrics_json_string (Comm.telemetry c));
-  output_char oc '\n';
-  close_out oc;
-  Util.row "  telemetry snapshot written to %s\n" out
+  (* Dump the final cache counters plus the communicator's full telemetry
+     registry — the same counters the rows above summarize — as a
+     machine-readable artifact for CI and the regression gate. *)
+  let { Blink.hits = hits_final; misses = misses_final } =
+    Comm.plan_cache_stats c
+  in
+  Util.write_bench_json ~file:"BENCH_plan_cache.json" ~suite:"plan_cache"
+    [
+      ("iters", Json.int iters);
+      ("elems", Json.int elems);
+      ("hits", Json.int hits_final);
+      ("misses", Json.int misses_final);
+      ( "hit_rate",
+        Json.float
+          (Float.of_int hits_final
+          /. Float.of_int (max 1 (hits_final + misses_final))) );
+      ("metrics", Telemetry.metrics_json (Comm.telemetry c));
+    ]
 
 (* ------------------------------------------------------------------ *)
 (* Parallel-plan mode: the same planning sweep driven by a 1-domain pool
@@ -125,7 +136,6 @@ let plan_cache_suite () =
 
 module Pool = Blink_parallel.Pool
 module Multiserver = Blink_core.Multiserver
-module Json = Blink_telemetry.Json
 
 let parallel_plan_suite () =
   Util.heading
@@ -190,8 +200,6 @@ let parallel_plan_suite () =
   if expected_on_this_host then
     Util.row
     "  (sub-1.0 speedup is expected on this host: too few real cores)\n";
-  let out = "BENCH_parallel_plan.json" in
-  let oc = open_out out in
   let job_objs =
     List.map2
       (fun (name, ts) (_, tp) ->
@@ -204,23 +212,17 @@ let parallel_plan_suite () =
           ])
       seq par
   in
-  output_string oc
-    (Json.to_string
-       (Json.Obj
-          [
-            ("suite", Json.str "parallel_plan");
-            ("recommended_domains", Json.int (Pool.default_domains ()));
-            ("requested_domains", Json.int requested);
-            ("par_domains", Json.int par_domains);
-            ("expected_on_this_host", Json.Bool expected_on_this_host);
-            ("seq_total_s", Json.float t_seq);
-            ("par_total_s", Json.float t_par);
-            ("speedup", Json.float speedup);
-            ("jobs", Json.List job_objs);
-          ]));
-  output_char oc '\n';
-  close_out oc;
-  Util.row "  results written to %s\n" out
+  Util.write_bench_json ~file:"BENCH_parallel_plan.json" ~suite:"parallel_plan"
+    [
+      ("recommended_domains", Json.int (Pool.default_domains ()));
+      ("requested_domains", Json.int requested);
+      ("par_domains", Json.int par_domains);
+      ("expected_on_this_host", Json.Bool expected_on_this_host);
+      ("seq_total_s", Json.float t_seq);
+      ("par_total_s", Json.float t_par);
+      ("speedup", Json.float speedup);
+      ("jobs", Json.List job_objs);
+    ]
 
 (* ------------------------------------------------------------------ *)
 (* Replay mode: steady-state cost of re-executing a compiled plan.
@@ -314,6 +316,9 @@ let replay_suite () =
         let prep_s, prep_w = wall_and_words prep_exec in
         let seed_t_s, seed_t_w = wall_and_words seed_timing in
         let prep_t_s, prep_t_w = wall_and_words prep_timing in
+        (* Simulated makespan of the compiled plan: deterministic on any
+           host, so the regression gate can diff it exactly. *)
+        let sim_s = Plan.seconds (Plan.execute ~data:false plan) in
         guard_worst := Float.max !guard_worst prep_t_w;
         let speedup = if prep_s > 0. then seed_s /. prep_s else 0. in
         let alloc_ratio = if prep_w > 0. then seed_w /. prep_w else infinity in
@@ -325,6 +330,7 @@ let replay_suite () =
           Json.Obj
             [
               ("collective", Json.str name);
+              ("simulated_makespan_s", Json.float sim_s);
               ("seed_wall_s", Json.float seed_s);
               ("prepared_wall_s", Json.float prep_s);
               ("wall_speedup", Json.float speedup);
@@ -360,27 +366,19 @@ let replay_suite () =
   Util.row "  engine.prepares %d vs engine.runs %d (schedules are \
             lowered once, replayed thereafter)\n"
     (counter "engine.prepares") (counter "engine.runs");
-  let out = "BENCH_replay.json" in
-  let oc = open_out out in
-  output_string oc
-    (Json.to_string
-       (Json.Obj
-          [
-            ("suite", Json.str "replay");
-            ("iters", Json.int iters);
-            ("elems", Json.int elems);
-            ("headline_wall_speedup", Json.float hl_speedup);
-            ("headline_alloc_ratio", Json.float hl_alloc);
-            ("alloc_guard_minor_words", Json.float alloc_guard_minor_words);
-            ("alloc_guard_worst", Json.float !guard_worst);
-            ("alloc_guard_ok", Json.Bool guard_ok);
-            ("engine_prepares", Json.int (counter "engine.prepares"));
-            ("engine_runs", Json.int (counter "engine.runs"));
-            ("collectives", Json.List rows);
-          ]));
-  output_char oc '\n';
-  close_out oc;
-  Util.row "  results written to %s\n" out;
+  Util.write_bench_json ~file:"BENCH_replay.json" ~suite:"replay"
+    [
+      ("iters", Json.int iters);
+      ("elems", Json.int elems);
+      ("headline_wall_speedup", Json.float hl_speedup);
+      ("headline_alloc_ratio", Json.float hl_alloc);
+      ("alloc_guard_minor_words", Json.float alloc_guard_minor_words);
+      ("alloc_guard_worst", Json.float !guard_worst);
+      ("alloc_guard_ok", Json.Bool guard_ok);
+      ("engine_prepares", Json.int (counter "engine.prepares"));
+      ("engine_runs", Json.int (counter "engine.runs"));
+      ("collectives", Json.List rows);
+    ];
   if not guard_ok then (
     Printf.eprintf
       "replay: allocation guard failed (%.0f > %.0f minor words/run)\n"
@@ -510,13 +508,8 @@ let failover_suite () =
   in
   if partition = None then
     Util.row "  partition on {1,4,5,6} - link 1-5: NOT DETECTED (bug)\n";
-  let out = "BENCH_failover.json" in
-  let oc = open_out out in
-  output_string oc
-    (Json.to_string
-       (Json.Obj
-          [
-            ("suite", Json.str "failover");
+  Util.write_bench_json ~file:"BENCH_failover.json" ~suite:"failover"
+    [
             ("elems", Json.int elems);
             ("healthy_rate_gbps", Json.float healthy_rate);
             ("healthy_all_reduce_s", Json.float healthy_s);
@@ -550,10 +543,7 @@ let failover_suite () =
                 (match partition with
                 | Some (_, unreachable) -> List.map Json.int unreachable
                 | None -> []) );
-          ]));
-  output_char oc '\n';
-  close_out oc;
-  Util.row "  results written to %s\n" out;
+    ];
   if not fresh_matches then (
     Printf.eprintf
       "failover: replanned handle diverges from a fresh handle on the \
@@ -594,13 +584,80 @@ let cluster_suite () =
     r.Scheduler.jobs_per_second r.Scheduler.wall_seconds r.Scheduler.fairness;
   Util.row "  verification: %d sampled slices, %d mismatches\n"
     r.Scheduler.verified_slices r.Scheduler.verify_mismatches;
-  let out = "BENCH_cluster.json" in
-  let oc = open_out out in
-  output_string oc
-    (Json.to_string
-       (Json.Obj
-          [
-            ("suite", Json.str "cluster");
+  (* Observatory: the per-tenant / per-fingerprint health view the
+     service snapshot exports. *)
+  Util.row "  observatory: %-6s %5s %18s %18s %10s\n" "tenant" "jobs"
+    "latency mean/p95" "queue mean/p95" "stragglers";
+  List.iter
+    (fun (o : Scheduler.tenant_observatory) ->
+      Util.row "               %-6d %5d %8.2f/%5.2f ms %9.2f/%5.2f ms %10d\n"
+        o.Scheduler.ob_tenant o.Scheduler.ob_jobs
+        (o.Scheduler.ob_latency.Scheduler.h_mean_s *. 1e3)
+        (o.Scheduler.ob_latency.Scheduler.h_p95_s *. 1e3)
+        (o.Scheduler.ob_queue_wait.Scheduler.h_mean_s *. 1e3)
+        (o.Scheduler.ob_queue_wait.Scheduler.h_p95_s *. 1e3)
+        o.Scheduler.ob_straggler_slices)
+    r.Scheduler.observatory;
+  List.iteri
+    (fun i (c : Scheduler.fingerprint_class) ->
+      if i < 5 then
+        Util.row "  class %-22s %5d slices, %6.1f GB/s mean (best %.1f), \
+                  %d stragglers\n"
+          c.Scheduler.fc_class c.Scheduler.fc_slices c.Scheduler.fc_mean_gbps
+          c.Scheduler.fc_best_gbps c.Scheduler.fc_stragglers)
+    r.Scheduler.classes;
+  Util.row "  stragglers: %d flagged slices (epsilon %.2f) on the healthy run\n"
+    r.Scheduler.straggler_slices r.Scheduler.straggler_epsilon;
+  (* Straggler injection: tenant 3 runs every slice 2x slow; the
+     observatory must flag it and the flags must concentrate there. *)
+  let straggler_tenant = 3 in
+  let rs =
+    Scheduler.run_service ~servers:16 ~n_jobs:400
+      ~straggler:(straggler_tenant, 2.0) ()
+  in
+  let injected_flagged = rs.Scheduler.straggler_slices in
+  let flagged_on_tenant =
+    List.length
+      (List.filter
+         (fun (s : Scheduler.straggler) ->
+           s.Scheduler.st_tenant = straggler_tenant)
+         rs.Scheduler.stragglers)
+  in
+  Util.row "  injected straggler (tenant %d, 2.0x): %d flagged slices, %d on \
+            the injected tenant\n"
+    straggler_tenant injected_flagged flagged_on_tenant;
+  let tenant_obj (o : Scheduler.tenant_observatory) =
+    let summary (h : Scheduler.histogram_summary) =
+      Json.Obj
+        [
+          ("count", Json.int h.Scheduler.h_count);
+          ("mean_s", Json.float h.Scheduler.h_mean_s);
+          ("p95_s", Json.float h.Scheduler.h_p95_s);
+          ("max_s", Json.float h.Scheduler.h_max_s);
+        ]
+    in
+    Json.Obj
+      [
+        ("tenant", Json.int o.Scheduler.ob_tenant);
+        ("jobs", Json.int o.Scheduler.ob_jobs);
+        ("latency", summary o.Scheduler.ob_latency);
+        ("queue_wait", summary o.Scheduler.ob_queue_wait);
+        ("straggler_slices", Json.int o.Scheduler.ob_straggler_slices);
+      ]
+  in
+  let class_obj (c : Scheduler.fingerprint_class) =
+    Json.Obj
+      [
+        ("class", Json.str c.Scheduler.fc_class);
+        ("slices", Json.int c.Scheduler.fc_slices);
+        ("mean_gbps", Json.float c.Scheduler.fc_mean_gbps);
+        ("best_gbps", Json.float c.Scheduler.fc_best_gbps);
+        ("worst_gbps", Json.float c.Scheduler.fc_worst_gbps);
+        ("stragglers", Json.int c.Scheduler.fc_stragglers);
+      ]
+  in
+  Util.write_bench_json ~file:"BENCH_cluster.json" ~suite:"cluster"
+    [
             ("jobs", Json.int r.Scheduler.jobs);
             ("servers", Json.int servers);
             ("admitted_jobs", Json.int r.Scheduler.admitted_jobs);
@@ -621,10 +678,16 @@ let cluster_suite () =
             ("fairness", Json.float r.Scheduler.fairness);
             ("verified_slices", Json.int r.Scheduler.verified_slices);
             ("verify_mismatches", Json.int r.Scheduler.verify_mismatches);
-          ]));
-  output_char oc '\n';
-  close_out oc;
-  Util.row "  results written to %s\n" out;
+            ("straggler_epsilon", Json.float r.Scheduler.straggler_epsilon);
+            ("straggler_slices", Json.int r.Scheduler.straggler_slices);
+            ( "observatory",
+              Json.List (List.map tenant_obj r.Scheduler.observatory) );
+            ("classes", Json.List (List.map class_obj r.Scheduler.classes));
+            ("injected_straggler_tenant", Json.int straggler_tenant);
+            ("injected_straggler_factor", Json.float 2.0);
+            ("injected_straggler_slices", Json.int injected_flagged);
+            ("injected_flags_on_tenant", Json.int flagged_on_tenant);
+    ];
   if r.Scheduler.hit_rate < 0.95 then (
     Printf.eprintf "cluster: cross-job hit rate %.3f below 0.95 floor\n"
       r.Scheduler.hit_rate;
@@ -637,7 +700,381 @@ let cluster_suite () =
     Printf.eprintf
       "cluster: %d shared plans diverged from fresh isolated handles\n"
       r.Scheduler.verify_mismatches;
+    exit 1);
+  if r.Scheduler.straggler_slices > 0 then (
+    Printf.eprintf
+      "cluster: %d straggler slices flagged on the healthy run (rates of a \
+       class should be bit-identical)\n"
+      r.Scheduler.straggler_slices;
+    exit 1);
+  if injected_flagged = 0 then (
+    Printf.eprintf "cluster: injected straggler was not flagged\n";
+    exit 1);
+  if flagged_on_tenant <> injected_flagged then (
+    Printf.eprintf
+      "cluster: %d of %d straggler flags landed off the injected tenant\n"
+      (injected_flagged - flagged_on_tenant)
+      injected_flagged;
     exit 1)
+
+(* ------------------------------------------------------------------ *)
+(* Analyze mode: critical-path attribution and achieved-vs-bound rate
+   for the six collectives on the DGX-1V, plus the planner phase
+   breakdown — the numbers behind the EXPERIMENTS.md analysis table.
+   Everything here is simulator output, so it is bit-reproducible and
+   prime material for the regression gate. *)
+
+module Analysis = Blink_core.Analysis
+
+let analyze_suite () =
+  let mbytes = 500. in
+  let elems = Util.elems_of_mb mbytes in
+  Util.heading
+    "Analyze: critical path vs edge-cut bound, %.0f MB on dgx1v 8 gpus" mbytes;
+  let handle = Blink.create Server.dgx1v ~gpus:(Array.init 8 Fun.id) in
+  let collectives =
+    Plan.
+      [ All_reduce; Broadcast; Reduce; Gather; All_gather; Reduce_scatter ]
+  in
+  Util.row "  %-15s %11s %10s %10s %6s  %s\n" "collective" "makespan"
+    "achieved" "bound" "eff" "bottleneck";
+  let reports =
+    List.map
+      (fun collective ->
+        let r = Analysis.analyze handle collective ~elems in
+        let bottleneck =
+          match r.Analysis.bottlenecks with
+          | [] -> "-"
+          | ls ->
+              String.concat ", "
+                (List.filteri (fun i _ -> i < 2)
+                   (List.map (fun l -> l.Analysis.li_label) ls))
+              ^
+              if List.length ls > 2 then
+                Printf.sprintf " (+%d more)" (List.length ls - 2)
+              else ""
+        in
+        Util.row "  %-15s %8.2f ms %6.1f GB/s %6.1f GB/s %5.1f%%  %s\n"
+          (Plan.collective_name collective)
+          (r.Analysis.makespan_s *. 1e3)
+          r.Analysis.achieved_gbps r.Analysis.bound_gbps
+          (100. *. r.Analysis.efficiency)
+          bottleneck;
+        r)
+      collectives
+  in
+  let all_reduce = List.hd reports in
+  Util.row "  all_reduce critical path: %d ops, transfer %.2f ms, compute \
+            %.2f ms, delay %.2f ms, wait %.2f ms\n"
+    all_reduce.Analysis.critical_ops
+    (all_reduce.Analysis.transfer_s *. 1e3)
+    (all_reduce.Analysis.compute_s *. 1e3)
+    (all_reduce.Analysis.delay_s *. 1e3)
+    (all_reduce.Analysis.wait_s *. 1e3);
+  let phases = Analysis.phases handle in
+  List.iter
+    (fun (p : Analysis.phase) ->
+      Util.row "  phase %-20s %4d calls %10.2f ms\n" p.Analysis.phase
+        p.Analysis.calls
+        (p.Analysis.total_s *. 1e3))
+    phases;
+  Util.write_bench_json ~file:"BENCH_analyze.json" ~suite:"analyze"
+    [
+      ("mbytes", Json.float mbytes);
+      ("elems", Json.int elems);
+      ("collectives", Json.List (List.map Analysis.report_json reports));
+      ("phases", Analysis.phases_json phases);
+    ];
+  if all_reduce.Analysis.efficiency < 0.95 then (
+    Printf.eprintf
+      "analyze: all_reduce achieved %.1f GB/s, below 95%% of the %.1f GB/s \
+       edge-cut bound\n"
+      all_reduce.Analysis.achieved_gbps all_reduce.Analysis.bound_gbps;
+    exit 1);
+  if List.length phases < 3 then (
+    Printf.eprintf "analyze: only %d planner phase timers fired (expected >= 3)\n"
+      (List.length phases);
+    exit 1)
+
+(* ------------------------------------------------------------------ *)
+(* Regression gate: diff fresh BENCH_*.json in the cwd against the
+   committed baselines in bench/baselines/. Only simulator-derived
+   fields are compared — wall-clock and host-dependent numbers vary per
+   machine and are deliberately unchecked. `regress-selftest` proves the
+   gate has teeth by perturbing one fresh value in memory and requiring
+   the comparator to flag it. *)
+
+let baseline_dir = "bench/baselines"
+
+type path_step = F of string | Row of string * string * string
+
+type check_kind = Exact | Near of float
+
+type check_spec = { suite : string; path : path_step list; kind : check_kind }
+
+let path_string path =
+  String.concat "."
+    (List.map
+       (function
+         | F name -> name
+         | Row (list_field, _, key) -> Printf.sprintf "%s[%s]" list_field key)
+       path)
+
+let rec resolve doc = function
+  | [] -> Some doc
+  | F name :: rest -> (
+      match Json.member name doc with
+      | Some d -> resolve d rest
+      | None -> None)
+  | Row (list_field, key_field, key) :: rest -> (
+      match Json.member list_field doc with
+      | Some l -> (
+          match
+            List.find_opt
+              (fun item -> Json.member key_field item = Some (Json.Str key))
+              (Json.to_list l)
+          with
+          | Some d -> resolve d rest
+          | None -> None)
+      | None -> None)
+
+(* Rewrite the value at [path] (used by the selftest to inject a fake
+   regression into an otherwise-clean document). *)
+let rec perturb path f doc =
+  match (path, doc) with
+  | [], _ -> f doc
+  | F name :: rest, Json.Obj fields ->
+      Json.Obj
+        (List.map
+           (fun (k, v) -> if k = name then (k, perturb rest f v) else (k, v))
+           fields)
+  | Row (list_field, key_field, key) :: rest, Json.Obj fields ->
+      Json.Obj
+        (List.map
+           (fun (k, v) ->
+             if k = list_field then
+               ( k,
+                 Json.List
+                   (List.map
+                      (fun item ->
+                        if Json.member key_field item = Some (Json.Str key)
+                        then perturb rest f item
+                        else item)
+                      (Json.to_list v)) )
+             else (k, v))
+           fields)
+  | _ -> doc
+
+let six_collectives =
+  [ "all_reduce"; "broadcast"; "reduce"; "gather"; "all_gather"; "reduce_scatter" ]
+
+(* The curated deterministic surface of each suite. A missing field on
+   either side is itself a failure: renames must update this table. *)
+let check_specs =
+  let near ?(tol = 1e-6) suite path = { suite; path; kind = Near tol } in
+  let exact suite path = { suite; path; kind = Exact } in
+  List.concat
+    [
+      List.map
+        (fun suite -> exact suite [ F "schema_version" ])
+        [
+          "plan_cache"; "parallel_plan"; "replay"; "failover"; "cluster";
+          "analyze";
+        ];
+      [
+        exact "plan_cache" [ F "hits" ];
+        exact "plan_cache" [ F "misses" ];
+        near "plan_cache" [ F "hit_rate" ];
+        exact "replay" [ F "engine_prepares" ];
+        exact "replay" [ F "engine_runs" ];
+        exact "replay" [ F "alloc_guard_ok" ];
+      ];
+      List.map
+        (fun c ->
+          near "replay"
+            [ Row ("collectives", "collective", c); F "simulated_makespan_s" ])
+        six_collectives;
+      List.concat_map
+        (fun c ->
+          let row field = [ Row ("collectives", "collective", c); F field ] in
+          [
+            near "analyze" (row "makespan_s");
+            near "analyze" (row "achieved_gbps");
+            near "analyze" (row "bound_gbps");
+            near "analyze" (row "efficiency");
+          ])
+        six_collectives;
+      [
+        near "failover" [ F "healthy_rate_gbps" ];
+        near "failover" [ F "healthy_all_reduce_s" ];
+        near "failover" [ F "degraded_rate_gbps" ];
+        near "failover" [ F "degraded_all_reduce_s" ];
+        near "failover" [ F "double_fault_rate_gbps" ];
+        exact "failover" [ F "fresh_matches_replanned" ];
+        exact "failover" [ F "faults_injected" ];
+        exact "failover" [ F "plan_cache_invalidations" ];
+        exact "failover" [ F "midrun_retries" ];
+        exact "failover" [ F "midrun_faulted_ops" ];
+        near "failover" [ F "midrun_clean_s" ];
+        near "failover" [ F "midrun_flaky_s" ];
+        exact "failover" [ F "partition_detected" ];
+        exact "cluster" [ F "admitted_jobs" ];
+        exact "cluster" [ F "rejected_capacity_jobs" ];
+        exact "cluster" [ F "rejected_quota_jobs" ];
+        exact "cluster" [ F "planned_slices" ];
+        exact "cluster" [ F "single_gpu_slices" ];
+        exact "cluster" [ F "pcie_slices" ];
+        exact "cluster" [ F "store_hits" ];
+        exact "cluster" [ F "store_misses" ];
+        exact "cluster" [ F "unique_fingerprints" ];
+        near "cluster" [ F "hit_rate" ];
+        near "cluster" [ F "fairness" ];
+        exact "cluster" [ F "verify_mismatches" ];
+        exact "cluster" [ F "straggler_slices" ];
+        exact "cluster" [ F "injected_straggler_slices" ];
+        exact "cluster" [ F "injected_flags_on_tenant" ];
+      ];
+    ]
+
+let bench_file suite = Printf.sprintf "BENCH_%s.json" suite
+
+let load_doc file =
+  if not (Sys.file_exists file) then None
+  else
+    let ic = open_in file in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    match Json.parse_result s with
+    | Ok doc -> Some doc
+    | Error e ->
+        Printf.eprintf "regress: %s does not parse: %s\n" file e;
+        None
+
+(* Compare one check; [None] means the whole suite is absent on the
+   baseline side (skipped: new suites regress from their first commit). *)
+let run_check ~baseline ~fresh spec =
+  let b = resolve baseline spec.path and f = resolve fresh spec.path in
+  let ok =
+    match (spec.kind, b, f) with
+    | _, None, _ | _, _, None -> false
+    | Exact, Some b, Some f -> b = f
+    | Near tol, Some b, Some f -> (
+        match (Json.to_float b, Json.to_float f) with
+        | Some b, Some f ->
+            Float.abs (f -. b) <= tol *. Float.max 1e-12 (Float.abs b)
+        | _ -> false)
+  in
+  let render = function
+    | Some v -> Json.to_string v
+    | None -> "missing"
+  in
+  ( ok,
+    Json.Obj
+      [
+        ("suite", Json.str spec.suite);
+        ("field", Json.str (path_string spec.path));
+        ( "kind",
+          Json.str
+            (match spec.kind with
+            | Exact -> "exact"
+            | Near tol -> Printf.sprintf "near(%g)" tol) );
+        ("baseline", Json.str (render b));
+        ("fresh", Json.str (render f));
+        ("ok", Json.Bool ok);
+      ] )
+
+(* [fresh_override] lets the selftest swap in a perturbed document. *)
+let regress_run ?fresh_override () =
+  Util.heading "Regression gate: fresh BENCH_*.json vs %s" baseline_dir;
+  let suites =
+    List.sort_uniq compare (List.map (fun s -> s.suite) check_specs)
+  in
+  let failures = ref 0 and skipped = ref [] and results = ref [] in
+  List.iter
+    (fun suite ->
+      let specs = List.filter (fun s -> s.suite = suite) check_specs in
+      let baseline =
+        load_doc (Filename.concat baseline_dir (bench_file suite))
+      in
+      let fresh =
+        match fresh_override with
+        | Some f -> f suite
+        | None -> load_doc (bench_file suite)
+      in
+      match (baseline, fresh) with
+      | None, _ ->
+          (* No committed baseline: report, don't fail — committing the
+             baseline is how a new suite arms the gate. *)
+          Util.row "  %-14s no baseline committed, skipped\n" suite;
+          skipped := suite :: !skipped
+      | Some _, None ->
+          Util.row "  %-14s FRESH ARTIFACT MISSING (%s)\n" suite
+            (bench_file suite);
+          incr failures
+      | Some baseline, Some fresh ->
+          let bad = ref 0 in
+          List.iter
+            (fun spec ->
+              let ok, obj = run_check ~baseline ~fresh spec in
+              results := obj :: !results;
+              if not ok then begin
+                incr bad;
+                incr failures;
+                Util.row "  %-14s REGRESSION %s: baseline %s, fresh %s\n"
+                  suite
+                  (path_string spec.path)
+                  (match resolve baseline spec.path with
+                  | Some v -> Json.to_string v
+                  | None -> "missing")
+                  (match resolve fresh spec.path with
+                  | Some v -> Json.to_string v
+                  | None -> "missing")
+              end)
+            specs;
+          Util.row "  %-14s %d checks, %d failed\n" suite (List.length specs)
+            !bad)
+    suites;
+  Util.write_bench_json ~file:"BENCH_regress.json" ~suite:"regress"
+    [
+      ("failures", Json.int !failures);
+      ("ok", Json.Bool (!failures = 0));
+      ( "skipped_suites",
+        Json.List (List.map Json.str (List.rev !skipped)) );
+      ("checks", Json.List (List.rev !results));
+    ];
+  !failures
+
+let regress_suite () =
+  let failures = regress_run () in
+  if failures > 0 then (
+    Printf.eprintf "regress: %d deterministic checks failed\n" failures;
+    exit 1);
+  Util.row "  gate passed\n"
+
+(* Selftest: perturb one deterministic fresh value (replay all_reduce
+   simulated makespan x1.5) and require the comparator to flag it. *)
+let regress_selftest () =
+  let perturbed suite =
+    match load_doc (bench_file suite) with
+    | None -> None
+    | Some doc when suite = "replay" ->
+        Some
+          (perturb
+             [ Row ("collectives", "collective", "all_reduce");
+               F "simulated_makespan_s" ]
+             (function Json.Num x -> Json.Num (x *. 1.5) | v -> v)
+             doc)
+    | Some doc -> Some doc
+  in
+  let failures = regress_run ~fresh_override:perturbed () in
+  if failures = 0 then (
+    Printf.eprintf
+      "regress-selftest: a 1.5x makespan slowdown went unflagged — the gate \
+       is toothless\n";
+    exit 1);
+  Util.row "  selftest passed: synthetic slowdown flagged (%d failures)\n"
+    failures
 
 (* ------------------------------------------------------------------ *)
 
@@ -650,6 +1087,7 @@ let () =
       replay_suite ();
       failover_suite ();
       cluster_suite ();
+      analyze_suite ();
       bechamel_suite ();
       print_newline ()
   | _ :: args ->
@@ -663,6 +1101,9 @@ let () =
               print_endline "replay";
               print_endline "failover";
               print_endline "cluster";
+              print_endline "analyze";
+              print_endline "regress";
+              print_endline "regress-selftest";
               print_endline "bechamel"
           | "all" ->
               Figures.all_figures ();
@@ -671,12 +1112,16 @@ let () =
               replay_suite ();
               failover_suite ();
               cluster_suite ();
+              analyze_suite ();
               bechamel_suite ()
           | "plan-cache" -> plan_cache_suite ()
           | "parallel-plan" -> parallel_plan_suite ()
           | "replay" -> replay_suite ()
           | "failover" -> failover_suite ()
           | "cluster" -> cluster_suite ()
+          | "analyze" -> analyze_suite ()
+          | "regress" -> regress_suite ()
+          | "regress-selftest" -> regress_selftest ()
           | "bechamel" -> bechamel_suite ()
           | name -> (
               match List.assoc_opt name Figures.registry with

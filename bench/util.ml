@@ -68,6 +68,40 @@ let nccl_backend server ~gpus fabric =
       let prog, _ = Ring.all_reduce spec ~elems ~channels in
       (time_fabric fabric prog).E.makespan)
 
+(* ------------------------------------------------------------------ *)
+(* Versioned bench artifacts: every BENCH_*.json goes through one writer
+   that stamps the schema version and enough host metadata to judge
+   whether two artifacts are comparable (same schema, same word size,
+   same compiler) before the regression gate diffs them. *)
+
+module Json = Blink_telemetry.Json
+
+let schema_version = 1
+
+let host_metadata () =
+  Json.Obj
+    [
+      ("hostname", Json.str (Unix.gethostname ()));
+      ("os_type", Json.str Sys.os_type);
+      ("ocaml_version", Json.str Sys.ocaml_version);
+      ("word_size", Json.int Sys.word_size);
+      ("recommended_domains", Json.int (Domain.recommended_domain_count ()));
+    ]
+
+let write_bench_json ~file ~suite fields =
+  let doc =
+    Json.Obj
+      (("schema_version", Json.int schema_version)
+      :: ("suite", Json.str suite)
+      :: ("host", host_metadata ())
+      :: fields)
+  in
+  let oc = open_out file in
+  output_string oc (Json.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  row "  wrote %s\n" file
+
 let geomean = function
   | [] -> nan
   | xs ->

@@ -5,11 +5,12 @@
    $ blink bench   --server dgx1v --gpus 1,4,5,6 --collective allreduce --mbytes 500
    $ blink train   --server dgx1v --gpus 1,4,5,6 --model resnet50
    $ blink trace   all_reduce --server dgx1v --gpus 1,4,5,6
-   $ blink metrics --server dgx1v --gpus 1,4,5,6 --runs 3
+   $ blink analyze all_reduce --server dgx1v --mbytes 500
+   $ blink metrics --server dgx1v --gpus 1,4,5,6 --runs 3 --deterministic
    $ blink replay  all_reduce --server dgx1v --gpus 1,4,5,6 --runs 100
    $ blink prewarm --server dgx1v --gpus 0,1,2,3 --domains 4 --sizes 1,16,64
    $ blink failover --server dgx1v --fail-link 5,6 --degrade 0,3,0.5
-   $ blink cluster --jobs 40000 --servers 64 *)
+   $ blink cluster --jobs 40000 --servers 64 --service --straggler 3,2.0 *)
 
 open Cmdliner
 module Server = Blink_topology.Server
@@ -24,6 +25,8 @@ module Codegen = Blink_collectives.Codegen
 module Models = Blink_dnn.Models
 module Training = Blink_dnn.Training
 module Scheduler = Blink_cluster.Scheduler
+module Analysis = Blink_core.Analysis
+module Recorder = Blink_sim.Recorder
 
 (* --------------------------- shared options --------------------------- *)
 
@@ -286,8 +289,103 @@ let trace_cmd =
           $ Arg.(value & opt string "blink_trace.json"
                  & info [ "out" ] ~docv:"FILE" ~doc:"Output JSON path."))
 
-let metrics collective server gpus mbytes runs out =
+(* ------------------------------ analyze ------------------------------ *)
+
+(* Why does this collective take the time it takes? One timing pass,
+   attributed: the bottleneck links (utilization/slack), the critical-path
+   op chain, achieved rate vs the topology's edge-cut bound, and the
+   planner's phase timers that decompose the replan cost. *)
+let analyze collective server gpus mbytes flight =
   let telemetry = Telemetry.create () in
+  let handle = Blink.create ~telemetry server ~gpus in
+  let elems = int_of_float (mbytes *. 1e6 /. Blink.bytes_per_elem) in
+  let r = Analysis.analyze handle collective ~elems in
+  Format.printf "%s of %.0f MB on %s {%s}: makespan %.3f ms (chunk %d elems)@."
+    (Plan.collective_name collective)
+    mbytes server.Server.name
+    (Alloc.to_string (Array.to_list gpus))
+    (r.Analysis.makespan_s *. 1e3)
+    r.Analysis.chunk_elems;
+  Format.printf
+    "achieved %.1f GB/s vs %.1f GB/s edge-cut bound: %.1f%% of what the \
+     topology permits@."
+    r.Analysis.achieved_gbps r.Analysis.bound_gbps
+    (100. *. r.Analysis.efficiency);
+  Format.printf "bottleneck link(s), the run's rate-defining set:@.";
+  List.iter
+    (fun l ->
+      Format.printf "  %-22s %5.1f%% utilized, %.3f ms slack%s@."
+        l.Analysis.li_label
+        (100. *. l.Analysis.li_utilization)
+        (l.Analysis.li_slack_s *. 1e3)
+        (if l.Analysis.li_on_critical_path then "  [on critical path]" else ""))
+    r.Analysis.bottlenecks;
+  Format.printf
+    "critical path: %d ops — transfer %.3f ms, compute %.3f ms, delay %.3f \
+     ms, wait %.3f ms@."
+    r.Analysis.critical_ops
+    (r.Analysis.transfer_s *. 1e3)
+    (r.Analysis.compute_s *. 1e3)
+    (r.Analysis.delay_s *. 1e3)
+    (r.Analysis.wait_s *. 1e3);
+  List.iteri
+    (fun i (label, s) ->
+      if i < 3 then
+        Format.printf "  %d. %-22s %.3f ms on the chain@." (i + 1) label
+          (s *. 1e3))
+    r.Analysis.critical_resources;
+  (match Analysis.phases handle with
+  | [] -> ()
+  | phases ->
+      Format.printf "planner phases (this handle's replan cost, decomposed):@.";
+      List.iter
+        (fun (p : Analysis.phase) ->
+          Format.printf "  %-22s %2d call(s) %8.2f ms@." p.Analysis.phase
+            p.Analysis.calls
+            (p.Analysis.total_s *. 1e3))
+        phases);
+  match flight with
+  | None -> ()
+  | Some path ->
+      (* The cached plan's flight recorder was populated by the timing
+         pass analyze just ran; replay it into a tracing registry and
+         export the Chrome view. *)
+      let plan = Blink.plan handle collective ~elems in
+      let recorder = plan.Plan.recorder in
+      let tracer = Telemetry.create ~trace:true () in
+      let slices = Recorder.dump_slices recorder tracer in
+      let oc = open_out path in
+      output_string oc (Telemetry.chrome_json tracer);
+      close_out oc;
+      Format.printf
+        "flight recorder: %d events captured (%d dropped), %d slices \
+         written to %s@."
+        (Recorder.recorded recorder)
+        (Recorder.dropped recorder)
+        slices path
+
+let analyze_cmd =
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Attribute a collective's makespan: bottleneck links, critical \
+          path, achieved rate vs the topology's edge-cut bound, and the \
+          planner phase breakdown")
+    Term.(const analyze $ trace_collective_arg $ server_arg $ gpus_arg
+          $ mbytes_arg
+          $ Arg.(value & opt (some string) None
+                 & info [ "flight" ] ~docv:"FILE"
+                     ~doc:"Also dump the plan's flight-recorder ring as a \
+                           Chrome trace to $(docv)."))
+
+let metrics collective server gpus mbytes runs out deterministic =
+  let telemetry =
+    (* A constant clock makes every wall-time histogram observe zero, so
+       two runs of the same workload produce byte-identical snapshots
+       (the series themselves are emitted in sorted order). *)
+    if deterministic then Telemetry.create ~clock:(fun () -> 0.) ()
+    else Telemetry.create ()
+  in
   let handle = Blink.create ~telemetry server ~gpus in
   let elems = int_of_float (mbytes *. 1e6 /. Blink.bytes_per_elem) in
   for _ = 1 to max 1 runs do
@@ -316,7 +414,12 @@ let metrics_cmd =
                  ~doc:"Plan+execute repetitions (repeats hit the plan cache).")
           $ Arg.(value & opt (some string) None
                  & info [ "out" ] ~docv:"FILE"
-                     ~doc:"Write the JSON here instead of stdout."))
+                     ~doc:"Write the JSON here instead of stdout.")
+          $ Arg.(value & flag
+                 & info [ "deterministic" ]
+                     ~doc:"Freeze the telemetry clock so two runs of the \
+                           same workload produce byte-identical snapshots \
+                           (wall-time histograms observe zero)."))
 
 (* ------------------------------ replay ------------------------------- *)
 
@@ -540,7 +643,18 @@ let failover_cmd =
 
 (* ------------------------------ cluster ------------------------------ *)
 
-let cluster jobs servers service tenants quota_frac max_plans verify_every =
+let straggler_conv =
+  let parse s =
+    match String.split_on_char ',' s with
+    | [ t; f ] -> (
+        try Ok (int_of_string t, float_of_string f)
+        with _ -> Error (`Msg "expected TENANT,FACTOR, e.g. --straggler 3,2.0"))
+    | _ -> Error (`Msg "expected TENANT,FACTOR, e.g. --straggler 3,2.0")
+  in
+  Arg.conv (parse, fun ppf (t, f) -> Format.fprintf ppf "%d,%g" t f)
+
+let cluster jobs servers service tenants quota_frac max_plans verify_every
+    straggler straggler_epsilon =
   if not service then begin
     let stats =
       Scheduler.simulate ~servers (Scheduler.generate_trace ~n_jobs:jobs ())
@@ -554,7 +668,8 @@ let cluster jobs servers service tenants quota_frac max_plans verify_every =
   else begin
     let r =
       Scheduler.run_service ~servers ~n_tenants:tenants ~quota_frac
-        ?max_store_plans:max_plans ~verify_every ~n_jobs:jobs ()
+        ?max_store_plans:max_plans ~verify_every ?straggler
+        ~straggler_epsilon ~n_jobs:jobs ()
     in
     let st = r.Scheduler.store in
     Format.printf
@@ -587,6 +702,41 @@ let cluster jobs servers service tenants quota_frac max_plans verify_every =
     if verify_every > 0 then
       Format.printf "verification: %d sampled slices, %d mismatches@."
         r.Scheduler.verified_slices r.Scheduler.verify_mismatches;
+    Format.printf "observatory (per-tenant service health):@.";
+    List.iter
+      (fun (o : Scheduler.tenant_observatory) ->
+        Format.printf
+          "  tenant %d: %4d jobs, latency %7.2f/%7.2f ms (mean/p95), \
+           queue-wait %6.2f/%6.2f ms, %d straggler slices@."
+          o.Scheduler.ob_tenant o.Scheduler.ob_jobs
+          (o.Scheduler.ob_latency.Scheduler.h_mean_s *. 1e3)
+          (o.Scheduler.ob_latency.Scheduler.h_p95_s *. 1e3)
+          (o.Scheduler.ob_queue_wait.Scheduler.h_mean_s *. 1e3)
+          (o.Scheduler.ob_queue_wait.Scheduler.h_p95_s *. 1e3)
+          o.Scheduler.ob_straggler_slices)
+      r.Scheduler.observatory;
+    List.iteri
+      (fun i (c : Scheduler.fingerprint_class) ->
+        if i < 5 then
+          Format.printf
+            "  class %-22s %5d slices, %6.1f GB/s mean (best %.1f, worst \
+             %.1f), %d stragglers@."
+            c.Scheduler.fc_class c.Scheduler.fc_slices c.Scheduler.fc_mean_gbps
+            c.Scheduler.fc_best_gbps c.Scheduler.fc_worst_gbps
+            c.Scheduler.fc_stragglers)
+      r.Scheduler.classes;
+    Format.printf "stragglers: %d flagged slices (> %.0f%% below the class's \
+                   best rate)@."
+      r.Scheduler.straggler_slices
+      (100. *. r.Scheduler.straggler_epsilon);
+    List.iteri
+      (fun i (s : Scheduler.straggler) ->
+        if i < 5 then
+          Format.printf
+            "  tenant %d on class %s: %.1f GB/s achieved vs %.1f expected@."
+            s.Scheduler.st_tenant s.Scheduler.st_class
+            s.Scheduler.st_achieved_gbps s.Scheduler.st_expected_gbps)
+      r.Scheduler.stragglers;
     if r.Scheduler.verify_mismatches > 0 then exit 1
   end
 
@@ -618,7 +768,16 @@ let cluster_cmd =
                  & info [ "verify-every" ] ~docv:"N"
                      ~doc:"Re-time every Nth planned slice on a fresh \
                            isolated handle and fail on any timing \
-                           divergence (0 = off)."))
+                           divergence (0 = off).")
+          $ Arg.(value & opt (some straggler_conv) None
+                 & info [ "straggler" ] ~docv:"TENANT,FACTOR"
+                     ~doc:"Inject a straggler: multiply the named \
+                           tenant's observed slice times by FACTOR > 1 \
+                           and watch the observatory flag it.")
+          $ Arg.(value & opt float 0.1
+                 & info [ "straggler-epsilon" ] ~docv:"EPS"
+                     ~doc:"Flag a slice whose achieved rate falls more \
+                           than EPS below its fingerprint class's best."))
 
 (* -------------------------------- main -------------------------------- *)
 
@@ -635,5 +794,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ topo_cmd; plan_cmd; bench_cmd; train_cmd; trace_cmd; metrics_cmd;
-            replay_cmd; prewarm_cmd; failover_cmd; cluster_cmd ]))
+          [ topo_cmd; plan_cmd; bench_cmd; train_cmd; trace_cmd; analyze_cmd;
+            metrics_cmd; replay_cmd; prewarm_cmd; failover_cmd; cluster_cmd ]))

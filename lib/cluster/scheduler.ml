@@ -212,6 +212,37 @@ type tenant_stats = {
   gpu_seconds : float;
 }
 
+type histogram_summary = {
+  h_count : int;
+  h_mean_s : float;
+  h_p95_s : float;
+  h_max_s : float;
+}
+
+type tenant_observatory = {
+  ob_tenant : int;
+  ob_jobs : int;  (** admitted jobs contributing samples *)
+  ob_latency : histogram_summary;
+  ob_queue_wait : histogram_summary;
+  ob_straggler_slices : int;
+}
+
+type fingerprint_class = {
+  fc_class : string;
+  fc_slices : int;
+  fc_mean_gbps : float;
+  fc_best_gbps : float;
+  fc_worst_gbps : float;
+  fc_stragglers : int;
+}
+
+type straggler = {
+  st_tenant : int;
+  st_class : string;
+  st_expected_gbps : float;
+  st_achieved_gbps : float;
+}
+
 type service_report = {
   jobs : int;
   admitted_jobs : int;
@@ -230,6 +261,11 @@ type service_report = {
   fairness : float;
   verified_slices : int;
   verify_mismatches : int;
+  observatory : tenant_observatory list;
+  classes : fingerprint_class list;
+  stragglers : straggler list;
+  straggler_slices : int;
+  straggler_epsilon : float;
 }
 
 (* Jain's fairness index over per-tenant accumulated GPU-time:
@@ -242,12 +278,36 @@ let jain xs =
     let s2 = Array.fold_left (fun a x -> a +. (x *. x)) 0. xs in
     if s2 = 0. then 1.0 else s *. s /. (Float.of_int n *. s2)
 
+let summarize samples =
+  match samples with
+  | [] -> { h_count = 0; h_mean_s = 0.; h_p95_s = 0.; h_max_s = 0. }
+  | _ ->
+      let a = Array.of_list samples in
+      Array.sort compare a;
+      let n = Array.length a in
+      let sum = Array.fold_left ( +. ) 0. a in
+      let p95 = a.(min (n - 1) (int_of_float (ceil (0.95 *. float n)) - 1)) in
+      {
+        h_count = n;
+        h_mean_s = sum /. float n;
+        h_p95_s = p95;
+        h_max_s = a.(n - 1);
+      }
+
 let run_service ?(seed = 42) ?(servers = 64) ?(server = Server.dgx1v)
     ?(n_tenants = 8) ?(quota_frac = 0.5) ?(elems = 1_000_000)
     ?max_store_plans ?(verify_every = 0) ?(telemetry = Telemetry.disabled)
-    ~n_jobs () =
+    ?straggler ?(straggler_epsilon = 0.1) ~n_jobs () =
   if n_tenants <= 0 then
     invalid_arg "Scheduler.run_service: n_tenants must be positive";
+  (match straggler with
+  | Some (t, f) when t < 0 || t >= n_tenants || f <= 1. ->
+      invalid_arg
+        "Scheduler.run_service: straggler wants a valid tenant and a \
+         slowdown factor > 1"
+  | Some _ | None -> ());
+  if straggler_epsilon <= 0. || straggler_epsilon >= 1. then
+    invalid_arg "Scheduler.run_service: straggler_epsilon must be in (0, 1)";
   let jobs = generate_trace ~seed ~n_jobs () in
   let n_gpus = server.Server.n_gpus in
   let store = Blink.new_store ?max_plans:max_store_plans () in
@@ -270,6 +330,20 @@ let run_service ?(seed = 42) ?(servers = 64) ?(server = Server.dgx1v)
   let planned = ref 0 and single = ref 0 and pcie = ref 0 in
   let slice_seconds = ref 0. in
   let verified = ref 0 and mismatches = ref 0 in
+  (* Observatory state: per-tenant wall-clock samples, per-fingerprint
+     achieved-rate classes, and the stragglers those classes expose. *)
+  let latencies = Array.make n_tenants [] in
+  let queue_waits = Array.make n_tenants [] in
+  let tenant_stragglers = Array.make n_tenants 0 in
+  let class_stats :
+      (string, int ref * float ref * float ref * float ref * int ref)
+      Hashtbl.t =
+    (* count, sum, best, worst, stragglers *)
+    Hashtbl.create 64
+  in
+  let straggler_log = ref [] in
+  let straggler_count = ref 0 in
+  let bytes_per_elem = Blink.bytes_per_elem in
   (* Lowest free ids first: deterministic, and biases slices towards the
      same concrete tuples, which keeps the fingerprint memo warm. *)
   let take_ids s g =
@@ -286,7 +360,7 @@ let run_service ?(seed = 42) ?(servers = 64) ?(server = Server.dgx1v)
     free.(s) <- free.(s) - g;
     List.rev !ids
   in
-  let run_slice ids =
+  let run_slice tenant ids =
     let g = List.length ids in
     if g < 2 then incr single
     else if not (Alloc.nvlink_connected server ids) then
@@ -312,6 +386,47 @@ let run_service ?(seed = 42) ?(servers = 64) ?(server = Server.dgx1v)
       let seconds = Plan.seconds (Plan.execute ~data:false plan) in
       incr planned;
       slice_seconds := !slice_seconds +. seconds;
+      (* Straggler detection: slices of one fingerprint class run the
+         same compiled plan, so their achieved rates are identical
+         unless something tenant-side slows them down (here: the
+         injected slowdown). Expectation = best rate seen in the class
+         so far; a slice more than epsilon below it is flagged. *)
+      let observed =
+        match straggler with
+        | Some (t, factor) when t = tenant -> seconds *. factor
+        | Some _ | None -> seconds
+      in
+      let rate =
+        if observed <= 0. then 0.
+        else float elems *. bytes_per_elem /. observed /. 1e9
+      in
+      let digest = Fingerprint.class_digest fp in
+      let count, sum, best, worst, cls_straggled =
+        match Hashtbl.find_opt class_stats digest with
+        | Some acc -> acc
+        | None ->
+            let acc = (ref 0, ref 0., ref 0., ref infinity, ref 0) in
+            Hashtbl.add class_stats digest acc;
+            acc
+      in
+      if !count > 0 && rate < (1. -. straggler_epsilon) *. !best then begin
+        incr straggler_count;
+        incr cls_straggled;
+        tenant_stragglers.(tenant) <- tenant_stragglers.(tenant) + 1;
+        straggler_log :=
+          {
+            st_tenant = tenant;
+            st_class = digest;
+            st_expected_gbps = !best;
+            st_achieved_gbps = rate;
+          }
+          :: !straggler_log;
+        Telemetry.incr telemetry "service.straggler_slices"
+      end;
+      incr count;
+      sum := !sum +. rate;
+      if rate > !best then best := rate;
+      if rate < !worst then worst := rate;
       if verify_every > 0 && !planned mod verify_every = 0 then begin
         (* Bit-identity check: a fresh handle with a private store must
            time the same collective to the exact same float. *)
@@ -348,6 +463,7 @@ let run_service ?(seed = 42) ?(servers = 64) ?(server = Server.dgx1v)
       else if in_flight.(tenant) + job.gpus > quota then
         rej_quota.(tenant) <- rej_quota.(tenant) + 1
       else begin
+        let tj0 = Unix.gettimeofday () in
         admitted.(tenant) <- admitted.(tenant) + 1;
         in_flight.(tenant) <- in_flight.(tenant) + job.gpus;
         gpu_seconds.(tenant) <-
@@ -377,7 +493,21 @@ let run_service ?(seed = 42) ?(servers = 64) ?(server = Server.dgx1v)
             order
         end;
         let slices = List.rev !slices in
-        List.iter (fun (_, ids) -> run_slice ids) slices;
+        (* Queue wait = service-side wall time between admission and the
+           first slice starting to plan (placement cost); latency = the
+           whole admission-to-last-slice-done wall time. *)
+        let tq = Unix.gettimeofday () in
+        List.iter (fun (_, ids) -> run_slice tenant ids) slices;
+        let tdone = Unix.gettimeofday () in
+        queue_waits.(tenant) <- (tq -. tj0) :: queue_waits.(tenant);
+        latencies.(tenant) <- (tdone -. tj0) :: latencies.(tenant);
+        if Telemetry.enabled telemetry then begin
+          let l = [ ("tenant", string_of_int tenant) ] in
+          Telemetry.observe telemetry ~labels:l "service.tenant.queue_wait_s"
+            (tq -. tj0);
+          Telemetry.observe telemetry ~labels:l "service.tenant.latency_s"
+            (tdone -. tj0)
+        end;
         let leave = now + job.duration in
         (* Merge with any same-tick departure of the same tenant; ticks
            collide rarely enough that folding cross-tenant collisions
@@ -429,4 +559,33 @@ let run_service ?(seed = 42) ?(servers = 64) ?(server = Server.dgx1v)
     fairness = jain gpu_seconds;
     verified_slices = !verified;
     verify_mismatches = !mismatches;
+    observatory =
+      List.init n_tenants (fun i ->
+          {
+            ob_tenant = i;
+            ob_jobs = admitted.(i);
+            ob_latency = summarize latencies.(i);
+            ob_queue_wait = summarize queue_waits.(i);
+            ob_straggler_slices = tenant_stragglers.(i);
+          });
+    classes =
+      Hashtbl.fold
+        (fun digest (count, sum, best, worst, straggled) acc ->
+          {
+            fc_class = digest;
+            fc_slices = !count;
+            fc_mean_gbps = (if !count = 0 then 0. else !sum /. float !count);
+            fc_best_gbps = !best;
+            fc_worst_gbps = (if !count = 0 then 0. else !worst);
+            fc_stragglers = !straggled;
+          }
+          :: acc)
+        class_stats []
+      |> List.sort (fun a b ->
+             match compare b.fc_slices a.fc_slices with
+             | 0 -> compare a.fc_class b.fc_class
+             | c -> c);
+    stragglers = List.rev !straggler_log;
+    straggler_slices = !straggler_count;
+    straggler_epsilon;
   }

@@ -87,6 +87,44 @@ type tenant_stats = {
   gpu_seconds : float;  (** accumulated [gpus * duration] of admitted jobs *)
 }
 
+(** {2 Service observatory} — the per-tenant / per-fingerprint health
+    view exported with the [cluster --service] snapshot. *)
+
+type histogram_summary = {
+  h_count : int;
+  h_mean_s : float;
+  h_p95_s : float;
+  h_max_s : float;
+}
+
+type tenant_observatory = {
+  ob_tenant : int;
+  ob_jobs : int;  (** admitted jobs contributing samples *)
+  ob_latency : histogram_summary;
+      (** service-side wall time per admitted job, admission to last
+          slice done (mirrored into ["service.tenant.latency_s"]) *)
+  ob_queue_wait : histogram_summary;
+      (** admission-to-first-slice placement wall time (mirrored into
+          ["service.tenant.queue_wait_s"]) *)
+  ob_straggler_slices : int;
+}
+
+type fingerprint_class = {
+  fc_class : string;  (** the {!Blink_store.Fingerprint.class_digest} *)
+  fc_slices : int;
+  fc_mean_gbps : float;
+  fc_best_gbps : float;
+  fc_worst_gbps : float;
+  fc_stragglers : int;
+}
+
+type straggler = {
+  st_tenant : int;
+  st_class : string;
+  st_expected_gbps : float;  (** the class's best achieved rate *)
+  st_achieved_gbps : float;
+}
+
 type service_report = {
   jobs : int;
   admitted_jobs : int;
@@ -107,6 +145,12 @@ type service_report = {
   verify_mismatches : int;
       (** sampled slices whose shared-store timing differed from a fresh
           isolated handle — always [0]; anything else is a sharing bug *)
+  observatory : tenant_observatory list;
+  classes : fingerprint_class list;
+      (** per-fingerprint achieved-rate stats, most-populated first *)
+  stragglers : straggler list;  (** every flagged slice, in arrival order *)
+  straggler_slices : int;
+  straggler_epsilon : float;
 }
 
 val run_service :
@@ -119,6 +163,8 @@ val run_service :
   ?max_store_plans:int ->
   ?verify_every:int ->
   ?telemetry:Blink_telemetry.Telemetry.t ->
+  ?straggler:int * float ->
+  ?straggler_epsilon:float ->
   n_jobs:int ->
   unit ->
   service_report
@@ -136,4 +182,14 @@ val run_service :
     [verify_every] > 0 re-times every n-th planned slice on a fresh
     isolated handle and counts [verify_mismatches] if any float differs
     (bit-identity of shared plans); [telemetry] is shared by every
-    service handle. *)
+    service handle.
+
+    Observatory: every planned slice's achieved rate is accumulated per
+    fingerprint class; a slice more than [straggler_epsilon] (default
+    0.1) below its class's best rate is flagged as a straggler.
+    [straggler] injects one — [(tenant, factor)] multiplies that
+    tenant's observed slice times by [factor > 1], simulating
+    tenant-side slowdown; the flagged slices then concentrate on that
+    tenant. Per-tenant latency / queue-wait summaries come back in
+    [observatory] and, when [telemetry] is enabled, as labelled
+    histograms. *)

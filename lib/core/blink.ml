@@ -1,4 +1,5 @@
 module Digraph = Blink_graph.Digraph
+module Maxflow = Blink_graph.Maxflow
 module Server = Blink_topology.Server
 module Fabric = Blink_topology.Fabric
 module Tree = Blink_collectives.Tree
@@ -311,6 +312,41 @@ let rate t =
 
 let all_reduce_rate t =
   match t.kind with Packed p -> p.undirected.Treegen.rate | One_hop r -> r
+
+let graph t = t.graph
+
+(* The topology's edge-cut upper bound on the collective's algorithm
+   bandwidth, in GB/s of buffer bytes per second (the {!algbw_gbps}
+   convention). Rooted move-only collectives are bounded by the Edmonds
+   arborescence-packing value — min over v of maxflow(root -> v).
+   Reduce-type collectives de-rate every cut by
+   {!Blink_topology.Link.reduce_scale}: a transfer whose receiver
+   reduces inline runs at [scale * bw], and the reduce phase carries the
+   full buffer across each cut. Root-less collectives are bounded by the
+   undirected spanning-tree-packing weight (the Tutte/Nash-Williams
+   quantity the MWU+LP packing computes): each packed tree carries the
+   buffer once in each direction of every tree edge, and the de-rated
+   reduce direction binds. Gather-type collectives funnel n-1 per-rank
+   buffers through the root's cut, so their algbw bound divides by n-1.
+   One-hop fabrics (NVSwitch) replace both packing values with the
+   attach bandwidth the kind already carries. *)
+let edge_cut_bound t (collective : Plan.collective) =
+  let n = Digraph.n_vertices t.graph in
+  if n <= 1 then infinity
+  else
+    let directed, undirected =
+      match t.kind with
+      | One_hop r -> (r, r)
+      | Packed p ->
+          ( Maxflow.broadcast_rate t.graph ~root:t.root,
+            p.undirected.Treegen.rate )
+    in
+    let s = Blink_topology.Link.reduce_scale in
+    match collective with
+    | Plan.Broadcast -> directed
+    | Plan.Reduce -> s *. directed
+    | Plan.All_reduce | Plan.Reduce_scatter -> s *. undirected
+    | Plan.Gather | Plan.All_gather -> directed /. Float.of_int (n - 1)
 
 let broadcast_trees t =
   check_usable t;

@@ -130,6 +130,24 @@ val rate : t -> float
 val all_reduce_rate : t -> float
 (** Achieved many-to-many packing rate in GB/s. *)
 
+val graph : t -> Blink_graph.Digraph.t
+(** The NVLink digraph the handle currently plans over (rebuilt on every
+    degradation/failure) — the analyzer computes edge-cut bounds on it. *)
+
+val edge_cut_bound : t -> Plan.collective -> float
+(** The topology's edge-cut upper bound on the collective's achievable
+    algorithm bandwidth ({!algbw_gbps} convention), in GB/s. Broadcast is
+    bounded by the Edmonds arborescence-packing value ([min] over
+    vertices of maxflow from {!root}); reduce de-rates that by
+    {!Blink_topology.Link.reduce_scale} (inline reduction slows the
+    receiving link); all_reduce and reduce_scatter are bounded by the
+    de-rated undirected spanning-tree-packing weight (each tree carries
+    the buffer both ways across every tree edge); gather and all_gather
+    funnel [n-1] per-rank buffers through the root's cut, dividing the
+    bound by [n-1]. On NVSwitch machines the packing values are the
+    one-hop aggregate attach bandwidth. [infinity] on single-GPU
+    allocations (nothing to bound). *)
+
 val broadcast_trees : t -> Blink_collectives.Tree.weighted list
 (** Trees rooted at {!root}, shares proportional to packed weights. *)
 

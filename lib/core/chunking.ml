@@ -13,6 +13,7 @@ let tune ?(init = 262_144) ?(grow = 2.0) ?shrink ?(max_iters = 16)
   | Some _ | None -> ());
   let shrink = Option.value shrink ~default:(max 1 (init / 2)) in
   let span_start = Telemetry.now_s telemetry in
+  let w0 = Telemetry.wall_s telemetry in
   let trace = ref [] in
   let capped = ref false in
   let probe chunk_elems =
@@ -57,6 +58,8 @@ let tune ?(init = 262_144) ?(grow = 2.0) ?shrink ?(max_iters = 16)
   let up_chunk, up_best = increase init t0 1 in
   let chosen, _ = decrease up_chunk up_best 0 in
   if Telemetry.enabled telemetry then begin
+    Telemetry.observe telemetry "plan.phase.miad_s"
+      (Telemetry.wall_s telemetry -. w0);
     Telemetry.set_gauge telemetry "miad.chosen_chunk_elems" (Float.of_int chosen);
     Telemetry.span telemetry ~cat:"miad" ~start:span_start
       ~args:

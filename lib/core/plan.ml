@@ -4,6 +4,8 @@ module Fabric = Blink_topology.Fabric
 module Engine = Blink_sim.Engine
 module Sem = Blink_sim.Semantics
 module Trace = Blink_sim.Trace
+module Recorder = Blink_sim.Recorder
+module Critical_path = Blink_sim.Critical_path
 module Telemetry = Blink_telemetry.Telemetry
 module Json = Blink_telemetry.Json
 
@@ -36,6 +38,7 @@ type t = {
   telemetry : Telemetry.t;
   prepared : Engine.prepared;
   arena : Engine.arena;
+  recorder : Recorder.t;
   mutable pool_mem : Sem.memory option;
   mutable gauge_cells : gauge_cells option;
 }
@@ -54,6 +57,7 @@ let build collective ~spec ~root ~elems ~trees =
   let telemetry = spec.Codegen.telemetry in
   let name = collective_name collective in
   let span_start = Telemetry.now_s telemetry in
+  let w0 = Telemetry.wall_s telemetry in
   let program, layout =
     match collective with
     | All_reduce -> Codegen.all_reduce spec ~elems ~trees
@@ -68,6 +72,13 @@ let build collective ~spec ~root ~elems ~trees =
      every [execute] replays it against the plan's own arena. *)
   let prepared = Engine.prepare ~telemetry ~resources program in
   Telemetry.incr telemetry ~labels:[ ("collective", name) ] "plan.builds";
+  (* Codegen phase = program generation + engine lowering: with the MWU,
+     ILP and MIAD timers this completes the replan decomposition. *)
+  if Telemetry.enabled telemetry then
+    Telemetry.observe telemetry
+      ~labels:[ ("collective", name) ]
+      "plan.phase.codegen_s"
+      (Telemetry.wall_s telemetry -. w0);
   Telemetry.span telemetry ~cat:"plan" ~start:span_start
     ~args:[ ("collective", Json.str name); ("elems", Json.int elems) ]
     "plan.build";
@@ -84,6 +95,7 @@ let build collective ~spec ~root ~elems ~trees =
     telemetry;
     prepared;
     arena = Engine.arena ();
+    recorder = Recorder.create ();
     pool_mem = None;
     gauge_cells = None;
   }
@@ -163,7 +175,8 @@ let execute ?policy ?telemetry ?(data = true) ?(reuse_memory = true) ?load t =
   let span_start = Telemetry.now_s telemetry in
   let minor0 = Gc.minor_words () in
   let timing =
-    Engine.run_prepared ?policy ~telemetry ~arena:t.arena t.prepared
+    Engine.run_prepared ?policy ~telemetry ~arena:t.arena ~recorder:t.recorder
+      t.prepared
   in
   let memory =
     if not data then None

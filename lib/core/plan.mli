@@ -44,6 +44,11 @@ type t = {
   arena : Blink_sim.Engine.arena;
       (** the plan's reusable engine working set — {!execute} replays the
           schedule against it, so steady-state runs allocate nothing *)
+  recorder : Blink_sim.Recorder.t;
+      (** the plan's always-on flight recorder: every {!execute} writes
+          op begin/end events into this preallocated ring (zero
+          steady-state allocation), keeping the most recent window for
+          post-mortem dumps *)
   mutable pool_mem : Blink_sim.Semantics.memory option;
       (** pooled replay buffers, reset and reused by data-pass executes *)
   mutable gauge_cells : gauge_cells option;

@@ -146,9 +146,14 @@ let candidate_lp ~caps ~candidates =
    from inside the Garg-Konemann loop, then a span + summary gauges. *)
 let mwu_telemetry telemetry ~mode =
   let labels = [ ("mode", mode) ] in
+  (* Wall clock, not [now_s]: the phase timer must tick in metrics-only
+     mode so [plan.replan_s] decomposes without tracing enabled. *)
+  let w0 = Telemetry.wall_s telemetry in
   let round () = Telemetry.incr telemetry ~labels "treegen.mwu.rounds" in
   let finish ~start packing =
     if Telemetry.enabled telemetry then begin
+      Telemetry.observe telemetry ~labels "plan.phase.mwu_s"
+        (Telemetry.wall_s telemetry -. w0);
       Telemetry.set_gauge telemetry ~labels "treegen.mwu.trees"
         (Float.of_int (List.length packing.trees));
       Telemetry.span telemetry ~cat:"treegen" ~start
@@ -563,10 +568,13 @@ let minimize ?(threshold = 0.05) g packing =
    tree count, final rate/tree gauges) without touching its internals. *)
 let minimize ?threshold ?(telemetry = Telemetry.disabled) g packing =
   let start = Telemetry.now_s telemetry in
+  let w0 = Telemetry.wall_s telemetry in
   let result = minimize ?threshold g packing in
   if Telemetry.enabled telemetry then begin
     let mode = if packing.undirected then "undirected" else "directed" in
     let labels = [ ("mode", mode) ] in
+    Telemetry.observe telemetry ~labels "plan.phase.ilp_s"
+      (Telemetry.wall_s telemetry -. w0);
     let before = List.length packing.trees in
     let after = List.length result.trees in
     Telemetry.incr telemetry ~labels

@@ -1,0 +1,40 @@
+(** Critical-path attribution: turn a timed run into an explanation.
+
+    {!Trace.critical_path} extracts the makespan-defining op chain; this
+    module attributes that chain's time — per op kind (transfer /
+    compute / delay, plus inter-op wait), per resource — and reports
+    every resource's busy time, utilization, and slack against the
+    makespan. The slack view is the paper's claim made checkable: a
+    packed-spanning-tree schedule should leave (near-)zero slack on the
+    bottleneck link and the critical path should live there. *)
+
+type attribution = {
+  path : Trace.span list;  (** the chain, start-of-chain first *)
+  makespan : float;
+  transfer_s : float;  (** chain time inside transfer ops *)
+  compute_s : float;  (** chain time inside compute ops *)
+  delay_s : float;  (** chain time inside delay ops *)
+  wait_s : float;
+      (** chain time between ops (lane queueing + pipeline latency),
+          including the lead-in before the first op; the four components
+          sum to [makespan] *)
+  per_resource : (int * float) list;
+      (** chain time per resource (delay ops excluded), largest first *)
+}
+
+val attribute : Program.t -> Engine.result -> attribution
+
+type link_report = {
+  resource : int;
+  busy_s : float;  (** lane-seconds of work served *)
+  utilization : float;  (** busy / (lanes * makespan) *)
+  slack_s : float;  (** makespan - busy/lanes: idle time per lane *)
+  on_path : bool;  (** serves at least one critical-path op *)
+}
+
+val links :
+  resources:Engine.resource array ->
+  Program.t ->
+  Engine.result ->
+  link_report list
+(** Per-resource report, highest utilization first. *)

@@ -234,7 +234,8 @@ let reset_arena a p =
   a.a_mk.(0) <- 0.;
   Events.clear a.a_events
 
-let run_prepared ?(policy = `Fair) ?(telemetry = Telemetry.disabled) ?arena:a p =
+let run_prepared ?(policy = `Fair) ?(telemetry = Telemetry.disabled) ?arena:a
+    ?(recorder = Recorder.none) p =
   let t_span = Telemetry.now_s telemetry in
   let a = match a with Some a -> a | None -> scratch_arena () in
   reset_arena a p;
@@ -242,6 +243,10 @@ let run_prepared ?(policy = `Fair) ?(telemetry = Telemetry.disabled) ?arena:a p 
   let events = a.a_events in
   let estaged = Events.staged events in
   let fair = match policy with `Fair -> true | `Stream_priority -> false in
+  (* Flight recorder: a single physical-equality check hoisted here, then
+     inline int/float array stores in [start_op] — no closure call (which
+     would box the float times) and no per-op allocation. *)
+  let rec_on = recorder != Recorder.none in
   (* [start_op] takes its start time through the staged slot rather than
      as a float argument: closure calls box float arguments, and this is
      the per-op hot path. Callers leave the time in [estaged.(0)] (where
@@ -254,6 +259,23 @@ let run_prepared ?(policy = `Fair) ?(telemetry = Telemetry.disabled) ?arena:a p 
     let fin = t +. dur in
     a.a_finish.(id) <- fin;
     let r = p.p_res_of.(id) in
+    if rec_on then begin
+      (* Begin and end are both known at dispatch (the simulator fixes
+         the finish when service starts), so write the pair together. *)
+      let h = recorder.Recorder.head in
+      let mask = recorder.Recorder.mask in
+      let i = h land mask in
+      recorder.Recorder.ev_kind.(i) <- 0;
+      recorder.Recorder.ev_op.(i) <- id;
+      recorder.Recorder.ev_res.(i) <- r;
+      recorder.Recorder.ev_time.(i) <- t;
+      let j = (h + 1) land mask in
+      recorder.Recorder.ev_kind.(j) <- 1;
+      recorder.Recorder.ev_op.(j) <- id;
+      recorder.Recorder.ev_res.(j) <- r;
+      recorder.Recorder.ev_time.(j) <- fin;
+      recorder.Recorder.head <- h + 2
+    end;
     if r >= 0 then begin
       let occupancy = p.p_occ.(id) in
       a.a_busy.(r) <- a.a_busy.(r) +. occupancy;

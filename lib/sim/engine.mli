@@ -76,6 +76,7 @@ val run_prepared :
   ?policy:policy ->
   ?telemetry:Blink_telemetry.Telemetry.t ->
   ?arena:arena ->
+  ?recorder:Recorder.t ->
   prepared ->
   result
 (** Execute a prepared schedule. The result's [start]/[finish]/[busy]
@@ -87,7 +88,13 @@ val run_prepared :
 
     Telemetry matches {!run}: counts ["engine.runs"]/["engine.ops_executed"],
     observes ["engine.makespan_s"], and when tracing records the
-    ["engine.run"] span plus one simulated-time slice per op. *)
+    ["engine.run"] span plus one simulated-time slice per op.
+
+    [recorder] (default {!Recorder.none}, inert) receives a begin and an
+    end event per dispatched op via inline preallocated-array stores:
+    zero minor allocation on the steady-state path, so recording can
+    stay always-on. The ring keeps the most recent window and is dumped
+    on demand with {!Recorder.to_json} / {!Recorder.dump_slices}. *)
 
 val run :
   ?policy:policy ->

@@ -122,7 +122,7 @@ let service_finish f t0 work =
 type ev = Ready of int | Lane_free of int
 
 let run ?(policy = `Fair) ?(telemetry = Telemetry.disabled) ?(retry = default_retry)
-    ?(events = []) ~resources prog =
+    ?(events = []) ?(recorder = Recorder.none) ~resources prog =
   if retry.timeout_s < 0. || retry.backoff_s < 0. || retry.max_attempts < 1 then
     invalid_arg "Fault.run: bad retry policy";
   Array.iteri
@@ -186,7 +186,12 @@ let run ?(policy = `Fair) ?(telemetry = Telemetry.disabled) ?(retry = default_re
   let events_q : ev Pqueue.Float_key.t = Pqueue.Float_key.create () in
   let waits = Array.init n_res (fun _ -> Pqueue.create ()) in
   let fair = match policy with `Fair -> true | `Stream_priority -> false in
+  let rec_on = recorder != Recorder.none in
   let finish_op id t fin =
+    if rec_on then begin
+      Recorder.record recorder Recorder.Begin ~op:id ~res:res_of.(id) ~time:t;
+      Recorder.record recorder Recorder.End ~op:id ~res:res_of.(id) ~time:fin
+    end;
     start.(id) <- t;
     finish.(id) <- fin;
     if fin > !mk then mk := fin;
@@ -237,6 +242,8 @@ let run ?(policy = `Fair) ?(telemetry = Telemetry.disabled) ?(retry = default_re
             retry.backoff_s *. (2. ** Float.of_int (attempts.(id) - 1))
           in
           incr retries;
+          if rec_on then
+            Recorder.record recorder Recorder.Retry ~op:id ~res:r ~time:detected;
           Telemetry.incr telemetry "engine.retries";
           Pqueue.Float_key.add events_q (detected +. backoff) (Ready id)
     end
@@ -266,6 +273,11 @@ let run ?(policy = `Fair) ?(telemetry = Telemetry.disabled) ?(retry = default_re
       invalid_arg (Printf.sprintf "Engine.run: op %d never became ready" i)
   done;
   let faulted_ops = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 faulted in
+  (* Automatic post-mortem: a faulted run dumps its flight-recorder window
+     into the Chrome exporter so the retry storm is visible next to the
+     planning spans without any caller action. *)
+  if rec_on && !retries > 0 && Telemetry.tracing telemetry then
+    ignore (Recorder.dump_slices recorder telemetry);
   {
     timing = { Engine.makespan = !mk; finish; start; busy };
     retries = !retries;

@@ -67,6 +67,7 @@ val run :
   ?telemetry:Blink_telemetry.Telemetry.t ->
   ?retry:retry ->
   ?events:event list ->
+  ?recorder:Recorder.t ->
   resources:Engine.resource array ->
   Program.t ->
   outcome
@@ -76,4 +77,10 @@ val run :
     events (unknown resource, negative time, factor outside [(0, 1]],
     empty flaky window) or the same program/resource errors as
     {!Engine.run}; raises {!Unrecoverable} when an op runs out of
-    attempts. *)
+    attempts.
+
+    [recorder] receives begin/end events per successful attempt and a
+    retry event per failed one; when the run retried anything and
+    [telemetry] is tracing, the recorder window is automatically dumped
+    into the Chrome-trace exporter ({!Recorder.dump_slices}) so the
+    retry storm is visible post-mortem. *)

@@ -1,0 +1,130 @@
+module Json = Blink_telemetry.Json
+module Telemetry = Blink_telemetry.Telemetry
+
+type t = {
+  mutable head : int;
+  mask : int;
+  ev_kind : int array;
+  ev_op : int array;
+  ev_res : int array;
+  ev_time : float array;
+}
+
+let kind_begin = 0
+let kind_end = 1
+let kind_retry = 2
+
+let rec pow2 n k = if k >= n then k else pow2 n (k * 2)
+
+let create ?(capacity = 4096) () =
+  if capacity < 1 then invalid_arg "Recorder.create: capacity must be >= 1";
+  let cap = pow2 capacity 1 in
+  {
+    head = 0;
+    mask = cap - 1;
+    ev_kind = Array.make cap 0;
+    ev_op = Array.make cap 0;
+    ev_res = Array.make cap (-1);
+    ev_time = Array.make cap 0.;
+  }
+
+let none = create ~capacity:1 ()
+let capacity t = t.mask + 1
+let recorded t = t.head
+let length t = min t.head (t.mask + 1)
+let dropped t = max 0 (t.head - (t.mask + 1))
+let clear t = t.head <- 0
+
+type kind = Begin | End | Retry
+
+type event = { kind : kind; op : int; res : int; time : float }
+
+let record t kind ~op ~res ~time =
+  let i = t.head land t.mask in
+  t.ev_kind.(i) <-
+    (match kind with Begin -> kind_begin | End -> kind_end | Retry -> kind_retry);
+  t.ev_op.(i) <- op;
+  t.ev_res.(i) <- res;
+  t.ev_time.(i) <- time;
+  t.head <- t.head + 1
+
+(* Oldest surviving event first: when the ring has wrapped, the oldest
+   entry sits at [head land mask]. *)
+let fold_oldest_first t f acc =
+  let n = length t in
+  let first = t.head - n in
+  let acc = ref acc in
+  for j = 0 to n - 1 do
+    let i = (first + j) land t.mask in
+    acc := f !acc i
+  done;
+  !acc
+
+let events t =
+  fold_oldest_first t
+    (fun acc i ->
+      let kind =
+        if t.ev_kind.(i) = kind_begin then Begin
+        else if t.ev_kind.(i) = kind_end then End
+        else Retry
+      in
+      { kind; op = t.ev_op.(i); res = t.ev_res.(i); time = t.ev_time.(i) }
+      :: acc)
+    []
+  |> List.rev
+
+let kind_name = function Begin -> "begin" | End -> "end" | Retry -> "retry"
+
+let to_json t =
+  let events =
+    List.map
+      (fun e ->
+        Json.Obj
+          [
+            ("kind", Json.Str (kind_name e.kind));
+            ("op", Json.int e.op);
+            ("res", Json.int e.res);
+            ("t", Json.float e.time);
+          ])
+      (events t)
+  in
+  Json.Obj
+    [
+      ("capacity", Json.int (capacity t));
+      ("recorded", Json.int (recorded t));
+      ("dropped", Json.int (dropped t));
+      ("events", Json.List events);
+    ]
+
+let dump_slices t telemetry =
+  if not (Telemetry.tracing telemetry) then 0
+  else begin
+    (* Pair each begin with the matching end for the same op. Begin/end
+       are written together so an op's pair is contiguous in write
+       order, but retries may interleave events of distinct ops — a
+       per-op pending table keeps the pairing robust anyway. *)
+    let pending = Hashtbl.create 64 in
+    let emitted = ref 0 in
+    List.iter
+      (fun e ->
+        match e.kind with
+        | Begin -> Hashtbl.replace pending e.op (e.time, e.res)
+        | End -> (
+            match Hashtbl.find_opt pending e.op with
+            | Some (start, res) ->
+                Hashtbl.remove pending e.op;
+                let track = if res >= 0 then res else 0 in
+                Telemetry.slice telemetry ~track
+                  ~name:(Printf.sprintf "op#%d" e.op)
+                  ~start ~dur:(e.time -. start) ();
+                incr emitted
+            | None -> ())
+        | Retry ->
+            let track = if e.res >= 0 then e.res else 0 in
+            Telemetry.slice telemetry ~track
+              ~name:(Printf.sprintf "retry op#%d" e.op)
+              ~start:e.time ~dur:0. ();
+            incr emitted)
+      (events t);
+    !emitted
+  end

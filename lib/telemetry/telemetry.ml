@@ -70,6 +70,15 @@ let now_s = function
   | Live l when l.trace -> l.clock () -. l.t0
   | Disabled | Live _ -> 0.
 
+(* Unlike [now_s], ticks in metrics-only mode too: phase timers want wall
+   durations even when no trace is being collected. *)
+let wall_s = function Disabled -> 0. | Live l -> l.clock () -. l.t0
+
+let histogram t ?labels name =
+  match t with
+  | Disabled -> None
+  | Live l -> Metrics.histogram_snapshot l.metrics ?labels name
+
 let span t ?(cat = "blink") ?(args = []) ~start name =
   match t with
   | Live l when l.trace ->

@@ -59,6 +59,19 @@ val counter_value : t -> ?labels:Metrics.labels -> string -> int
 
 val gauge_value : t -> ?labels:Metrics.labels -> string -> float option
 
+val histogram :
+  t -> ?labels:Metrics.labels -> string -> Metrics.histogram_snapshot option
+(** Snapshot of a histogram series; [None] on {!disabled} or unknown
+    series. The read path behind phase-timer reports
+    (["plan.phase.*_s"]). *)
+
+val wall_s : t -> float
+(** Wall-clock seconds since handle creation, using the handle's
+    (injectable) clock. Unlike {!now_s} this ticks in metrics-only mode
+    too — it is the clock behind always-on phase timers; with a constant
+    injected clock those timers observe 0, making metrics snapshots
+    byte-reproducible. 0. on {!disabled}. *)
+
 (** {2 Spans and slices} — recorded only when {!tracing}. *)
 
 val now_s : t -> float

@@ -1,0 +1,321 @@
+(* Observability stack: flight-recorder ring semantics, dump round-trips,
+   critical-path attribution, phase timers, straggler flagging, and
+   deterministic metrics snapshots. *)
+
+module Telemetry = Blink_telemetry.Telemetry
+module Json = Blink_telemetry.Json
+module Server = Blink_topology.Server
+module Blink = Blink_core.Blink
+module Plan = Blink_core.Plan
+module Analysis = Blink_core.Analysis
+module Recorder = Blink_sim.Recorder
+module Scheduler = Blink_cluster.Scheduler
+
+let gpus8 = [| 0; 1; 2; 3; 4; 5; 6; 7 |]
+
+(* ------------------------------------------------------------------ *)
+(* Flight-recorder ring *)
+
+let test_recorder_ring () =
+  let r = Recorder.create ~capacity:8 () in
+  Alcotest.(check int) "capacity rounds to power of two" 8 (Recorder.capacity r);
+  for i = 0 to 4 do
+    Recorder.record r Recorder.Begin ~op:i ~res:0 ~time:(Float.of_int i);
+    Recorder.record r Recorder.End ~op:i ~res:0 ~time:(Float.of_int i +. 0.5)
+  done;
+  (* 10 events through an 8-slot ring: the oldest pair is gone. *)
+  Alcotest.(check int) "recorded counts all writes" 10 (Recorder.recorded r);
+  Alcotest.(check int) "length capped at capacity" 8 (Recorder.length r);
+  Alcotest.(check int) "dropped = overflow" 2 (Recorder.dropped r);
+  let evs = Recorder.events r in
+  Alcotest.(check int) "events returns the window" 8 (List.length evs);
+  (match evs with
+  | first :: _ ->
+      Alcotest.(check int) "oldest surviving event is op 1" 1 first.Recorder.op;
+      Alcotest.(check bool) "window starts on a begin" true
+        (first.Recorder.kind = Recorder.Begin)
+  | [] -> Alcotest.fail "empty window");
+  (* Oldest-first and time-sorted (we wrote monotone times). *)
+  let prev = ref neg_infinity in
+  List.iter
+    (fun e ->
+      Alcotest.(check bool) "events oldest first" true (e.Recorder.time >= !prev);
+      prev := e.Recorder.time)
+    evs;
+  Recorder.clear r;
+  Alcotest.(check int) "clear resets recorded" 0 (Recorder.recorded r);
+  Alcotest.(check int) "clear resets length" 0 (List.length (Recorder.events r))
+
+let test_recorder_none_sentinel () =
+  Alcotest.(check int) "sentinel capacity 1" 1 (Recorder.capacity Recorder.none);
+  Alcotest.(check bool) "fresh recorders are distinct from the sentinel" true
+    (Recorder.create () != Recorder.none)
+
+let test_recorder_json_roundtrip () =
+  let r = Recorder.create ~capacity:16 () in
+  for i = 0 to 9 do
+    Recorder.record r Recorder.Begin ~op:i ~res:(i mod 3) ~time:(0.001 *. Float.of_int i);
+    Recorder.record r Recorder.End ~op:i ~res:(i mod 3)
+      ~time:(0.001 *. Float.of_int i +. 0.0005)
+  done;
+  Recorder.record r Recorder.Retry ~op:3 ~res:(-1) ~time:0.02;
+  let doc_str = Json.to_string (Recorder.to_json r) in
+  match Json.parse_result doc_str with
+  | Error msg -> Alcotest.failf "dump does not round-trip: %s" msg
+  | Ok doc ->
+      let int_field name =
+        Option.get (Option.bind (Json.member name doc) Json.to_float)
+        |> int_of_float
+      in
+      Alcotest.(check int) "capacity field" 16 (int_field "capacity");
+      Alcotest.(check int) "recorded field" 21 (int_field "recorded");
+      Alcotest.(check int) "dropped field" 5 (int_field "dropped");
+      let events = Json.to_list (Option.get (Json.member "events" doc)) in
+      Alcotest.(check int) "all surviving events serialized" 16
+        (List.length events);
+      let kinds =
+        List.filter_map
+          (fun e -> Option.bind (Json.member "kind" e) Json.to_str)
+          events
+      in
+      Alcotest.(check int) "every event has a kind" 16 (List.length kinds);
+      Alcotest.(check bool) "retry survives at the tail" true
+        (List.mem "retry" kinds)
+
+(* ------------------------------------------------------------------ *)
+(* Engine wiring: executes feed the plan's ring; dumps hit the exporter *)
+
+let compiled_plan () =
+  let handle = Blink.create Server.dgx1v ~gpus:gpus8 in
+  (handle, Blink.plan handle Plan.All_reduce ~elems:100_000)
+
+let test_engine_writes_recorder () =
+  let _, plan = compiled_plan () in
+  let r = plan.Plan.recorder in
+  let before = Recorder.recorded r in
+  ignore (Plan.execute ~data:false plan);
+  let after_run = Recorder.recorded r in
+  Alcotest.(check bool) "execute appends events" true (after_run > before);
+  (* Begin/end are written together at dispatch: the count is even and the
+     surviving window pairs up exactly. *)
+  Alcotest.(check int) "begin/end written in pairs" 0 (after_run mod 2);
+  let evs = Recorder.events r in
+  let begins =
+    List.filter (fun e -> e.Recorder.kind = Recorder.Begin) evs
+  in
+  let ends = List.filter (fun e -> e.Recorder.kind = Recorder.End) evs in
+  Alcotest.(check int) "window holds matched pairs"
+    (List.length begins) (List.length ends);
+  List.iter
+    (fun (b : Recorder.event) ->
+      Alcotest.(check bool) ("end present for op " ^ string_of_int b.Recorder.op)
+        true
+        (List.exists
+           (fun (e : Recorder.event) ->
+             e.Recorder.kind = Recorder.End && e.Recorder.op = b.Recorder.op
+             && e.Recorder.time >= b.Recorder.time)
+           evs))
+    begins
+
+let test_dump_slices_chrome () =
+  let _, plan = compiled_plan () in
+  ignore (Plan.execute ~data:false plan);
+  let r = plan.Plan.recorder in
+  let pairs =
+    List.length
+      (List.filter
+         (fun e -> e.Recorder.kind = Recorder.Begin)
+         (Recorder.events r))
+  in
+  (* Not tracing -> no-op. *)
+  Alcotest.(check int) "dump into non-tracing telemetry is a no-op" 0
+    (Recorder.dump_slices r (Telemetry.create ()));
+  let t = Telemetry.create ~trace:true () in
+  let slices = Recorder.dump_slices r t in
+  Alcotest.(check int) "one slice per matched begin/end pair" pairs slices;
+  let doc = Json.parse_exn (Telemetry.chrome_json t) in
+  let events = Json.to_list doc in
+  let complete =
+    List.filter
+      (fun e -> Json.member "ph" e |> Option.map Json.to_str = Some (Some "X"))
+      events
+  in
+  Alcotest.(check bool) "dump produced complete events" true
+    (List.length complete >= pairs);
+  let prev = ref neg_infinity in
+  List.iter
+    (fun e ->
+      let ts = Option.get (Option.bind (Json.member "ts" e) Json.to_float) in
+      let dur = Option.get (Option.bind (Json.member "dur" e) Json.to_float) in
+      Alcotest.(check bool) "slice ts sorted" true (ts >= !prev);
+      Alcotest.(check bool) "slice dur finite and non-negative" true
+        (dur >= 0. && Float.is_finite dur);
+      prev := ts)
+    complete
+
+(* ------------------------------------------------------------------ *)
+(* Critical-path attribution and the edge-cut yardstick *)
+
+let test_attribution_sums () =
+  let handle = Blink.create Server.dgx1v ~gpus:gpus8 in
+  (* 500 MB of fp32 — the paper's large-buffer regime, where pipeline
+     fill/drain is amortized and the plan runs against the edge cut. *)
+  let rep = Analysis.analyze handle Plan.All_reduce ~elems:125_000_000 in
+  let parts =
+    rep.Analysis.transfer_s +. rep.Analysis.compute_s +. rep.Analysis.delay_s
+    +. rep.Analysis.wait_s
+  in
+  Alcotest.(check (float 1e-9)) "components sum to makespan"
+    rep.Analysis.makespan_s parts;
+  Alcotest.(check bool) "critical chain is non-empty" true
+    (rep.Analysis.critical_ops > 0);
+  Alcotest.(check bool) "bottleneck set named" true
+    (rep.Analysis.bottlenecks <> []);
+  List.iter
+    (fun l ->
+      Alcotest.(check bool) "bottleneck utilization is the maximum" true
+        (List.for_all
+           (fun l' -> l'.Analysis.li_utilization <= l.Analysis.li_utilization +. 1e-9)
+           rep.Analysis.links))
+    rep.Analysis.bottlenecks;
+  (* The paper's claim, as a regression bound: the packed plan runs within
+     a few percent of the collective-aware edge cut, and never above it. *)
+  Alcotest.(check bool) "achieved within the edge-cut bound" true
+    (rep.Analysis.achieved_gbps <= rep.Analysis.bound_gbps *. (1. +. 1e-6));
+  Alcotest.(check bool) "efficiency >= 0.95 on the full DGX-1V" true
+    (rep.Analysis.efficiency >= 0.95);
+  (* report_json is a valid document. *)
+  (match Json.parse_result (Json.to_string (Analysis.report_json rep)) with
+  | Ok _ -> ()
+  | Error m -> Alcotest.failf "report_json invalid: %s" m)
+
+let test_phase_timers () =
+  let telemetry = Telemetry.create () in
+  let handle = Blink.create ~telemetry Server.dgx1v ~gpus:gpus8 in
+  ignore (Blink.plan handle Plan.All_reduce ~elems:1_000_000);
+  let phases = Analysis.phases handle in
+  Alcotest.(check bool) "replan decomposes into >= 3 phases" true
+    (List.length phases >= 3);
+  List.iter
+    (fun p ->
+      Alcotest.(check bool) (p.Analysis.phase ^ " fired") true
+        (p.Analysis.calls > 0);
+      Alcotest.(check bool) (p.Analysis.phase ^ " non-negative") true
+        (p.Analysis.total_s >= 0.))
+    phases;
+  let names = List.map (fun p -> p.Analysis.phase) phases in
+  List.iter
+    (fun expected ->
+      Alcotest.(check bool) ("phase " ^ expected) true
+        (List.exists
+           (fun n ->
+             String.length n >= String.length expected
+             && String.sub n 0 (String.length expected) = expected)
+           names))
+    [ "mwu"; "ilp"; "codegen" ]
+
+(* ------------------------------------------------------------------ *)
+(* Service observatory: straggler flagging *)
+
+let test_straggler_flagging () =
+  (* Healthy run: rates come from the deterministic simulator, so nothing
+     deviates from its class's best and nothing is flagged. *)
+  let healthy = Scheduler.run_service ~servers:8 ~n_jobs:150 () in
+  Alcotest.(check int) "healthy run flags no stragglers" 0
+    healthy.Scheduler.straggler_slices;
+  Alcotest.(check bool) "observatory covers the tenants" true
+    (List.length healthy.Scheduler.observatory > 0);
+  List.iter
+    (fun ob ->
+      let h = ob.Scheduler.ob_latency in
+      Alcotest.(check bool) "latency histogram consistent" true
+        (h.Scheduler.h_count >= 0
+        && (h.Scheduler.h_count = 0 || h.Scheduler.h_max_s >= h.Scheduler.h_mean_s)))
+    healthy.Scheduler.observatory;
+  (* Same trace with tenant 2 slowed 2x: flags appear, all on tenant 2. *)
+  let injected =
+    Scheduler.run_service ~servers:8 ~n_jobs:150 ~straggler:(2, 2.0) ()
+  in
+  Alcotest.(check bool) "injected straggler is flagged" true
+    (injected.Scheduler.straggler_slices > 0);
+  List.iter
+    (fun s ->
+      Alcotest.(check int) "flag lands on the injected tenant" 2
+        s.Scheduler.st_tenant;
+      Alcotest.(check bool) "achieved below expected" true
+        (s.Scheduler.st_achieved_gbps < s.Scheduler.st_expected_gbps))
+    injected.Scheduler.stragglers;
+  let flagged_on_tenant =
+    List.fold_left
+      (fun acc ob ->
+        if ob.Scheduler.ob_tenant = 2 then acc + ob.Scheduler.ob_straggler_slices
+        else acc)
+      0 injected.Scheduler.observatory
+  in
+  Alcotest.(check int) "observatory agrees with the straggler list"
+    injected.Scheduler.straggler_slices flagged_on_tenant
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic snapshots *)
+
+let snapshot () =
+  let telemetry = Telemetry.create ~clock:(fun () -> 0.) () in
+  let handle = Blink.create ~telemetry Server.dgx1v ~gpus:gpus8 in
+  for _ = 1 to 3 do
+    let plan = Blink.plan handle Plan.All_reduce ~elems:100_000 in
+    ignore (Plan.execute ~data:false plan)
+  done;
+  Telemetry.metrics_json_string telemetry
+
+let test_deterministic_snapshot () =
+  let a = snapshot () and b = snapshot () in
+  Alcotest.(check bool) "two runs produce byte-identical snapshots" true
+    (String.equal a b);
+  (* And the snapshot is a valid, key-sorted document. *)
+  match Json.parse_result a with
+  | Error m -> Alcotest.failf "snapshot invalid: %s" m
+  | Ok doc ->
+      let names section =
+        Json.to_list (Option.get (Json.member section doc))
+        |> List.filter_map (fun c -> Option.bind (Json.member "name" c) Json.to_str)
+      in
+      let sorted l = List.sort compare l = l in
+      Alcotest.(check bool) "counters sorted by name" true
+        (sorted (names "counters"));
+      Alcotest.(check bool) "gauges sorted by name" true (sorted (names "gauges"))
+
+let () =
+  Alcotest.run "observability"
+    [
+      ( "recorder",
+        [
+          Alcotest.test_case "ring wrap and drop accounting" `Quick
+            test_recorder_ring;
+          Alcotest.test_case "inert sentinel" `Quick test_recorder_none_sentinel;
+          Alcotest.test_case "dump round-trips through Json.parse_result"
+            `Quick test_recorder_json_roundtrip;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "executes write matched begin/end pairs" `Quick
+            test_engine_writes_recorder;
+          Alcotest.test_case "dump_slices feeds the chrome exporter" `Quick
+            test_dump_slices_chrome;
+        ] );
+      ( "analysis",
+        [
+          Alcotest.test_case "attribution sums to makespan, bound holds"
+            `Quick test_attribution_sums;
+          Alcotest.test_case "replan phase timers" `Quick test_phase_timers;
+        ] );
+      ( "observatory",
+        [
+          Alcotest.test_case "straggler injection and flagging" `Quick
+            test_straggler_flagging;
+        ] );
+      ( "snapshots",
+        [
+          Alcotest.test_case "deterministic metrics output" `Quick
+            test_deterministic_snapshot;
+        ] );
+    ]
