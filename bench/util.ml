@@ -76,7 +76,7 @@ let nccl_backend server ~gpus fabric =
 
 module Json = Blink_telemetry.Json
 
-let schema_version = 1
+let schema_version = 2
 
 let host_metadata () =
   Json.Obj

@@ -97,6 +97,21 @@ type t = {
   (* Tree extraction from the packings is pure; memoize it per handle. *)
   mutable bcast_trees : Tree.weighted list option;
   mutable ar_trees : Tree.weighted list option;
+  (* Selective re-tune state, filled by a warm fault replan from the old
+     fingerprint's tuned chunks: [`Reuse c] — the post-fault bottleneck
+     rate is unchanged, keep chunk [c] without probing; [`Init c] — the
+     rate moved, re-probe starting from [c]. Hint-derived chunks are
+     handle-local and never published to the store (a shared store must
+     only ever serve cold-tuned chunks). Cleared by cold/contingency
+     replans. *)
+  chunk_hints : (int, [ `Reuse of int | `Init of int ]) Hashtbl.t;
+  (* The current topology view came from a warm (incremental) replan
+     rather than a cold plan. Warm-derived state is rate-equivalent but
+     not guaranteed bit-identical to a cold build, so while this is set a
+     handle on a {e shared} store never publishes: plans compile
+     privately and prewarm declines. A later cold or contingency replan
+     clears it. *)
+  mutable warm_topology : bool;
 }
 
 let trees_of_packing g (p : Treegen.packing) =
@@ -135,6 +150,23 @@ let rank_of_gpu gpus g =
   Array.iteri (fun i x -> if x = g then found := i) gpus;
   !found
 
+let raise_disconnected ~on_disconnected graph ~gpus ~root =
+  match on_disconnected with
+  | `Invalid_arg ->
+      invalid_arg
+        "Blink.create: allocation has no NVLink spanning structure \
+         from the root (disconnected NVLink graph); use hybrid/PCIe \
+         transfers"
+  | `Partitioned ->
+      let k = Array.length gpus in
+      let reach = Digraph.reachable graph ~from:root in
+      let alive = ref [] and unreachable = ref [] in
+      for i = k - 1 downto 0 do
+        if reach.(i) then alive := gpus.(i) :: !alive
+        else unreachable := gpus.(i) :: !unreachable
+      done;
+      raise (Partitioned { alive = !alive; unreachable = !unreachable })
+
 (* Plan the NVLink topology restricted to the surviving [gpus] under the
    accumulated link [faults]. [on_disconnected] picks the error shape:
    [create] keeps its historical [Invalid_argument] for a born-broken
@@ -161,22 +193,8 @@ let plan_topology ?epsilon ?threshold ~telemetry ~on_disconnected server ~gpus
       let root =
         match root_gpu with Some g -> rank_of g | None -> Treegen.best_root graph
       in
-      if k > 1 && not (Digraph.is_connected_from graph ~root) then begin
-        match on_disconnected with
-        | `Invalid_arg ->
-            invalid_arg
-              "Blink.create: allocation has no NVLink spanning structure \
-               from the root (disconnected NVLink graph); use hybrid/PCIe \
-               transfers"
-        | `Partitioned ->
-            let reach = Digraph.reachable graph ~from:root in
-            let alive = ref [] and unreachable = ref [] in
-            for i = k - 1 downto 0 do
-              if reach.(i) then alive := gpus.(i) :: !alive
-              else unreachable := gpus.(i) :: !unreachable
-            done;
-            raise (Partitioned { alive = !alive; unreachable = !unreachable })
-      end;
+      if k > 1 && not (Digraph.is_connected_from graph ~root) then
+        raise_disconnected ~on_disconnected graph ~gpus ~root;
       let directed = Treegen.plan ?epsilon ?threshold ~telemetry graph ~root in
       let undirected =
         Treegen.plan_undirected ?epsilon ?threshold ~telemetry graph ~root
@@ -278,6 +296,8 @@ let create ?root ?epsilon ?threshold ?telemetry ?max_cached_plans ?link_faults
     fingerprint;
     bcast_trees = None;
     ar_trees = None;
+    chunk_hints = Hashtbl.create 4;
+    warm_topology = false;
   }
 
 (* Every planning/execution entry point funnels through this: a
@@ -445,25 +465,48 @@ let size_class ~elems =
 
 let tuned_chunk t ~elems =
   let fp = Fingerprint.id t.fingerprint in
-  match Store.find_opt t.store ~fp (Chunk_key (size_class ~elems)) with
+  let cls = size_class ~elems in
+  match Store.find_opt t.store ~fp (Chunk_key cls) with
   | Some (Chunk chunk) -> chunk
   | Some (Topo _ | Compiled _) -> assert false
-  | None ->
-      (* Probe at a representative size of the class, starting from a
-         size-proportional initial chunk. *)
-      let init = heuristic_chunk ~elems in
+  | None -> (
       let measure ~chunk_elems =
         let prog, _ = all_reduce ~chunk_elems t ~elems in
         algbw_gbps ~elems (time_quiet t prog)
       in
-      let result =
-        Chunking.tune ~init ~max_probe_seconds:default_probe_cap_s
-          ~telemetry:t.telemetry ~measure ()
-      in
-      Store.add t.store ~fp
-        (Chunk_key (size_class ~elems))
-        (Chunk result.Chunking.chosen);
-      result.Chunking.chosen
+      match Hashtbl.find_opt t.chunk_hints cls with
+      | Some (`Reuse chunk) ->
+          (* Post-fault bottleneck rate unchanged: the previous optimum
+             stands; skip the MIAD probes entirely. *)
+          Telemetry.incr t.telemetry "plan.chunk.reused";
+          chunk
+      | Some (`Init init) ->
+          (* The rate moved: re-probe, but descend from the previous
+             optimum instead of the size heuristic. Handle-local only —
+             see the [chunk_hints] invariant. *)
+          let result =
+            Chunking.tune ~init ~max_probe_seconds:default_probe_cap_s
+              ~telemetry:t.telemetry ~measure ()
+          in
+          Telemetry.incr t.telemetry "plan.chunk.retuned";
+          Hashtbl.replace t.chunk_hints cls (`Reuse result.Chunking.chosen);
+          result.Chunking.chosen
+      | None ->
+          (* Probe at a representative size of the class, starting from a
+             size-proportional initial chunk. *)
+          let init = heuristic_chunk ~elems in
+          let result =
+            Chunking.tune ~init ~max_probe_seconds:default_probe_cap_s
+              ~telemetry:t.telemetry ~measure ()
+          in
+          (* Probes against a warm topology stay handle-local on a
+             shared store (same publication rule as compiled plans). *)
+          if t.warm_topology && not t.owns_store then
+            Hashtbl.replace t.chunk_hints cls (`Reuse result.Chunking.chosen)
+          else
+            Store.add t.store ~fp (Chunk_key cls)
+              (Chunk result.Chunking.chosen);
+          result.Chunking.chosen)
 
 (* ------------------------------------------------------------------ *)
 (* Compiled-plan cache *)
@@ -492,20 +535,40 @@ let plan ?chunk_elems t collective ~elems =
       (Plan.build collective ~spec ~root:t.root ~elems
          ~trees:(trees_for t collective))
   in
-  let status, stored =
-    Store.find_or_build t.store
-      ~fp:(Fingerprint.id t.fingerprint)
-      (Plan_key key) ~build
-  in
-  (match status with
-  | `Hit -> Telemetry.incr t.telemetry "plan.cache.hits"
-  | `Miss evicted ->
-      Telemetry.incr t.telemetry "plan.cache.misses";
-      if evicted > 0 then
-        Telemetry.incr t.telemetry ~by:evicted "plan.cache.evictions");
-  match stored with
-  | Compiled plan -> plan
-  | Topo _ | Chunk _ -> assert false
+  if t.warm_topology && not t.owns_store then begin
+    (* Warm-derived topology on a shared store: never publish. Existing
+       (cold-built or migrated) entries still serve; misses compile
+       privately and are not inserted, so other tenants only ever see
+       cold-equivalent plans. *)
+    match Store.find_opt t.store ~fp:(Fingerprint.id t.fingerprint)
+            (Plan_key key)
+    with
+    | Some (Compiled plan) ->
+        Telemetry.incr t.telemetry "plan.cache.hits";
+        plan
+    | Some (Topo _ | Chunk _) -> assert false
+    | None -> (
+        Telemetry.incr t.telemetry "plan.cache.misses";
+        match build () with
+        | Compiled plan -> plan
+        | Topo _ | Chunk _ -> assert false)
+  end
+  else begin
+    let status, stored =
+      Store.find_or_build t.store
+        ~fp:(Fingerprint.id t.fingerprint)
+        (Plan_key key) ~build
+    in
+    (match status with
+    | `Hit -> Telemetry.incr t.telemetry "plan.cache.hits"
+    | `Miss evicted ->
+        Telemetry.incr t.telemetry "plan.cache.misses";
+        if evicted > 0 then
+          Telemetry.incr t.telemetry ~by:evicted "plan.cache.evictions");
+    match stored with
+    | Compiled plan -> plan
+    | Topo _ | Chunk _ -> assert false
+  end
 
 (* Kept as a thin wrapper: the counters now live in the telemetry
    registry, so exporters and this accessor can never disagree. A handle
@@ -533,14 +596,70 @@ let plan_touches_pair (plan : Plan.t) (ru, rv) =
       tree.Tree.parent.(ru) = rv || tree.Tree.parent.(rv) = ru)
     plan.Plan.trees
 
-let apply_mutation t ~affected =
+(* Warm incremental replan (ISSUE 8): rebuild the cheap fabric view, then
+   reuse the previous packings' surviving trees through {!Treegen.replan}
+   instead of re-running MWU/ILP from scratch. The root is computed
+   exactly as the cold path would (pinned gpu, else best over the new
+   graph); a moved root makes [Treegen.replan] fall back to a cold pack
+   internally. The result is handle-local and deliberately NOT published
+   to the store: store entries must stay cold-equivalent so isomorphic
+   tenants — and the fresh-handle bit-identity verification — are never
+   served a warm-derived packing. *)
+let warm_replan t ~prev_directed ~prev_undirected ~prev_graph ~faults =
+  let fabric = Fabric.of_server ~faults t.server ~gpus:t.gpus in
+  let graph = Server.nvlink_digraph ~faults t.server ~gpus:t.gpus in
+  let root =
+    match t.explicit_root with
+    | Some g -> (
+        match rank_of_gpu t.gpus g with
+        | -1 -> invalid_arg "Blink: pinned root left the allocation"
+        | r -> r)
+    | None -> Treegen.best_root graph
+  in
+  if Array.length t.gpus > 1 && not (Digraph.is_connected_from graph ~root)
+  then
+    raise_disconnected ~on_disconnected:`Partitioned graph ~gpus:t.gpus ~root;
+  let directed, dstats =
+    Treegen.replan ?epsilon:t.epsilon ?threshold:t.threshold
+      ~telemetry:t.telemetry ~prev:prev_directed ~prev_graph graph ~root
+  in
+  let undirected, ustats =
+    Treegen.replan ?epsilon:t.epsilon ?threshold:t.threshold
+      ~telemetry:t.telemetry ~prev:prev_undirected ~prev_graph graph ~root
+  in
+  let kept = dstats.Treegen.kept_trees + ustats.Treegen.kept_trees in
+  let displaced =
+    dstats.Treegen.displaced_trees + ustats.Treegen.displaced_trees
+  in
+  if kept > 0 then
+    Telemetry.incr t.telemetry ~by:kept "plan.replan.kept_trees";
+  if displaced > 0 then
+    Telemetry.incr t.telemetry ~by:displaced "plan.replan.displaced_trees";
+  if dstats.Treegen.cold_fallback || ustats.Treegen.cold_fallback then
+    Telemetry.incr t.telemetry "plan.replan.cold_fallbacks";
+  (fabric, graph, Packed { directed; undirected }, root)
+
+let apply_mutation ?(replan = `Warm) t ~affected =
   Telemetry.incr t.telemetry "fault.injected";
   let old_root_gpu = if Array.length t.gpus = 0 then -1 else t.gpus.(t.root) in
   let old_fp = Fingerprint.id t.fingerprint in
+  let prev_kind = t.kind in
+  let prev_graph = t.graph in
   (* The memoized trees describe the old fabric; they re-derive cheaply
      and must match a fresh handle on the degraded graph bit for bit. *)
   t.bcast_trees <- None;
   t.ar_trees <- None;
+  (* Chunk knowledge the handle accumulated since the last mutation
+     (warm re-tunes live only in [chunk_hints], never in a store bucket)
+     must survive into this mutation's hint classification, or a second
+     fault would forget the first fault's optimum and tune cold. *)
+  let prev_hints =
+    Hashtbl.fold
+      (fun cls h acc ->
+        (cls, match h with `Reuse c | `Init c -> c) :: acc)
+      t.chunk_hints []
+  in
+  Hashtbl.reset t.chunk_hints;
   let faults = link_faults t in
   let fingerprint =
     Fingerprint.make ?epsilon:t.epsilon ?threshold:t.threshold
@@ -555,31 +674,78 @@ let apply_mutation t ~affected =
   in
   let fp = Fingerprint.id fingerprint in
   (* Replan first: a partition kills the handle before the store is
-     touched, so a shared store is never poisoned by a dead tenant. *)
+     touched, so a shared store is never poisoned by a dead tenant.
+     Three paths, fastest first: a prewarmed contingency bucket (or an
+     isomorphic tenant that already paid for this exact post-fault
+     class) answers from the store; otherwise a warm replan reuses the
+     surviving trees; otherwise plan cold. *)
   let t0 = Unix.gettimeofday () in
+  let path = ref "cold" in
   let fabric, graph, kind, root =
     try
-      topo_via_store ?epsilon:t.epsilon ?threshold:t.threshold
-        ~telemetry:t.telemetry ~on_disconnected:`Partitioned ~store:t.store
-        ~fp t.server ~gpus:t.gpus ~faults ~root_gpu:t.explicit_root
+      match Store.find_opt t.store ~fp Topo_key with
+      | Some (Topo { t_fabric; t_graph; t_kind; t_root }) ->
+          path := "contingency";
+          Store.note_contingency t.store ~hit:true;
+          Telemetry.incr t.telemetry "plan.contingency.hits";
+          (t_fabric, t_graph, t_kind, t_root)
+      | Some (Chunk _ | Compiled _) -> assert false
+      | None -> (
+          Store.note_contingency t.store ~hit:false;
+          Telemetry.incr t.telemetry "plan.contingency.misses";
+          match (replan, prev_kind) with
+          | `Warm, Packed prev ->
+              path := "warm";
+              warm_replan t ~prev_directed:prev.directed
+                ~prev_undirected:prev.undirected ~prev_graph ~faults
+          | (`Warm | `Cold), _ ->
+              topo_via_store ?epsilon:t.epsilon ?threshold:t.threshold
+                ~telemetry:t.telemetry ~on_disconnected:`Partitioned
+                ~store:t.store ~fp t.server ~gpus:t.gpus ~faults
+                ~root_gpu:t.explicit_root)
     with Partitioned { alive; unreachable } as e ->
       t.partition <- Some (alive, unreachable);
       raise e
   in
-  Telemetry.observe t.telemetry "plan.replan_s" (Unix.gettimeofday () -. t0);
+  Telemetry.observe t.telemetry
+    ~labels:[ ("path", !path) ]
+    "plan.replan_s"
+    (Unix.gettimeofday () -. t0);
+  (* Selective re-tune: after a warm replan, the old fingerprint's tuned
+     chunks become hints — reused outright when the undirected bottleneck
+     rate is unchanged, a probe starting point otherwise. *)
+  let hint_of_chunk =
+    match (!path, prev_kind, kind) with
+    | "warm", Packed prev, Packed next ->
+        if
+          Float.abs
+            (next.undirected.Treegen.rate -. prev.undirected.Treegen.rate)
+          <= 1e-9
+        then Some (fun chunk -> `Reuse chunk)
+        else Some (fun chunk -> `Init chunk)
+    | _ -> None
+  in
+  (match hint_of_chunk with
+  | Some hint ->
+      List.iter
+        (fun (cls, chunk) -> Hashtbl.replace t.chunk_hints cls (hint chunk))
+        prev_hints
+  | None -> ());
   t.fabric <- fabric;
   t.graph <- graph;
   t.kind <- kind;
   t.root <- root;
   t.fingerprint <- fingerprint;
+  t.warm_topology <- String.equal !path "warm";
   (* Migrate the handle's cached plans from the old fingerprint to the
      new one, against the old rank numbering: plans whose trees route
      over the affected edges are dropped (counted as invalidations), as
      is everything when replanning moved the root — surviving one-to-many
      plans would bake the wrong root. Tuned chunks and the old topology
-     describe the old fabric and never migrate. A handle-owned store
-     drops the stale source bucket; a shared one keeps it for the other
-     tenants still on the old fingerprint. *)
+     describe the old fabric and never migrate (a warm replan captures
+     the chunks as handle-local re-tune hints on the way past). A
+     handle-owned store drops the stale source bucket; a shared one keeps
+     it for the other tenants still on the old fingerprint. *)
   let root_moved = Array.length t.gpus > 0 && t.gpus.(root) <> old_root_gpu in
   let classify key stored =
     match (key, stored) with
@@ -592,6 +758,14 @@ let apply_mutation t ~affected =
           | `Pairs pairs -> List.exists (plan_touches_pair plan) pairs
         in
         if doomed then `Drop else `Copy
+    | Chunk_key cls, Chunk chunk ->
+        (* The handle's own re-tunes (seeded above) are fresher than the
+           pre-fault bucket's cold chunks; don't overwrite them. *)
+        (match hint_of_chunk with
+        | Some hint when not (Hashtbl.mem t.chunk_hints cls) ->
+            Hashtbl.replace t.chunk_hints cls (hint chunk)
+        | Some _ | None -> ());
+        `Skip
     | _ -> `Skip
   in
   let _copied, dropped =
@@ -601,12 +775,12 @@ let apply_mutation t ~affected =
   if dropped > 0 then
     Telemetry.incr t.telemetry ~by:dropped "plan.cache.invalidations";
   Log.info (fun m ->
-      m "%s: topology mutation dropped %d cached plan(s); new root gpu %d"
-        t.server.Server.name dropped t.gpus.(root))
+      m "%s: topology mutation (%s) dropped %d cached plan(s); new root gpu %d"
+        t.server.Server.name !path dropped t.gpus.(root))
 
 let rank_of_alive t g = rank_of_gpu t.gpus g
 
-let set_link_fault t ~u ~v state =
+let set_link_fault ?replan t ~u ~v state =
   check_usable t;
   if t.server.Server.nvswitch <> None then
     invalid_arg "Blink: link faults are unsupported on NVSwitch machines";
@@ -618,14 +792,14 @@ let set_link_fault t ~u ~v state =
     invalid_arg
       (Printf.sprintf "Blink: no NVLink between gpus %d and %d" u v);
   Hashtbl.replace t.faults (min u v, max u v) state;
-  apply_mutation t ~affected:(`Pairs [ (ru, rv) ])
+  apply_mutation ?replan t ~affected:(`Pairs [ (ru, rv) ])
 
-let degrade_link t ~u ~v ~factor =
+let degrade_link ?replan t ~u ~v ~factor =
   if factor <= 0. || factor > 1. then
     invalid_arg "Blink.degrade_link: factor must be in (0, 1]";
-  set_link_fault t ~u ~v (Server.Degraded factor)
+  set_link_fault ?replan t ~u ~v (Server.Degraded factor)
 
-let fail_link t ~u ~v = set_link_fault t ~u ~v Server.Down
+let fail_link ?replan t ~u ~v = set_link_fault ?replan t ~u ~v Server.Down
 
 let fail_gpu t ~gpu =
   check_usable t;
@@ -649,8 +823,9 @@ let fail_gpu t ~gpu =
   in
   List.iter (Hashtbl.remove t.faults) ghost;
   (* Rank renumbering invalidates every cached plan: buffers, trees and
-     programs are all in rank space. *)
-  apply_mutation t ~affected:`All
+     programs are all in rank space — previous trees are meaningless under
+     the new numbering, so a GPU loss always replans cold. *)
+  apply_mutation ~replan:`Cold t ~affected:`All
 
 (* ------------------------------------------------------------------ *)
 (* Prewarm: batch-populate the plan cache across domains. Only the pure,
@@ -664,7 +839,7 @@ let map_pool pool f xs =
   | Some pool -> Blink_parallel.Pool.parallel_map pool f xs
   | None -> List.map f xs
 
-let prewarm ?pool t keys =
+let rec prewarm ?pool ?(contingencies = `None) t keys =
   check_usable t;
   (* Force the tree memos here: workers then only read
      [t.bcast_trees]/[t.ar_trees] and never race on filling them. *)
@@ -748,4 +923,122 @@ let prewarm ?pool t keys =
       if evicted > 0 then
         Telemetry.incr t.telemetry ~by:evicted "plan.cache.evictions")
     built;
-  List.length built
+  List.length built + prewarm_contingencies ?pool ~contingencies t keys
+
+(* Background contingency plans: precompute the full "one link down"
+   post-fault state — topology packing, tuned chunks and the requested
+   compiled plans — for each NVLink pair of the live fabric, keyed under
+   the post-fault fingerprint in the handle's store. Everything goes
+   through the {e cold} construction path (the pure [plan_topology] on
+   pool workers, then a scratch tenant handle created directly on the
+   degraded fabric), so the stored entries are bit-identical to what a
+   fresh tenant born on that topology would build — exactly what
+   [apply_mutation]'s contingency lookup and isomorphic tenants expect.
+   Automorphic failures collapse into one fingerprint class
+   ([Fingerprint] quotients by GPU relabeling), so a DGX-1V costs a
+   handful of classes, not one per link. *)
+and prewarm_contingencies ?pool ~contingencies t keys =
+  let pairs =
+    match contingencies with
+    | `None -> []
+    | `Pairs ps -> ps
+    | `All ->
+        if t.server.Server.nvswitch <> None then []
+        else List.map (fun (u, v, _) -> (u, v)) t.server.Server.nvlinks
+  in
+  if pairs = [] then 0
+  else if t.warm_topology && not t.owns_store then
+    (* Same publication rule as [plan]: a warm topology never writes
+       derived state into a shared store. *)
+    0
+  else begin
+    let live g = rank_of_gpu t.gpus g >= 0 in
+    let current = link_faults t in
+    let root_rank =
+      Option.map
+        (fun g ->
+          match rank_of_gpu t.gpus g with
+          | -1 -> invalid_arg "Blink: pinned root left the allocation"
+          | r -> r)
+        t.explicit_root
+    in
+    (* One candidate per distinct post-fault fingerprint class whose
+       surviving graph still spans the allocation. *)
+    let seen = Hashtbl.create 8 in
+    let classes =
+      List.filter_map
+        (fun (u, v) ->
+          let u, v = (min u v, max u v) in
+          if u = v || (not (live u)) || not (live v) then None
+          else if Server.pair_links t.server u v = None then None
+          else if Hashtbl.find_opt t.faults (u, v) = Some Server.Down then
+            None
+          else begin
+            let faults =
+              Server.normalize_faults (current @ [ ((u, v), Server.Down) ])
+            in
+            let fpid =
+              Fingerprint.id
+                (Fingerprint.make ?epsilon:t.epsilon ?threshold:t.threshold
+                   ?root:root_rank t.server ~gpus:t.gpus ~faults)
+            in
+            if Hashtbl.mem seen fpid then None
+            else begin
+              Hashtbl.add seen fpid ();
+              let graph =
+                Server.nvlink_digraph ~faults t.server ~gpus:t.gpus
+              in
+              let root =
+                match root_rank with
+                | Some r -> r
+                | None -> Treegen.best_root graph
+              in
+              if
+                Array.length t.gpus > 1
+                && not (Digraph.is_connected_from graph ~root)
+              then None (* a partitioning failure has no contingency plan *)
+              else Some (fpid, faults)
+            end
+          end)
+        pairs
+    in
+    (* Stage 1: pack the missing post-fault topologies on the pool (pure
+       work), insert from the calling domain. *)
+    let missing =
+      List.filter
+        (fun (fpid, _) ->
+          Option.is_none (Store.find_opt t.store ~fp:fpid Topo_key))
+        classes
+    in
+    let topos =
+      map_pool pool
+        (fun (fpid, faults) ->
+          let fabric, graph, kind, root =
+            plan_topology ?epsilon:t.epsilon ?threshold:t.threshold
+              ~telemetry:Telemetry.disabled ~on_disconnected:`Partitioned
+              t.server ~gpus:t.gpus ~faults ~root_gpu:t.explicit_root
+          in
+          ( fpid,
+            Topo
+              { t_fabric = fabric; t_graph = graph; t_kind = kind;
+                t_root = root } ))
+        missing
+    in
+    List.iter (fun (fpid, topo) -> Store.add t.store ~fp:fpid Topo_key topo) topos;
+    if topos <> [] then
+      Telemetry.incr t.telemetry ~by:(List.length topos)
+        "plan.contingency.prewarmed";
+    (* Stage 2: tune + compile each class's plans through a scratch
+       tenant handle born on the degraded fabric — the cold create path,
+       sharing this handle's store, so every entry lands under the
+       post-fault fingerprint exactly as a fresh tenant would build it. *)
+    List.fold_left
+      (fun acc (_fpid, faults) ->
+        let scratch =
+          create ?root:root_rank ?epsilon:t.epsilon ?threshold:t.threshold
+            ~telemetry:Telemetry.disabled ~link_faults:faults ~store:t.store
+            t.server ~gpus:t.gpus
+        in
+        acc + prewarm ?pool scratch keys)
+      0 classes
+  end

@@ -202,7 +202,11 @@ val plan : ?chunk_elems:int -> t -> Plan.collective -> elems:int -> Plan.t
     calls with the same key return the same instance. *)
 
 val prewarm :
-  ?pool:Blink_parallel.Pool.t -> t -> (Plan.collective * int) list -> int
+  ?pool:Blink_parallel.Pool.t ->
+  ?contingencies:[ `None | `All | `Pairs of (int * int) list ] ->
+  t ->
+  (Plan.collective * int) list ->
+  int
 (** Batch-populate the plan cache for the given [(collective, elems)]
     keys, returning how many plans were newly compiled (duplicates and
     already-cached keys are skipped). Chunk sizes come from the MIAD
@@ -214,7 +218,21 @@ val prewarm :
     counters) happens in the calling domain. A prewarmed handle is
     therefore bit-identical to one warmed by sequential {!plan} calls,
     with any pool size. After [prewarm], {!plan} calls for these keys are
-    cache hits. *)
+    cache hits.
+
+    [contingencies] additionally precomputes background "one link down"
+    plans: for [`All] every NVLink pair of the live fabric (for
+    [`Pairs ps] just those pairs), the complete post-fault state —
+    topology packing, tuned chunks, and the compiled plans for [keys] —
+    is built through the cold construction path and stored under the
+    post-fault {e fingerprint}, so a later {!fail_link} on such a pair
+    becomes a store lookup ([plan.contingency.hits]) instead of a live
+    replan, and isomorphic tenants sharing the store inherit the same
+    entries. Automorphic failures collapse into one fingerprint class
+    (a DGX-1V has few distinct single-link-failure classes), each pair
+    whose loss would partition the allocation is skipped, and pairs
+    already [Down] are ignored. The returned count includes the
+    contingency plans. Default [`None]. *)
 
 (** {2 Fault tolerance}
 
@@ -223,35 +241,53 @@ val prewarm :
     invalidates only the cached plans whose trees route over the affected
     edges (counted as ["plan.cache.invalidations"]), and replans trees on
     the surviving graph (replan wall-clock recorded in the
-    ["plan.replan_s"] histogram). The next {!plan} call on an affected key
-    misses and compiles against the degraded fabric; unaffected keys keep
-    their cached plans. Results after a mutation are bit-identical to a
-    fresh handle created with the same accumulated faults via
-    [create ?link_faults].
+    ["plan.replan_s"] histogram, labelled by path). The next {!plan} call
+    on an affected key misses and compiles against the degraded fabric;
+    unaffected keys keep their cached plans.
+
+    Replanning takes the fastest of three paths. A {e contingency} hit —
+    the post-fault fingerprint already has a topology in the store,
+    prewarmed via [prewarm ~contingencies] or paid for by an isomorphic
+    tenant — answers from the store and is bit-identical to a fresh
+    handle by construction. Otherwise, the default {e warm} path
+    ([~replan:`Warm]) replans incrementally: previous trees that do not
+    route over the affected link are kept verbatim, only the displaced
+    flow is re-packed over residual capacities, and the ILP re-rounds
+    from the surviving solution ({!Treegen.replan}) — rate-equivalent to
+    a cold replan and byte-identical whenever no kept tree was displaced,
+    but not guaranteed bit-identical in general, so a warm handle on a
+    {e shared} store stops publishing derived state (plans compile
+    privately). [~replan:`Cold] forces the from-scratch replan, whose
+    results stay bit-identical to a fresh handle created with the same
+    accumulated faults via [create ?link_faults].
 
     Faults are rejected with [Invalid_argument] on NVSwitch machines
     (the switch fabric is modeled as a single attach per GPU). *)
 
-val degrade_link : t -> u:int -> v:int -> factor:float -> unit
+val degrade_link :
+  ?replan:[ `Warm | `Cold ] -> t -> u:int -> v:int -> factor:float -> unit
 (** The duplex NVLink pair between gpus [u] and [v] drops to [factor] of
     nominal bandwidth ([0 < factor <= 1]; re-declaring a pair replaces its
-    state, it does not compound). Raises [Invalid_argument] on a bad
-    factor, an unknown pair, or dead endpoints; raises {!Partitioned} if
-    the graph falls apart (factor > 0 never partitions, but the handle
-    may already be partitioned). *)
+    state, it does not compound). [replan] picks the replanning path
+    (default [`Warm]; see the section preamble). Raises
+    [Invalid_argument] on a bad factor, an unknown pair, or dead
+    endpoints; raises {!Partitioned} if the graph falls apart (factor > 0
+    never partitions, but the handle may already be partitioned). *)
 
-val fail_link : t -> u:int -> v:int -> unit
+val fail_link : ?replan:[ `Warm | `Cold ] -> t -> u:int -> v:int -> unit
 (** The duplex NVLink pair between gpus [u] and [v] goes down entirely:
     it disappears from both the planning graph and the timing fabric.
-    Raises {!Partitioned} when the surviving graph no longer spans the
+    [replan] picks the replanning path (default [`Warm]). Raises
+    {!Partitioned} when the surviving graph no longer spans the
     allocation — the handle is then permanently unusable. *)
 
 val fail_gpu : t -> gpu:int -> unit
 (** Drop a GPU from the allocation. The survivors are renumbered to ranks
     [0 .. k-2], so every cached plan is invalidated (rank-space buffers
-    and trees). Raises [Invalid_argument] when dropping the last GPU or a
-    root pinned by [create ?root]; raises {!Partitioned} when the
-    survivors are disconnected. *)
+    and trees) and the replan is always cold — previous trees are
+    meaningless under the new numbering. Raises [Invalid_argument] when
+    dropping the last GPU or a root pinned by [create ?root]; raises
+    {!Partitioned} when the survivors are disconnected. *)
 
 type cache_stats = { hits : int; misses : int }
 

@@ -16,8 +16,10 @@ let plan_cache_stats t = Blink.plan_cache_stats t.blink
 (* Fault reports pass straight through to the planner handle: the next
    collective on an affected key replans automatically (its cached plan
    was invalidated), unaffected keys keep hitting. *)
-let degrade_link t ~u ~v ~factor = Blink.degrade_link t.blink ~u ~v ~factor
-let fail_link t ~u ~v = Blink.fail_link t.blink ~u ~v
+let degrade_link ?replan t ~u ~v ~factor =
+  Blink.degrade_link ?replan t.blink ~u ~v ~factor
+
+let fail_link ?replan t ~u ~v = Blink.fail_link ?replan t.blink ~u ~v
 let fail_gpu t ~gpu = Blink.fail_gpu t.blink ~gpu
 
 type 'a result = { value : 'a; seconds : float }

@@ -50,8 +50,10 @@ val plan_cache_stats : t -> Blink.cache_stats
     has one rank fewer — callers pass one buffer per {e surviving}
     rank. *)
 
-val degrade_link : t -> u:int -> v:int -> factor:float -> unit
-val fail_link : t -> u:int -> v:int -> unit
+val degrade_link :
+  ?replan:[ `Warm | `Cold ] -> t -> u:int -> v:int -> factor:float -> unit
+
+val fail_link : ?replan:[ `Warm | `Cold ] -> t -> u:int -> v:int -> unit
 val fail_gpu : t -> gpu:int -> unit
 
 type 'a result = { value : 'a; seconds : float }

@@ -437,7 +437,7 @@ let greedy_integral g ~root ~undirected ~unit =
 (* ------------------------------------------------------------------ *)
 (* ILP tree minimization, generic over the packing's capacity model. *)
 
-let minimize ?(threshold = 0.05) g packing =
+let minimize ?(threshold = 0.05) ?(warm_start = []) g packing =
   if packing.trees = [] then packing
   else begin
     let item_caps, items_of_tree =
@@ -479,6 +479,21 @@ let minimize ?(threshold = 0.05) g packing =
     let is_greedy i = i >= n_mwu in
     let cand_items = Array.map items_of_tree candidates in
     let k = Array.length candidates in
+    (* Warm-start bookkeeping: match the surviving trees of a previous
+       integral solution to candidate columns by edge set. Their columns
+       are forced into the ILP support and their weights seed the
+       branch-and-bound incumbent — an empty [warm_start] leaves the
+       search byte-identical to a cold minimize. *)
+    let warm_weight : (int list, float) Hashtbl.t = Hashtbl.create 8 in
+    List.iter
+      (fun t -> Hashtbl.replace warm_weight (List.sort compare t.edges) t.weight)
+      warm_start;
+    let warm_of_cand =
+      Array.map
+        (fun t -> Hashtbl.find_opt warm_weight (List.sort compare t.edges))
+        candidates
+    in
+    let is_warm i = warm_of_cand.(i) <> None in
     (* Constraint rows per used item, capacities in units. *)
     (* Re-sorted by row content (not item id): the ILP's branching order
        follows row order, and this is the ordering its tuning and the
@@ -508,7 +523,7 @@ let minimize ?(threshold = 0.05) g packing =
            the ILP needs for an integral optimum. *)
         let support =
           List.filter
-            (fun i -> lp_sol.(i) > 1e-7 || is_greedy i)
+            (fun i -> lp_sol.(i) > 1e-7 || is_greedy i || is_warm i)
             (List.init k Fun.id)
           |> Array.of_list
         in
@@ -517,6 +532,22 @@ let minimize ?(threshold = 0.05) g packing =
         let a' = Array.map sub a in
         let problem integer =
           { Ilp.c = sub c; a = a'; b; upper = sub upper; integer }
+        in
+        (* The surviving trees, expressed in support coordinates and
+           capacity units, are a feasible integral point (their loads and
+           bounds were feasible before the fault on items the fault did
+           not touch); [Ilp.solve] verifies and discards it otherwise
+           (e.g. when the capacity unit changed under a degradation). *)
+        let warm_vec =
+          if warm_start = [] then None
+          else
+            Some
+              (Array.map
+                 (fun i ->
+                   match warm_of_cand.(i) with
+                   | Some w -> w /. unit
+                   | None -> 0.)
+                 support)
         in
         (* Relaxation order: most fractional LP weight first. *)
         let order =
@@ -534,7 +565,7 @@ let minimize ?(threshold = 0.05) g packing =
           for idx = 0 to n_frac - 1 do
             integer.(order.(idx)) <- false
           done;
-          match Ilp.solve ~max_nodes:20_000 (problem integer) with
+          match Ilp.solve ~max_nodes:20_000 ?warm_start:warm_vec (problem integer) with
           | Some { Ilp.objective; solution } when objective +. tol >= target ->
               Some solution
           | _ -> if n_frac >= ks then None else attempt (n_frac + 1)
@@ -566,10 +597,10 @@ let minimize ?(threshold = 0.05) g packing =
 
 (* Non-recursive rebinding: wrap the ILP step in telemetry (span, removed
    tree count, final rate/tree gauges) without touching its internals. *)
-let minimize ?threshold ?(telemetry = Telemetry.disabled) g packing =
+let minimize ?threshold ?warm_start ?(telemetry = Telemetry.disabled) g packing =
   let start = Telemetry.now_s telemetry in
   let w0 = Telemetry.wall_s telemetry in
-  let result = minimize ?threshold g packing in
+  let result = minimize ?threshold ?warm_start g packing in
   if Telemetry.enabled telemetry then begin
     let mode = if packing.undirected then "undirected" else "directed" in
     let labels = [ ("mode", mode) ] in
@@ -599,6 +630,207 @@ let plan ?epsilon ?threshold ?telemetry g ~root =
 
 let plan_undirected ?epsilon ?threshold ?telemetry g ~root =
   minimize ?threshold ?telemetry g (pack_undirected ?epsilon ?telemetry g ~root)
+
+(* ------------------------------------------------------------------ *)
+(* Incremental replanning: keep the previous packing's surviving trees,
+   re-pack only the displaced flow over residual capacities, and hand the
+   survivors to the ILP as a warm start. *)
+
+type replan_stats = {
+  kept_trees : int;
+  displaced_trees : int;
+  cold_fallback : bool;
+}
+
+(* Map each edge of [prev_graph] onto [g] by (src, dst, occurrence index):
+   both graphs come from the same deterministic fabric walk
+   ([Server.nvlink_digraph] emits surviving pairs in nvlink-list order),
+   so the k-th parallel (src, dst) edge denotes the same physical link
+   before and after the fault. An edge maps only when the surviving
+   capacity is unchanged (within [tol]); a removed or degraded link
+   leaves [-1] and displaces every tree routing over it. *)
+let edge_remap ~prev_graph g =
+  let new_ids : (int * int * int, int) Hashtbl.t = Hashtbl.create 64 in
+  let counts : (int * int, int) Hashtbl.t = Hashtbl.create 64 in
+  let occurrence tbl key =
+    let k = Option.value (Hashtbl.find_opt tbl key) ~default:0 in
+    Hashtbl.replace tbl key (k + 1);
+    k
+  in
+  Digraph.fold_edges
+    (fun e () ->
+      let key = (e.Digraph.src, e.Digraph.dst) in
+      Hashtbl.replace new_ids
+        (e.Digraph.src, e.Digraph.dst, occurrence counts key)
+        e.Digraph.id)
+    g ();
+  Hashtbl.reset counts;
+  let map = Array.make (Digraph.n_edges prev_graph) (-1) in
+  Digraph.fold_edges
+    (fun e () ->
+      let key = (e.Digraph.src, e.Digraph.dst) in
+      match
+        Hashtbl.find_opt new_ids
+          (e.Digraph.src, e.Digraph.dst, occurrence counts key)
+      with
+      | Some id
+        when Float.abs ((Digraph.edge g id).Digraph.cap -. e.Digraph.cap)
+             <= tol ->
+          map.(e.Digraph.id) <- id
+      | Some _ | None -> ())
+    prev_graph ();
+  map
+
+let link_index_of_edge g links =
+  let link_of_edge = Array.make (Digraph.n_edges g) (-1) in
+  Array.iteri
+    (fun li l ->
+      link_of_edge.(l.fwd) <- li;
+      link_of_edge.(l.bwd) <- li)
+    links;
+  link_of_edge
+
+let replan ?(epsilon = 0.1) ?threshold ?(telemetry = Telemetry.disabled) ~prev
+    ~prev_graph g ~root =
+  let cold () =
+    let packing =
+      if prev.undirected then
+        plan_undirected ~epsilon ?threshold ~telemetry g ~root
+      else plan ~epsilon ?threshold ~telemetry g ~root
+    in
+    ( packing,
+      {
+        kept_trees = 0;
+        displaced_trees = List.length prev.trees;
+        cold_fallback = true;
+      } )
+  in
+  if root <> prev.root || prev.trees = [] then cold ()
+  else begin
+    let map = edge_remap ~prev_graph g in
+    let remap t =
+      let ok = ref true in
+      let edges =
+        List.map
+          (fun e ->
+            let id = map.(e) in
+            if id < 0 then ok := false;
+            id)
+          t.edges
+      in
+      if !ok then Either.Left { t with edges } else Either.Right t
+    in
+    let kept, displaced = List.partition_map remap prev.trees in
+    if kept = [] then
+      (* Every tree was displaced: the residual repack below would see
+         full capacities — exactly a cold pack, so run one (identical
+         inputs, identical result). *)
+      cold ()
+    else if displaced = [] then begin
+      (* No surviving tree routes over the affected link: the packing is
+         still feasible verbatim and MWU/ILP are skipped entirely. *)
+      let rate = List.fold_left (fun acc t -> acc +. t.weight) 0. kept in
+      let optimal =
+        if prev.undirected then begin
+          let links = undirected_links g in
+          let link_of_edge = link_index_of_edge g links in
+          let caps = Array.map (fun l -> l.lcap) links in
+          let candidates =
+            Array.of_list
+              (List.map
+                 (fun t -> List.map (fun e -> link_of_edge.(e)) t.edges)
+                 kept)
+          in
+          fst (candidate_lp ~caps ~candidates)
+        end
+        else optimal_rate g ~root
+      in
+      ( { root; trees = kept; rate; optimal; undirected = prev.undirected },
+        { kept_trees = List.length kept; displaced_trees = 0;
+          cold_fallback = false } )
+    end
+    else begin
+      (* Residual repack: MWU over what the kept trees leave free. Depleted
+         items keep price [infinity] (directed: clamped to a large finite
+         cost so Edmonds' subtractions stay NaN-free); any oracle tree
+         forced onto one prices above 1 and terminates the loop, so zero
+         residual capacity is never purchased. *)
+      let mode = if prev.undirected then "undirected" else "directed" in
+      let round, finish = mwu_telemetry telemetry ~mode in
+      let start = Telemetry.now_s telemetry in
+      let fresh, optimal =
+        if prev.undirected then begin
+          let links = undirected_links g in
+          let link_of_edge = link_index_of_edge g links in
+          let full_caps = Array.map (fun l -> l.lcap) links in
+          let caps = Array.copy full_caps in
+          List.iter
+            (fun t ->
+              List.iter
+                (fun e ->
+                  let li = link_of_edge.(e) in
+                  caps.(li) <- caps.(li) -. t.weight)
+                t.edges)
+            kept;
+          Array.iteri (fun i c -> if c < tol then caps.(i) <- 0.) caps;
+          let n = Digraph.n_vertices g in
+          let oracle price = kruskal ~n g links price in
+          let raw = garg_konemann ~round ~epsilon ~caps ~oracle () in
+          let fresh =
+            List.map
+              (fun (link_ids, weight) ->
+                { edges = orient g links ~root link_ids; weight })
+              raw
+          in
+          let candidates =
+            List.map
+              (fun t -> List.map (fun e -> link_of_edge.(e)) t.edges)
+              kept
+            @ List.map fst raw
+          in
+          let optimal, _ =
+            candidate_lp ~caps:full_caps
+              ~candidates:(Array.of_list candidates)
+          in
+          (fresh, optimal)
+        end
+        else begin
+          let m = Digraph.n_edges g in
+          let caps =
+            Array.init m (fun i -> (Digraph.edge g i).Digraph.cap)
+          in
+          List.iter
+            (fun t ->
+              List.iter (fun e -> caps.(e) <- caps.(e) -. t.weight) t.edges)
+            kept;
+          Array.iteri (fun i c -> if c < tol then caps.(i) <- 0.) caps;
+          let oracle price =
+            Arborescence.min_arborescence g ~root ~cost:(fun e ->
+                let p = price.(e.Digraph.id) in
+                if Float.is_finite p then p else depleted_price)
+          in
+          let fresh =
+            garg_konemann ~round ~epsilon ~caps ~oracle ()
+            |> List.map (fun (edges, weight) -> { edges; weight })
+          in
+          (fresh, optimal_rate g ~root)
+        end
+      in
+      let trees = kept @ fresh in
+      let rate = List.fold_left (fun acc t -> acc +. t.weight) 0. trees in
+      let packing =
+        finish ~start
+          { root; trees; rate; optimal; undirected = prev.undirected }
+      in
+      let result = minimize ?threshold ~warm_start:kept ~telemetry g packing in
+      ( result,
+        {
+          kept_trees = List.length kept;
+          displaced_trees = List.length displaced;
+          cold_fallback = false;
+        } )
+    end
+  end
 
 let best_root g =
   let n = Digraph.n_vertices g in

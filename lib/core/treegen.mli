@@ -64,6 +64,7 @@ val pack_undirected :
 
 val minimize :
   ?threshold:float ->
+  ?warm_start:tree list ->
   ?telemetry:Blink_telemetry.Telemetry.t ->
   Blink_graph.Digraph.t ->
   packing ->
@@ -71,7 +72,12 @@ val minimize :
 (** ILP tree minimization (default [threshold] = [0.05], the paper's 5%).
     Honors the packing's capacity model. The result never uses more trees
     than the input and never loses more than [threshold] of the
-    candidate-set optimum. [telemetry] records the tree-count reduction
+    candidate-set optimum. [warm_start] trees (matched to candidates by
+    edge set — typically the surviving trees of a previous integral
+    solution) are forced into the ILP support and seed the
+    branch-and-bound incumbent, so the search starts from the previous
+    solution instead of from nothing; omitting it reproduces the cold
+    search byte for byte. [telemetry] records the tree-count reduction
     (["treegen.ilp.trees_removed"]) and final rate/tree gauges. *)
 
 val plan :
@@ -91,6 +97,40 @@ val plan_undirected :
   root:int ->
   packing
 (** [pack_undirected] followed by [minimize]. *)
+
+type replan_stats = {
+  kept_trees : int;  (** previous trees reused verbatim *)
+  displaced_trees : int;  (** previous trees routing over the affected link *)
+  cold_fallback : bool;
+      (** the incremental path did not apply (root moved, empty or fully
+          displaced previous packing) and a cold plan ran instead *)
+}
+
+val replan :
+  ?epsilon:float ->
+  ?threshold:float ->
+  ?telemetry:Blink_telemetry.Telemetry.t ->
+  prev:packing ->
+  prev_graph:Blink_graph.Digraph.t ->
+  Blink_graph.Digraph.t ->
+  root:int ->
+  packing * replan_stats
+(** Incremental replan of [prev] (planned on [prev_graph]) onto the
+    post-fault graph [g], for the same [root] and capacity model.
+
+    Previous trees are remapped edge-by-edge onto [g] by
+    [(src, dst, occurrence)] — both graphs must come from the same
+    deterministic fabric walk, as {!Blink_topology.Server.nvlink_digraph}
+    guarantees — and a tree is {e kept} verbatim iff every edge survives
+    with unchanged capacity. Only the displaced flow is re-packed: MWU
+    runs over the residual capacities the kept trees leave free, and
+    {!minimize} re-rounds with the kept trees as ILP warm start. When no
+    tree was displaced the MWU/ILP stages are skipped entirely and the
+    previous trees come back unchanged; when {e every} tree was displaced
+    (or the root moved) the call degenerates to a cold
+    {!plan}/{!plan_undirected} with identical inputs and results
+    ([cold_fallback] reports this). The returned packing is always
+    capacity-feasible on [g]. *)
 
 val best_root : Blink_graph.Digraph.t -> int
 (** Root with the highest optimal broadcast rate (ties: lowest id). *)

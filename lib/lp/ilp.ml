@@ -88,11 +88,23 @@ let relaxation p lo hi =
     | other -> other
   end
 
-let solve ?(max_nodes = 200_000) p =
+let solve ?(max_nodes = 200_000) ?warm_start p =
   validate p;
   let n = Array.length p.c in
   let incumbent = ref None in
   let incumbent_obj = ref neg_infinity in
+  (match warm_start with
+  | Some x when is_feasible p x ->
+      let rounded =
+        Array.mapi
+          (fun j xj -> if p.integer.(j) then Float.round xj else xj)
+          x
+      in
+      let objective = ref 0. in
+      Array.iteri (fun j cj -> objective := !objective +. (cj *. rounded.(j))) p.c;
+      incumbent_obj := !objective;
+      incumbent := Some { objective = !objective; solution = rounded }
+  | _ -> ());
   let nodes = ref 0 in
   let rec branch lo hi =
     if !nodes < max_nodes then begin

@@ -18,11 +18,15 @@ type problem = {
 
 type result = { objective : float; solution : float array }
 
-val solve : ?max_nodes:int -> problem -> result option
+val solve : ?max_nodes:int -> ?warm_start:float array -> problem -> result option
 (** Best feasible solution, or [None] when infeasible. [max_nodes] bounds
     the branch-and-bound tree (default [200_000]); if exhausted, the best
     incumbent found so far is returned (still [None] if none was found).
-    Raises [Invalid_argument] on dimension mismatches. *)
+    [warm_start], when feasible under {!is_feasible}, seeds the incumbent
+    so branch-and-bound starts with its objective as a lower bound and
+    prunes everything that cannot beat it — an infeasible warm start is
+    silently ignored, and no warm start reproduces today's search
+    exactly. Raises [Invalid_argument] on dimension mismatches. *)
 
 val is_feasible : problem -> float array -> bool
 (** Whether the assignment satisfies all constraints, bounds and

@@ -25,7 +25,11 @@
     Failed attempts back off exponentially ([backoff_s * 2^k]) and retry
     up to [max_attempts] total tries; exhaustion raises
     {!Unrecoverable} — on a permanently dead link that is the signal to
-    replan the topology (see [Blink.fail_link]). *)
+    replan the topology. [Blink.fail_link] does that incrementally by
+    default (surviving trees are kept and only the displaced flow is
+    re-packed), and a handle that prewarmed its one-link-down plans
+    ([Blink.prewarm ~contingencies]) turns the replan into a cache
+    swap. *)
 
 type event =
   | Degrade of { res : int; at : float; factor : float }

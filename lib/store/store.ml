@@ -5,6 +5,8 @@ type stats = {
   misses : int;
   evictions : int;
   invalidations : int;
+  contingency_hits : int;
+  contingency_misses : int;
 }
 
 type ('k, 'v) entry = { value : 'v; epoch : int; evictable : bool }
@@ -27,6 +29,8 @@ type ('k, 'v) t = {
   mutable misses : int;
   mutable evictions : int;
   mutable invalidations : int;
+  mutable contingency_hits : int;
+  mutable contingency_misses : int;
 }
 
 let create ?max_plans () =
@@ -44,6 +48,8 @@ let create ?max_plans () =
     misses = 0;
     evictions = 0;
     invalidations = 0;
+    contingency_hits = 0;
+    contingency_misses = 0;
   }
 
 let with_lock t f =
@@ -201,6 +207,11 @@ let migrate t ~from_ ~to_ ~classify ~drop_source =
             Hashtbl.remove t.buckets from_;
           (!copied, !dropped))
 
+let note_contingency t ~hit =
+  with_lock t (fun () ->
+      if hit then t.contingency_hits <- t.contingency_hits + 1
+      else t.contingency_misses <- t.contingency_misses + 1)
+
 let stats t =
   with_lock t (fun () ->
       {
@@ -210,4 +221,6 @@ let stats t =
         misses = t.misses;
         evictions = t.evictions;
         invalidations = t.invalidations;
+        contingency_hits = t.contingency_hits;
+        contingency_misses = t.contingency_misses;
       })

@@ -24,6 +24,9 @@ type stats = {
   misses : int;
   evictions : int;
   invalidations : int;  (** entries dropped by {!migrate} classification *)
+  contingency_hits : int;
+      (** fault replans answered by a prewarmed contingency bucket *)
+  contingency_misses : int;  (** fault replans that had to plan live *)
 }
 
 type ('k, 'v) t
@@ -73,5 +76,10 @@ val migrate :
     bucket is left intact, so one tenant's fault never poisons an
     isomorphic-but-healthy tenant's entries, and [`Drop] only expresses
     that the migrating handle no longer sees the entry. *)
+
+val note_contingency : ('k, 'v) t -> hit:bool -> unit
+(** Count a fault-driven replan against the contingency counters: [hit]
+    when a prewarmed post-fault bucket answered it, miss when the handle
+    had to replan live (see [Blink.prewarm ~contingencies]). *)
 
 val stats : ('k, 'v) t -> stats

@@ -141,9 +141,11 @@ let test_fault_isolation_between_tenants () =
   let b = Blink.create ~store Server.dgx1v ~gpus:full in
   let pb = Blink.plan ~chunk_elems:4096 b Plan.All_reduce ~elems:100_000 in
   (* Tenant [a] loses a link the cached plan routes over and migrates to
-     its degraded fingerprint; the affected plan is invalid *for a*. *)
+     its degraded fingerprint; the affected plan is invalid *for a*. A
+     cold replan publishes under the degraded fingerprint (the default
+     warm path keeps its derived plans handle-private by design). *)
   let u, v = List.hd (used_pairs pb ~gpus:full) in
-  Blink.fail_link a ~u ~v;
+  Blink.fail_link ~replan:`Cold a ~u ~v;
   let pa' = Blink.plan ~chunk_elems:4096 a Plan.All_reduce ~elems:100_000 in
   Alcotest.(check bool) "degraded tenant replans" true (not (pa' == pb));
   (* Tenant [b]'s entries survive untouched: same physical instance, a
