@@ -492,7 +492,7 @@ module Pool = Blink_parallel.Pool
 
 (* Batch-compile the plan cache across domains, then show the pool gauges
    and cache counters the run produced — the CLI face of [Blink.prewarm]. *)
-let prewarm server gpus domains mbytes_list =
+let prewarm server gpus domains async mbytes_list =
   let telemetry = Telemetry.create () in
   let handle = Blink.create ~telemetry server ~gpus in
   let keys =
@@ -504,10 +504,30 @@ let prewarm server gpus domains mbytes_list =
   in
   let pool = Pool.create ?domains ~telemetry () in
   let t0 = Unix.gettimeofday () in
-  let built = Blink.prewarm ~pool handle keys in
+  let built =
+    if async then begin
+      (* Overlap demo: submit the pipeline, keep the calling domain busy
+         with plan replays (the training-loop stand-in), then redeem. *)
+      let job = Blink.prewarm_async ~pool handle keys in
+      let live = Blink.create server ~gpus in
+      let plan = Blink.plan live Plan.All_reduce ~elems:262_144 in
+      let replays = ref 0 in
+      let t_fg = Unix.gettimeofday () in
+      while Unix.gettimeofday () -. t_fg < 0.05 do
+        ignore (Blink_core.Plan.execute ~data:false plan);
+        incr replays
+      done;
+      let n = Blink.prewarm_await handle job in
+      Format.printf "foreground replayed %d plans while prewarm ran@."
+        !replays;
+      n
+    end
+    else Blink.prewarm ~pool handle keys
+  in
   let dt = Unix.gettimeofday () -. t0 in
-  Format.printf "prewarmed %d plans (%d keys) in %.1f ms on %d domain(s)@."
-    built (List.length keys) (dt *. 1e3) (Pool.domains pool);
+  Format.printf "prewarmed %d plans (%d keys) in %.1f ms on %d domain(s)%s@."
+    built (List.length keys) (dt *. 1e3) (Pool.domains pool)
+    (if async then " [async]" else "");
   Format.printf "pool: %d tasks, busy peak %d@." (Pool.tasks_run pool)
     (Pool.busy_peak pool);
   Pool.shutdown pool;
@@ -533,11 +553,18 @@ let domains_arg =
            ~doc:"Pool size (default: BLINK_DOMAINS or the recommended \
                  domain count).")
 
+let async_arg =
+  Arg.(value & flag
+       & info [ "async" ]
+           ~doc:"Pipeline the prewarm behind foreground plan replays \
+                 (Blink.prewarm_async / prewarm_await) instead of blocking.")
+
 let prewarm_cmd =
   Cmd.v
     (Cmd.info "prewarm"
        ~doc:"Batch-compile the plan cache across domains (Blink.prewarm)")
-    Term.(const prewarm $ server_arg $ gpus_arg $ domains_arg $ mbytes_list_arg)
+    Term.(const prewarm $ server_arg $ gpus_arg $ domains_arg $ async_arg
+          $ mbytes_list_arg)
 
 (* ------------------------------ failover ----------------------------- *)
 

@@ -112,6 +112,11 @@ type t = {
      privately and prewarm declines. A later cold or contingency replan
      clears it. *)
   mutable warm_topology : bool;
+  (* Outstanding {!prewarm_async} jobs. While nonzero, topology mutation
+     is refused: an inflight job tunes and compiles against the current
+     fabric/trees/fingerprint snapshot, and a mutation under it would
+     insert entries for a topology the handle no longer has. *)
+  mutable prewarm_inflight : int;
 }
 
 let trees_of_packing g (p : Treegen.packing) =
@@ -298,6 +303,7 @@ let create ?root ?epsilon ?threshold ?telemetry ?max_cached_plans ?link_faults
     ar_trees = None;
     chunk_hints = Hashtbl.create 4;
     warm_topology = false;
+    prewarm_inflight = 0;
   }
 
 (* Every planning/execution entry point funnels through this: a
@@ -640,6 +646,10 @@ let warm_replan t ~prev_directed ~prev_undirected ~prev_graph ~faults =
   (fabric, graph, Packed { directed; undirected }, root)
 
 let apply_mutation ?(replan = `Warm) t ~affected =
+  if t.prewarm_inflight > 0 then
+    invalid_arg
+      "Blink: topology mutation while a prewarm_async job is inflight; \
+       prewarm_await it first";
   Telemetry.incr t.telemetry "fault.injected";
   let old_root_gpu = if Array.length t.gpus = 0 then -1 else t.gpus.(t.root) in
   let old_fp = Fingerprint.id t.fingerprint in
@@ -1042,3 +1052,159 @@ and prewarm_contingencies ?pool ~contingencies t keys =
         acc + prewarm ?pool scratch keys)
       0 classes
   end
+
+(* ------------------------------------------------------------------ *)
+(* Async prewarm: overlap planning with execution. The split mirrors
+   [prewarm]'s stage structure, relocated in time: [prewarm_async]
+   snapshots everything the pipeline needs from the handle (forced tree
+   memos, the fingerprint, which size classes and plan keys the store
+   already holds) in the calling domain and submits the pure pipeline —
+   MIAD tuning probes, then Plan.build codegen — as one pool future;
+   [prewarm_await] redeems it and performs every handle/store mutation
+   in the calling domain, exactly as [prewarm] would have. Between the
+   two calls the caller is free to run [Plan.execute] on live plans
+   while tuning and codegen for the next keys proceed on a worker — the
+   paper's generate-once/run-always split, pipelined. On a sequential
+   pool (or none) the future runs eagerly inside [prewarm_async] in the
+   calling domain, so results degenerate to [prewarm]'s. *)
+
+type prewarm_job = {
+  j_fp : string;  (* fingerprint snapshot the job's entries belong to *)
+  j_future :
+    ((int * int) list * (plan_key * Plan.t) list) Blink_parallel.Pool.future;
+  mutable j_awaited : bool;
+}
+
+let prewarm_async ?pool t keys =
+  check_usable t;
+  (* Force the tree memos here: the future then only reads
+     [t.bcast_trees]/[t.ar_trees] and never races on filling them. *)
+  ignore (broadcast_trees t);
+  ignore (all_reduce_trees t);
+  let fp = Fingerprint.id t.fingerprint in
+  let dedup keep xs =
+    let seen = Hashtbl.create 16 in
+    List.filter_map
+      (fun x ->
+        match keep x with
+        | Some k when not (Hashtbl.mem seen k) ->
+            Hashtbl.add seen k ();
+            Some (k, x)
+        | Some _ | None -> None)
+      xs
+  in
+  let keys = List.map snd (dedup (fun k -> Some k) keys) in
+  (* Snapshot the store's answers now; the future never touches it. *)
+  let missing_classes =
+    dedup
+      (fun (_, elems) ->
+        let cls = size_class ~elems in
+        match Store.find_opt t.store ~fp (Chunk_key cls) with
+        | Some _ -> None
+        | None -> Some cls)
+      keys
+  in
+  let cached_chunks = Hashtbl.create 8 in
+  List.iter
+    (fun (_, elems) ->
+      let cls = size_class ~elems in
+      if not (Hashtbl.mem cached_chunks cls) then
+        match Store.find_opt t.store ~fp (Chunk_key cls) with
+        | Some (Chunk chunk) -> Hashtbl.add cached_chunks cls chunk
+        | Some _ | None -> ())
+    keys;
+  let plan_cached key =
+    Option.is_some (Store.find_opt t.store ~fp (Plan_key key))
+  in
+  (* For keys whose chunk is already known, presence is decided now; keys
+     waiting on a fresh tune can't be cached yet (their plan key embeds
+     the not-yet-chosen chunk) and are built unconditionally. *)
+  let cached_plan_keys = Hashtbl.create 16 in
+  List.iter
+    (fun (collective, elems) ->
+      match Hashtbl.find_opt cached_chunks (size_class ~elems) with
+      | Some chunk ->
+          let key = (collective, elems, chunk) in
+          if plan_cached key then Hashtbl.replace cached_plan_keys key ()
+      | None -> ())
+    keys;
+  let run_pipeline () =
+    (* Stage 1: tune the missing size classes (pure given the snapshot:
+       probes time simulated replays of the current fabric/trees). *)
+    let tuned =
+      List.map
+        (fun (cls, (_, elems)) ->
+          let init = heuristic_chunk ~elems in
+          let measure ~chunk_elems =
+            let prog, _ = all_reduce ~chunk_elems t ~elems in
+            algbw_gbps ~elems (time_quiet t prog)
+          in
+          let result =
+            Chunking.tune ~init ~max_probe_seconds:default_probe_cap_s
+              ~telemetry:t.telemetry ~measure ()
+          in
+          (cls, result.Chunking.chosen))
+        missing_classes
+    in
+    let chunk_for elems =
+      let cls = size_class ~elems in
+      match List.assoc_opt cls tuned with
+      | Some chunk -> chunk
+      | None -> Hashtbl.find cached_chunks cls
+    in
+    (* Stage 2: compile the missing plans, walking keys in the same order
+       [prewarm] does so insertion (and hence eviction) order matches. *)
+    let missing =
+      dedup
+        (fun (collective, elems) ->
+          let key = (collective, elems, chunk_for elems) in
+          if Hashtbl.mem cached_plan_keys key then None else Some key)
+        keys
+    in
+    let built =
+      List.map
+        (fun (((collective, elems, chunk) : plan_key), _) ->
+          let spec =
+            Codegen.spec ~chunk_elems:chunk ~telemetry:t.telemetry t.fabric
+          in
+          ( (collective, elems, chunk),
+            Plan.build collective ~spec ~root:t.root ~elems
+              ~trees:(trees_for t collective) ))
+        missing
+    in
+    (tuned, built)
+  in
+  let future =
+    match pool with
+    | Some pool -> Blink_parallel.Pool.async pool run_pipeline
+    | None ->
+        (* No pool: run eagerly, wrapped as an already-finished future
+           through a 1-domain pool's degenerate async. *)
+        Blink_parallel.Pool.with_pool ~domains:1 (fun p ->
+            Blink_parallel.Pool.async p run_pipeline)
+  in
+  t.prewarm_inflight <- t.prewarm_inflight + 1;
+  { j_fp = fp; j_future = future; j_awaited = false }
+
+let prewarm_await t job =
+  if job.j_awaited then
+    invalid_arg "Blink.prewarm_await: job already awaited";
+  job.j_awaited <- true;
+  t.prewarm_inflight <- t.prewarm_inflight - 1;
+  let tuned, built = Blink_parallel.Pool.await job.j_future in
+  check_usable t;
+  let fp = job.j_fp in
+  (* Calling-domain mutation, identical to [prewarm]'s insert stages. *)
+  List.iter
+    (fun (cls, chunk) -> Store.add t.store ~fp (Chunk_key cls) (Chunk chunk))
+    tuned;
+  List.iter
+    (fun (key, plan) ->
+      let evicted =
+        Store.insert_built t.store ~fp (Plan_key key) (Compiled plan)
+      in
+      Telemetry.incr t.telemetry "plan.cache.misses";
+      if evicted > 0 then
+        Telemetry.incr t.telemetry ~by:evicted "plan.cache.evictions")
+    built;
+  List.length built

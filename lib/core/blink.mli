@@ -234,6 +234,46 @@ val prewarm :
     already [Down] are ignored. The returned count includes the
     contingency plans. Default [`None]. *)
 
+type prewarm_job
+(** An inflight asynchronous prewarm: tuning and codegen running on a
+    pool worker, redeemed by {!prewarm_await}. *)
+
+val prewarm_async :
+  ?pool:Blink_parallel.Pool.t ->
+  t ->
+  (Plan.collective * int) list ->
+  prewarm_job
+(** Overlap planning with execution: start {!prewarm}'s pure pipeline —
+    MIAD tuning probes for uncached size classes, then [Plan.build]
+    codegen — on a pool worker and return immediately, so the caller can
+    keep executing live plans ({!Plan.execute}) while plans for the next
+    keys compile in the background. Everything the pipeline reads is
+    snapshotted from the handle here, in the calling domain (tree memos
+    are forced, fingerprint and store answers captured); every handle
+    and store mutation is deferred to {!prewarm_await}, also in the
+    calling domain. After awaiting, the handle is in the state
+    [prewarm t keys] (without contingencies) would have produced.
+
+    On a 1-domain pool — in particular any host where
+    [Pool.default_domains () = 1] — or when [pool] is omitted, the
+    pipeline runs eagerly inside this call and [prewarm_await] merely
+    redeems the finished result: same outcome, no overlap.
+
+    While a job is inflight, topology mutations ({!degrade_link},
+    {!fail_link}, {!fail_gpu}) raise [Invalid_argument]: the job is
+    building against the pre-mutation fabric snapshot. Await it first.
+    Contingency prewarming has no async form; use
+    [prewarm ~contingencies] after awaiting. *)
+
+val prewarm_await : t -> prewarm_job -> int
+(** Block until the job's pipeline finishes, apply its results to the
+    handle (chunk cache and plan store insertions, miss/eviction
+    counters — exactly the mutations {!prewarm} performs), and return
+    how many plans were newly compiled. Raises [Invalid_argument] if the
+    job was already awaited. If the pipeline raised, that exception is
+    re-raised here and the handle is left unmutated (the inflight guard
+    is still released). *)
+
 (** {2 Fault tolerance}
 
     The failure model of the degraded-topology pipeline: report a link or

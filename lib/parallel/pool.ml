@@ -183,6 +183,49 @@ let parallel_map t f xs =
 
 let parallel_iter t f xs = ignore (parallel_map t f xs)
 
+(* Single-task futures: the overlap primitive behind Blink.prewarm_async.
+   A future created on a sequential pool (1 domain, or from inside a
+   worker) runs its thunk eagerly in the calling domain, so [async f;
+   ...; await] degenerates to [f (); ...] — same results, same order,
+   no concurrency. *)
+type 'a future = {
+  f_pool : t;
+  f_cell : ('a, exn) result option Atomic.t;
+}
+
+let async t f =
+  if t.shutting_down then invalid_arg "Pool.async: pool is shut down";
+  if t.size <= 1 || in_worker () then
+    { f_pool = t; f_cell = Atomic.make (Some (try Ok (f ()) with e -> Error e)) }
+  else begin
+    let cell = Atomic.make None in
+    Mutex.lock t.mutex;
+    Queue.add
+      (fun () ->
+        (* The atomic publishes the result; the worker loop broadcasts
+           [finished] right after the task returns, waking any awaiter. *)
+        Atomic.set cell (Some (try Ok (f ()) with e -> Error e)))
+      t.queue;
+    Condition.broadcast t.has_work;
+    Mutex.unlock t.mutex;
+    { f_pool = t; f_cell = cell }
+  end
+
+let await { f_pool = t; f_cell = cell } =
+  let result =
+    match Atomic.get cell with
+    | Some r -> r  (* eager (sequential) future, or already finished *)
+    | None ->
+        Mutex.lock t.mutex;
+        while Atomic.get cell = None do
+          Condition.wait t.finished t.mutex
+        done;
+        Mutex.unlock t.mutex;
+        Option.get (Atomic.get cell)
+  in
+  publish t;
+  match result with Ok v -> v | Error e -> raise e
+
 let both t f g =
   match parallel_map t (fun thunk -> thunk ()) [ (fun () -> `A (f ())); (fun () -> `B (g ())) ] with
   | [ `A a; `B b ] -> (a, b)

@@ -55,6 +55,24 @@ val parallel_iter : t -> ('a -> unit) -> 'a list -> unit
 val both : t -> (unit -> 'a) -> (unit -> 'b) -> 'a * 'b
 (** Run two heterogeneous thunks concurrently. *)
 
+type 'a future
+(** A single task submitted with {!async}, redeemed with {!await}. *)
+
+val async : t -> (unit -> 'a) -> 'a future
+(** Submit one task to the pool and return immediately; the calling
+    domain keeps running while a worker executes the thunk. On a
+    sequential pool (1 domain, or called from inside a worker) the thunk
+    runs eagerly in the calling domain before [async] returns, so
+    [async]/[await] degenerates to a plain call with identical results
+    and ordering — the overlap contract {!Blink.prewarm_async} relies
+    on. Raises [Invalid_argument] after {!shutdown}. *)
+
+val await : 'a future -> 'a
+(** Block until the future's task finishes and return its result. If the
+    task raised, re-raises that exception in the awaiting domain.
+    Idempotent: awaiting a finished future returns (or re-raises) the
+    same outcome again. *)
+
 val tasks_run : t -> int
 (** Total tasks completed over the pool's lifetime. *)
 

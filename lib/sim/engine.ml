@@ -80,9 +80,62 @@ type prepared = {
   p_dep_off : int array;  (* CSR row offsets, length n+1 *)
   p_dep : int array;  (* packed edges: (dst lsl 1) lor is_stream *)
   p_sources : int array;  (* ops with no dependencies, ascending id *)
+  (* Prepare-time op fusion (see [contention_free] below): maximal runs of
+     back-to-back same-resource, same-stream ops whose interior members
+     have the stream edge as their only dependency are dispatched as one
+     fused schedule entry. Interior members never enter the event heap. *)
+  p_fuse_next : int array;  (* next chain member, or -1 *)
+  p_fuse_len : int array;  (* chain length at heads (>= 2), 0 interior, 1 else *)
+  p_fuse_head : int array;  (* op id -> its chain head (itself if unfused) *)
+  p_fuse_safe : bool;  (* every resource passed the contention analysis *)
+  p_fuse_chains : int;  (* number of fused chains *)
+  p_fuse_ops : int;  (* ops covered by fused chains (heads included) *)
 }
 
-let prepare ?(telemetry = Telemetry.disabled) ~resources prog =
+(* Contention-freedom analysis, the condition under which fusion is exact.
+
+   Resource [r] is contention-free when the sum over streams of that
+   stream's worst-case simultaneous lane demand on [r] is at most
+   [lanes r]. A stream needs at most one lane at a time on [r] when every
+   one of its ops there has [dur >= gap] (then occupancy equals duration,
+   so the lane is released exactly when the stream successor becomes
+   ready — finish times are monotone along a stream); otherwise we bound
+   its demand by its op count on [r]. If every used resource is
+   contention-free, no op ever waits past its ready time: start times are
+   the dataflow fixpoint, independent of heap tie-breaking. That makes
+   event elision for fused chains exact — interior members start at their
+   predecessor's finish, which is precisely what the unfused engine
+   computes — so fused replay is bit-identical (timing and data) to
+   unfused. When any resource fails the test we disable fusion entirely
+   rather than risk divergence. *)
+let contention_free ~resources ~res_of ~dur ~stream ~n_streams n =
+  let n_res = Array.length resources in
+  let n_str = max 1 n_streams in
+  let cnt = Array.make (n_res * n_str) 0 in
+  let tight = Array.make (n_res * n_str) true in
+  for id = 0 to n - 1 do
+    let r = res_of.(id) in
+    if r >= 0 then begin
+      let c = (r * n_str) + stream.(id) in
+      cnt.(c) <- cnt.(c) + 1;
+      if dur.(id) < resources.(r).gap then tight.(c) <- false
+    end
+  done;
+  let safe = ref true in
+  for r = 0 to n_res - 1 do
+    if !safe then begin
+      let demand = ref 0 in
+      for s = 0 to n_str - 1 do
+        let c = (r * n_str) + s in
+        if cnt.(c) > 0 then
+          demand := !demand + (if tight.(c) then 1 else cnt.(c))
+      done;
+      if !demand > resources.(r).lanes then safe := false
+    end
+  done;
+  !safe
+
+let prepare ?(telemetry = Telemetry.disabled) ?(fuse = true) ~resources prog =
   Array.iteri
     (fun i r ->
       if r.lanes <= 0 || r.latency < 0. || r.bandwidth <= 0. || r.gap < 0. then
@@ -150,6 +203,53 @@ let prepare ?(telemetry = Telemetry.disabled) ~resources prog =
   for id = n - 1 downto 0 do
     if pending.(id) = 0 then sources := id :: !sources
   done;
+  (* Fusion chains: a stream edge pred -> succ is a chain link when both
+     ops run on the same resource and the stream edge is succ's only
+     dependency (pending count 1), so nothing external gates succ's
+     start. Heads keep arbitrary dependencies. Only built when the whole
+     schedule is contention-free (see [contention_free]); otherwise the
+     arrays stay trivial and dispatch is unchanged. *)
+  let fuse_safe =
+    fuse
+    && contention_free ~resources ~res_of ~dur ~stream
+         ~n_streams:(Program.n_streams prog) n
+  in
+  let fuse_next = Array.make n (-1) in
+  let fuse_len = Array.make n 1 in
+  let fuse_head = Array.init n Fun.id in
+  let fuse_chains = ref 0 in
+  let fuse_ops = ref 0 in
+  if fuse_safe then begin
+    Program.iter_stream_edges
+      (fun ~pred ~succ ->
+        if res_of.(pred) >= 0
+           && res_of.(pred) = res_of.(succ)
+           && pending.(succ) = 1
+        then fuse_next.(pred) <- succ)
+      prog;
+    let interior = Array.make n false in
+    for id = 0 to n - 1 do
+      let nx = fuse_next.(id) in
+      if nx >= 0 then interior.(nx) <- true
+    done;
+    for id = 0 to n - 1 do
+      if fuse_next.(id) >= 0 && not interior.(id) then begin
+        let len = ref 1 in
+        let m = ref fuse_next.(id) in
+        let last = ref false in
+        while not !last do
+          incr len;
+          fuse_len.(!m) <- 0;
+          fuse_head.(!m) <- id;
+          let nx = fuse_next.(!m) in
+          if nx < 0 then last := true else m := nx
+        done;
+        fuse_len.(id) <- !len;
+        incr fuse_chains;
+        fuse_ops := !fuse_ops + !len
+      end
+    done
+  end;
   if Telemetry.enabled telemetry then Telemetry.incr telemetry "engine.prepares";
   {
     p_prog = prog;
@@ -166,10 +266,35 @@ let prepare ?(telemetry = Telemetry.disabled) ~resources prog =
     p_dep_off = dep_off;
     p_dep = dep;
     p_sources = Array.of_list !sources;
+    p_fuse_next = fuse_next;
+    p_fuse_len = fuse_len;
+    p_fuse_head = fuse_head;
+    p_fuse_safe = fuse_safe;
+    p_fuse_chains = !fuse_chains;
+    p_fuse_ops = !fuse_ops;
   }
 
 let prepared_program p = p.p_prog
 let prepared_ops p = p.p_n
+let fusion_enabled p = p.p_fuse_safe
+let fused_chains p = p.p_fuse_chains
+let fused_ops p = p.p_fuse_ops
+
+let fused_head p id =
+  if id < 0 || id >= p.p_n then invalid_arg "Engine.fused_head: bad op id";
+  p.p_fuse_head.(id)
+
+let fused_members p id =
+  if id < 0 || id >= p.p_n then invalid_arg "Engine.fused_members: bad op id";
+  if p.p_fuse_len.(id) < 2 then [ id ]
+  else begin
+    let rec walk m acc =
+      let acc = m :: acc in
+      let nx = p.p_fuse_next.(m) in
+      if nx < 0 then List.rev acc else walk nx acc
+    in
+    walk id []
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Arenas: the engine's mutable working set, reset in place per run.
@@ -188,6 +313,10 @@ type arena = {
   a_mk : float array;  (* 1 slot: running makespan, unboxed *)
   a_events : Events.t;
   mutable a_wait : Waitq.t array;
+  a_in_use : bool Atomic.t;
+      (* Guards against concurrent or reentrant runs on one arena, which
+         would silently corrupt the working arrays. Atomic so the
+         acquire is race-free across domains. *)
 }
 
 let arena () =
@@ -201,6 +330,7 @@ let arena () =
     a_mk = Array.make 1 0.;
     a_events = Events.create ();
     a_wait = [||];
+    a_in_use = Atomic.make false;
   }
 
 (* Per-domain scratch arena: the default when callers don't pass one.
@@ -238,6 +368,10 @@ let run_prepared ?(policy = `Fair) ?(telemetry = Telemetry.disabled) ?arena:a
     ?(recorder = Recorder.none) p =
   let t_span = Telemetry.now_s telemetry in
   let a = match a with Some a -> a | None -> scratch_arena () in
+  if Atomic.exchange a.a_in_use true then
+    invalid_arg
+      "Engine.run_prepared: arena already in use (concurrent or reentrant \
+       run on one arena)";
   reset_arena a p;
   let n = p.p_n in
   let events = a.a_events in
@@ -251,17 +385,15 @@ let run_prepared ?(policy = `Fair) ?(telemetry = Telemetry.disabled) ?arena:a
      as a float argument: closure calls box float arguments, and this is
      the per-op hot path. Callers leave the time in [estaged.(0)] (where
      [pop_staged] already put it); it is read once on entry, before the
-     slot is reused for pushes. *)
-  let start_op id =
-    let t = estaged.(0) in
-    let dur = p.p_dur.(id) in
-    a.a_start.(id) <- t;
-    let fin = t +. dur in
+     slot is reused for pushes. Fused chain members likewise pass their
+     start time through [a_start] (written by their predecessor) instead
+     of a float argument. *)
+  let rec fused_member id =
+    let t = a.a_start.(id) in
+    let fin = t +. p.p_dur.(id) in
     a.a_finish.(id) <- fin;
-    let r = p.p_res_of.(id) in
     if rec_on then begin
-      (* Begin and end are both known at dispatch (the simulator fixes
-         the finish when service starts), so write the pair together. *)
+      let r = p.p_res_of.(id) in
       let h = recorder.Recorder.head in
       let mask = recorder.Recorder.mask in
       let i = h land mask in
@@ -276,29 +408,100 @@ let run_prepared ?(policy = `Fair) ?(telemetry = Telemetry.disabled) ?arena:a
       recorder.Recorder.ev_time.(j) <- fin;
       recorder.Recorder.head <- h + 2
     end;
-    if r >= 0 then begin
-      let occupancy = p.p_occ.(id) in
-      a.a_busy.(r) <- a.a_busy.(r) +. occupancy;
-      a.a_lanes.(r) <- a.a_lanes.(r) - 1;
-      (* Lane_free events are encoded as negative values (-1 - r). *)
-      estaged.(0) <- t +. occupancy;
+    let next = p.p_fuse_next.(id) in
+    if next < 0 then begin
+      (* Last member: release the chain's lane before the dependents
+         fan-out, exactly where the unfused engine pushes its lane_free
+         (so equal-timestamp pops keep the free-before-acquire order). *)
+      if fin > a.a_mk.(0) then a.a_mk.(0) <- fin;
+      let r = p.p_res_of.(id) in
+      estaged.(0) <- t +. p.p_occ.(id);
       Events.add_staged events (-1 - r)
     end;
-    if fin > a.a_mk.(0) then a.a_mk.(0) <- fin;
+    (* The stream edge to the next chain member is handled inline below;
+       its packed value is skipped here so the member's pending count
+       never reaches zero and it never enters the event heap. *)
+    let skip = (next lsl 1) lor 1 in
     for e = p.p_dep_off.(id) to p.p_dep_off.(id + 1) - 1 do
       let packed = p.p_dep.(e) in
-      let dep = packed lsr 1 in
-      let candidate =
-        if packed land 1 = 1 then fin else fin +. p.p_lat.(dep)
-      in
-      if candidate > a.a_ready.(dep) then a.a_ready.(dep) <- candidate;
-      let pend = a.a_pending.(dep) - 1 in
-      a.a_pending.(dep) <- pend;
-      if pend = 0 then begin
-        estaged.(0) <- a.a_ready.(dep);
-        Events.add_staged events dep
+      if packed <> skip then begin
+        let dep = packed lsr 1 in
+        let candidate =
+          if packed land 1 = 1 then fin else fin +. p.p_lat.(dep)
+        in
+        if candidate > a.a_ready.(dep) then a.a_ready.(dep) <- candidate;
+        let pend = a.a_pending.(dep) - 1 in
+        a.a_pending.(dep) <- pend;
+        if pend = 0 then begin
+          estaged.(0) <- a.a_ready.(dep);
+          Events.add_staged events dep
+        end
       end
-    done
+    done;
+    if next >= 0 then begin
+      (* Back-to-back on one lane: the successor starts exactly at this
+         member's finish (stream edges pay no latency, and under the
+         contention-free precondition it never waits for the lane). *)
+      a.a_start.(next) <- fin;
+      fused_member next
+    end
+  in
+  let start_op id =
+    let t = estaged.(0) in
+    if p.p_fuse_len.(id) > 1 then begin
+      (* Chain head: one lane serves the whole chain, acquired here and
+         released by [fused_member] at the last member's release time. *)
+      let r = p.p_res_of.(id) in
+      a.a_lanes.(r) <- a.a_lanes.(r) - 1;
+      a.a_start.(id) <- t;
+      fused_member id
+    end
+    else begin
+      let dur = p.p_dur.(id) in
+      a.a_start.(id) <- t;
+      let fin = t +. dur in
+      a.a_finish.(id) <- fin;
+      let r = p.p_res_of.(id) in
+      if rec_on then begin
+        (* Begin and end are both known at dispatch (the simulator fixes
+           the finish when service starts), so write the pair together. *)
+        let h = recorder.Recorder.head in
+        let mask = recorder.Recorder.mask in
+        let i = h land mask in
+        recorder.Recorder.ev_kind.(i) <- 0;
+        recorder.Recorder.ev_op.(i) <- id;
+        recorder.Recorder.ev_res.(i) <- r;
+        recorder.Recorder.ev_time.(i) <- t;
+        let j = (h + 1) land mask in
+        recorder.Recorder.ev_kind.(j) <- 1;
+        recorder.Recorder.ev_op.(j) <- id;
+        recorder.Recorder.ev_res.(j) <- r;
+        recorder.Recorder.ev_time.(j) <- fin;
+        recorder.Recorder.head <- h + 2
+      end;
+      if r >= 0 then begin
+        let occupancy = p.p_occ.(id) in
+        a.a_lanes.(r) <- a.a_lanes.(r) - 1;
+        (* Lane_free events are encoded as negative values (-1 - r). *)
+        estaged.(0) <- t +. occupancy;
+        Events.add_staged events (-1 - r)
+      end;
+      if fin > a.a_mk.(0) then a.a_mk.(0) <- fin;
+      for e = p.p_dep_off.(id) to p.p_dep_off.(id + 1) - 1 do
+        let packed = p.p_dep.(e) in
+        let dep = packed lsr 1 in
+        let candidate =
+          if packed land 1 = 1 then fin else fin +. p.p_lat.(dep)
+        in
+        if candidate > a.a_ready.(dep) then a.a_ready.(dep) <- candidate;
+        let pend = a.a_pending.(dep) - 1 in
+        a.a_pending.(dep) <- pend;
+        if pend = 0 then begin
+          estaged.(0) <- a.a_ready.(dep);
+          Events.add_staged events dep
+        end
+      done
+    end
   in
   let srcs = p.p_sources in
   for i = 0 to Array.length srcs - 1 do
@@ -338,8 +541,18 @@ let run_prepared ?(policy = `Fair) ?(telemetry = Telemetry.disabled) ?arena:a
   (* Every op must have run; a cycle would leave NaNs (impossible by
      construction, but guard against programmer error). *)
   for i = 0 to n - 1 do
-    if Float.is_nan a.a_finish.(i) then
+    if Float.is_nan a.a_finish.(i) then begin
+      Atomic.set a.a_in_use false;
       invalid_arg (Printf.sprintf "Engine.run: op %d never became ready" i)
+    end
+  done;
+  (* Busy totals are a constant of the schedule (every op runs exactly
+     once), so they are summed here in op-id order rather than in
+     dispatch order: the float sum is then independent of heap pop order
+     and bit-identical between fused and unfused replays. *)
+  for id = 0 to n - 1 do
+    let r = p.p_res_of.(id) in
+    if r >= 0 then a.a_busy.(r) <- a.a_busy.(r) +. p.p_occ.(id)
   done;
   let makespan = a.a_mk.(0) in
   if Telemetry.enabled telemetry then begin
@@ -357,10 +570,11 @@ let run_prepared ?(policy = `Fair) ?(telemetry = Telemetry.disabled) ?arena:a
         "engine.run"
     end
   end;
+  Atomic.set a.a_in_use false;
   { makespan; finish = a.a_finish; start = a.a_start; busy = a.a_busy }
 
-let run ?policy ?(telemetry = Telemetry.disabled) ~resources prog =
-  let p = prepare ~telemetry ~resources prog in
+let run ?policy ?(telemetry = Telemetry.disabled) ?fuse ~resources prog =
+  let p = prepare ~telemetry ?fuse ~resources prog in
   (* A fresh arena per call: [run]'s result arrays must stay independent
      across calls (callers compare results of separate runs). *)
   run_prepared ?policy ~telemetry ~arena:(arena ()) p

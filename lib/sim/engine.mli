@@ -51,6 +51,7 @@ type prepared
 
 val prepare :
   ?telemetry:Blink_telemetry.Telemetry.t ->
+  ?fuse:bool ->
   resources:resource array ->
   Program.t ->
   prepared
@@ -58,15 +59,51 @@ val prepare :
     names an unknown resource or a resource spec is invalid
     (non-positive lanes, negative latency) — the same errors {!run}
     raised at the same point. Counts ["engine.prepares"] when telemetry
-    is enabled. *)
+    is enabled.
+
+    [fuse] (default [true]) enables prepare-time op fusion: maximal runs
+    of back-to-back same-resource, same-stream ops whose interior
+    members are gated only by their stream predecessor are dispatched as
+    single fused schedule entries — interior members skip the event heap
+    and the lane bookkeeping entirely. Fusion is applied only when a
+    static contention analysis proves no op can ever wait for a lane
+    (every resource's summed per-stream lane demand fits its lane
+    count), which makes fused replay bit-identical — timing and data —
+    to unfused; otherwise the schedule runs unfused even with
+    [fuse:true]. Pass [~fuse:false] to force the unfused path (used by
+    equivalence tests). *)
 
 val prepared_program : prepared -> Program.t
 val prepared_ops : prepared -> int
 
+val fusion_enabled : prepared -> bool
+(** Whether fusion was requested {e and} the contention analysis proved
+    it exact. [false] means the schedule dispatches one op per event. *)
+
+val fused_chains : prepared -> int
+(** Number of fused chains (each replaces [length] heap events with 1). *)
+
+val fused_ops : prepared -> int
+(** Total ops covered by fused chains, heads included. *)
+
+val fused_head : prepared -> int -> int
+(** [fused_head p id] is the chain head the op is dispatched under — the
+    fused→original attribution map. Returns [id] itself for unfused ops
+    (and for chain heads). {!Recorder} and {!Critical_path} stay in
+    original-op granularity: fused dispatch still emits one begin/end
+    recorder pair and one start/finish entry per original op. *)
+
+val fused_members : prepared -> int -> int list
+(** [fused_members p head] lists a chain's member op ids in dispatch
+    order ([[id]] if [id] heads no chain). *)
+
 type arena
 (** The engine's mutable working set (start/finish/busy/pending/ready
     arrays, event and waiting heaps), reset in place by each
-    {!run_prepared}. Not safe to share across concurrent runs. *)
+    {!run_prepared}. Not safe to share across concurrent runs:
+    {!run_prepared} atomically marks the arena in use for the duration
+    of the run and raises [Invalid_argument] on a concurrent or
+    reentrant run over the same arena instead of corrupting state. *)
 
 val arena : unit -> arena
 (** A fresh empty arena; its arrays are sized lazily to the first
@@ -85,6 +122,8 @@ val run_prepared :
     arena per result. When [arena] is omitted a domain-local scratch
     arena is used (each domain has its own, so concurrent planners don't
     race; successive runs on one domain overwrite each other's results).
+    Raises [Invalid_argument] — without touching the arena — when the
+    arena is already mid-run in this or another domain (see {!arena}).
 
     Telemetry matches {!run}: counts ["engine.runs"]/["engine.ops_executed"],
     observes ["engine.makespan_s"], and when tracing records the
@@ -99,11 +138,14 @@ val run_prepared :
 val run :
   ?policy:policy ->
   ?telemetry:Blink_telemetry.Telemetry.t ->
+  ?fuse:bool ->
   resources:resource array ->
   Program.t ->
   result
 (** [prepare] + [run_prepared] on a fresh arena: results are independent
     across calls. Raises [Invalid_argument] as {!prepare} does.
+    [fuse] is passed through to {!prepare} (default on; bit-identical
+    either way).
 
     [telemetry] (default {!Blink_telemetry.Telemetry.disabled} — a no-op
     fast path that costs one match) counts runs/ops and observes the

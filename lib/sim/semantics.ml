@@ -17,12 +17,25 @@
 
 type slab = (float, Bigarray.float32_elt, Bigarray.c_layout) Bigarray.Array1.t
 
-(* C kernels (semantics_stubs.c): the fused in-place reduce and the
-   float64 -> float32 write conversion are conversion-bound through the
-   Bigarray accessors (each element round-trips through double), so the
-   two hot loops live in C where they stay in single precision. *)
+(* C kernels (semantics_stubs.c): the copy, the in-place reduce, the
+   fused copy+reduce, and the float64 -> float32 write conversion are
+   conversion-bound through the Bigarray accessors (each element
+   round-trips through double), so the hot loops live in C where they
+   stay in single precision, restrict-qualified and unrolled wide. *)
 external f32_reduce : slab -> int -> slab -> int -> int -> unit
   = "blink_f32_reduce"
+[@@noalloc]
+
+external f32_copy : slab -> int -> slab -> int -> int -> unit
+  = "blink_f32_copy"
+[@@noalloc]
+
+(* [f32_copy_add mid moff acc aoff src soff len]: mid = src and
+   acc += src in one pass — the data-path twin of a fused
+   transfer-then-reduce chunk chain. *)
+external f32_copy_add :
+  slab -> int -> slab -> int -> slab -> int -> int -> unit
+  = "blink_f32_copy_add_bytecode" "blink_f32_copy_add_native"
 [@@noalloc]
 
 external f32_of_f64 : slab -> int -> float array -> int -> unit
@@ -31,25 +44,31 @@ external f32_of_f64 : slab -> int -> float array -> int -> unit
 
 type kernels = {
   k_prog : Program.t;  (* program these kernels were compiled from *)
-  k_kind : int array;  (* 0 = copy, 1 = reduce *)
+  k_kind : int array;  (* 0 = copy, 1 = reduce, 2 = fused copy+reduce *)
   k_src : slab array;
   k_soff : int array;
-  k_dst : slab array;
+  k_dst : slab array;  (* kind 2: the accumulator (reduce destination) *)
   k_doff : int array;
+  k_aux : slab array;  (* kind 2: the receive (mid) buffer; else unused *)
+  k_aoff : int array;
   k_len : int array;
-  (* Pre-sliced views of the src/dst segments: [Array1.sub] allocates a
-     custom block, so taking the slices here (once per compile) keeps the
-     blit fast path of [exec] allocation-free in steady state. *)
-  k_src_view : slab array;
-  k_dst_view : slab array;
-  (* Buffers whose initial contents can influence a replay — read before
-     the kernels fully wrote them, or not fully written at all (so a user
-     [read] would see them). Only these need zeroing between pooled
-     replays; fully-overwritten scratch does not. Parallel arrays:
-     (node, buf, whole-buffer view to fill). *)
+  k_raw : int;
+      (* kernel count before copy+reduce pairing and contiguity batching:
+         one per op action, what exec would have dispatched unbatched *)
+  (* Slab segments whose initial contents can influence a replay — read
+     before the kernels wrote them, or not written by any kernel at all
+     (so a user [read] would see them). Only these need zeroing between
+     pooled replays; fully-overwritten scratch does not. Parallel
+     arrays: (node, buf, segment view to fill, every-replay flag).
+     [k_zero_every] distinguishes segments the kernels rewrite each run
+     (stale reads of kernel-written ranges — dirty again after every
+     replay) from segments no kernel ever writes: the latter stay zero
+     until a user [write] dirties their buffer, so commit_replay skips
+     them while the buffer's [user_touched] flag is clear. *)
   k_zero_nodes : int array;
   k_zero_bufs : int array;
   k_zero_views : slab array;
+  k_zero_every : bool array;
 }
 
 type memory = {
@@ -58,6 +77,9 @@ type memory = {
   lens : int array array;  (* node -> buf -> declared element count *)
   mutable kernels : kernels option;  (* compiled lazily at first run *)
   pending_zero : bool array array;  (* node -> buf -> must zero before run *)
+  user_touched : bool array array;
+      (* node -> buf -> a user [write] may have left nonzero data in
+         ranges no kernel writes (cleared when those ranges are zeroed) *)
   mutable armed : bool;  (* a begin_replay is waiting for commit_replay *)
 }
 
@@ -96,12 +118,14 @@ let memory_of_program prog =
     lens;
     kernels = None;
     pending_zero = Array.init n_nodes (fun node -> Array.make counts.(node) false);
+    user_touched = Array.init n_nodes (fun node -> Array.make counts.(node) false);
     armed = false;
   }
 
 let reset mem =
   Array.iter (fun s -> Bigarray.Array1.fill s 0.) mem.slabs;
   Array.iter (fun p -> Array.fill p 0 (Array.length p) false) mem.pending_zero;
+  Array.iter (fun p -> Array.fill p 0 (Array.length p) false) mem.user_touched;
   mem.armed <- false
 
 let check_known mem ~node ~buf =
@@ -120,6 +144,7 @@ let write mem ~node ~buf values =
   if Array.length values <> len then
     invalid_arg "Semantics.write: length mismatch";
   f32_of_f64 mem.slabs.(node) mem.offs.(node).(buf) values len;
+  mem.user_touched.(node).(buf) <- true;
   (* A full-buffer write between begin_replay and commit_replay makes the
      deferred zeroing of this buffer unnecessary. *)
   if mem.armed then mem.pending_zero.(node).(buf) <- false
@@ -156,16 +181,6 @@ let resolve mem (r : Program.mem_ref) =
 
 (* Coverage sets for the must-zero analysis: sorted, disjoint, merged
    [(start, stop)] interval lists per buffer. *)
-let rec covers ivs off stop =
-  off >= stop
-  ||
-  match ivs with
-  | [] -> false
-  | (s, e) :: rest ->
-      if s > off then false
-      else if e <= off then covers rest off stop
-      else covers rest e stop
-
 let add_iv ivs off stop =
   let rec go off stop = function
     | [] -> [ (off, stop) ]
@@ -176,6 +191,75 @@ let add_iv ivs off stop =
   in
   go off stop ivs
 
+(* The sub-intervals of [off, stop) not covered by [ivs]. *)
+let rec uncovered ivs off stop =
+  if off >= stop then []
+  else
+    match ivs with
+    | [] -> [ (off, stop) ]
+    | (s, e) :: rest ->
+        if e <= off then uncovered rest off stop
+        else if s >= stop then [ (off, stop) ]
+        else if s <= off then uncovered rest e stop
+        else (off, s) :: uncovered rest e stop
+
+(* A chain-following topological order: Kahn's algorithm over data deps
+   plus stream edges, taking ready ops in ascending id but always
+   preferring the stream successor of the op just emitted when it became
+   ready. Codegen programs synchronize every read-after-write and
+   write-after-read through op dependencies, so any valid topological
+   order computes the same data (the Ref-equivalence tests replay the
+   plain id order against this one); this particular order lays each
+   stream's pipelined chunk run out back-to-back, which is exactly the
+   shape the copy+reduce pairing and contiguity batching below compress. *)
+let chain_order prog =
+  let n = Program.n_ops prog in
+  let indeg = Array.make n 0 in
+  let succs = Array.make n [] in
+  let snext = Array.make n (-1) in
+  Program.iter_ops
+    (fun o ->
+      List.iter
+        (fun d ->
+          indeg.(o.Program.id) <- indeg.(o.Program.id) + 1;
+          succs.(d) <- o.Program.id :: succs.(d))
+        o.Program.deps)
+    prog;
+  Program.iter_stream_edges
+    (fun ~pred ~succ ->
+      indeg.(succ) <- indeg.(succ) + 1;
+      succs.(pred) <- succ :: succs.(pred);
+      snext.(pred) <- succ)
+    prog;
+  let module IS = Set.Make (Int) in
+  let ready = ref IS.empty in
+  for id = 0 to n - 1 do
+    if indeg.(id) = 0 then ready := IS.add id !ready
+  done;
+  let out = Array.make n 0 in
+  let k = ref 0 in
+  let rec emit id =
+    out.(!k) <- id;
+    incr k;
+    List.iter
+      (fun s ->
+        indeg.(s) <- indeg.(s) - 1;
+        if indeg.(s) = 0 then ready := IS.add s !ready)
+      succs.(id);
+    let nx = snext.(id) in
+    if nx >= 0 && indeg.(nx) = 0 && IS.mem nx !ready then begin
+      ready := IS.remove nx !ready;
+      emit nx
+    end
+  in
+  while not (IS.is_empty !ready) do
+    let id = IS.min_elt !ready in
+    ready := IS.remove id !ready;
+    emit id
+  done;
+  assert (!k = n);
+  Array.to_list out
+
 let compile mem prog =
   let acc = ref [] in
   (* Track, per buffer, which intervals the kernels have written so far;
@@ -184,17 +268,17 @@ let compile mem prog =
   let written =
     Array.map (fun offs -> Array.make (Array.length offs) []) mem.offs
   in
-  let tainted =
-    Array.map (fun offs -> Array.make (Array.length offs) false) mem.offs
+  let stale =
+    Array.map (fun offs -> Array.make (Array.length offs) []) mem.offs
   in
   let note_read (r : Program.mem_ref) =
-    if
-      not
-        (covers
-           written.(r.Program.node).(r.Program.buf)
-           r.Program.off
-           (r.Program.off + r.Program.len))
-    then tainted.(r.Program.node).(r.Program.buf) <- true
+    let node = r.Program.node and buf = r.Program.buf in
+    List.iter
+      (fun (s, e) -> stale.(node).(buf) <- add_iv stale.(node).(buf) s e)
+      (uncovered
+         written.(node).(buf)
+         r.Program.off
+         (r.Program.off + r.Program.len))
   in
   let note_write (r : Program.mem_ref) =
     written.(r.Program.node).(r.Program.buf) <-
@@ -229,45 +313,132 @@ let compile mem prog =
           note_read dst;  (* a reduce reads its destination *)
           note_write dst;
           acc := (1, s, so, d, doff, src.Program.len) :: !acc)
-    (Program.topological_order prog);
-  (* Must-zero set: read before fully written, or never fully written
-     (a user [read] of leftover bytes would otherwise see a past replay). *)
+    (chain_order prog);
+  (* Must-zero set, segment-precise: the intervals a kernel reads before
+     anything wrote them (their stale contents reach the result) plus
+     the intervals no kernel ever writes (a user [read] of leftover
+     bytes there would see a past replay). Intervals the kernels
+     overwrite without first reading need no zeroing at all. Each
+     segment carries an every-replay flag: stale reads of
+     kernel-written ranges are dirty again after every run, while
+     ranges no kernel writes can only be dirtied by a user [write] —
+     commit_replay skips those until the buffer's user_touched flag
+     says otherwise, so steady-state replays of collectives with
+     untouched staging or unused peers do no fill at all. *)
   let zeros = ref [] in
   Array.iteri
     (fun node bufs ->
       Array.iteri
         (fun buf len ->
-          if
-            len > 0
-            && (tainted.(node).(buf)
-               || not (covers written.(node).(buf) 0 len))
-          then zeros := (node, buf) :: !zeros)
+          if len > 0 then begin
+            (* stale ∩ written: rewritten by the kernels every run. *)
+            List.iter
+              (fun (s, e) ->
+                List.iter
+                  (fun (cs, ce) ->
+                    let cs = max cs s and ce = min ce e in
+                    if cs < ce then
+                      zeros := (node, buf, cs, ce - cs, true) :: !zeros)
+                  written.(node).(buf))
+              stale.(node).(buf);
+            (* Complement of written (⊇ stale ∖ written): only ever
+               dirtied by user writes. *)
+            List.iter
+              (fun (s, e) -> zeros := (node, buf, s, e - s, false) :: !zeros)
+              (uncovered written.(node).(buf) 0 len)
+          end)
         bufs)
     mem.lens;
   let zeros = Array.of_list (List.rev !zeros) in
-  let ks = Array.of_list (List.rev !acc) in
+  let raw = List.rev !acc in
+  let n_raw = List.length raw in
+  (* [x at xo] and [y at yo], both [len] elements, touch no common cell.
+     Slab segments of distinct buffers never overlap (slabs are carved
+     contiguously per buffer), so offset arithmetic within one slab plus
+     physical slab identity decides it. *)
+  let disjoint x xo y yo len = x != y || xo + len <= yo || yo + len <= xo in
+  (* Stage 1 — copy+reduce pairing: a chunk copied into its receive
+     buffer and immediately reduced into an accumulator becomes one
+     fused copy+reduce kernel (mid = src; acc += src), eliding the
+     re-read of the receive buffer. Exact only when nothing aliases:
+     with any overlap among src/mid/acc the two-pass order could differ,
+     so aliased pairs are left alone. Entries become
+     (kind, src, soff, dst, doff, aux, aoff, len) with dst = acc and
+     aux = mid for kind 2; aux is a don't-care placeholder otherwise. *)
+  let rec pair_fuse = function
+    | (0, s, so, m, moff, len) :: (1, m2, so2, a, aoff, len2) :: rest
+      when m == m2 && so2 = moff && len2 = len
+           && disjoint m moff s so len
+           && disjoint a aoff s so len
+           && disjoint a aoff m moff len ->
+        (2, s, so, a, aoff, m, moff, len) :: pair_fuse rest
+    | (k, s, so, d, doff, len) :: rest ->
+        (k, s, so, d, doff, d, 0, len) :: pair_fuse rest
+    | [] -> []
+  in
+  (* Stage 2 — contiguity batching: back-to-back kernels of one kind over
+     adjacent slab ranges collapse into a single wide call. Pipelined
+     chunk chains produce exactly this shape. Reduces and fused
+     copy+reduces batch unconditionally — the merged forward loop
+     performs the identical element-by-element sequence as the
+     concatenated loops (the C stubs fall back to strict forward order
+     whenever ranges alias). A merged copy is one memmove, which is NOT
+     sequential when an earlier destination overlaps a later source, so
+     same-slab copies only merge when the combined ranges stay disjoint. *)
+  let rec batch = function
+    | (k1, s1, so1, d1, do1, x1, xo1, l1)
+      :: (k2, s2, so2, d2, do2, x2, xo2, l2)
+      :: rest
+      when k1 = k2 && s1 == s2 && d1 == d2
+           && so2 = so1 + l1
+           && do2 = do1 + l1
+           && (k1 <> 2 || (x1 == x2 && xo2 = xo1 + l1))
+           && (k1 <> 0 || disjoint s1 so1 d1 do1 (l1 + l2)) ->
+        batch ((k1, s1, so1, d1, do1, x1, xo1, l1 + l2) :: rest)
+    | e :: rest -> e :: batch rest
+    | [] -> []
+  in
+  (* Pairing opportunities appear at two granularities: raw chunk pairs
+     (copy chunk_i; reduce chunk_i) and whole batched runs (one wide
+     copy of a chain's receive range followed by one wide reduce of it —
+     the shape chain-following kernel order produces). So pair, batch,
+     then pair the batched runs and batch once more to let fused entries
+     merge with their own neighbors. *)
+  let rec pair_fuse_batched = function
+    | (0, s, so, m, moff, _, _, len) :: (1, m2, so2, a, aoff, _, _, len2)
+      :: rest
+      when m == m2 && so2 = moff && len2 = len
+           && disjoint m moff s so len
+           && disjoint a aoff s so len
+           && disjoint a aoff m moff len ->
+        (2, s, so, a, aoff, m, moff, len) :: pair_fuse_batched rest
+    | e :: rest -> e :: pair_fuse_batched rest
+    | [] -> []
+  in
+  let ks =
+    Array.of_list (batch (pair_fuse_batched (batch (pair_fuse raw))))
+  in
   {
     k_prog = prog;
-    k_kind = Array.map (fun (k, _, _, _, _, _) -> k) ks;
-    k_src = Array.map (fun (_, s, _, _, _, _) -> s) ks;
-    k_soff = Array.map (fun (_, _, so, _, _, _) -> so) ks;
-    k_dst = Array.map (fun (_, _, _, d, _, _) -> d) ks;
-    k_doff = Array.map (fun (_, _, _, _, doff, _) -> doff) ks;
-    k_len = Array.map (fun (_, _, _, _, _, len) -> len) ks;
-    k_src_view =
-      Array.map (fun (_, s, so, _, _, len) -> Bigarray.Array1.sub s so len) ks;
-    k_dst_view =
-      Array.map (fun (_, _, _, d, doff, len) -> Bigarray.Array1.sub d doff len)
-        ks;
-    k_zero_nodes = Array.map fst zeros;
-    k_zero_bufs = Array.map snd zeros;
+    k_kind = Array.map (fun (k, _, _, _, _, _, _, _) -> k) ks;
+    k_src = Array.map (fun (_, s, _, _, _, _, _, _) -> s) ks;
+    k_soff = Array.map (fun (_, _, so, _, _, _, _, _) -> so) ks;
+    k_dst = Array.map (fun (_, _, _, d, _, _, _, _) -> d) ks;
+    k_doff = Array.map (fun (_, _, _, _, doff, _, _, _) -> doff) ks;
+    k_aux = Array.map (fun (_, _, _, _, _, x, _, _) -> x) ks;
+    k_aoff = Array.map (fun (_, _, _, _, _, _, xo, _) -> xo) ks;
+    k_len = Array.map (fun (_, _, _, _, _, _, _, len) -> len) ks;
+    k_raw = n_raw;
+    k_zero_nodes = Array.map (fun (node, _, _, _, _) -> node) zeros;
+    k_zero_bufs = Array.map (fun (_, buf, _, _, _) -> buf) zeros;
     k_zero_views =
       Array.map
-        (fun (node, buf) ->
+        (fun (node, buf, off, len, _) ->
           Bigarray.Array1.sub mem.slabs.(node)
-            mem.offs.(node).(buf)
-            mem.lens.(node).(buf))
+            (mem.offs.(node).(buf) + off)
+            len)
         zeros;
+    k_zero_every = Array.map (fun (_, _, _, _, every) -> every) zeros;
   }
 
 let exec k =
@@ -275,22 +446,10 @@ let exec k =
     let len = k.k_len.(i) in
     let s = k.k_src.(i) and d = k.k_dst.(i) in
     let so = k.k_soff.(i) and doff = k.k_doff.(i) in
-    if k.k_kind.(i) = 0 then begin
-      if len >= 64 then
-        (* memmove under the hood: overlap-safe, vectorized. *)
-        Bigarray.Array1.blit k.k_src_view.(i) k.k_dst_view.(i)
-      else if s == d && doff > so then
-        for j = len - 1 downto 0 do
-          Bigarray.Array1.unsafe_set d (doff + j)
-            (Bigarray.Array1.unsafe_get s (so + j))
-        done
-      else
-        for j = 0 to len - 1 do
-          Bigarray.Array1.unsafe_set d (doff + j)
-            (Bigarray.Array1.unsafe_get s (so + j))
-        done
-    end
-    else f32_reduce d doff s so len
+    match k.k_kind.(i) with
+    | 0 -> f32_copy d doff s so len
+    | 1 -> f32_reduce d doff s so len
+    | _ -> f32_copy_add k.k_aux.(i) k.k_aoff.(i) d doff s so len
   done
 
 let ensure_kernels mem prog =
@@ -302,6 +461,23 @@ let ensure_kernels mem prog =
       k
 
 let run prog mem = exec (ensure_kernels mem prog)
+
+(* (raw, compiled, fused copy+reduce entries): how far pairing and
+   contiguity batching compressed the kernel table. *)
+let kernel_stats mem prog =
+  let k = ensure_kernels mem prog in
+  let fused =
+    Array.fold_left (fun n kind -> if kind = 2 then n + 1 else n) 0 k.k_kind
+  in
+  (k.k_raw, Array.length k.k_kind, fused)
+
+(* Raw kernel entry points for the [bench kernels] microbench. *)
+module Kernels = struct
+  let copy = f32_copy
+  let reduce = f32_reduce
+  let copy_add = f32_copy_add
+  let of_f64 = f32_of_f64
+end
 
 (* Pooled-replay protocol: [begin_replay] marks the buffers whose stale
    contents could leak into the next replay; [write]s in between clear
@@ -320,11 +496,28 @@ let begin_replay mem prog =
 let commit_replay mem =
   (match mem.kernels with
   | Some k ->
+      (* A buffer may contribute several zero segments; fill every
+         pending segment first, then clear the per-buffer marks.
+         Segments the kernels never write are still zero from their
+         last fill unless a user [write] touched the buffer since, so
+         those skip the fill while user_touched is clear. *)
       for i = 0 to Array.length k.k_zero_nodes - 1 do
-        if mem.pending_zero.(k.k_zero_nodes.(i)).(k.k_zero_bufs.(i)) then begin
-          Bigarray.Array1.fill k.k_zero_views.(i) 0.;
-          mem.pending_zero.(k.k_zero_nodes.(i)).(k.k_zero_bufs.(i)) <- false
-        end
+        if
+          mem.pending_zero.(k.k_zero_nodes.(i)).(k.k_zero_bufs.(i))
+          && (k.k_zero_every.(i)
+             || mem.user_touched.(k.k_zero_nodes.(i)).(k.k_zero_bufs.(i)))
+        then Bigarray.Array1.fill k.k_zero_views.(i) 0.
+      done;
+      for i = 0 to Array.length k.k_zero_nodes - 1 do
+        let node = k.k_zero_nodes.(i) and buf = k.k_zero_bufs.(i) in
+        if mem.pending_zero.(node).(buf) then
+          (* Every never-kernel-written segment of this buffer was just
+             zeroed (or was already zero), so user data is gone from
+             those ranges until the next write. *)
+          mem.user_touched.(node).(buf) <- false
+      done;
+      for i = 0 to Array.length k.k_zero_nodes - 1 do
+        mem.pending_zero.(k.k_zero_nodes.(i)).(k.k_zero_bufs.(i)) <- false
       done
   | None -> ());
   mem.armed <- false

@@ -226,6 +226,89 @@ let test_prewarm_deterministic () =
   Alcotest.(check int) "plan calls all hit" (List.length keys) hits;
   Alcotest.(check int) "re-prewarm builds nothing" 0 (Blink.prewarm a keys)
 
+(* Async prewarm must land the handle in exactly the state sequential
+   prewarm does — same tuned chunks, same compiled plans, same cache
+   counters — whether the future ran on a worker domain or degenerated
+   to an eager call. Futures themselves: value passing, exception
+   propagation, idempotent await. *)
+let test_future_basics () =
+  Pool.with_pool ~domains:2 (fun pool ->
+      let f = Pool.async pool (fun () -> 6 * 7) in
+      Alcotest.(check int) "future value" 42 (Pool.await f);
+      Alcotest.(check int) "await is idempotent" 42 (Pool.await f);
+      let g = Pool.async pool (fun () -> raise (Boom 5)) in
+      (match Pool.await g with
+      | _ -> Alcotest.fail "expected Boom"
+      | exception Boom i -> Alcotest.(check int) "exception propagates" 5 i);
+      (* Overlap actually happens on a multi-domain pool: the caller can
+         observe a signal set by the running future before awaiting. *)
+      let flag = Atomic.make false in
+      let h = Pool.async pool (fun () -> Atomic.set flag true; 1) in
+      let deadline = Unix.gettimeofday () +. 5.0 in
+      while (not (Atomic.get flag)) && Unix.gettimeofday () < deadline do
+        Domain.cpu_relax ()
+      done;
+      Alcotest.(check bool) "task ran before await" true (Atomic.get flag);
+      Alcotest.(check int) "then awaits fine" 1 (Pool.await h));
+  (* Sequential degeneration: the thunk runs eagerly in the caller. *)
+  Pool.with_pool ~domains:1 (fun pool ->
+      let self = Domain.self () in
+      let f = Pool.async pool (fun () -> Domain.self ()) in
+      Alcotest.(check bool) "eager on 1-domain pool" true
+        (Pool.await f = self))
+
+let check_same_warm_state label a b =
+  List.iter
+    (fun (c, elems) ->
+      let pa = Blink.plan a c ~elems in
+      let pb = Blink.plan b c ~elems in
+      let l = label ^ ": " ^ Plan.collective_name c ^ string_of_int elems in
+      Alcotest.(check int) (l ^ ": same tuned chunk") pb.Plan.chunk_elems
+        pa.Plan.chunk_elems;
+      Alcotest.(check bool) (l ^ ": identical ops") true
+        (ops_of pa.Plan.program = ops_of pb.Plan.program))
+    keys
+
+let test_prewarm_async_equivalent () =
+  let gpus = [| 1; 4; 5; 6 |] in
+  let seq = Blink.create Server.dgx1v ~gpus in
+  let seq_built = Blink.prewarm seq keys in
+  (* Async through a real worker domain. *)
+  Pool.with_pool ~domains:2 (fun pool ->
+      let a = Blink.create Server.dgx1v ~gpus in
+      let job = Blink.prewarm_async ~pool a keys in
+      let built = Blink.prewarm_await a job in
+      Alcotest.(check int) "worker path builds the same count" seq_built built;
+      check_same_warm_state "worker" a seq;
+      let sa = Blink.plan_cache_stats seq and sb = Blink.plan_cache_stats a in
+      Alcotest.(check int) "same misses" sa.Blink.misses sb.Blink.misses;
+      Alcotest.(check int) "re-async builds nothing" 0
+        (Blink.prewarm_await a (Blink.prewarm_async ~pool a keys)));
+  (* Degenerate path: no pool at all. *)
+  let b = Blink.create Server.dgx1v ~gpus in
+  let job = Blink.prewarm_async b keys in
+  Alcotest.(check int) "eager path builds the same count" seq_built
+    (Blink.prewarm_await b job);
+  check_same_warm_state "eager" b seq
+
+let test_prewarm_async_guards () =
+  let gpus = [| 1; 4; 5; 6 |] in
+  let h = Blink.create Server.dgx1v ~gpus in
+  let job = Blink.prewarm_async h [ (Plan.All_reduce, 4_096) ] in
+  (* Topology mutation under an inflight job must be refused... *)
+  (match Blink.fail_link h ~u:5 ~v:6 with
+  | _ -> Alcotest.fail "fail_link under inflight job succeeded"
+  | exception Invalid_argument _ -> ());
+  ignore (Blink.prewarm_await h job);
+  (* ...and allowed again once awaited. *)
+  Blink.fail_link h ~u:5 ~v:6;
+  (* Double await is a usage error. *)
+  let job2 = Blink.prewarm_async h [ (Plan.Broadcast, 4_096) ] in
+  ignore (Blink.prewarm_await h job2);
+  match Blink.prewarm_await h job2 with
+  | _ -> Alcotest.fail "double await succeeded"
+  | exception Invalid_argument _ -> ()
+
 (* Same graph, two independent planning runs: the MWU purchase table and
    the LP constraint rows live in hashtables, so any hash-order leak into
    weight accumulation or solver pivoting shows up as run-to-run drift
@@ -267,6 +350,14 @@ let () =
           Alcotest.test_case "BLINK_DOMAINS clamps" `Quick test_env_clamps;
           Alcotest.test_case "BLINK_DOMAINS parsing" `Quick test_parse_domains;
           Alcotest.test_case "pool gauges" `Quick test_pool_gauges;
+          Alcotest.test_case "futures" `Quick test_future_basics;
+        ] );
+      ( "async prewarm",
+        [
+          Alcotest.test_case "equivalent to sequential" `Quick
+            test_prewarm_async_equivalent;
+          Alcotest.test_case "inflight and double-await guards" `Quick
+            test_prewarm_async_guards;
         ] );
       ( "determinism",
         [
