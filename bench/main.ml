@@ -1175,6 +1175,198 @@ let analyze_suite () =
     exit 1)
 
 (* ------------------------------------------------------------------ *)
+(* Planner-backend tournament: every registered backend plans the same
+   fabrics; the DES times the resulting AllReduce/Broadcast schedules and
+   a differential check holds each backend to Treegen.feasible plus
+   bit-equality against the reference semantics. Two gates (after the
+   artifact is written): every backend must pass the differential check,
+   and TreeGen must stay within 5% of the best backend's achieved
+   AllReduce rate on the DGX-1 topologies — the tournament doubles as a
+   guard on TreeGen's optimality claims. Not part of the regress
+   baselines: planning wall-clock is host-dependent. *)
+
+module Planner = Blink_core.Planner
+
+(* The closeness gate covers the healthy DGX-1 fabrics. The degraded
+   fabric is measured and differentially checked but not gated: there
+   LP-flow's column generation legitimately beats TreeGen's MWU+ILP by
+   ~6% achieved AllReduce (the fault breaks the symmetry MWU exploits) —
+   exactly the kind of planner gap the tournament exists to surface. *)
+let tournament_topologies =
+  [
+    ("dgx1v-8", Server.dgx1v, Array.init 8 Fun.id, [], `Gated);
+    ("dgx1p-8", Server.dgx1p, Array.init 8 Fun.id, [], `Gated);
+    ("dgx1v-quad", Server.dgx1v, [| 1; 4; 5; 6 |], [], `Gated);
+    ( "dgx1v-8-degraded",
+      Server.dgx1v,
+      Array.init 8 Fun.id,
+      [ ((2, 3), Server.Down) ],
+      `Ungated );
+  ]
+
+(* Element-exact AllReduce differential: slab semantics vs the float-array
+   reference, over every buffer of the compiled program. *)
+let tournament_data_correct handle =
+  let elems = 2_048 in
+  let plan = Blink.plan ~chunk_elems:512 handle Plan.All_reduce ~elems in
+  let prog = plan.Plan.program in
+  let layout = plan.Plan.layout in
+  let k = Array.length layout.Codegen.data in
+  let mem = Sem.memory_of_program prog in
+  let rmem = Sem.Ref.memory_of_program prog in
+  for r = 0 to k - 1 do
+    let values =
+      Array.init elems (fun i -> Float.of_int (((i * 3) + (r * 7)) mod 11))
+    in
+    Sem.write mem ~node:r ~buf:layout.Codegen.data.(r) values;
+    Sem.Ref.write rmem ~node:r ~buf:layout.Codegen.data.(r) values
+  done;
+  Sem.run prog mem;
+  Sem.Ref.run prog rmem;
+  List.for_all
+    (fun (node, buf, _len) ->
+      Sem.Ref.read rmem ~node ~buf = Sem.read mem ~node ~buf)
+    (Program.buffers prog)
+
+let tournament_suite () =
+  let mbytes = 100. in
+  let backends = Planner.all () in
+  Util.heading "Tournament: %d planner backends x %d topologies, %.0f MB"
+    (List.length backends)
+    (List.length tournament_topologies)
+    mbytes;
+  let packing_fields prefix g = function
+    | None -> [ (prefix ^ "_trees", Json.Null); (prefix ^ "_rate", Json.Null) ]
+    | Some (p : Treegen.packing) ->
+        [
+          (prefix ^ "_trees", Json.int (List.length p.Treegen.trees));
+          (prefix ^ "_rate", Json.float p.Treegen.rate);
+          (prefix ^ "_optimal", Json.float p.Treegen.optimal);
+          (prefix ^ "_feasible", Json.Bool (Treegen.feasible g p));
+        ]
+  in
+  let results =
+    List.map
+      (fun (topo, server, gpus, faults, gated) ->
+        Util.row "  %-17s %-11s %8s %8s %6s %6s %9s %5s %5s\n" topo "backend"
+          "bcast" "allred" "btrees" "atrees" "plan-ms" "feas" "data";
+        let rows =
+          List.map
+            (fun b ->
+              let t0 = Unix.gettimeofday () in
+              let handle =
+                match faults with
+                | [] -> Blink.create ~planner:b server ~gpus
+                | fs -> Blink.create ~planner:b ~link_faults:fs server ~gpus
+              in
+              let plan_s = Unix.gettimeofday () -. t0 in
+              let g = Blink.graph handle in
+              let directed = Blink.packing handle in
+              let undirected = Blink.undirected_packing handle in
+              let feasible =
+                List.for_all
+                  (function
+                    | None -> false | Some p -> Treegen.feasible g p)
+                  [ directed; undirected ]
+              in
+              let data_ok = tournament_data_correct handle in
+              let bcast = Util.blink_broadcast ~mbytes handle in
+              let allred = Util.blink_all_reduce ~mbytes handle in
+              let trees = function
+                | None -> 0
+                | Some p -> List.length p.Treegen.trees
+              in
+              Util.row
+                "  %-17s %-11s %6.1f %8.1f %6d %6d %9.1f %5b %5b\n" ""
+                (Planner.name b) bcast allred (trees directed)
+                (trees undirected) (plan_s *. 1e3) feasible data_ok;
+              ( Planner.name b,
+                Json.Obj
+                  ([
+                     ("backend", Json.str (Planner.name b));
+                     ("plan_wall_s", Json.float plan_s);
+                     ("broadcast_gbps", Json.float bcast);
+                     ("all_reduce_gbps", Json.float allred);
+                     ("feasible", Json.Bool feasible);
+                     ("data_correct", Json.Bool data_ok);
+                   ]
+                  @ packing_fields "broadcast" g directed
+                  @ packing_fields "all_reduce" g undirected),
+                (feasible, data_ok, allred) ))
+            backends
+        in
+        (topo, gated, rows))
+      tournament_topologies
+  in
+  Util.write_bench_json ~file:"BENCH_tournament.json" ~suite:"tournament"
+    [
+      ("mbytes", Json.float mbytes);
+      ( "topologies",
+        Json.List
+          (List.map
+             (fun (topo, gated, rows) ->
+               Json.Obj
+                 [
+                   ("name", Json.str topo);
+                   ("gated", Json.Bool (gated = `Gated));
+                   ( "backends",
+                     Json.List (List.map (fun (_, json, _) -> json) rows) );
+                 ])
+             results) );
+    ];
+  (* Gate 1: the differential check holds for every backend everywhere. *)
+  let bad =
+    List.concat_map
+      (fun (topo, _, rows) ->
+        List.filter_map
+          (fun (name, _, (feasible, data_ok, _)) ->
+            if feasible && data_ok then None
+            else Some (topo, name, feasible, data_ok))
+          rows)
+      results
+  in
+  List.iter
+    (fun (topo, name, feasible, data_ok) ->
+      Printf.eprintf
+        "tournament: %s on %s failed the differential check (feasible=%b \
+         data_correct=%b)\n"
+        name topo feasible data_ok)
+    bad;
+  if bad <> [] then exit 1;
+  (* Gate 2: TreeGen within 5% of the best backend's achieved AllReduce
+     rate on every (DGX-1) topology. *)
+  let laggards =
+    List.filter_map
+      (fun (topo, gated, rows) ->
+        if gated <> `Gated then None
+        else
+        let rate name =
+          List.find_map
+            (fun (n, _, (_, _, r)) ->
+              if String.equal n name then Some r else None)
+            rows
+        in
+        match rate "treegen" with
+        | None -> Some (topo, 0., 0.)
+        | Some tg ->
+            let best =
+              List.fold_left
+                (fun acc (_, _, (_, _, r)) -> Float.max acc r)
+                0. rows
+            in
+            if tg < 0.95 *. best then Some (topo, tg, best) else None)
+      results
+  in
+  List.iter
+    (fun (topo, tg, best) ->
+      Printf.eprintf
+        "tournament: treegen achieved %.1f GB/s on %s, below 95%% of the \
+         best backend's %.1f GB/s\n"
+        tg topo best)
+    laggards;
+  if laggards <> [] then exit 1
+
+(* ------------------------------------------------------------------ *)
 (* Regression gate: diff fresh BENCH_*.json in the cwd against the
    committed baselines in bench/baselines/. Only simulator-derived
    fields are compared — wall-clock and host-dependent numbers vary per
@@ -1521,6 +1713,47 @@ let regen_baselines () =
 
 (* ------------------------------------------------------------------ *)
 
+(* Abort insurance: each gated suite leaves at least a stub BENCH_*.json
+   behind if it dies on an uncaught exception before its own write (the
+   in-suite gates already write first, then exit 1). *)
+let plan_cache_suite =
+  let f = plan_cache_suite in
+  fun () -> Util.guard_artifact ~file:"BENCH_plan_cache.json" ~suite:"plan_cache" f
+
+let parallel_plan_suite =
+  let f = parallel_plan_suite in
+  fun () ->
+    Util.guard_artifact ~file:"BENCH_parallel_plan.json" ~suite:"parallel_plan" f
+
+let overlap_suite =
+  let f = overlap_suite in
+  fun () -> Util.guard_artifact ~file:"BENCH_overlap.json" ~suite:"overlap" f
+
+let replay_suite =
+  let f = replay_suite in
+  fun () -> Util.guard_artifact ~file:"BENCH_replay.json" ~suite:"replay" f
+
+let kernels_suite =
+  let f = kernels_suite in
+  fun () -> Util.guard_artifact ~file:"BENCH_kernels.json" ~suite:"kernels" f
+
+let failover_suite =
+  let f = failover_suite in
+  fun () -> Util.guard_artifact ~file:"BENCH_failover.json" ~suite:"failover" f
+
+let cluster_suite =
+  let f = cluster_suite in
+  fun () -> Util.guard_artifact ~file:"BENCH_cluster.json" ~suite:"cluster" f
+
+let analyze_suite =
+  let f = analyze_suite in
+  fun () -> Util.guard_artifact ~file:"BENCH_analyze.json" ~suite:"analyze" f
+
+let tournament_suite =
+  let f = tournament_suite in
+  fun () ->
+    Util.guard_artifact ~file:"BENCH_tournament.json" ~suite:"tournament" f
+
 let () =
   match Array.to_list Sys.argv with
   | _ :: [] ->
@@ -1533,6 +1766,7 @@ let () =
       failover_suite ();
       cluster_suite ();
       analyze_suite ();
+      tournament_suite ();
       bechamel_suite ();
       print_newline ()
   | _ :: args ->
@@ -1549,6 +1783,7 @@ let () =
               print_endline "failover";
               print_endline "cluster";
               print_endline "analyze";
+              print_endline "tournament";
               print_endline "regress";
               print_endline "regress-selftest";
               print_endline "regen-baselines";
@@ -1563,6 +1798,7 @@ let () =
               failover_suite ();
               cluster_suite ();
               analyze_suite ();
+              tournament_suite ();
               bechamel_suite ()
           | "plan-cache" -> plan_cache_suite ()
           | "parallel-plan" -> parallel_plan_suite ()
@@ -1572,6 +1808,7 @@ let () =
           | "failover" -> failover_suite ()
           | "cluster" -> cluster_suite ()
           | "analyze" -> analyze_suite ()
+          | "tournament" -> tournament_suite ()
           | "regress" -> regress_suite ()
           | "regress-selftest" -> regress_selftest ()
           | "regen-baselines" -> regen_baselines ()

@@ -88,6 +88,10 @@ let host_metadata () =
       ("recommended_domains", Json.int (Domain.recommended_domain_count ()));
     ]
 
+(* Files written this run, so [guard_artifact] knows whether a dying
+   suite already left its evidence behind. *)
+let written : (string, unit) Hashtbl.t = Hashtbl.create 8
+
 let write_bench_json ~file ~suite fields =
   let doc =
     Json.Obj
@@ -100,7 +104,26 @@ let write_bench_json ~file ~suite fields =
   output_string oc (Json.to_string doc);
   output_char oc '\n';
   close_out oc;
+  Hashtbl.replace written file ();
   row "  wrote %s\n" file
+
+(* CI uploads BENCH_*.json to explain gate failures — so a suite that
+   dies on an exception *before* its write (the gates themselves all
+   write first, then [exit 1]) must still leave an artifact. The stub
+   records the abort and the exception; the non-zero exit still fails
+   the job. *)
+let guard_artifact ~file ~suite f =
+  Hashtbl.remove written file;
+  try f ()
+  with e ->
+    let bt = Printexc.get_raw_backtrace () in
+    if not (Hashtbl.mem written file) then
+      write_bench_json ~file ~suite
+        [
+          ("aborted", Json.Bool true);
+          ("error", Json.str (Printexc.to_string e));
+        ];
+    Printexc.raise_with_backtrace e bt
 
 let geomean = function
   | [] -> nan

@@ -10,7 +10,8 @@
    $ blink replay  all_reduce --server dgx1v --gpus 1,4,5,6 --runs 100
    $ blink prewarm --server dgx1v --gpus 0,1,2,3 --domains 4 --sizes 1,16,64
    $ blink failover --server dgx1v --fail-link 5,6 --degrade 0,3,0.5
-   $ blink cluster --jobs 40000 --servers 64 --service --straggler 3,2.0 *)
+   $ blink cluster --jobs 40000 --servers 64 --service --straggler 3,2.0
+   $ blink tournament --server dgx1v --gpus 0,1,2,3,4,5,6,7 --mbytes 100 *)
 
 open Cmdliner
 module Server = Blink_topology.Server
@@ -852,6 +853,90 @@ let cluster_cmd =
                      ~doc:"Flag a slice whose achieved rate falls more \
                            than EPS below its fingerprint class's best."))
 
+(* ----------------------------- tournament ----------------------------- *)
+
+module Planner = Blink_core.Planner
+
+(* Every registered planner backend on one allocation: packing rates and
+   tree counts, DES-achieved Broadcast/AllReduce, planning wall-clock,
+   and the differential check (Treegen.feasible + bit-equality against
+   the reference semantics). Non-zero exit when any backend fails the
+   check — the same criteria as `bench/main.exe -- tournament`, scoped to
+   a single fabric for interactive use. *)
+let tournament server gpus mbytes =
+  let module Sem = Blink_sim.Semantics in
+  let module Program = Blink_sim.Program in
+  let data_correct handle =
+    let elems = 2_048 in
+    let plan = Blink.plan ~chunk_elems:512 handle Plan.All_reduce ~elems in
+    let prog = plan.Plan.program in
+    let layout = plan.Plan.layout in
+    let k = Array.length layout.Codegen.data in
+    let mem = Sem.memory_of_program prog in
+    let rmem = Sem.Ref.memory_of_program prog in
+    for r = 0 to k - 1 do
+      let values =
+        Array.init elems (fun i -> Float.of_int (((i * 3) + (r * 7)) mod 11))
+      in
+      Sem.write mem ~node:r ~buf:layout.Codegen.data.(r) values;
+      Sem.Ref.write rmem ~node:r ~buf:layout.Codegen.data.(r) values
+    done;
+    Sem.run prog mem;
+    Sem.Ref.run prog rmem;
+    List.for_all
+      (fun (node, buf, _len) ->
+        Sem.Ref.read rmem ~node ~buf = Sem.read mem ~node ~buf)
+      (Program.buffers prog)
+  in
+  let elems = int_of_float (mbytes *. 1_000_000. /. 4.) in
+  Format.printf "%s gpus {%s}, %.0f MB:@." server.Server.name
+    (Alloc.to_string (Array.to_list gpus))
+    mbytes;
+  Format.printf "  %-11s %9s %9s %7s %7s %9s %5s %5s@." "backend" "bcast"
+    "allred" "btrees" "atrees" "plan-ms" "feas" "data";
+  let failed = ref false in
+  List.iter
+    (fun b ->
+      let t0 = Unix.gettimeofday () in
+      let handle = Blink.create ~planner:b server ~gpus in
+      let plan_s = Unix.gettimeofday () -. t0 in
+      let g = Blink.graph handle in
+      let feasible =
+        List.for_all
+          (function None -> false | Some p -> Treegen.feasible g p)
+          [ Blink.packing handle; Blink.undirected_packing handle ]
+      in
+      let data_ok = data_correct handle in
+      if not (feasible && data_ok) then failed := true;
+      let chunk = Blink.heuristic_chunk ~elems in
+      let gbps prog = Blink.algbw_gbps ~elems (Blink.time handle prog) in
+      let bcast, _ = Blink.broadcast ~chunk_elems:chunk handle ~elems in
+      let allred, _ = Blink.all_reduce ~chunk_elems:chunk handle ~elems in
+      let trees sel =
+        match sel handle with
+        | None -> 0
+        | Some p -> List.length p.Treegen.trees
+      in
+      Format.printf "  %-11s %5.1f GB/s %5.1f GB/s %5d %7d %9.1f %5b %5b@."
+        (Planner.name b) (gbps bcast) (gbps allred)
+        (trees Blink.packing)
+        (trees Blink.undirected_packing)
+        (plan_s *. 1e3) feasible data_ok)
+    (Planner.all ());
+  if !failed then begin
+    Format.eprintf "tournament: a backend failed the differential check@.";
+    exit 1
+  end
+
+let tournament_cmd =
+  Cmd.v
+    (Cmd.info "tournament"
+       ~doc:
+         "Race every planner backend on one allocation: achieved rates, \
+          tree counts, planning time, and a feasibility + data-correctness \
+          differential check")
+    Term.(const tournament $ server_arg $ gpus_arg $ mbytes_arg)
+
 (* -------------------------------- main -------------------------------- *)
 
 let () =
@@ -868,4 +953,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ topo_cmd; plan_cmd; bench_cmd; train_cmd; trace_cmd; analyze_cmd;
-            metrics_cmd; replay_cmd; prewarm_cmd; failover_cmd; cluster_cmd ]))
+            metrics_cmd; replay_cmd; prewarm_cmd; failover_cmd; cluster_cmd;
+            tournament_cmd ]))

@@ -71,6 +71,11 @@ type t = {
   explicit_root : int option;  (* gpu id pinned by [create ?root] *)
   epsilon : float option;
   threshold : float option;
+  (* Which planner backend built (and rebuilds) the packings. Part of the
+     fingerprint, so store entries never cross backends. Only the
+     ["treegen"] backend has an incremental warm-replan path; every other
+     backend replans cold. *)
+  planner : Planner.backend;
   telemetry : Telemetry.t;
   faults : (int * int, Server.link_state) Hashtbl.t;  (* gpu pair, u < v *)
   (* Once a mutation partitions the NVLink graph the handle is dead: the
@@ -177,8 +182,8 @@ let raise_disconnected ~on_disconnected graph ~gpus ~root =
    [create] keeps its historical [Invalid_argument] for a born-broken
    allocation, while the mutation path raises the typed {!Partitioned}
    with the reachable/unreachable GPU sets. *)
-let plan_topology ?epsilon ?threshold ~telemetry ~on_disconnected server ~gpus
-    ~faults ~root_gpu =
+let plan_topology ?epsilon ?threshold ~telemetry ~planner ~on_disconnected
+    server ~gpus ~faults ~root_gpu =
   let fabric = Fabric.of_server ~faults server ~gpus in
   let graph = Server.nvlink_digraph ~faults server ~gpus in
   let k = Array.length gpus in
@@ -200,9 +205,13 @@ let plan_topology ?epsilon ?threshold ~telemetry ~on_disconnected server ~gpus
       in
       if k > 1 && not (Digraph.is_connected_from graph ~root) then
         raise_disconnected ~on_disconnected graph ~gpus ~root;
-      let directed = Treegen.plan ?epsilon ?threshold ~telemetry graph ~root in
+      let directed =
+        Planner.plan planner ?epsilon ?threshold ~telemetry graph ~root
+          ~undirected:false
+      in
       let undirected =
-        Treegen.plan_undirected ?epsilon ?threshold ~telemetry graph ~root
+        Planner.plan planner ?epsilon ?threshold ~telemetry graph ~root
+          ~undirected:true
       in
       Log.info (fun m ->
           m "%s gpus=[%s]: root gpu %d, broadcast %.1f GB/s (%d trees), \
@@ -220,12 +229,12 @@ let plan_topology ?epsilon ?threshold ~telemetry ~on_disconnected server ~gpus
    construction inputs — so a memo hit hands back exactly the packing
    this handle would have built, already paid for by an isomorphic
    tenant. *)
-let topo_via_store ?epsilon ?threshold ~telemetry ~on_disconnected
+let topo_via_store ?epsilon ?threshold ~telemetry ~planner ~on_disconnected
     ~(store : store) ~fp server ~gpus ~faults ~root_gpu =
   let build () =
     let fabric, graph, kind, root =
-      plan_topology ?epsilon ?threshold ~telemetry ~on_disconnected server
-        ~gpus ~faults ~root_gpu
+      plan_topology ?epsilon ?threshold ~telemetry ~planner ~on_disconnected
+        server ~gpus ~faults ~root_gpu
     in
     Topo { t_fabric = fabric; t_graph = graph; t_kind = kind; t_root = root }
   in
@@ -235,7 +244,7 @@ let topo_via_store ?epsilon ?threshold ~telemetry ~on_disconnected
   | Chunk _ | Compiled _ -> assert false
 
 let create ?root ?epsilon ?threshold ?telemetry ?max_cached_plans ?link_faults
-    ?store server ~gpus =
+    ?store ?(planner = Planner.default) server ~gpus =
   let telemetry =
     match telemetry with Some t -> t | None -> Telemetry.create ()
   in
@@ -268,7 +277,8 @@ let create ?root ?epsilon ?threshold ?telemetry ?max_cached_plans ?link_faults
     | None -> (Store.create ?max_plans:max_cached_plans (), true)
   in
   let fingerprint =
-    Fingerprint.make ?epsilon ?threshold ?root server ~gpus ~faults
+    Fingerprint.make ~planner:(Planner.name planner) ?epsilon ?threshold ?root
+      server ~gpus ~faults
   in
   (* A handle created directly on a degraded fabric reports partition
      through the typed error — it is exactly the replanned state a
@@ -277,8 +287,8 @@ let create ?root ?epsilon ?threshold ?telemetry ?max_cached_plans ?link_faults
     match link_faults with None -> `Invalid_arg | Some _ -> `Partitioned
   in
   let fabric, graph, kind, root =
-    topo_via_store ?epsilon ?threshold ~telemetry ~on_disconnected ~store
-      ~fp:(Fingerprint.id fingerprint) server ~gpus ~faults
+    topo_via_store ?epsilon ?threshold ~telemetry ~planner ~on_disconnected
+      ~store ~fp:(Fingerprint.id fingerprint) server ~gpus ~faults
       ~root_gpu:explicit_root
   in
   let fault_table = Hashtbl.create 8 in
@@ -293,6 +303,7 @@ let create ?root ?epsilon ?threshold ?telemetry ?max_cached_plans ?link_faults
     explicit_root;
     epsilon;
     threshold;
+    planner;
     telemetry;
     faults = fault_table;
     partition = None;
@@ -316,6 +327,7 @@ let check_usable t =
 
 let fabric t = t.fabric
 let server t = t.server
+let planner t = t.planner
 let root t = t.root
 let telemetry t = t.telemetry
 let store t = t.store
@@ -680,7 +692,7 @@ let apply_mutation ?(replan = `Warm) t ~affected =
              | -1 -> invalid_arg "Blink: pinned root left the allocation"
              | r -> r)
            t.explicit_root)
-      t.server ~gpus:t.gpus ~faults
+      t.server ~gpus:t.gpus ~faults ~planner:(Planner.name t.planner)
   in
   let fp = Fingerprint.id fingerprint in
   (* Replan first: a partition kills the handle before the store is
@@ -704,15 +716,20 @@ let apply_mutation ?(replan = `Warm) t ~affected =
           Store.note_contingency t.store ~hit:false;
           Telemetry.incr t.telemetry "plan.contingency.misses";
           match (replan, prev_kind) with
-          | `Warm, Packed prev ->
+          (* The incremental warm path is TreeGen machinery (tree remap +
+             residual MWU + warm-started ILP): other backends take the
+             cold path below, rebuilding with their own [plan]. *)
+          | `Warm, Packed prev
+            when String.equal (Planner.name t.planner)
+                   (Planner.name Planner.treegen) ->
               path := "warm";
               warm_replan t ~prev_directed:prev.directed
                 ~prev_undirected:prev.undirected ~prev_graph ~faults
           | (`Warm | `Cold), _ ->
               topo_via_store ?epsilon:t.epsilon ?threshold:t.threshold
-                ~telemetry:t.telemetry ~on_disconnected:`Partitioned
-                ~store:t.store ~fp t.server ~gpus:t.gpus ~faults
-                ~root_gpu:t.explicit_root)
+                ~telemetry:t.telemetry ~planner:t.planner
+                ~on_disconnected:`Partitioned ~store:t.store ~fp t.server
+                ~gpus:t.gpus ~faults ~root_gpu:t.explicit_root)
     with Partitioned { alive; unreachable } as e ->
       t.partition <- Some (alive, unreachable);
       raise e
@@ -989,8 +1006,9 @@ and prewarm_contingencies ?pool ~contingencies t keys =
             in
             let fpid =
               Fingerprint.id
-                (Fingerprint.make ?epsilon:t.epsilon ?threshold:t.threshold
-                   ?root:root_rank t.server ~gpus:t.gpus ~faults)
+                (Fingerprint.make ~planner:(Planner.name t.planner)
+                   ?epsilon:t.epsilon ?threshold:t.threshold ?root:root_rank
+                   t.server ~gpus:t.gpus ~faults)
             in
             if Hashtbl.mem seen fpid then None
             else begin
@@ -1025,8 +1043,9 @@ and prewarm_contingencies ?pool ~contingencies t keys =
         (fun (fpid, faults) ->
           let fabric, graph, kind, root =
             plan_topology ?epsilon:t.epsilon ?threshold:t.threshold
-              ~telemetry:Telemetry.disabled ~on_disconnected:`Partitioned
-              t.server ~gpus:t.gpus ~faults ~root_gpu:t.explicit_root
+              ~telemetry:Telemetry.disabled ~planner:t.planner
+              ~on_disconnected:`Partitioned t.server ~gpus:t.gpus ~faults
+              ~root_gpu:t.explicit_root
           in
           ( fpid,
             Topo
@@ -1047,7 +1066,7 @@ and prewarm_contingencies ?pool ~contingencies t keys =
         let scratch =
           create ?root:root_rank ?epsilon:t.epsilon ?threshold:t.threshold
             ~telemetry:Telemetry.disabled ~link_faults:faults ~store:t.store
-            t.server ~gpus:t.gpus
+            ~planner:t.planner t.server ~gpus:t.gpus
         in
         acc + prewarm ?pool scratch keys)
       0 classes

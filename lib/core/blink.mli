@@ -48,6 +48,7 @@ val create :
   ?max_cached_plans:int ->
   ?link_faults:Blink_topology.Server.faults ->
   ?store:store ->
+  ?planner:Planner.backend ->
   Blink_topology.Server.t ->
   gpus:int array ->
   t
@@ -85,7 +86,16 @@ val create :
     handle's own lookups. Mutually exclusive with [max_cached_plans]
     (capacity belongs to the store — raises [Invalid_argument]); after a
     fault the handle migrates to its new fingerprint without touching
-    the other tenants' entries. *)
+    the other tenants' entries.
+
+    [planner] (default {!Planner.default}, TreeGen) picks the backend
+    that packs trees on NVLink machines. The backend name is part of the
+    handle's fingerprint, so tenants on different backends never share
+    store entries; only the TreeGen backend takes the incremental warm
+    path on fault replans — the rest replan cold. *)
+
+val planner : t -> Planner.backend
+(** The planner backend this handle packs with. *)
 
 val store : t -> store
 (** The store this handle plans against (its own private one unless

@@ -885,6 +885,57 @@ let feasible g packing =
   in
   trees_ok && caps_ok
 
+(* ------------------------------------------------------------------ *)
+(* Backend toolkit: the capacity model behind both packing modes, exposed
+   so alternative planner backends ({!Planner}) reuse TreeGen's item
+   accounting and spanning-structure oracles instead of re-deriving link
+   pairing and orientation. *)
+
+type model =
+  | Mdirected of Digraph.t
+  | Mundirected of {
+      g : Digraph.t;
+      links : link array;
+      link_of_edge : int array;
+    }
+
+let model g ~undirected =
+  if undirected then
+    let links = undirected_links g in
+    Mundirected { g; links; link_of_edge = link_index_of_edge g links }
+  else Mdirected g
+
+let model_caps = function
+  | Mdirected g ->
+      Array.init (Digraph.n_edges g) (fun i -> (Digraph.edge g i).Digraph.cap)
+  | Mundirected { links; _ } -> Array.map (fun l -> l.lcap) links
+
+let model_items m edges =
+  match m with
+  | Mdirected _ -> edges
+  | Mundirected { link_of_edge; _ } ->
+      List.map (fun e -> link_of_edge.(e)) edges
+
+let model_tree m ~root ~price =
+  match m with
+  | Mdirected g ->
+      Arborescence.min_arborescence g ~root ~cost:(fun e ->
+          price.(e.Digraph.id))
+  | Mundirected { g; links; _ } ->
+      Option.map
+        (orient g links ~root)
+        (kruskal ~n:(Digraph.n_vertices g) g links price)
+
+let integral_trees g ~root ~undirected =
+  (* [greedy_integral] assumes a non-trivial graph (its undirected loop
+     would spin on a vertex-only graph where Kruskal keeps returning the
+     empty spanning forest). *)
+  if Digraph.n_vertices g <= 1 || Digraph.n_edges g = 0 then []
+  else
+    let caps = model_caps (model g ~undirected) in
+    let unit = Array.fold_left Float.min infinity caps in
+    greedy_integral g ~root ~undirected ~unit
+
 let pp ppf p =
   Format.fprintf ppf "@[<v>packing root=%d rate=%.3f optimal=%.3f (%d trees%s)"
     p.root p.rate p.optimal (List.length p.trees)

@@ -142,3 +142,47 @@ val feasible : Blink_graph.Digraph.t -> packing -> bool
     link it crosses in either orientation (tolerance 1e-6). *)
 
 val pp : Format.formatter -> packing -> unit
+
+(** {2 Backend toolkit}
+
+    The capacity model behind both packing modes, exposed so alternative
+    planner backends ({!Planner}) reuse TreeGen's item accounting and
+    spanning-structure oracles. An {e item} is the unit of capacity a
+    packing consumes: a directed edge id in directed mode, a duplex-link
+    id in undirected mode. Trees are always exchanged as directed edge-id
+    lists oriented away from the root. *)
+
+type model
+(** A graph plus its capacity model (directed edges or duplex links). *)
+
+val model : Blink_graph.Digraph.t -> undirected:bool -> model
+(** Build the model. In undirected mode the graph must be symmetric
+    (raises [Invalid_argument] otherwise, as {!pack_undirected}). *)
+
+val model_caps : model -> float array
+(** Per-item capacities (a fresh array, indexed by item id). *)
+
+val model_items : model -> int list -> int list
+(** Map a tree's directed edge ids to the item ids it consumes (the
+    identity in directed mode). *)
+
+val model_tree : model -> root:int -> price:float array -> int list option
+(** Minimum-total-price spanning structure under per-item [price]:
+    Chu-Liu/Edmonds arborescence in directed mode, Kruskal over links
+    (oriented away from [root]) in undirected mode. [None] when the graph
+    does not span from [root]. *)
+
+val integral_trees :
+  Blink_graph.Digraph.t -> root:int -> undirected:bool -> int list list
+(** The greedy/Edmonds integral extraction {!minimize} seeds its ILP
+    with, at the minimum-capacity unit: in undirected mode a maximal
+    unit-tree packing, in directed mode the {e exact} optimal integral
+    arborescence packing when every capacity is a (near-)integer multiple
+    of the unit, and [[]] otherwise. *)
+
+val candidate_lp :
+  caps:float array -> candidates:int list array -> float * float array
+(** Maximize total weight over the candidate item-lists subject to
+    per-item [caps]: returns the LP optimum and one optimal weight per
+    candidate. The exact re-optimization {!pack_undirected} and the
+    backends use to certify a candidate set. *)

@@ -147,11 +147,38 @@ let search_budget = 60_000
 (* Memoized on the exact realization (server wiring, GPU tuple, faults,
    root, planner parameters): the cluster service fingerprints every
    slice of every job, but distinct realizations number in the hundreds. *)
-let memo : (string, t) Hashtbl.t = Hashtbl.create 256
+(* Realization memo. A slot is [Pending] while some domain computes the
+   fingerprint, so concurrent requests for the same realization wait on
+   the condition instead of recomputing; [Ready] slots are evicted a
+   bounded batch at a time in insertion order (the FIFO queue holds one
+   record per Ready slot), never by wiping the table. *)
+type slot = Ready of t | Pending
+
+let memo : (string, slot) Hashtbl.t = Hashtbl.create 256
+let memo_fifo : string Queue.t = Queue.create ()
 let memo_mutex = Mutex.create ()
+let memo_ready = Condition.create ()
 let memo_cap = 8192
 
-let realization_key ~epsilon ~threshold ~root server ~gpus ~faults =
+(* Evict an eighth of the cap per overflow: old entries age out while the
+   ~46-class working set of a real cluster stays resident. *)
+let memo_evict_target = memo_cap - (memo_cap / 8)
+
+(* Under [memo_mutex]. [Pending] slots hold no FIFO record and are never
+   evicted — the computing domain still expects to publish them. *)
+let rec memo_evict_to_target () =
+  if Hashtbl.length memo > memo_evict_target && not (Queue.is_empty memo_fifo)
+  then begin
+    let key = Queue.pop memo_fifo in
+    (match Hashtbl.find_opt memo key with
+    | Some (Ready _) -> Hashtbl.remove memo key
+    | Some Pending | None -> ());
+    memo_evict_to_target ()
+  end
+
+let default_planner = "treegen"
+
+let realization_key ~planner ~epsilon ~threshold ~root server ~gpus ~faults =
   let b = Buffer.create 128 in
   Buffer.add_string b (server_digest server);
   Buffer.add_char b '|';
@@ -165,9 +192,11 @@ let realization_key ~epsilon ~threshold ~root server ~gpus ~faults =
     faults;
   Printf.bprintf b "|%d|" (match root with None -> -1 | Some r -> r);
   add_params b ~epsilon ~threshold;
+  Printf.bprintf b "|planner:%s" planner;
   Buffer.contents b
 
-let compute ~epsilon ~threshold ~root server ~gpus ~faults ~realization =
+let compute ~planner ~epsilon ~threshold ~root server ~gpus ~faults
+    ~realization =
   let k = Array.length gpus in
   let lbl i j = pair_label server faults gpus.(i) gpus.(j) in
   let perm =
@@ -217,6 +246,7 @@ let compute ~epsilon ~threshold ~root server ~gpus ~faults ~realization =
     done;
     Printf.bprintf b "|root:%d|" (Option.value root_pos ~default:(-1));
     add_params b ~epsilon ~threshold;
+    Printf.bprintf b "|planner:%s" planner;
     Digest.to_hex (Digest.string (Buffer.contents b))
   in
   let canonical =
@@ -240,22 +270,44 @@ let compute ~epsilon ~threshold ~root server ~gpus ~faults ~realization =
   in
   { class_digest; id; canonical; canonical_root = root_pos; is_canonical }
 
-let make ?epsilon ?threshold ?root server ~gpus ~faults =
+let make ?(planner = default_planner) ?epsilon ?threshold ?root server ~gpus
+    ~faults =
   let faults = List.sort compare (Server.normalize_faults faults) in
   let realization =
-    realization_key ~epsilon ~threshold ~root server ~gpus ~faults
+    realization_key ~planner ~epsilon ~threshold ~root server ~gpus ~faults
   in
   Mutex.lock memo_mutex;
-  let cached = Hashtbl.find_opt memo realization in
-  Mutex.unlock memo_mutex;
-  match cached with
-  | Some t -> t
-  | None ->
-      let t =
-        compute ~epsilon ~threshold ~root server ~gpus ~faults ~realization
-      in
-      Mutex.lock memo_mutex;
-      if Hashtbl.length memo >= memo_cap then Hashtbl.reset memo;
-      if not (Hashtbl.mem memo realization) then Hashtbl.add memo realization t;
-      Mutex.unlock memo_mutex;
-      t
+  let rec await () =
+    match Hashtbl.find_opt memo realization with
+    | Some (Ready t) ->
+        Mutex.unlock memo_mutex;
+        t
+    | Some Pending ->
+        (* Another domain is computing this exact realization: wait for
+           its publish instead of burning a redundant canonical-form
+           search. *)
+        Condition.wait memo_ready memo_mutex;
+        await ()
+    | None ->
+        Hashtbl.replace memo realization Pending;
+        Mutex.unlock memo_mutex;
+        let t =
+          try
+            compute ~planner ~epsilon ~threshold ~root server ~gpus ~faults
+              ~realization
+          with e ->
+            Mutex.lock memo_mutex;
+            Hashtbl.remove memo realization;
+            Condition.broadcast memo_ready;
+            Mutex.unlock memo_mutex;
+            raise e
+        in
+        Mutex.lock memo_mutex;
+        if Hashtbl.length memo >= memo_cap then memo_evict_to_target ();
+        Hashtbl.replace memo realization (Ready t);
+        Queue.push realization memo_fifo;
+        Condition.broadcast memo_ready;
+        Mutex.unlock memo_mutex;
+        t
+  in
+  await ()

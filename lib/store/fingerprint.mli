@@ -25,6 +25,7 @@
 type t
 
 val make :
+  ?planner:string ->
   ?epsilon:float ->
   ?threshold:float ->
   ?root:int ->
@@ -35,8 +36,10 @@ val make :
 (** Fingerprint the allocation [gpus] on [server] under the accumulated
     link [faults] (normalized internally). [root] is the pinned root
     {e rank} if any; [epsilon]/[threshold] are the tree-packing
-    parameters — all three shift the digest because they shift the
-    compiled plans. Memoized on the exact realization; the canonical-form
+    parameters and [planner] (default ["treegen"]) the planner-backend
+    name — all four shift the digest because they shift the compiled
+    plans, so tenants on different backends never share store entries.
+    Memoized on the exact realization; the canonical-form
     search is exact for allocations up to ~10 GPUs and falls back to a
     deterministic invariant order (collision-free, less unifying) on
     label-uniform fabrics such as NVSwitch machines. *)

@@ -24,6 +24,12 @@ type ('k, 'v) t = {
   fifo : (string * 'k * int) Queue.t;
   mutable next_epoch : int;
   mutable evictable_count : int;
+  (* Records in [fifo] whose entry a migration already removed: eviction
+     pops them lazily, but an unbounded (or large-cap) store may never
+     evict, so [compact_fifo] rebuilds the queue once stale records
+     outnumber live ones. Invariant:
+     [Queue.length fifo = evictable_count + stale_records]. *)
+  mutable stale_records : int;
   max_plans : int option;
   mutable hits : int;
   mutable misses : int;
@@ -43,6 +49,7 @@ let create ?max_plans () =
     fifo = Queue.create ();
     next_epoch = 0;
     evictable_count = 0;
+    stale_records = 0;
     max_plans;
     hits = 0;
     misses = 0;
@@ -82,19 +89,35 @@ let evict_over_cap t =
       let n = ref 0 in
       while t.evictable_count >= cap do
         let fp, key, epoch = Queue.pop t.fifo in
-        match Hashtbl.find_opt t.buckets fp with
-        | None -> ()
-        | Some b -> (
-            match Hashtbl.find_opt b key with
-            | Some e when e.epoch = epoch && e.evictable ->
-                Hashtbl.remove b key;
-                if Hashtbl.length b = 0 then Hashtbl.remove t.buckets fp;
-                t.evictable_count <- t.evictable_count - 1;
-                t.evictions <- t.evictions + 1;
-                incr n
-            | _ -> ())
+        match find_entry t fp key with
+        | Some e when e.epoch = epoch && e.evictable ->
+            let b = Hashtbl.find t.buckets fp in
+            Hashtbl.remove b key;
+            if Hashtbl.length b = 0 then Hashtbl.remove t.buckets fp;
+            t.evictable_count <- t.evictable_count - 1;
+            t.evictions <- t.evictions + 1;
+            incr n
+        | _ -> t.stale_records <- t.stale_records - 1
       done;
       !n
+
+(* Rebuild the FIFO keeping only records that still name a live evictable
+   entry (order preserved), once stale records dominate — O(live) per
+   O(stale) removals, so churn-heavy unbounded stores stay linear in
+   their live size instead of growing a queue forever. *)
+let compact_fifo t =
+  if t.stale_records > 64 && t.stale_records > t.evictable_count then begin
+    let live = Queue.create () in
+    Queue.iter
+      (fun ((fp, key, epoch) as r) ->
+        match find_entry t fp key with
+        | Some e when e.epoch = epoch && e.evictable -> Queue.push r live
+        | _ -> ())
+      t.fifo;
+    Queue.clear t.fifo;
+    Queue.transfer live t.fifo;
+    t.stale_records <- 0
+  end
 
 let push t fp key value ~evictable =
   let epoch = t.next_epoch in
@@ -175,7 +198,10 @@ let migrate t ~from_ ~to_ ~classify ~drop_source =
           let remove_from_source k (e : ('k, 'v) entry) =
             if drop_source && to_ <> from_ then begin
               Hashtbl.remove src k;
-              if e.evictable then t.evictable_count <- t.evictable_count - 1
+              if e.evictable then begin
+                t.evictable_count <- t.evictable_count - 1;
+                t.stale_records <- t.stale_records + 1
+              end
             end
           in
           List.iter
@@ -190,8 +216,10 @@ let migrate t ~from_ ~to_ ~classify ~drop_source =
                   t.invalidations <- t.invalidations + 1;
                   if drop_source then begin
                     Hashtbl.remove src k;
-                    if e.evictable then
-                      t.evictable_count <- t.evictable_count - 1
+                    if e.evictable then begin
+                      t.evictable_count <- t.evictable_count - 1;
+                      t.stale_records <- t.stale_records + 1
+                    end
                   end
               | `Copy ->
                   if to_ <> from_ && find_entry t to_ k = None then begin
@@ -205,7 +233,10 @@ let migrate t ~from_ ~to_ ~classify ~drop_source =
             items;
           if drop_source && Hashtbl.length src = 0 then
             Hashtbl.remove t.buckets from_;
+          compact_fifo t;
           (!copied, !dropped))
+
+let fifo_records t = with_lock t (fun () -> Queue.length t.fifo)
 
 let note_contingency t ~hit =
   with_lock t (fun () ->

@@ -15,7 +15,9 @@
     neither, so [max_plans] bounds exactly the number of cached plans.
     FIFO records carry per-bucket insertion epochs: migration and
     re-insertion leave stale records behind, which eviction skips without
-    counting. *)
+    counting; once stale records outnumber live ones the queue is
+    compacted in place, so it stays linear in the live entry count even
+    on unbounded stores under migration churn. *)
 
 type stats = {
   entries : int;  (** live evictable (plan) entries *)
@@ -76,6 +78,10 @@ val migrate :
     bucket is left intact, so one tenant's fault never poisons an
     isomorphic-but-healthy tenant's entries, and [`Drop] only expresses
     that the migrating handle no longer sees the entry. *)
+
+val fifo_records : ('k, 'v) t -> int
+(** Current FIFO queue length (live + stale records) — observability for
+    the compaction bound; [stats.entries] counts only live ones. *)
 
 val note_contingency : ('k, 'v) t -> hit:bool -> unit
 (** Count a fault-driven replan against the contingency counters: [hit]

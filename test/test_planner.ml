@@ -1,0 +1,276 @@
+(* Planner backends: every registered backend must produce packings the
+   rest of the stack can trust.
+
+   - Feasibility: on fixed DGX topologies and on randomized degraded
+     sub-allocations, both packings (directed + undirected) satisfy
+     Treegen.feasible, achieve a positive rate on connected fabrics, and
+     never exceed their own certified optimum.
+   - Data correctness: an AllReduce compiled from each backend's trees is
+     element-identical to the float-array reference semantics.
+   - Store identity: distinct backends produce distinct fingerprints, so
+     tenants on different backends never share a plan-store bucket. *)
+
+module Server = Blink_topology.Server
+module Digraph = Blink_graph.Digraph
+module Blink = Blink_core.Blink
+module Plan = Blink_core.Plan
+module Planner = Blink_core.Planner
+module Treegen = Blink_core.Treegen
+module Fingerprint = Blink_store.Fingerprint
+module Codegen = Blink_collectives.Codegen
+module P = Blink_sim.Program
+module Sem = Blink_sim.Semantics
+
+let backends = Planner.all ()
+
+let backend_names () =
+  Alcotest.(check (list string))
+    "built-in backends registered, treegen first"
+    [ "treegen"; "lp-flow"; "greedy-cut" ]
+    (List.map Planner.name backends)
+
+let find_registered () =
+  List.iter
+    (fun b ->
+      match Planner.find (Planner.name b) with
+      | Some b' ->
+          Alcotest.(check string) "find returns the registered module"
+            (Planner.name b) (Planner.name b')
+      | None -> Alcotest.failf "backend %s not found" (Planner.name b))
+    backends;
+  Alcotest.(check bool) "unknown name" true (Planner.find "nope" = None)
+
+(* A packing is acceptable iff feasible, spanning-positive, and within
+   (a hair of) its own certified optimum. *)
+let check_packing ~label g (p : Treegen.packing) =
+  Alcotest.(check bool)
+    (label ^ ": feasible")
+    true (Treegen.feasible g p);
+  if Digraph.n_vertices g > 1 then
+    Alcotest.(check bool) (label ^ ": positive rate") true (p.Treegen.rate > 0.);
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: rate %.4f within optimal %.4f" label p.Treegen.rate
+       p.Treegen.optimal)
+    true
+    (p.Treegen.rate <= p.Treegen.optimal +. 1e-6)
+
+let check_both_packings ~label b g ~root =
+  let directed = Planner.plan b g ~root ~undirected:false in
+  let undirected = Planner.plan b g ~root ~undirected:true in
+  check_packing ~label:(label ^ " directed") g directed;
+  check_packing ~label:(label ^ " undirected") g undirected;
+  Alcotest.(check bool) (label ^ ": directed flag") false
+    directed.Treegen.undirected;
+  Alcotest.(check bool) (label ^ ": undirected flag") true
+    undirected.Treegen.undirected
+
+let fixed_fabrics =
+  [
+    ("dgx1v-8", Server.dgx1v, [| 0; 1; 2; 3; 4; 5; 6; 7 |]);
+    ("dgx1p-8", Server.dgx1p, [| 0; 1; 2; 3; 4; 5; 6; 7 |]);
+    ("dgx1v-quad", Server.dgx1v, [| 1; 4; 5; 6 |]);
+    ("dgx1v-pair", Server.dgx1v, [| 2; 3 |]);
+  ]
+
+let feasible_on_fixed b () =
+  List.iter
+    (fun (name, server, gpus) ->
+      let g = Server.nvlink_digraph server ~gpus in
+      let root = Treegen.best_root g in
+      check_both_packings
+        ~label:(Printf.sprintf "%s/%s" (Planner.name b) name)
+        b g ~root)
+    fixed_fabrics
+
+(* TreeGen hits the paper's numbers on the full DGX-1V and the LP-flow
+   backend must land in the same band; greedy-cut is a no-lookahead
+   baseline — it only owes a substantial fraction of the optimum (the
+   tournament reports its actual gap). *)
+let dgx1v_rates b () =
+  let g = Server.nvlink_digraph Server.dgx1v ~gpus:[| 0; 1; 2; 3; 4; 5; 6; 7 |] in
+  let root = Treegen.best_root g in
+  let directed = Planner.plan b g ~root ~undirected:false in
+  let floor =
+    if String.equal (Planner.name b) "greedy-cut" then 0.5 else 0.9
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: directed rate %.2f vs optimal %.2f" (Planner.name b)
+       directed.Treegen.rate directed.Treegen.optimal)
+    true
+    (directed.Treegen.rate >= floor *. directed.Treegen.optimal)
+
+(* Randomized fabrics: random sub-allocations of the DGX-1V with random
+   link degradations/failures. Skip the (rare) draws whose surviving
+   graph no longer spans — disconnection handling is covered elsewhere. *)
+let random_fabric rng =
+  let k = 2 + Random.State.int rng 7 in
+  let all = Array.to_list (Array.init 8 Fun.id) in
+  let rec pick acc n pool =
+    if n = 0 then List.rev acc
+    else
+      let i = Random.State.int rng (List.length pool) in
+      let g = List.nth pool i in
+      pick (g :: acc) (n - 1) (List.filter (fun x -> x <> g) pool)
+  in
+  let gpus = Array.of_list (pick [] k all) in
+  Array.sort compare gpus;
+  let faults =
+    List.filter_map
+      (fun _ ->
+        let u = Random.State.int rng 8 and v = Random.State.int rng 8 in
+        if u = v then None
+        else
+          let state =
+            if Random.State.bool rng then Server.Down
+            else Server.Degraded (0.25 +. Random.State.float rng 0.5)
+          in
+          Some ((min u v, max u v), state))
+      (List.init (Random.State.int rng 3) Fun.id)
+  in
+  (gpus, Server.normalize_faults faults)
+
+let random_feasibility b =
+  QCheck.Test.make ~count:40
+    ~name:(Printf.sprintf "%s: random degraded fabrics" (Planner.name b))
+    QCheck.(int_bound 10_000)
+    (fun seed ->
+      let rng = Random.State.make [| seed; 0xb11 |] in
+      let gpus, faults = random_fabric rng in
+      let g = Server.nvlink_digraph ~faults Server.dgx1v ~gpus in
+      let root = Treegen.best_root g in
+      if
+        Array.length gpus > 1 && not (Digraph.is_connected_from g ~root)
+      then true
+      else begin
+        let directed = Planner.plan b g ~root ~undirected:false in
+        let undirected = Planner.plan b g ~root ~undirected:true in
+        Treegen.feasible g directed
+        && Treegen.feasible g undirected
+        && directed.Treegen.rate <= directed.Treegen.optimal +. 1e-6
+        && undirected.Treegen.rate <= undirected.Treegen.optimal +. 1e-6
+        && (Array.length gpus <= 1 || directed.Treegen.rate > 0.)
+      end)
+
+(* End-to-end data correctness per backend: AllReduce over each backend's
+   trees, slab semantics vs the float-array reference. *)
+let elems = 2_048
+
+let data_correct b () =
+  List.iter
+    (fun (name, server, gpus) ->
+      let h = Blink.create ~planner:b server ~gpus in
+      let plan = Blink.plan ~chunk_elems:512 h Plan.All_reduce ~elems in
+      let prog = plan.Plan.program in
+      let layout = plan.Plan.layout in
+      let k = Array.length layout.Codegen.data in
+      let mem = Sem.memory_of_program prog in
+      let rmem = Sem.Ref.memory_of_program prog in
+      for r = 0 to k - 1 do
+        let values =
+          Array.init elems (fun i -> Float.of_int (((i * 3) + (r * 7)) mod 11))
+        in
+        Sem.write mem ~node:r ~buf:layout.Codegen.data.(r) values;
+        Sem.Ref.write rmem ~node:r ~buf:layout.Codegen.data.(r) values
+      done;
+      Sem.run prog mem;
+      Sem.Ref.run prog rmem;
+      List.iter
+        (fun (node, buf, _len) ->
+          Alcotest.(check (array (float 0.)))
+            (Printf.sprintf "%s/%s node=%d buf=%d" (Planner.name b) name node
+               buf)
+            (Sem.Ref.read rmem ~node ~buf)
+            (Sem.read mem ~node ~buf))
+        (P.buffers prog))
+    [
+      ("dgx1v-quad", Server.dgx1v, [| 1; 4; 5; 6 |]);
+      ("dgx1p-8", Server.dgx1p, [| 0; 1; 2; 3; 4; 5; 6; 7 |]);
+    ]
+
+(* Backend identity in the store: distinct backends must never collide —
+   neither in the realization key nor in the class digest — and handles
+   sharing one store keep separate buckets. *)
+let fingerprint_separation () =
+  let gpus = [| 1; 4; 5; 6 |] in
+  let fps =
+    List.map
+      (fun b ->
+        Fingerprint.make ~planner:(Planner.name b) Server.dgx1v ~gpus
+          ~faults:[])
+      backends
+  in
+  List.iteri
+    (fun i fi ->
+      List.iteri
+        (fun j fj ->
+          if i < j then begin
+            Alcotest.(check bool) "distinct id" false
+              (String.equal (Fingerprint.id fi) (Fingerprint.id fj));
+            Alcotest.(check bool) "distinct class" false
+              (Fingerprint.same_class fi fj)
+          end)
+        fps)
+    fps;
+  (* Default and explicit treegen collapse to the same key. *)
+  let default = Fingerprint.make Server.dgx1v ~gpus ~faults:[] in
+  let explicit =
+    Fingerprint.make ~planner:"treegen" Server.dgx1v ~gpus ~faults:[]
+  in
+  Alcotest.(check string) "default planner is treegen" (Fingerprint.id default)
+    (Fingerprint.id explicit)
+
+let shared_store_separation () =
+  let store = Blink.new_store () in
+  let gpus = [| 1; 4; 5; 6 |] in
+  let handles =
+    List.map (fun b -> Blink.create ~store ~planner:b Server.dgx1v ~gpus)
+    backends
+  in
+  let ids =
+    List.map (fun h -> Fingerprint.id (Blink.fingerprint h)) handles
+  in
+  Alcotest.(check int) "one bucket per backend"
+    (List.length backends)
+    (List.length (List.sort_uniq compare ids));
+  (* Each handle still planned (positive rates) out of its own bucket. *)
+  List.iter
+    (fun h ->
+      match Blink.undirected_packing h with
+      | Some p -> Alcotest.(check bool) "rate" true (p.Treegen.rate > 0.)
+      | None -> Alcotest.fail "expected packed topology")
+    handles
+
+let register_duplicate () =
+  Alcotest.check_raises "duplicate name rejected"
+    (Invalid_argument "Planner.register: duplicate backend \"treegen\"")
+    (fun () -> Planner.register Planner.treegen)
+
+let () =
+  let backend_cases mk = List.map mk backends in
+  Alcotest.run "planner"
+    [
+      ( "registry",
+        [
+          Alcotest.test_case "built-ins" `Quick backend_names;
+          Alcotest.test_case "find" `Quick find_registered;
+          Alcotest.test_case "duplicate" `Quick register_duplicate;
+        ] );
+      ( "feasibility",
+        backend_cases (fun b ->
+            Alcotest.test_case (Planner.name b) `Quick (feasible_on_fixed b))
+        @ backend_cases (fun b ->
+              Alcotest.test_case
+                (Planner.name b ^ " dgx1v rate")
+                `Quick (dgx1v_rates b)) );
+      ( "random fabrics",
+        backend_cases (fun b ->
+            QCheck_alcotest.to_alcotest (random_feasibility b)) );
+      ( "data correctness",
+        backend_cases (fun b ->
+            Alcotest.test_case (Planner.name b) `Quick (data_correct b)) );
+      ( "store identity",
+        [
+          Alcotest.test_case "fingerprints" `Quick fingerprint_separation;
+          Alcotest.test_case "shared store" `Quick shared_store_separation;
+        ] );
+    ]

@@ -177,6 +177,54 @@ let test_store_capacity_shared () =
      the cap: the fingerprint bucket stays alive. *)
   Alcotest.(check int) "bucket survives" 1 st.Store.fingerprints
 
+(* Regression: an unbounded store under migration churn used to keep one
+   stale FIFO record per migrated entry forever (nothing evicts, so
+   nothing popped them) — quadratic queue growth over the run. The queue
+   must now stay linear in the live entry count. *)
+let test_fifo_compaction () =
+  let s : (int, int) Store.t = Store.create () in
+  let rounds = 200 in
+  for i = 0 to rounds - 1 do
+    let from_ = Printf.sprintf "fp%d" (i mod 2) in
+    let to_ = Printf.sprintf "fp%d" ((i + 1) mod 2) in
+    ignore (Store.insert_built s ~fp:from_ i i);
+    (* Every live entry moves buckets, stranding its old FIFO record. *)
+    ignore
+      (Store.migrate s ~from_ ~to_ ~classify:(fun _ _ -> `Copy)
+         ~drop_source:true)
+  done;
+  let st = Store.stats s in
+  Alcotest.(check int) "all entries live" rounds st.Store.entries;
+  Alcotest.(check int) "migration drops nothing" 0 st.Store.invalidations;
+  (* Pre-compaction this was ~rounds^2/2 records (20k); with stale-record
+     compaction it is bounded by live + the compaction slack. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "fifo stays linear (%d records for %d entries)"
+       (Store.fifo_records s) st.Store.entries)
+    true
+    (Store.fifo_records s <= (2 * rounds) + 65);
+  (* Compaction preserved FIFO semantics: a capped store under the same
+     churn still evicts the oldest entries first. *)
+  let c : (int, int) Store.t = Store.create ~max_plans:8 () in
+  for i = 0 to rounds - 1 do
+    let from_ = Printf.sprintf "fp%d" (i mod 2) in
+    let to_ = Printf.sprintf "fp%d" ((i + 1) mod 2) in
+    ignore (Store.insert_built c ~fp:from_ i i);
+    ignore
+      (Store.migrate c ~from_ ~to_ ~classify:(fun _ _ -> `Copy)
+         ~drop_source:true)
+  done;
+  let stc = Store.stats c in
+  Alcotest.(check bool)
+    (Printf.sprintf "cap holds under churn (%d live)" stc.Store.entries)
+    true
+    (stc.Store.entries >= 1 && stc.Store.entries <= 8);
+  (* FIFO order survived compaction: the newest entry is never the one
+     evicted. *)
+  let live = Printf.sprintf "fp%d" (rounds mod 2) in
+  Alcotest.(check (option int)) "newest entry survives" (Some (rounds - 1))
+    (Store.find_opt c ~fp:live (rounds - 1))
+
 let test_store_validation () =
   Alcotest.check_raises "non-positive store cap"
     (Invalid_argument "Store.create: max_plans must be positive") (fun () ->
@@ -216,6 +264,7 @@ let () =
             test_fault_isolation_between_tenants;
           Alcotest.test_case "shared capacity" `Quick
             test_store_capacity_shared;
+          Alcotest.test_case "fifo compaction" `Quick test_fifo_compaction;
           Alcotest.test_case "validation" `Quick test_store_validation;
         ] );
     ]
